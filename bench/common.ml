@@ -1,0 +1,137 @@
+(* Shared machinery for the experiment harness: the R-tree variant
+   registry (the paper's H, H4, PR, TGS plus STR as an extra), build
+   measurement (I/Os through the pager, plus wall-clock time), and the
+   query-cost metric used by the paper's figures — blocks read divided
+   by the output size T/B, with all internal nodes cached, so blocks
+   read = leaves visited. *)
+
+module Rect = Prt_geom.Rect
+module Pager = Prt_storage.Pager
+module Buffer_pool = Prt_storage.Buffer_pool
+module Entry = Prt_rtree.Entry
+module Rtree = Prt_rtree.Rtree
+module Ext_load = Prt_rtree.Ext_load
+module Ext_build = Prt_prtree.Ext_build
+module Table = Prt_util.Table
+module Stats = Prt_util.Stats
+
+type variant = H | H4 | PR | TGS | STR
+
+let paper_variants = [ H; H4; PR; TGS ]
+let all_variants = [ H; H4; PR; TGS; STR ]
+
+let name = function H -> "H" | H4 -> "H4" | PR -> "PR" | TGS -> "TGS" | STR -> "STR"
+
+(* The paper's setup: 4 KB blocks, 36-byte entries, fanout 113, and a
+   64 MB memory budget. Data sizes are scaled 1:100 by default, and the
+   memory budget scales with them so the external algorithms see the
+   same number of levels as at paper scale. *)
+let page_size = 4096
+let capacity = Prt_rtree.Node.capacity ~page_size
+
+let mem_records ~scale =
+  max (16 * capacity) (int_of_float (float_of_int 1_800_000 /. 100.0 *. scale))
+
+let fresh_pool () = Buffer_pool.create ~capacity:4096 (Pager.create_memory ~page_size ())
+
+(* In-memory builders: used for the query experiments, where only the
+   resulting tree matters. *)
+let build_mem variant pool entries =
+  match variant with
+  | H -> Prt_rtree.Bulk_hilbert.load_h pool entries
+  | H4 -> Prt_rtree.Bulk_hilbert.load_h4 pool entries
+  | PR -> Prt_prtree.Prtree.load pool entries
+  | TGS -> Prt_rtree.Bulk_tgs.load pool entries
+  | STR -> Prt_rtree.Bulk_str.load pool entries
+
+(* External builders: used for the construction-cost experiments, where
+   every scan/sort/distribution pass is counted. *)
+let build_ext variant pool ~mem_records file =
+  match variant with
+  | H -> Ext_load.load_h pool ~mem_records file
+  | H4 -> Ext_load.load_h4 pool ~mem_records file
+  | PR -> Ext_build.load ~mem_records pool file
+  | TGS -> Ext_load.load_tgs pool ~mem_records file
+  | STR -> invalid_arg "Common.build_ext: no external STR loader"
+
+type build_cost = { ios : int; seconds : float; tree : Rtree.t }
+
+(* Measure an external bulk load: the input file is written first
+   (outside the measurement), then every page touched during
+   construction is counted. *)
+let measure_build variant ~scale entries =
+  let pool = fresh_pool () in
+  let pager = Buffer_pool.pager pool in
+  let file = Entry.File.of_array pager entries in
+  let before = Pager.snapshot pager in
+  let t0 = Unix.gettimeofday () in
+  let tree = build_ext variant pool ~mem_records:(mem_records ~scale) file in
+  Buffer_pool.flush pool;
+  let seconds = Unix.gettimeofday () -. t0 in
+  let d = Pager.diff ~before ~after:(Pager.snapshot pager) in
+  { ios = Pager.total_io d; seconds; tree }
+
+type query_cost = {
+  mean_leaves : float;   (* blocks read per query (internal nodes cached) *)
+  mean_output : float;   (* T per query *)
+  relative : float;      (* mean leaves / (T/B): the figures' y-axis *)
+  leaves_total : int;
+  matched_total : int;
+}
+
+let measure_queries tree queries =
+  let n = Array.length queries in
+  if n = 0 then invalid_arg "Common.measure_queries: no queries";
+  let leaves = ref 0 and matched = ref 0 in
+  Array.iter
+    (fun q ->
+      let s = Rtree.query_count tree q in
+      leaves := !leaves + s.Rtree.leaf_visited;
+      matched := !matched + s.Rtree.matched)
+    queries;
+  let mean_leaves = float_of_int !leaves /. float_of_int n in
+  let mean_output = float_of_int !matched /. float_of_int n in
+  let ideal = mean_output /. float_of_int capacity in
+  {
+    mean_leaves;
+    mean_output;
+    relative = (if ideal > 0.0 then mean_leaves /. ideal else Float.nan);
+    leaves_total = !leaves;
+    matched_total = !matched;
+  }
+
+(* Build each variant on [entries] (in memory) and report the relative
+   query cost per variant for each query batch in [batches]; the
+   backbone of Figures 12-15. *)
+let query_experiment ?(variants = paper_variants) entries batches =
+  let trees =
+    List.map
+      (fun v ->
+        let pool = fresh_pool () in
+        (v, build_mem v pool entries))
+      variants
+  in
+  List.map
+    (fun (label, queries) ->
+      (label, List.map (fun (v, tree) -> (v, measure_queries tree queries)) trees))
+    batches
+
+let pct x = Printf.sprintf "%.0f%%" (100.0 *. x)
+let f1 x = Printf.sprintf "%.1f" x
+let f2 x = Printf.sprintf "%.2f" x
+
+let commas n =
+  let s = string_of_int n in
+  let len = String.length s in
+  let buf = Buffer.create (len + (len / 3)) in
+  String.iteri
+    (fun i c ->
+      if i > 0 && (len - i) mod 3 = 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let section title =
+  Printf.printf "\n== %s ==\n%!" title
+
+let note fmt = Printf.ksprintf (fun s -> Printf.printf "%s\n%!" s) fmt

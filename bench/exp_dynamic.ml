@@ -1,0 +1,197 @@
+(* Dynamic-index experiments beyond the paper's tables: the Section 4
+   discussion turned into measurements.
+
+   [logm]: the logarithmic-method PR-tree vs Guttman updates vs full
+   rebuild — update throughput and the query cost each strategy ends up
+   with.
+
+   [degrade]: what the paper warns about — bulk-loaded optimality is
+   lost under heuristic updates — quantified per split algorithm. *)
+
+module Table = Prt_util.Table
+module Rect = Prt_geom.Rect
+module Rtree = Prt_rtree.Rtree
+module Entry = Prt_rtree.Entry
+module Dynamic = Prt_rtree.Dynamic
+module Split = Prt_rtree.Split
+module Logmethod = Prt_logmethod.Logmethod
+module Datasets = Prt_workloads.Datasets
+module Queries = Prt_workloads.Queries
+module Tiger = Prt_workloads.Tiger
+
+open Common
+
+let query_cost_of_logmethod t queries =
+  let leaves = ref 0 and matched = ref 0 in
+  Array.iter
+    (fun q ->
+      let s = Logmethod.query t q ~f:(fun _ -> ()) in
+      leaves := !leaves + s.Logmethod.leaf_visited;
+      matched := !matched + s.Logmethod.matched)
+    queries;
+  let n = float_of_int (Array.length queries) in
+  let mean_leaves = float_of_int !leaves /. n in
+  let ideal = float_of_int !matched /. n /. float_of_int capacity in
+  (mean_leaves, if ideal > 0.0 then mean_leaves /. ideal else Float.nan)
+
+(* A pool whose cache is small enough that update traffic actually
+   reaches the pager — otherwise the 4096-page cache absorbs every
+   write and "update I/Os" reads as zero. *)
+let churn_pool () =
+  Prt_storage.Buffer_pool.create ~capacity:64 (Prt_storage.Pager.create_memory ~page_size ())
+
+let logm ~scale ~seed =
+  section "Logarithmic method: dynamized PR-tree vs alternatives";
+  let n = int_of_float (50_000.0 *. scale) in
+  (* Skewed data: the regime where bulk-loaded structure matters most
+     (Figure 15 right). *)
+  let c = 7 in
+  let base = Datasets.skewed ~n ~c ~seed in
+  let stream =
+    Array.map
+      (fun e -> Entry.make (Entry.rect e) (Entry.id e + n))
+      (Datasets.skewed ~n ~c ~seed:(seed + 1))
+  in
+  let queries = Queries.skewed_squares ~count:100 ~area_fraction:0.01 ~c ~seed:(seed + 2) in
+  note "base %s SKEWED(%d) points, then %s inserts one by one; 100 skewed 1%% queries"
+    (commas n) c (commas n);
+  let measure_updates pool f =
+    let pager = Prt_storage.Buffer_pool.pager pool in
+    let before = Prt_storage.Pager.snapshot pager in
+    let t0 = Unix.gettimeofday () in
+    let result = f () in
+    Prt_storage.Buffer_pool.flush pool;
+    let secs = Unix.gettimeofday () -. t0 in
+    let ios =
+      Prt_storage.Pager.total_io
+        (Prt_storage.Pager.diff ~before ~after:(Prt_storage.Pager.snapshot pager))
+    in
+    (result, secs, ios)
+  in
+  (* Strategy 1: logarithmic method. *)
+  let pool = churn_pool () in
+  let lm = Logmethod.of_entries pool base in
+  let (), lm_secs, lm_ios =
+    measure_updates pool (fun () ->
+        Array.iter (Logmethod.insert lm) stream;
+        Logmethod.flush_buffer lm)
+  in
+  let lm_leaves, lm_rel = query_cost_of_logmethod lm queries in
+  (* Strategy 2: Guttman updates on a bulk-loaded PR-tree. *)
+  let pool = churn_pool () in
+  let tree = Prt_prtree.Prtree.load pool base in
+  let (), gut_secs, gut_ios =
+    measure_updates pool (fun () -> Array.iter (Dynamic.insert tree) stream)
+  in
+  let gut = measure_queries tree queries in
+  (* Strategy 3: one full PR-tree rebuild after all inserts arrived (the
+     query-cost gold standard; per-update it would cost a full rebuild
+     each time). *)
+  let pool = churn_pool () in
+  let (tree, rebuild_secs, rebuild_ios) =
+    measure_updates pool (fun () -> Prt_prtree.Prtree.load pool (Array.append base stream))
+  in
+  let rebuilt = measure_queries tree queries in
+  Table.print
+    ~header:[ "strategy"; "update time s"; "update I/Os"; "query leaves"; "query cost" ]
+    [
+      [ "logarithmic method"; f2 lm_secs; commas lm_ios; f1 lm_leaves; pct lm_rel ];
+      [ "Guttman inserts on PR"; f2 gut_secs; commas gut_ios; f1 gut.mean_leaves; pct gut.relative ];
+      [ "one final rebuild"; f2 rebuild_secs; commas rebuild_ios; f1 rebuilt.mean_leaves;
+        pct rebuilt.relative ];
+    ];
+  note "the logarithmic method pays a bounded (log #components) query factor over";
+  note "  a fresh bulk load and far fewer update I/Os than Guttman inserts, while";
+  note "  keeping the per-component worst-case guarantee that Guttman updates void."
+
+let degrade ~scale ~seed =
+  section "Update degradation: bulk-loaded PR-tree under heuristic updates";
+  let n = int_of_float (50_000.0 *. scale) in
+  let entries = Tiger.generate (Tiger.default_params ~n ~seed) in
+  let world = Queries.world_of entries in
+  let queries = Queries.squares ~count:100 ~area_fraction:0.01 ~world ~seed:(seed + 3) in
+  let churn = n * 3 / 10 in
+  note "%s TIGER-like rectangles; churn = delete+reinsert %s of them" (commas n) (commas churn);
+  let fresh = measure_queries (build_mem PR (fresh_pool ()) entries) queries in
+  let rng = Prt_util.Rng.create (seed + 4) in
+  let configs =
+    [
+      ("linear", { Dynamic.default_config with Dynamic.split_algorithm = Split.Linear });
+      ("quadratic", Dynamic.default_config);
+      ("rstar", { Dynamic.default_config with Dynamic.split_algorithm = Split.Rstar });
+      ("rstar+reinsert", Dynamic.rstar_config);
+    ]
+  in
+  let rows =
+    List.map
+      (fun (alg_name, config) ->
+        let pool = fresh_pool () in
+        let tree = build_mem PR pool entries in
+        for k = 0 to churn - 1 do
+          let victim = entries.(Prt_util.Rng.int rng n) in
+          if Dynamic.delete ~config tree victim then begin
+            (* Reinsert at a nearby location, fresh id. *)
+            let r = Entry.rect victim in
+            let dx = Prt_util.Rng.float rng 0.01 -. 0.005 in
+            let dy = Prt_util.Rng.float rng 0.01 -. 0.005 in
+            let moved =
+              Rect.of_corners
+                (Float.max 0.0 (Rect.xmin r +. dx), Float.max 0.0 (Rect.ymin r +. dy))
+                (Float.min 1.0 (Rect.xmax r +. dx), Float.min 1.0 (Rect.ymax r +. dy))
+            in
+            Dynamic.insert ~config tree (Entry.make moved (n + k))
+          end
+        done;
+        let s = Rtree.validate tree in
+        let c = measure_queries tree queries in
+        [
+          alg_name;
+          pct c.relative;
+          f1 c.mean_leaves;
+          Printf.sprintf "%.0f%%" (100.0 *. s.Rtree.utilization);
+        ])
+      configs
+  in
+  (* Reference [16]'s answer to the same problem: a natively dynamic
+     Hilbert R-tree (2-to-3 splits), churned identically. Its fanout is
+     85 rather than 113 (wider entries), so compare its relative cost,
+     not raw leaf counts. *)
+  let hrt_row =
+    let module Hrt = Prt_rtree.Hilbert_rtree in
+    let t = Hrt.create (fresh_pool ()) in
+    Array.iter (fun e -> Hrt.insert t (Entry.rect e) (Entry.id e)) entries;
+    let rng = Prt_util.Rng.create (seed + 4) in
+    for k = 0 to churn - 1 do
+      let victim = entries.(Prt_util.Rng.int rng n) in
+      if Hrt.delete t (Entry.rect victim) (Entry.id victim) then begin
+        let r = Entry.rect victim in
+        let dx = Prt_util.Rng.float rng 0.01 -. 0.005 in
+        let dy = Prt_util.Rng.float rng 0.01 -. 0.005 in
+        let moved =
+          Rect.of_corners
+            (Float.max 0.0 (Rect.xmin r +. dx), Float.max 0.0 (Rect.ymin r +. dy))
+            (Float.min 1.0 (Rect.xmax r +. dx), Float.min 1.0 (Rect.ymax r +. dy))
+        in
+        Hrt.insert t moved (n + k)
+      end
+    done;
+    Hrt.validate t;
+    let leaves = ref 0 and matched = ref 0 in
+    Array.iter
+      (fun q ->
+        let s = Hrt.query t q ~f:(fun _ _ -> ()) in
+        leaves := !leaves + s.Hrt.leaf_visited;
+        matched := !matched + s.Hrt.matched)
+      queries;
+    let nq = float_of_int (Array.length queries) in
+    let mean_leaves = float_of_int !leaves /. nq in
+    let ideal = float_of_int !matched /. nq /. 85.0 in
+    [ "hilbert-rtree [16] (B=85)"; pct (mean_leaves /. ideal); f1 mean_leaves; "~66%+" ]
+  in
+  Table.print
+    ~header:[ "split algorithm"; "query cost after churn"; "leaves/query"; "utilization" ]
+    ([ [ "(fresh bulk load)"; pct fresh.relative; f1 fresh.mean_leaves; "~100%" ] ]
+    @ rows @ [ hrt_row ]);
+  note "the paper's caveat quantified: updates erode the bulk-loaded guarantee;";
+  note "  the logarithmic method (see `logm`) avoids this. The natively dynamic";
+  note "  Hilbert R-tree [16] is the classic update-friendly alternative."

@@ -1,0 +1,141 @@
+(* Query-cost experiments: Figures 12, 13, 14 and 15.
+
+   The paper's metric: average number of blocks read per query divided
+   by the output size in blocks (T/B), with all internal nodes cached —
+   i.e. leaves visited over leaves strictly necessary; optimal is 100%.
+   100 random queries per point, as in the paper. *)
+
+module Table = Prt_util.Table
+module Rect = Prt_geom.Rect
+module Tiger = Prt_workloads.Tiger
+module Datasets = Prt_workloads.Datasets
+module Queries = Prt_workloads.Queries
+
+open Common
+
+let query_count = 100
+
+let area_fractions = [ 0.0025; 0.005; 0.0075; 0.01; 0.0125; 0.015; 0.0175; 0.02 ]
+
+let relative_table results =
+  let header =
+    "query" :: "output T" :: List.map (fun v -> name v) paper_variants
+  in
+  let rows =
+    List.map
+      (fun (label, per_variant) ->
+        let output =
+          match per_variant with (_, c) :: _ -> f1 c.mean_output | [] -> "-"
+        in
+        label :: output
+        :: List.map
+             (fun v ->
+               match List.assoc_opt v per_variant with
+               | Some c when not (Float.is_nan c.relative) -> pct c.relative
+               | Some c -> f1 c.mean_leaves ^ " leaves"
+               | None -> "-")
+             paper_variants)
+      results
+  in
+  Table.print ~header rows
+
+(* Figures 12 and 13: square queries of growing area on TIGER data.
+   Paper: all four variants within ~100-120% of optimal; TGS slightly
+   best, then PR, then H, then H4. *)
+let fig_tiger ~fig ~dataset_name ~entries ~seed =
+  section
+    (Printf.sprintf "Figure %d: query cost vs query size on %s TIGER-like data" fig dataset_name);
+  note "%s: %s rectangles; %d queries per point; optimal = 100%%" dataset_name
+    (commas (Array.length entries)) query_count;
+  let world = Queries.world_of entries in
+  let batches =
+    List.map
+      (fun frac ->
+        ( Printf.sprintf "%.2f%% square" (100.0 *. frac),
+          Queries.squares ~count:query_count ~area_fraction:frac ~world ~seed ))
+      area_fractions
+  in
+  relative_table (query_experiment entries batches);
+  note "paper shape: all variants 100-120%%; TGS <= PR <= H <= H4."
+
+let fig12 ~scale ~seed =
+  fig_tiger ~fig:12 ~dataset_name:"Western" ~entries:(Tiger.western ~scale ~seed) ~seed:(seed + 7)
+
+let fig13 ~scale ~seed =
+  fig_tiger ~fig:13 ~dataset_name:"Eastern"
+    ~entries:(Tiger.eastern ~scale ~seed:(seed + 1))
+    ~seed:(seed + 8)
+
+(* Figure 14: fixed 1% queries on the five Eastern slices. *)
+let fig14 ~scale ~seed =
+  section "Figure 14: query cost vs dataset size (Eastern slices, 1% squares)";
+  let subsets = Tiger.eastern_subsets ~scale ~seed in
+  let results =
+    Array.to_list subsets
+    |> List.map (fun entries ->
+           let world = Queries.world_of entries in
+           let queries =
+             Queries.squares ~count:query_count ~area_fraction:0.01 ~world ~seed:(seed + 9)
+           in
+           match query_experiment entries [ (commas (Array.length entries), queries) ] with
+           | [ row ] -> row
+           | _ -> assert false)
+  in
+  relative_table results;
+  note "paper shape: flat in dataset size; TGS <= PR <= H <= H4, all within ~10%%."
+
+(* Figure 15: the synthetic stress datasets, 1% queries.
+   Paper: on SIZE and ASPECT the PR-tree and H4 stay near-optimal while
+   H (and to a lesser degree TGS) degrade as rectangles grow/stretch;
+   on SKEWED only the PR-tree is unaffected. *)
+let fig15 ~scale ~seed =
+  let n = int_of_float (100_000.0 *. scale) in
+  section "Figure 15 (left): query cost on SIZE(max_side)";
+  let size_results =
+    List.map
+      (fun s ->
+        let entries = Datasets.size ~n ~max_side:s ~seed in
+        let world = Queries.world_of entries in
+        let queries =
+          Queries.squares ~count:query_count ~area_fraction:0.01 ~world ~seed:(seed + 10)
+        in
+        match query_experiment entries [ (Printf.sprintf "SIZE(%g)" s, queries) ] with
+        | [ row ] -> row
+        | _ -> assert false)
+      [ 0.002; 0.005; 0.01; 0.02; 0.05; 0.1; 0.2 ]
+  in
+  relative_table size_results;
+  note "paper shape: H blows up (to ~340%%) and TGS degrades as max_side grows;";
+  note "  PR and H4 stay close to optimal, PR slightly ahead of H at the end.";
+  section "Figure 15 (middle): query cost on ASPECT(a)";
+  let aspect_results =
+    List.map
+      (fun a ->
+        let entries = Datasets.aspect ~n ~a ~seed:(seed + 1) in
+        let world = Queries.world_of entries in
+        let queries =
+          Queries.squares ~count:query_count ~area_fraction:0.01 ~world ~seed:(seed + 11)
+        in
+        match query_experiment entries [ (Printf.sprintf "ASPECT(%g)" a, queries) ] with
+        | [ row ] -> row
+        | _ -> assert false)
+      [ 10.0; 100.0; 1_000.0; 10_000.0; 100_000.0 ]
+  in
+  relative_table aspect_results;
+  note "paper shape: H and TGS degrade with aspect ratio; PR tracks H4 near optimal.";
+  section "Figure 15 (right): query cost on SKEWED(c)";
+  let skew_results =
+    List.map
+      (fun c ->
+        let entries = Datasets.skewed ~n ~c ~seed:(seed + 2) in
+        let queries =
+          Queries.skewed_squares ~count:query_count ~area_fraction:0.01 ~c ~seed:(seed + 12)
+        in
+        match query_experiment entries [ (Printf.sprintf "SKEWED(%d)" c, queries) ] with
+        | [ row ] -> row
+        | _ -> assert false)
+      [ 1; 3; 5; 7; 9 ]
+  in
+  relative_table skew_results;
+  note "paper shape: PR is unaffected by the skew (it only compares coordinates";
+  note "  within a dimension); H, H4 and TGS degrade as c grows."

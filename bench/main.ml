@@ -1,0 +1,65 @@
+(* The experiment harness: one subcommand per table/figure of the paper
+   (see DESIGN.md's experiment index), plus the extension experiments
+   and bechamel micro-benchmarks. `all` runs everything in paper
+   order. *)
+
+open Cmdliner
+
+let scale_arg =
+  let doc =
+    "Dataset scale relative to the default 1:100 of the paper (1.0 means e.g. 167K rectangles \
+     for Eastern; the paper used 16.7M). The memory budget of the external algorithms scales \
+     along."
+  in
+  Arg.(value & opt float 1.0 & info [ "scale" ] ~docv:"FACTOR" ~doc)
+
+let seed_arg =
+  let doc = "Base random seed (all workloads are deterministic in it)." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let experiments =
+  [
+    ("fig9", "Bulk-loading I/Os and seconds on TIGER-like data (Figure 9)", Exp_build.fig9);
+    ("fig10", "Bulk-loading I/Os vs dataset size (Figure 10)", Exp_build.fig10);
+    ("fig11", "TGS bulk-loading cost across distributions (Figure 11)", Exp_build.fig11);
+    ("fig12", "Query cost vs query size, Western (Figure 12)", Exp_query.fig12);
+    ("fig13", "Query cost vs query size, Eastern (Figure 13)", Exp_query.fig13);
+    ("fig14", "Query cost vs dataset size (Figure 14)", Exp_query.fig14);
+    ("fig15", "Query cost on SIZE/ASPECT/SKEWED (Figure 15)", Exp_query.fig15);
+    ("table1", "Query cost on CLUSTER (Table 1)", Exp_extreme.table1);
+    ("thm3", "Zero-output worst-case query (Theorem 3)", Exp_extreme.thm3);
+    ("bound", "PR-tree O(sqrt(N/B)) query bound check (Lemma 2)", Exp_extreme.bound);
+    ("nd", "3-D PR-tree query bound check (Theorem 2)", Exp_nd.nd);
+    ("logm", "Logarithmic-method dynamization (Section 4)", Exp_dynamic.logm);
+    ("degrade", "Query degradation under heuristic updates", Exp_dynamic.degrade);
+    ("join", "Spatial join across index variants", Exp_ablate.join);
+    ("ablate", "Ablations: priority-leaf size, memory, cache, Hilbert order", Exp_ablate.ablate);
+    ("micro", "Bechamel wall-clock micro-benchmarks", Micro.run);
+  ]
+
+let run_named name f =
+  let term =
+    Term.(
+      const (fun scale seed ->
+          f ~scale ~seed;
+          ())
+      $ scale_arg $ seed_arg)
+  in
+  Cmd.v (Cmd.info name ~doc:(List.assoc name (List.map (fun (n, d, _) -> (n, d)) experiments))) term
+
+let all_cmd =
+  let doc = "Run every experiment in paper order." in
+  let term =
+    Term.(
+      const (fun scale seed ->
+          List.iter (fun (_, _, f) -> f ~scale ~seed) experiments)
+      $ scale_arg $ seed_arg)
+  in
+  Cmd.v (Cmd.info "all" ~doc) term
+
+let () =
+  let doc = "PR-tree reproduction experiment harness (Arge et al., SIGMOD 2004)" in
+  let info = Cmd.info "prt-bench" ~version:"1.0.0" ~doc in
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  let cmds = all_cmd :: List.map (fun (n, _, f) -> run_named n f) experiments in
+  exit (Cmd.eval (Cmd.group ~default info cmds))

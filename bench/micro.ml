@@ -1,0 +1,87 @@
+(* Bechamel micro-benchmarks: wall-clock construction and query
+   throughput for every variant on a fixed uniform workload.  The
+   scientific experiments measure I/Os (robust, the paper's metric);
+   this suite adds CPU-time visibility. *)
+
+open Bechamel
+open Toolkit
+
+module Rect = Prt_geom.Rect
+module Rtree = Prt_rtree.Rtree
+module Datasets = Prt_workloads.Datasets
+module Queries = Prt_workloads.Queries
+
+let build_tests entries =
+  List.map
+    (fun v ->
+      Test.make
+        ~name:("build/" ^ Common.name v)
+        (Staged.stage (fun () -> ignore (Common.build_mem v (Common.fresh_pool ()) entries))))
+    Common.all_variants
+  @ [
+      (* Multicore variants (OCaml domains). *)
+      Test.make ~name:"build/PR-par"
+        (Staged.stage (fun () ->
+             ignore
+               (Prt_prtree.Prtree.load
+                  ~domains:(Prt_util.Parallel.default_domains ())
+                  (Common.fresh_pool ()) entries)));
+      Test.make ~name:"build/H-par"
+        (Staged.stage (fun () ->
+             ignore
+               (Prt_rtree.Bulk_hilbert.load_h
+                  ~domains:(Prt_util.Parallel.default_domains ())
+                  (Common.fresh_pool ()) entries)));
+    ]
+
+let query_tests entries queries =
+  List.map
+    (fun v ->
+      let tree = Common.build_mem v (Common.fresh_pool ()) entries in
+      Test.make
+        ~name:("query/" ^ Common.name v)
+        (Staged.stage (fun () ->
+             Array.iter (fun q -> ignore (Rtree.query_count tree q)) queries)))
+    Common.all_variants
+
+let run ~scale ~seed =
+  Common.section "Micro-benchmarks (bechamel, wall-clock)";
+  let n = max 2_000 (int_of_float (20_000.0 *. scale)) in
+  let entries = Datasets.uniform_points ~n ~seed in
+  let world = Rect.make ~xmin:0.0 ~ymin:0.0 ~xmax:1.0 ~ymax:1.0 in
+  let queries = Queries.squares ~count:20 ~area_fraction:0.001 ~world ~seed:(seed + 1) in
+  Common.note "%s uniform points; query batch = 20 x 0.1%% squares" (Common.commas n);
+  let tests = build_tests entries @ query_tests entries queries in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:Measure.[| run |] in
+  let instance = Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None () in
+  let rows =
+    List.map
+      (fun test ->
+        let results = Benchmark.all cfg [ instance ] test in
+        let analyzed = Analyze.all ols instance results in
+        let per_run =
+          Hashtbl.fold
+            (fun _name result acc ->
+              match Analyze.OLS.estimates result with
+              | Some [ est ] -> est :: acc
+              | _ -> acc)
+            analyzed []
+        in
+        let label =
+          match Test.elements test with
+          | [ elt ] -> Test.Elt.name elt
+          | _ -> "?"
+        in
+        let value =
+          match per_run with
+          | [ ns ] ->
+              if ns > 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+              else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+              else Printf.sprintf "%.0f ns" ns
+          | _ -> "-"
+        in
+        [ label; value ])
+      tests
+  in
+  Prt_util.Table.print ~header:[ "benchmark"; "time per run" ] rows

@@ -1,0 +1,367 @@
+(* prt — command-line tooling around the library: generate datasets,
+   bulk-load persistent (file-backed) indexes, query and validate them.
+
+     prt gen --dataset tiger --n 50000 -o roads.dat
+     prt build --variant pr -i roads.dat -o roads.idx
+     prt query -i roads.idx --window 0.2,0.2,0.3,0.3
+     prt validate -i roads.idx
+
+   Data files are flat pages of 36-byte entry records with a one-page
+   header; index files are pager images whose page 0 holds the R-tree
+   metadata. *)
+
+open Prt
+open Cmdliner
+
+(* --- the on-disk dataset format --- *)
+
+let data_magic = 0x50524454 (* "PRDT" *)
+
+let write_data path entries =
+  let pager = Pager.create_file path in
+  let header_page = Pager.alloc pager in
+  let header = Page.create (Pager.page_size pager) in
+  Page.set_i32 header 0 data_magic;
+  Page.set_i32 header 4 (Array.length entries);
+  Pager.write pager header_page header;
+  let file = Entry.File.of_array pager entries in
+  ignore file;
+  Pager.close pager
+
+let read_data path =
+  let pager = Pager.open_file path in
+  Fun.protect
+    ~finally:(fun () -> Pager.close pager)
+    (fun () ->
+      let header = Pager.read pager 0 in
+      if Page.get_i32 header 0 <> data_magic then
+        failwith (path ^ ": not a prt dataset file");
+      let count = Page.get_i32 header 4 in
+      let per_page = Pager.page_size pager / Entry.size in
+      let out = ref [] in
+      let remaining = ref count and page = ref 1 in
+      while !remaining > 0 do
+        let buf = Pager.read pager !page in
+        let here = min per_page !remaining in
+        for i = 0 to here - 1 do
+          out := Entry.read buf (i * Entry.size) :: !out
+        done;
+        remaining := !remaining - here;
+        incr page
+      done;
+      Array.of_list (List.rev !out))
+
+(* --- dataset generation --- *)
+
+let generate ~dataset ~n ~seed ~param =
+  match dataset with
+  | "uniform" -> Datasets.uniform_points ~n ~seed
+  | "tiger" -> Tiger.generate (Tiger.default_params ~n ~seed)
+  | "size" -> Datasets.size ~n ~max_side:(Option.value param ~default:0.01) ~seed
+  | "aspect" -> Datasets.aspect ~n ~a:(Option.value param ~default:10.0) ~seed
+  | "skewed" ->
+      Datasets.skewed ~n ~c:(int_of_float (Option.value param ~default:5.0)) ~seed
+  | "cluster" ->
+      let clusters = max 1 (int_of_float (sqrt (float_of_int n))) in
+      Datasets.cluster ~n_clusters:clusters ~per_cluster:(max 1 (n / clusters)) ~seed
+  | other -> failwith ("unknown dataset kind: " ^ other)
+
+(* --- index files --- *)
+
+let variant_loaders =
+  [
+    ("pr", fun pool entries -> Prtree.load pool entries);
+    ("h", fun pool entries -> Bulk.Hilbert.load_h pool entries);
+    ("h4", fun pool entries -> Bulk.Hilbert.load_h4 pool entries);
+    ("tgs", Bulk.Tgs.load);
+    ("str", Bulk.Str.load);
+  ]
+
+let build_index ~variant ~input ~output =
+  let load =
+    match List.assoc_opt variant variant_loaders with
+    | Some f -> f
+    | None -> failwith ("unknown variant: " ^ variant ^ " (pr|h|h4|tgs|str)")
+  in
+  let entries = read_data input in
+  let pool = file_pool output in
+  let meta_page = Buffer_pool.alloc pool in
+  if meta_page <> 0 then failwith "internal: metadata page must be page 0";
+  let t0 = Unix.gettimeofday () in
+  let tree = load pool entries in
+  Rtree.save_meta tree ~meta_page;
+  Buffer_pool.flush pool;
+  Printf.printf "built %s index over %d rectangles in %.2fs: height %d, %d pages\n" variant
+    (Rtree.count tree) (Unix.gettimeofday () -. t0) (Rtree.height tree)
+    (Pager.num_pages (Rtree.pager tree));
+  Pager.close (Rtree.pager tree)
+
+let with_index path f =
+  let pool = Buffer_pool.create (Pager.open_file path) in
+  Fun.protect
+    ~finally:(fun () -> Pager.close (Buffer_pool.pager pool))
+    (fun () -> f (Rtree.load_meta pool ~meta_page:0))
+
+(* --- commands --- *)
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let gen_cmd =
+  let dataset =
+    Arg.(
+      value
+      & opt string "uniform"
+      & info [ "dataset"; "d" ] ~docv:"KIND"
+          ~doc:"Dataset kind: uniform, tiger, size, aspect, skewed, cluster.")
+  in
+  let n = Arg.(value & opt int 100_000 & info [ "n" ] ~docv:"N" ~doc:"Number of rectangles.") in
+  let param =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "param"; "p" ] ~docv:"P"
+          ~doc:"Family parameter: max_side for size, a for aspect, c for skewed.")
+  in
+  let output =
+    Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file.")
+  in
+  let run dataset n param seed output =
+    let entries = generate ~dataset ~n ~seed ~param in
+    write_data output entries;
+    Printf.printf "wrote %d rectangles to %s\n" (Array.length entries) output
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate a dataset file.")
+    Term.(const run $ dataset $ n $ param $ seed_arg $ output)
+
+let build_cmd =
+  let variant =
+    Arg.(
+      value & opt string "pr"
+      & info [ "variant"; "v" ] ~docv:"VARIANT" ~doc:"Index variant: pr, h, h4, tgs, str.")
+  in
+  let input =
+    Arg.(required & opt (some string) None & info [ "i"; "input" ] ~docv:"FILE" ~doc:"Dataset file.")
+  in
+  let output =
+    Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Index file.")
+  in
+  let run variant input output = build_index ~variant ~input ~output in
+  Cmd.v
+    (Cmd.info "build" ~doc:"Bulk-load a persistent index from a dataset file.")
+    Term.(const run $ variant $ input $ output)
+
+let window_conv =
+  let parse s =
+    match String.split_on_char ',' s |> List.map float_of_string_opt with
+    | [ Some x0; Some y0; Some x1; Some y1 ] -> Ok (Rect.of_corners (x0, y0) (x1, y1))
+    | _ -> Error (`Msg "expected x0,y0,x1,y1")
+  in
+  let print ppf r =
+    Format.fprintf ppf "%g,%g,%g,%g" (Rect.xmin r) (Rect.ymin r) (Rect.xmax r) (Rect.ymax r)
+  in
+  Arg.conv (parse, print)
+
+let query_cmd =
+  let index =
+    Arg.(required & opt (some string) None & info [ "i"; "index" ] ~docv:"FILE" ~doc:"Index file.")
+  in
+  let window =
+    Arg.(
+      required
+      & opt (some window_conv) None
+      & info [ "window"; "w" ] ~docv:"X0,Y0,X1,Y1" ~doc:"Query window corners.")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Print only the count and I/O statistics.")
+  in
+  let run index window quiet =
+    with_index index (fun tree ->
+        let hits, stats = Rtree.query_list tree window in
+        if not quiet then
+          List.iter
+            (fun e ->
+              Printf.printf "%d %g %g %g %g\n" (Entry.id e) (Rect.xmin (Entry.rect e))
+                (Rect.ymin (Entry.rect e))
+                (Rect.xmax (Entry.rect e))
+                (Rect.ymax (Entry.rect e)))
+            hits;
+        Printf.printf "%d hits; %d leaf and %d internal nodes visited\n" stats.Rtree.matched
+          stats.Rtree.leaf_visited stats.Rtree.internal_visited)
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Run a window query against an index file.")
+    Term.(const run $ index $ window $ quiet)
+
+(* Open an index read-write, run [f], persist the (possibly moved)
+   metadata. *)
+let with_index_rw path f =
+  let pool = Buffer_pool.create (Pager.open_file path) in
+  Fun.protect
+    ~finally:(fun () -> Pager.close (Buffer_pool.pager pool))
+    (fun () ->
+      let tree = Rtree.load_meta pool ~meta_page:0 in
+      f tree;
+      Rtree.save_meta tree ~meta_page:0;
+      Buffer_pool.flush pool)
+
+let insert_cmd =
+  let index =
+    Arg.(required & opt (some string) None & info [ "i"; "index" ] ~docv:"FILE" ~doc:"Index file.")
+  in
+  let window =
+    Arg.(
+      required
+      & opt (some window_conv) None
+      & info [ "rect"; "r" ] ~docv:"X0,Y0,X1,Y1" ~doc:"Rectangle to insert.")
+  in
+  let id = Arg.(required & opt (some int) None & info [ "id" ] ~docv:"ID" ~doc:"Payload id.") in
+  let run index rect id =
+    with_index_rw index (fun tree ->
+        Dynamic.insert tree (Entry.make rect id);
+        Printf.printf "inserted #%d; index now holds %d rectangles\n" id (Rtree.count tree))
+  in
+  Cmd.v
+    (Cmd.info "insert" ~doc:"Insert a rectangle into an index file (Guttman insertion).")
+    Term.(const run $ index $ window $ id)
+
+let delete_cmd =
+  let index =
+    Arg.(required & opt (some string) None & info [ "i"; "index" ] ~docv:"FILE" ~doc:"Index file.")
+  in
+  let window =
+    Arg.(
+      required
+      & opt (some window_conv) None
+      & info [ "rect"; "r" ] ~docv:"X0,Y0,X1,Y1" ~doc:"Rectangle to delete.")
+  in
+  let id = Arg.(required & opt (some int) None & info [ "id" ] ~docv:"ID" ~doc:"Payload id.") in
+  let run index rect id =
+    with_index_rw index (fun tree ->
+        if Dynamic.delete tree (Entry.make rect id) then
+          Printf.printf "deleted #%d; index now holds %d rectangles\n" id (Rtree.count tree)
+        else Printf.printf "no such entry\n")
+  in
+  Cmd.v
+    (Cmd.info "delete" ~doc:"Delete a rectangle from an index file.")
+    Term.(const run $ index $ window $ id)
+
+let compare_cmd =
+  let input =
+    Arg.(required & opt (some string) None & info [ "i"; "input" ] ~docv:"FILE" ~doc:"Dataset file.")
+  in
+  let run input =
+    let entries = read_data input in
+    Printf.printf "%d rectangles; building every variant in memory...\n%!" (Array.length entries);
+    let rows =
+      List.map
+        (fun (vname, load) ->
+          let pool = memory_pool () in
+          let t0 = Unix.gettimeofday () in
+          let tree = load pool entries in
+          let secs = Unix.gettimeofday () -. t0 in
+          let s = Rtree.validate tree in
+          let m = Metrics.analyze tree in
+          [
+            vname;
+            Printf.sprintf "%.2f" secs;
+            string_of_int s.Rtree.leaves;
+            Printf.sprintf "%.0f%%" (100.0 *. s.Rtree.utilization);
+            Printf.sprintf "%.6f" m.Metrics.leaf_overlap;
+          ])
+        variant_loaders
+    in
+    Table.print
+      ~header:[ "variant"; "build s"; "leaves"; "utilization"; "leaf overlap" ]
+      rows
+  in
+  Cmd.v
+    (Cmd.info "compare" ~doc:"Build every index variant over a dataset and compare quality.")
+    Term.(const run $ input)
+
+let knn_cmd =
+  let index =
+    Arg.(required & opt (some string) None & info [ "i"; "index" ] ~docv:"FILE" ~doc:"Index file.")
+  in
+  let point_conv =
+    let parse s =
+      match String.split_on_char ',' s |> List.map float_of_string_opt with
+      | [ Some x; Some y ] -> Ok (x, y)
+      | _ -> Error (`Msg "expected x,y")
+    in
+    Arg.conv (parse, fun ppf (x, y) -> Format.fprintf ppf "%g,%g" x y)
+  in
+  let point =
+    Arg.(
+      required & opt (some point_conv) None & info [ "at"; "p" ] ~docv:"X,Y" ~doc:"Query point.")
+  in
+  let k = Arg.(value & opt int 5 & info [ "k" ] ~docv:"K" ~doc:"Number of neighbours.") in
+  let run index (x, y) k =
+    with_index index (fun tree ->
+        let results, stats = Knn.nearest tree ~x ~y ~k in
+        List.iter
+          (fun (e, d) ->
+            Printf.printf "%d dist=%g %g %g %g %g\n" (Entry.id e) d (Rect.xmin (Entry.rect e))
+              (Rect.ymin (Entry.rect e))
+              (Rect.xmax (Entry.rect e))
+              (Rect.ymax (Entry.rect e)))
+          results;
+        Printf.printf "%d neighbours; %d nodes read\n" (List.length results) stats.Knn.nodes_read)
+  in
+  Cmd.v
+    (Cmd.info "knn" ~doc:"Find the k nearest rectangles to a point.")
+    Term.(const run $ index $ point $ k)
+
+let stats_cmd =
+  let index =
+    Arg.(required & opt (some string) None & info [ "i"; "index" ] ~docv:"FILE" ~doc:"Index file.")
+  in
+  let run index =
+    with_index index (fun tree ->
+        let s = Rtree.validate tree in
+        let m = Metrics.analyze tree in
+        Printf.printf "height %d, %d entries, fanout %d\n" (Rtree.height tree) (Rtree.count tree)
+          (Rtree.capacity tree);
+        Printf.printf "%s\n" (Format.asprintf "%a" Metrics.pp m);
+        Printf.printf "utilization %.1f%%, min leaf fill %d, min fanout %d\n"
+          (100.0 *. s.Rtree.utilization) s.Rtree.min_leaf_fill s.Rtree.min_internal_fanout)
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Print per-level structure and quality metrics of an index.")
+    Term.(const run $ index)
+
+let validate_cmd =
+  let index =
+    Arg.(required & opt (some string) None & info [ "i"; "index" ] ~docv:"FILE" ~doc:"Index file.")
+  in
+  let run index =
+    with_index index (fun tree ->
+        let s = Rtree.validate tree in
+        Printf.printf
+          "valid: %d entries in %d leaves / %d nodes, height %d, utilization %.1f%%\n"
+          s.Rtree.entries s.Rtree.leaves s.Rtree.nodes (Rtree.height tree)
+          (100.0 *. s.Rtree.utilization))
+  in
+  Cmd.v
+    (Cmd.info "validate" ~doc:"Check the structural invariants of an index file.")
+    Term.(const run $ index)
+
+let () =
+  let doc = "Priority R-tree spatial index tooling" in
+  let info = Cmd.info "prt" ~version:"1.0.0" ~doc in
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info
+          [
+            gen_cmd;
+            build_cmd;
+            query_cmd;
+            knn_cmd;
+            insert_cmd;
+            delete_cmd;
+            compare_cmd;
+            stats_cmd;
+            validate_cmd;
+          ]))

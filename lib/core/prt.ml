@@ -1,0 +1,90 @@
+(* The public umbrella API: everything a user of the library needs under
+   one module, plus a few convenience constructors.  See README.md for a
+   guided tour; each re-exported module carries its own documentation. *)
+
+(* Geometry. *)
+module Rect = Prt_geom.Rect
+module Hyperrect = Prt_geom.Hyperrect
+
+(* Deterministic randomness and small utilities. *)
+module Rng = Prt_util.Rng
+module Stats = Prt_util.Stats
+module Table = Prt_util.Table
+
+(* The simulated disk and caching. *)
+module Page = Prt_storage.Page
+module Pager = Prt_storage.Pager
+module Buffer_pool = Prt_storage.Buffer_pool
+module Lru = Prt_storage.Lru
+
+(* Hilbert curves. *)
+module Hilbert2d = Prt_hilbert.Hilbert2d
+module Hilbert_nd = Prt_hilbert.Hilbert_nd
+
+(* The R-tree framework. *)
+module Entry = Prt_rtree.Entry
+module Node = Prt_rtree.Node
+module Rtree = Prt_rtree.Rtree
+module Split = Prt_rtree.Split
+module Dynamic = Prt_rtree.Dynamic
+module Knn = Prt_rtree.Knn
+module Join = Prt_rtree.Join
+module Query = Prt_rtree.Query
+
+(* Bulk loaders: the paper's baselines plus STR, in-memory and external
+   (I/O-counted) variants. *)
+module Bulk = struct
+  module Hilbert = Prt_rtree.Bulk_hilbert
+  module Str = Prt_rtree.Bulk_str
+  module Tgs = Prt_rtree.Bulk_tgs
+  module Pack = Prt_rtree.Pack
+  module External = Prt_rtree.Ext_load
+end
+
+(* Point-data baseline (Section 1.1 of the paper) and tree diagnostics. *)
+module Kdbtree = Prt_rtree.Kdbtree
+module Metrics = Prt_rtree.Metrics
+
+(* The fully dynamic Hilbert R-tree (the paper's reference [16]). *)
+module Hilbert_rtree = Prt_rtree.Hilbert_rtree
+
+(* The Priority R-tree — the paper's contribution. *)
+module Pseudo_prtree = Prt_prtree.Pseudo
+module Prtree = Prt_prtree.Prtree
+module Prtree_external = Prt_prtree.Ext_build
+
+(* The d-dimensional PR-tree (Theorem 2). *)
+module Ndtree = struct
+  module Entry = Prt_ndtree.Entry_nd
+  module Node = Prt_ndtree.Node_nd
+  module Rtree = Prt_ndtree.Rtree_nd
+  module Pseudo = Prt_ndtree.Pseudo_nd
+  module Prtree = Prt_ndtree.Prtree_nd
+  module Split = Prt_ndtree.Split_nd
+  module Dynamic = Prt_ndtree.Dynamic_nd
+end
+
+(* Dynamization via the logarithmic method. *)
+module Logmethod = Prt_logmethod.Logmethod
+
+(* Workloads from the paper's evaluation. *)
+module Datasets = Prt_workloads.Datasets
+module Tiger = Prt_workloads.Tiger
+module Queries = Prt_workloads.Queries
+
+(* --- convenience constructors --- *)
+
+(* A fresh in-memory pool with the paper's 4 KB pages. *)
+let memory_pool ?(page_size = Pager.default_page_size) ?(cache_pages = 4096) () =
+  Buffer_pool.create ~capacity:cache_pages (Pager.create_memory ~page_size ())
+
+(* A file-backed pool for persistent indexes. *)
+let file_pool ?(page_size = Pager.default_page_size) ?(cache_pages = 4096) path =
+  Buffer_pool.create ~capacity:cache_pages (Pager.create_file ~page_size path)
+
+let entries_of_rects rects = Array.mapi (fun i r -> Entry.make r i) rects
+
+(* Build a PR-tree over rectangles in one call — the quickstart path. *)
+let prtree ?pool rects =
+  let pool = match pool with Some p -> p | None -> memory_pool () in
+  Prtree.load pool (entries_of_rects rects)

@@ -1,0 +1,66 @@
+(** External-memory record files and multiway mergesort.
+
+    The OCaml analogue of the paper's TPIE streams: sequences of
+    fixed-size records packed into {!Prt_storage.Pager} pages, so every
+    scan, distribution and sort performed by a bulk-loading algorithm is
+    charged to the pager's I/O counters. *)
+
+module type RECORD = sig
+  type t
+
+  val size : int
+  (** Encoded size in bytes; must not exceed the page size. *)
+
+  val write : bytes -> int -> t -> unit
+  (** [write buf off r] encodes [r] at byte offset [off]. *)
+
+  val read : bytes -> int -> t
+  (** [read buf off] decodes the record at byte offset [off]. *)
+end
+
+module Make (R : RECORD) : sig
+  type t
+  (** A record file. Writable until {!seal}ed, then read-only. *)
+
+  type reader
+  (** Sequential cursor holding a single page buffer. *)
+
+  val create : Prt_storage.Pager.t -> t
+  (** Fresh empty file. Raises [Invalid_argument] if a record does not
+      fit in a page. *)
+
+  val append : t -> R.t -> unit
+  (** Append a record (buffered; a page write is issued per full page).
+      Raises [Invalid_argument] if the file is sealed. *)
+
+  val seal : t -> unit
+  (** Flush the partial tail page and make the file read-only.
+      Idempotent. *)
+
+  val of_array : Prt_storage.Pager.t -> R.t array -> t
+  (** Write an array out as a sealed file. *)
+
+  val length : t -> int
+  (** Number of records. *)
+
+  val pages_used : t -> int
+
+  val reader : t -> reader
+  (** Raises [Invalid_argument] if the file is not sealed. *)
+
+  val read_next : reader -> R.t option
+
+  val iter : t -> (R.t -> unit) -> unit
+  val read_all : t -> R.t array
+
+  val destroy : t -> unit
+  (** Free all pages of the file back to the pager. *)
+
+  val sort : mem_records:int -> cmp:(R.t -> R.t -> int) -> t -> t
+  (** [sort ~mem_records ~cmp t] externally sorts [t] (sealing it first)
+      into a new sealed file, using at most [mem_records] records of main
+      memory: sorted run formation followed by k-way merging, [k] chosen
+      from the budget. Intermediate runs are destroyed; the input file is
+      left intact. Raises [Invalid_argument] if the budget is smaller
+      than two pages of records. *)
+end

@@ -1,0 +1,68 @@
+(* The planar Hilbert space-filling curve (iterative rotate-and-flip
+   formulation).  The packed Hilbert R-tree sorts rectangles by the
+   Hilbert value of their centers; locality of the curve is what makes
+   that a good R-tree. *)
+
+let max_order = 30 (* 2 * 30 = 60 index bits, safely inside OCaml's 63-bit int *)
+
+let check_order order =
+  if order < 1 || order > max_order then
+    invalid_arg (Printf.sprintf "Hilbert2d: order must be in 1..%d" max_order)
+
+let check_coord order v =
+  if v < 0 || v lsr order <> 0 then
+    invalid_arg (Printf.sprintf "Hilbert2d: coordinate %d outside [0, 2^%d)" v order)
+
+(* One quadrant-local rotation/reflection step shared by both directions. *)
+let rot n x y rx ry =
+  if ry = 0 then begin
+    if rx = 1 then begin
+      x := n - 1 - !x;
+      y := n - 1 - !y
+    end;
+    let t = !x in
+    x := !y;
+    y := t
+  end
+
+let index ~order x y =
+  check_order order;
+  check_coord order x;
+  check_coord order y;
+  let n = 1 lsl order in
+  let x = ref x and y = ref y in
+  let d = ref 0 in
+  let s = ref (n / 2) in
+  while !s > 0 do
+    let rx = if !x land !s > 0 then 1 else 0 in
+    let ry = if !y land !s > 0 then 1 else 0 in
+    d := !d + (!s * !s * ((3 * rx) lxor ry));
+    rot n x y rx ry;
+    s := !s / 2
+  done;
+  !d
+
+let coords ~order d =
+  check_order order;
+  let n = 1 lsl order in
+  if d < 0 || (n * n) <= d then invalid_arg "Hilbert2d.coords: index out of range";
+  let x = ref 0 and y = ref 0 in
+  let t = ref d in
+  let s = ref 1 in
+  while !s < n do
+    let rx = 1 land (!t / 2) in
+    let ry = 1 land (!t lxor rx) in
+    rot !s x y rx ry;
+    x := !x + (!s * rx);
+    y := !y + (!s * ry);
+    t := !t / 4;
+    s := !s * 2
+  done;
+  (!x, !y)
+
+let quantize ~order ~lo ~hi v =
+  if hi <= lo then invalid_arg "Hilbert2d.quantize: empty interval";
+  let n = 1 lsl order in
+  let scaled = (v -. lo) /. (hi -. lo) *. float_of_int n in
+  let cell = int_of_float scaled in
+  if cell < 0 then 0 else if cell >= n then n - 1 else cell

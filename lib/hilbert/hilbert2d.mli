@@ -1,0 +1,19 @@
+(** The planar Hilbert space-filling curve.
+
+    An order-[k] curve visits every cell of the [2^k x 2^k] grid; the
+    index of a cell is the length of the curve from the origin to it.
+    Substrate for the packed Hilbert R-tree baseline. *)
+
+val max_order : int
+
+val index : order:int -> int -> int -> int
+(** [index ~order x y] is the Hilbert index of grid cell [(x, y)],
+    [0 <= x, y < 2^order]. Raises [Invalid_argument] outside that
+    range or for orders outside [1..max_order]. *)
+
+val coords : order:int -> int -> int * int
+(** Inverse of {!index}. *)
+
+val quantize : order:int -> lo:float -> hi:float -> float -> int
+(** Map a float in [\[lo, hi\]] to a grid coordinate, clamping values
+    outside the interval. Raises [Invalid_argument] if [hi <= lo]. *)

@@ -1,0 +1,113 @@
+(* d-dimensional Hilbert indices via Skilling's transpose algorithm
+   ("Programming the Hilbert curve", AIP Conf. Proc. 707, 2004).
+
+   The four-dimensional Hilbert R-tree of Kamel and Faloutsos maps each
+   rectangle to the 4-D point (xmin, ymin, xmax, ymax) and sorts by the
+   position of that point on the 4-D Hilbert curve; this module provides
+   that ordering (and the general d-D case used by the multi-dimensional
+   extensions). *)
+
+let check ~order ~dims =
+  if dims < 1 then invalid_arg "Hilbert_nd: dims must be >= 1";
+  if order < 1 then invalid_arg "Hilbert_nd: order must be >= 1";
+  if dims * order > 62 then
+    invalid_arg "Hilbert_nd: dims * order must be <= 62 to fit an OCaml int"
+
+(* In-place conversion of axis coordinates into the "transpose" form in
+   which interleaved bits spell the Hilbert index. *)
+let axes_to_transpose x order =
+  let n = Array.length x in
+  let m = 1 lsl (order - 1) in
+  (* Inverse undo. *)
+  let q = ref m in
+  while !q > 1 do
+    let p = !q - 1 in
+    for i = 0 to n - 1 do
+      if x.(i) land !q <> 0 then x.(0) <- x.(0) lxor p
+      else begin
+        let t = (x.(0) lxor x.(i)) land p in
+        x.(0) <- x.(0) lxor t;
+        x.(i) <- x.(i) lxor t
+      end
+    done;
+    q := !q lsr 1
+  done;
+  (* Gray encode. *)
+  for i = 1 to n - 1 do
+    x.(i) <- x.(i) lxor x.(i - 1)
+  done;
+  let t = ref 0 in
+  let q = ref m in
+  while !q > 1 do
+    if x.(n - 1) land !q <> 0 then t := !t lxor (!q - 1);
+    q := !q lsr 1
+  done;
+  for i = 0 to n - 1 do
+    x.(i) <- x.(i) lxor !t
+  done
+
+let transpose_to_axes x order =
+  let n = Array.length x in
+  let big = 2 lsl (order - 1) in
+  (* Gray decode by H ^ (H/2). *)
+  let t = ref (x.(n - 1) lsr 1) in
+  for i = n - 1 downto 1 do
+    x.(i) <- x.(i) lxor x.(i - 1)
+  done;
+  x.(0) <- x.(0) lxor !t;
+  (* Undo excess work. *)
+  let q = ref 2 in
+  while !q <> big do
+    let p = !q - 1 in
+    for i = n - 1 downto 0 do
+      if x.(i) land !q <> 0 then x.(0) <- x.(0) lxor p
+      else begin
+        let t = (x.(0) lxor x.(i)) land p in
+        x.(0) <- x.(0) lxor t;
+        x.(i) <- x.(i) lxor t
+      end
+    done;
+    q := !q lsl 1
+  done
+
+let index ~order coords =
+  let dims = Array.length coords in
+  check ~order ~dims;
+  Array.iteri
+    (fun i v ->
+      if v < 0 || v lsr order <> 0 then
+        invalid_arg (Printf.sprintf "Hilbert_nd.index: coordinate %d = %d outside [0, 2^%d)" i v order))
+    coords;
+  let x = Array.copy coords in
+  axes_to_transpose x order;
+  (* Interleave: bit q of x.(i) lands ahead of bit q of x.(i+1). *)
+  let result = ref 0 in
+  for q = order - 1 downto 0 do
+    for i = 0 to dims - 1 do
+      result := (!result lsl 1) lor ((x.(i) lsr q) land 1)
+    done
+  done;
+  !result
+
+let coords ~order ~dims index_value =
+  check ~order ~dims;
+  if index_value < 0 || (dims * order < 62 && index_value lsr (dims * order) <> 0) then
+    invalid_arg "Hilbert_nd.coords: index out of range";
+  let x = Array.make dims 0 in
+  (* De-interleave. *)
+  let bit = ref (dims * order) in
+  for q = order - 1 downto 0 do
+    for i = 0 to dims - 1 do
+      decr bit;
+      x.(i) <- x.(i) lor (((index_value lsr !bit) land 1) lsl q)
+    done
+  done;
+  transpose_to_axes x order;
+  x
+
+let quantize ~order ~lo ~hi v =
+  if hi <= lo then invalid_arg "Hilbert_nd.quantize: empty interval";
+  let n = 1 lsl order in
+  let scaled = (v -. lo) /. (hi -. lo) *. float_of_int n in
+  let cell = int_of_float scaled in
+  if cell < 0 then 0 else if cell >= n then n - 1 else cell

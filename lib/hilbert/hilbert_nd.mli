@@ -1,0 +1,19 @@
+(** d-dimensional Hilbert indices (Skilling's transpose algorithm).
+
+    Substrate for the four-dimensional Hilbert R-tree baseline: a
+    rectangle is mapped to the 4-D point [(xmin, ymin, xmax, ymax)] and
+    rectangles are sorted by the position of that point on the 4-D
+    curve. *)
+
+val index : order:int -> int array -> int
+(** [index ~order coords] is the Hilbert index of a grid cell given by
+    [dims = Array.length coords] coordinates, each in [\[0, 2^order)].
+    The result occupies [dims * order] bits, which must be [<= 62].
+    Raises [Invalid_argument] otherwise. *)
+
+val coords : order:int -> dims:int -> int -> int array
+(** Inverse of {!index}. *)
+
+val quantize : order:int -> lo:float -> hi:float -> float -> int
+(** Map a float in [\[lo, hi\]] to a grid coordinate, clamping values
+    outside the interval. *)

@@ -1,0 +1,235 @@
+(* The external logarithmic method applied to PR-trees (Section 4 of the
+   paper; the technique of Arge–Vahrenhold [4] and the Bkd-tree [20]).
+
+   The paper's PR-tree is bulk-loaded; updating it with the standard
+   R-tree heuristics voids its query guarantee.  The logarithmic method
+   instead keeps a small in-memory buffer plus O(log2 (N/M0)) immutable
+   PR-tree components of geometrically increasing capacity.  An insert
+   goes to the buffer; when the buffer fills, the buffer and all
+   components below the first empty slot are merged — by PR-tree
+   bulk-loading — into that slot.  Each component is worst-case optimal
+   for queries, so a window query over all components costs
+   O(sqrt(N/B) * log(N/M0) + T/B) I/Os (and the slot sizes make the
+   sum telescope in practice), while inserts cost the bulk-loading
+   work amortized over the slot capacity.
+
+   Deletions are tombstones: entry ids are recorded and filtered from
+   query results and merges; a global rebuild fires once tombstones
+   outnumber live entries.  Entry ids must be unique across the index. *)
+
+module Rect = Prt_geom.Rect
+module Buffer_pool = Prt_storage.Buffer_pool
+module Entry = Prt_rtree.Entry
+module Node = Prt_rtree.Node
+module Rtree = Prt_rtree.Rtree
+module Prtree = Prt_prtree.Prtree
+
+type t = {
+  pool : Buffer_pool.t;
+  buffer_capacity : int;
+  buffer : (int, Entry.t) Hashtbl.t;
+  mutable components : Rtree.t option array; (* slot i holds <= buffer_capacity * 2^i entries *)
+  tombstones : (int, unit) Hashtbl.t;
+  mutable live : int; (* entries stored minus tombstoned ones *)
+}
+
+let create ?(buffer_capacity = 113) pool =
+  if buffer_capacity < 1 then invalid_arg "Logmethod.create: buffer_capacity must be >= 1";
+  {
+    pool;
+    buffer_capacity;
+    buffer = Hashtbl.create (2 * buffer_capacity);
+    components = Array.make 8 None;
+    tombstones = Hashtbl.create 64;
+    live = 0;
+  }
+
+let count t = t.live
+
+let components t =
+  let out = ref [] in
+  Array.iteri
+    (fun i c -> match c with Some tree -> out := (i, Rtree.count tree) :: !out | None -> ())
+    t.components;
+  List.rev !out
+
+let buffer_size t = Hashtbl.length t.buffer
+
+(* Free every page of a component. *)
+let destroy_tree t tree =
+  let pages = ref [] in
+  Rtree.iter_nodes tree ~f:(fun ~depth:_ ~id node ->
+      ignore node;
+      pages := id :: !pages);
+  List.iter (Buffer_pool.free t.pool) !pages
+
+let is_dead t e = Hashtbl.mem t.tombstones (Entry.id e)
+
+(* Collect the live entries of a component (dropping — and resolving —
+   any tombstones it absorbs). *)
+let live_entries t tree =
+  let acc = ref [] in
+  Rtree.iter tree ~f:(fun e ->
+      if is_dead t e then Hashtbl.remove t.tombstones (Entry.id e) else acc := e :: !acc);
+  !acc
+
+let ensure_slot t i =
+  if i >= Array.length t.components then begin
+    let grown = Array.make (2 * (i + 1)) None in
+    Array.blit t.components 0 grown 0 (Array.length t.components);
+    t.components <- grown
+  end
+
+(* Merge the buffer and components 0..j-1 into slot j, where j is the
+   first empty slot: the merged size is at most buffer_capacity * 2^j. *)
+let flush_buffer t =
+  if Hashtbl.length t.buffer > 0 then begin
+    let rec first_empty i =
+      ensure_slot t i;
+      match t.components.(i) with None -> i | Some _ -> first_empty (i + 1)
+    in
+    let j = first_empty 0 in
+    let entries = ref [] in
+    Hashtbl.iter (fun _ e -> entries := e :: !entries) t.buffer;
+    Hashtbl.reset t.buffer;
+    for i = 0 to j - 1 do
+      match t.components.(i) with
+      | Some tree ->
+          entries := List.rev_append (live_entries t tree) !entries;
+          destroy_tree t tree;
+          t.components.(i) <- None
+      | None -> ()
+    done;
+    let merged = Array.of_list !entries in
+    if Array.length merged > 0 then t.components.(j) <- Some (Prtree.load t.pool merged)
+  end
+
+(* Rebuild everything into a single component, clearing tombstones. *)
+let rebuild t =
+  let entries = ref [] in
+  Hashtbl.iter (fun _ e -> if not (is_dead t e) then entries := e :: !entries) t.buffer;
+  Hashtbl.reset t.buffer;
+  Array.iteri
+    (fun i c ->
+      match c with
+      | Some tree ->
+          entries := List.rev_append (live_entries t tree) !entries;
+          destroy_tree t tree;
+          t.components.(i) <- None
+      | None -> ())
+    t.components;
+  Hashtbl.reset t.tombstones;
+  let merged = Array.of_list !entries in
+  t.live <- Array.length merged;
+  if Array.length merged > 0 then begin
+    (* Place the rebuilt tree in the smallest slot that can hold it. *)
+    let rec slot_for i cap =
+      if Array.length merged <= cap then i else slot_for (i + 1) (2 * cap)
+    in
+    let j = slot_for 0 t.buffer_capacity in
+    ensure_slot t j;
+    t.components.(j) <- Some (Prtree.load t.pool merged)
+  end
+
+let insert t e =
+  if Hashtbl.mem t.buffer (Entry.id e) then
+    invalid_arg "Logmethod.insert: duplicate entry id in buffer";
+  Hashtbl.replace t.buffer (Entry.id e) e;
+  t.live <- t.live + 1;
+  if Hashtbl.length t.buffer >= t.buffer_capacity then flush_buffer t
+
+(* Membership probe for deletion: the entry's exact rectangle confines
+   the search, so this is one window query per component. *)
+let mem_components t e =
+  Array.exists
+    (fun c ->
+      match c with
+      | None -> false
+      | Some tree ->
+          let found = ref false in
+          ignore
+            (Rtree.query tree (Entry.rect e) ~f:(fun hit ->
+                 if Entry.id hit = Entry.id e && Entry.equal hit e then found := true));
+          !found && not (is_dead t e))
+    t.components
+
+let delete t e =
+  if Hashtbl.mem t.buffer (Entry.id e) then begin
+    Hashtbl.remove t.buffer (Entry.id e);
+    t.live <- t.live - 1;
+    true
+  end
+  else if mem_components t e then begin
+    Hashtbl.replace t.tombstones (Entry.id e) ();
+    t.live <- t.live - 1;
+    (* Rebuild once the dead weight dominates. *)
+    if Hashtbl.length t.tombstones > max t.buffer_capacity t.live then rebuild t;
+    true
+  end
+  else false
+
+type query_stats = {
+  mutable internal_visited : int;
+  mutable leaf_visited : int;
+  mutable matched : int;
+  mutable components_queried : int;
+}
+
+let query t window ~f =
+  let stats = { internal_visited = 0; leaf_visited = 0; matched = 0; components_queried = 0 } in
+  Hashtbl.iter
+    (fun _ e ->
+      if Rect.intersects (Entry.rect e) window && not (is_dead t e) then begin
+        stats.matched <- stats.matched + 1;
+        f e
+      end)
+    t.buffer;
+  Array.iter
+    (fun c ->
+      match c with
+      | None -> ()
+      | Some tree ->
+          stats.components_queried <- stats.components_queried + 1;
+          let s =
+            Rtree.query tree window ~f:(fun e ->
+                if not (is_dead t e) then begin
+                  stats.matched <- stats.matched + 1;
+                  f e
+                end)
+          in
+          stats.internal_visited <- stats.internal_visited + s.Rtree.internal_visited;
+          stats.leaf_visited <- stats.leaf_visited + s.Rtree.leaf_visited)
+    t.components;
+  stats
+
+let query_list t window =
+  let acc = ref [] in
+  let stats = query t window ~f:(fun e -> acc := e :: !acc) in
+  (List.rev !acc, stats)
+
+let of_entries ?buffer_capacity pool entries =
+  let t = create ?buffer_capacity pool in
+  if Array.length entries > 0 then begin
+    t.live <- Array.length entries;
+    let rec slot_for i cap =
+      if Array.length entries <= cap then i else slot_for (i + 1) (2 * cap)
+    in
+    let j = slot_for 0 t.buffer_capacity in
+    ensure_slot t j;
+    t.components.(j) <- Some (Prtree.load pool entries)
+  end;
+  t
+
+let validate t =
+  Array.iter
+    (fun c -> match c with Some tree -> ignore (Rtree.validate tree) | None -> ())
+    t.components;
+  let stored = ref (Hashtbl.length t.buffer) in
+  Array.iter
+    (fun c -> match c with Some tree -> stored := !stored + Rtree.count tree | None -> ())
+    t.components;
+  let expected = !stored - Hashtbl.length t.tombstones in
+  if expected <> t.live then
+    failwith
+      (Printf.sprintf "Logmethod.validate: live count %d but stored %d minus %d tombstones"
+         t.live !stored (Hashtbl.length t.tombstones))

@@ -1,0 +1,57 @@
+(** Dynamized PR-tree via the external logarithmic method (Section 4 of
+    the paper).
+
+    Keeps an in-memory insert buffer plus O(log2 (N/M0)) immutable
+    PR-tree components of geometrically increasing capacity; merges are
+    PR-tree bulk loads, so every component retains the worst-case-optimal
+    query bound. Deletions are tombstoned and compacted by global
+    rebuild. Entry ids must be unique across the index. *)
+
+type t
+
+val create : ?buffer_capacity:int -> Prt_storage.Buffer_pool.t -> t
+(** Empty index. [buffer_capacity] (default 113, one leaf's worth) is
+    the in-memory buffer size M0; component slot [i] holds up to
+    [buffer_capacity * 2^i] entries. *)
+
+val of_entries :
+  ?buffer_capacity:int -> Prt_storage.Buffer_pool.t -> Prt_rtree.Entry.t array -> t
+(** Bulk-load an initial index into the smallest fitting slot. *)
+
+val insert : t -> Prt_rtree.Entry.t -> unit
+(** Amortized O((log2 (N/M0)) * (bulk-load cost) / M0) per insert.
+    Raises [Invalid_argument] on an id already buffered. *)
+
+val delete : t -> Prt_rtree.Entry.t -> bool
+(** Tombstone the entry (matched by id and rectangle). Returns [false]
+    if absent. Triggers a global rebuild when tombstones outnumber live
+    entries. *)
+
+type query_stats = {
+  mutable internal_visited : int;
+  mutable leaf_visited : int;
+  mutable matched : int;
+  mutable components_queried : int;
+}
+
+val query : t -> Prt_geom.Rect.t -> f:(Prt_rtree.Entry.t -> unit) -> query_stats
+(** Window query across the buffer and all components, with tombstoned
+    entries filtered out. *)
+
+val query_list : t -> Prt_geom.Rect.t -> Prt_rtree.Entry.t list * query_stats
+
+val count : t -> int
+(** Live entries. *)
+
+val components : t -> (int * int) list
+(** Occupied slots as [(level, entries)], for inspection. *)
+
+val buffer_size : t -> int
+
+val flush_buffer : t -> unit
+(** Force the buffer into a component (e.g. before measuring pure query
+    cost). *)
+
+val validate : t -> unit
+(** Validate every component structurally and check the live-count
+    bookkeeping. Raises [Failure] on violation. *)

@@ -1,0 +1,207 @@
+(* Dynamic updates for the d-dimensional R-tree: Guttman insertion
+   (ChooseLeaf by least volume enlargement) and deletion with tree
+   condensation — the d-dimensional mirror of {!Prt_rtree.Dynamic}. *)
+
+module Hyperrect = Prt_geom.Hyperrect
+
+type config = { split_algorithm : Split_nd.algorithm; min_fill_fraction : float }
+
+let default_config = { split_algorithm = Split_nd.Quadratic; min_fill_fraction = 0.4 }
+
+let min_fill t cfg =
+  let m = int_of_float (cfg.min_fill_fraction *. float_of_int (Rtree_nd.capacity t)) in
+  max 1 (min m (Rtree_nd.capacity t / 2))
+
+type ins_result =
+  | Updated of Hyperrect.t
+  | Split_into of Entry_nd.t * Entry_nd.t
+
+let append_entry entries e =
+  let n = Array.length entries in
+  let out = Array.make (n + 1) e in
+  Array.blit entries 0 out 0 n;
+  out
+
+let enlargement box extra =
+  Hyperrect.volume (Hyperrect.union box extra) -. Hyperrect.volume box
+
+let choose_subtree entries box =
+  let best = ref 0 and best_enl = ref infinity and best_vol = ref infinity in
+  Array.iteri
+    (fun i e ->
+      let enl = enlargement (Entry_nd.box e) box in
+      let vol = Hyperrect.volume (Entry_nd.box e) in
+      if enl < !best_enl || (enl = !best_enl && vol < !best_vol) then begin
+        best := i;
+        best_enl := enl;
+        best_vol := vol
+      end)
+    entries;
+  !best
+
+let rec insert_rec t cfg node_id entry ~above ~depth =
+  let node = Rtree_nd.read_node t node_id in
+  if Rtree_nd.height t - depth = above then begin
+    let entries = append_entry (Node_nd.entries node) entry in
+    if Array.length entries <= Rtree_nd.capacity t then begin
+      let node = Node_nd.make (Node_nd.kind node) entries in
+      Rtree_nd.write_node t node_id node;
+      Updated (Node_nd.mbr node)
+    end
+    else begin
+      let g1, g2 = Split_nd.split cfg.split_algorithm ~min_fill:(min_fill t cfg) entries in
+      let n1 = Node_nd.make (Node_nd.kind node) g1 and n2 = Node_nd.make (Node_nd.kind node) g2 in
+      Rtree_nd.write_node t node_id n1;
+      let id2 = Rtree_nd.alloc_node t n2 in
+      Split_into (Entry_nd.make (Node_nd.mbr n1) node_id, Entry_nd.make (Node_nd.mbr n2) id2)
+    end
+  end
+  else begin
+    let entries = Node_nd.entries node in
+    let i = choose_subtree entries (Entry_nd.box entry) in
+    match insert_rec t cfg (Entry_nd.id entries.(i)) entry ~above ~depth:(depth + 1) with
+    | Updated child_mbr ->
+        entries.(i) <- Entry_nd.make child_mbr (Entry_nd.id entries.(i));
+        let node = Node_nd.make Node_nd.Internal entries in
+        Rtree_nd.write_node t node_id node;
+        Updated (Node_nd.mbr node)
+    | Split_into (e1, e2) ->
+        entries.(i) <- e1;
+        let entries = append_entry entries e2 in
+        if Array.length entries <= Rtree_nd.capacity t then begin
+          let node = Node_nd.make Node_nd.Internal entries in
+          Rtree_nd.write_node t node_id node;
+          Updated (Node_nd.mbr node)
+        end
+        else begin
+          let g1, g2 = Split_nd.split cfg.split_algorithm ~min_fill:(min_fill t cfg) entries in
+          let n1 = Node_nd.make Node_nd.Internal g1 and n2 = Node_nd.make Node_nd.Internal g2 in
+          Rtree_nd.write_node t node_id n1;
+          let id2 = Rtree_nd.alloc_node t n2 in
+          Split_into (Entry_nd.make (Node_nd.mbr n1) node_id, Entry_nd.make (Node_nd.mbr n2) id2)
+        end
+  end
+
+let set_root = Rtree_nd.set_root
+
+let insert_at t cfg entry ~above =
+  if above < 0 || above >= Rtree_nd.height t then invalid_arg "Dynamic_nd.insert_at: bad level";
+  match insert_rec t cfg (Rtree_nd.root t) entry ~above ~depth:1 with
+  | Updated _ -> ()
+  | Split_into (e1, e2) ->
+      let root = Rtree_nd.alloc_node t (Node_nd.make Node_nd.Internal [| e1; e2 |]) in
+      set_root t ~root ~height:(Rtree_nd.height t + 1)
+
+let insert ?(config = default_config) t entry =
+  insert_at t config entry ~above:0;
+  Rtree_nd.set_count t (Rtree_nd.count t + 1)
+
+type del_result = Not_found_here | Kept of Hyperrect.t | Dissolved
+
+let remove_at arr i =
+  let n = Array.length arr in
+  Array.init (n - 1) (fun j -> if j < i then arr.(j) else arr.(j + 1))
+
+let delete ?(config = default_config) t target =
+  let m = min_fill t config in
+  let orphans = ref [] in
+  let rec del node_id ~depth =
+    let node = Rtree_nd.read_node t node_id in
+    let entries = Node_nd.entries node in
+    match Node_nd.kind node with
+    | Node_nd.Leaf -> begin
+        let found = ref (-1) in
+        Array.iteri (fun i e -> if !found < 0 && Entry_nd.equal e target then found := i) entries;
+        if !found < 0 then Not_found_here
+        else begin
+          let remaining = remove_at entries !found in
+          let is_root = node_id = Rtree_nd.root t in
+          if (not is_root) && Array.length remaining < m then begin
+            Array.iter (fun e -> orphans := (e, 0) :: !orphans) remaining;
+            Prt_storage.Buffer_pool.free (Rtree_nd.pool t) node_id;
+            Dissolved
+          end
+          else begin
+            let node = Node_nd.make Node_nd.Leaf remaining in
+            Rtree_nd.write_node t node_id node;
+            Kept
+              (if Array.length remaining = 0 then Entry_nd.box target else Node_nd.mbr node)
+          end
+        end
+      end
+    | Node_nd.Internal -> begin
+        let result = ref Not_found_here and child = ref (-1) in
+        (try
+           Array.iteri
+             (fun i e ->
+               if Hyperrect.contains (Entry_nd.box e) (Entry_nd.box target) then begin
+                 match del (Entry_nd.id e) ~depth:(depth + 1) with
+                 | Not_found_here -> ()
+                 | r ->
+                     result := r;
+                     child := i;
+                     raise Exit
+               end)
+             entries
+         with Exit -> ());
+        match !result with
+        | Not_found_here -> Not_found_here
+        | Kept child_mbr ->
+            entries.(!child) <- Entry_nd.make child_mbr (Entry_nd.id entries.(!child));
+            let node = Node_nd.make Node_nd.Internal entries in
+            Rtree_nd.write_node t node_id node;
+            Kept (Node_nd.mbr node)
+        | Dissolved ->
+            let remaining = remove_at entries !child in
+            let is_root = node_id = Rtree_nd.root t in
+            if (not is_root) && Array.length remaining < m then begin
+              let above = Rtree_nd.height t - depth in
+              Array.iter (fun e -> orphans := (e, above) :: !orphans) remaining;
+              Prt_storage.Buffer_pool.free (Rtree_nd.pool t) node_id;
+              Dissolved
+            end
+            else begin
+              let node = Node_nd.make Node_nd.Internal remaining in
+              Rtree_nd.write_node t node_id node;
+              if Array.length remaining = 0 then Dissolved else Kept (Node_nd.mbr node)
+            end
+      end
+  in
+  let rec reinsert_as_data e ~above =
+    if above = 0 then insert_at t config e ~above:0
+    else begin
+      let node = Rtree_nd.read_node t (Entry_nd.id e) in
+      Prt_storage.Buffer_pool.free (Rtree_nd.pool t) (Entry_nd.id e);
+      Array.iter (fun child -> reinsert_as_data child ~above:(above - 1)) (Node_nd.entries node)
+    end
+  in
+  match del (Rtree_nd.root t) ~depth:1 with
+  | Not_found_here -> false
+  | Kept _ | Dissolved ->
+      Rtree_nd.set_count t (Rtree_nd.count t - 1);
+      let root_node = Rtree_nd.read_node t (Rtree_nd.root t) in
+      if Node_nd.kind root_node = Node_nd.Internal && Node_nd.length root_node = 0 then begin
+        Rtree_nd.write_node t (Rtree_nd.root t) (Node_nd.make Node_nd.Leaf [||]);
+        set_root t ~root:(Rtree_nd.root t) ~height:1
+      end;
+      let sorted = List.sort (fun (_, a) (_, b) -> Int.compare a b) !orphans in
+      List.iter
+        (fun (e, above) ->
+          if above < Rtree_nd.height t then insert_at t config e ~above
+          else reinsert_as_data e ~above)
+        sorted;
+      let rec shrink () =
+        if Rtree_nd.height t > 1 then begin
+          let node = Rtree_nd.read_node t (Rtree_nd.root t) in
+          if Node_nd.kind node = Node_nd.Internal && Node_nd.length node = 1 then begin
+            let old_root = Rtree_nd.root t in
+            set_root t
+              ~root:(Entry_nd.id (Node_nd.entries node).(0))
+              ~height:(Rtree_nd.height t - 1);
+            Prt_storage.Buffer_pool.free (Rtree_nd.pool t) old_root;
+            shrink ()
+          end
+        end
+      in
+      shrink ();
+      true

@@ -1,0 +1,15 @@
+(** Dynamic updates for the d-dimensional R-tree: Guttman insertion and
+    deletion with tree condensation (the d-D mirror of
+    {!Prt_rtree.Dynamic}). *)
+
+type config = { split_algorithm : Split_nd.algorithm; min_fill_fraction : float }
+
+val default_config : config
+(** Quadratic split, 40% minimum fill. *)
+
+val insert : ?config:config -> Rtree_nd.t -> Entry_nd.t -> unit
+
+val delete : ?config:config -> Rtree_nd.t -> Entry_nd.t -> bool
+(** Delete the entry matching by box and id; underfull nodes are
+    dissolved and their entries reinserted at their original level.
+    Returns [false] if absent. *)

@@ -1,0 +1,49 @@
+(* Entries of the d-dimensional R-tree: a box plus a 32-bit payload.
+   On-page encoding: 2d little-endian float64 coordinates (lows then
+   highs) and an int32 — 16d + 4 bytes, the d-dimensional analogue of
+   the paper's 36-byte record (d = 2 gives exactly 36). *)
+
+module Hyperrect = Prt_geom.Hyperrect
+module Page = Prt_storage.Page
+
+type t = { box : Hyperrect.t; id : int }
+
+let make box id = { box; id }
+let box e = e.box
+let id e = e.id
+
+let equal a b = a.id = b.id && Hyperrect.equal a.box b.box
+
+let size ~dims = (16 * dims) + 4
+
+let write ~dims buf off e =
+  if Hyperrect.dims e.box <> dims then invalid_arg "Entry_nd.write: dimension mismatch";
+  for i = 0 to dims - 1 do
+    Page.set_f64 buf (off + (8 * i)) (Hyperrect.lo e.box i);
+    Page.set_f64 buf (off + (8 * (dims + i))) (Hyperrect.hi e.box i)
+  done;
+  Page.set_i32 buf (off + (16 * dims)) e.id
+
+let read ~dims buf off =
+  let lo = Array.init dims (fun i -> Page.get_f64 buf (off + (8 * i))) in
+  let hi = Array.init dims (fun i -> Page.get_f64 buf (off + (8 * (dims + i)))) in
+  { box = Hyperrect.make ~lo ~hi; id = Page.get_i32 buf (off + (16 * dims)) }
+
+(* Total order on kd-coordinate [dim] (0..2d-1: lows then highs), ties
+   broken by the remaining coordinates and the id. *)
+let compare_dim dim a b =
+  let c = Float.compare (Hyperrect.coord dim a.box) (Hyperrect.coord dim b.box) in
+  if c <> 0 then c
+  else begin
+    let d = Hyperrect.dims a.box in
+    let rec tie i =
+      if i = 2 * d then Int.compare a.id b.id
+      else begin
+        let c = Float.compare (Hyperrect.coord i a.box) (Hyperrect.coord i b.box) in
+        if c <> 0 then c else tie (i + 1)
+      end
+    in
+    tie 0
+  end
+
+let pp ppf e = Fmt.pf ppf "#%d:%a" e.id Hyperrect.pp e.box

@@ -1,0 +1,25 @@
+(** Entries of the d-dimensional R-tree: a box plus a 32-bit payload.
+
+    On-page encoding is [16d + 4] bytes ([d = 2] gives the paper's
+    36-byte record). *)
+
+type t = { box : Prt_geom.Hyperrect.t; id : int }
+
+val make : Prt_geom.Hyperrect.t -> int -> t
+val box : t -> Prt_geom.Hyperrect.t
+val id : t -> int
+val equal : t -> t -> bool
+
+val size : dims:int -> int
+(** Encoded size in bytes. *)
+
+val write : dims:int -> bytes -> int -> t -> unit
+(** Raises [Invalid_argument] on a dimension mismatch. *)
+
+val read : dims:int -> bytes -> int -> t
+
+val compare_dim : int -> t -> t -> int
+(** Total order on kd-coordinate [dim] (0..2d-1: low sides then high
+    sides), ties broken by the remaining coordinates and the id. *)
+
+val pp : Format.formatter -> t -> unit

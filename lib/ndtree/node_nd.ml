@@ -1,0 +1,47 @@
+(* On-page node format of the d-dimensional R-tree: kind byte, entry
+   count, then packed Entry_nd records. The dimensionality is a
+   parameter of the tree, not stored per page. *)
+
+module Hyperrect = Prt_geom.Hyperrect
+module Page = Prt_storage.Page
+
+type kind = Leaf | Internal
+
+type t = { kind : kind; entries : Entry_nd.t array }
+
+let header_size = 3
+
+let capacity ~page_size ~dims = (page_size - header_size) / Entry_nd.size ~dims
+
+let make kind entries = { kind; entries }
+let kind t = t.kind
+let entries t = t.entries
+let length t = Array.length t.entries
+
+let mbr t =
+  if length t = 0 then invalid_arg "Node_nd.mbr: empty node";
+  Hyperrect.union_map ~f:Entry_nd.box t.entries
+
+let encode ~page_size ~dims t =
+  if length t > capacity ~page_size ~dims then
+    invalid_arg "Node_nd.encode: node exceeds page capacity";
+  let buf = Page.create page_size in
+  Page.set_u8 buf 0 (match t.kind with Leaf -> 0 | Internal -> 1);
+  Page.set_u16 buf 1 (length t);
+  Array.iteri
+    (fun i e -> Entry_nd.write ~dims buf (header_size + (i * Entry_nd.size ~dims)) e)
+    t.entries;
+  buf
+
+let decode ~dims buf =
+  let kind =
+    match Page.get_u8 buf 0 with
+    | 0 -> Leaf
+    | 1 -> Internal
+    | k -> invalid_arg (Printf.sprintf "Node_nd.decode: bad node kind %d" k)
+  in
+  let count = Page.get_u16 buf 1 in
+  let entries =
+    Array.init count (fun i -> Entry_nd.read ~dims buf (header_size + (i * Entry_nd.size ~dims)))
+  in
+  { kind; entries }

@@ -1,0 +1,17 @@
+(** On-page node codec of the d-dimensional R-tree. *)
+
+type kind = Leaf | Internal
+
+type t
+
+val capacity : page_size:int -> dims:int -> int
+val make : kind -> Entry_nd.t array -> t
+val kind : t -> kind
+val entries : t -> Entry_nd.t array
+val length : t -> int
+
+val mbr : t -> Prt_geom.Hyperrect.t
+(** Raises [Invalid_argument] on an empty node. *)
+
+val encode : page_size:int -> dims:int -> t -> bytes
+val decode : dims:int -> bytes -> t

@@ -1,0 +1,34 @@
+(* The d-dimensional PR-tree (Theorem 2): staged bottom-up exactly like
+   the planar case — each level is the set of leaves of a d-dimensional
+   pseudo-PR-tree built on the previous level's bounding boxes. Window
+   queries cost O((N/B)^(1-1/d) + T/B) I/Os. *)
+
+module Buffer_pool = Prt_storage.Buffer_pool
+module Pager = Prt_storage.Pager
+
+let load ~dims pool entries =
+  let page_size = Pager.page_size (Buffer_pool.pager pool) in
+  let cap = Node_nd.capacity ~page_size ~dims in
+  if cap < 2 then invalid_arg "Prtree_nd.load: page too small for this dimensionality";
+  let count = Array.length entries in
+  if count = 0 then Rtree_nd.create_empty ~dims pool
+  else begin
+    let write kind node_entries =
+      let node = Node_nd.make kind node_entries in
+      let id = Buffer_pool.alloc pool in
+      Buffer_pool.write pool id (Node_nd.encode ~page_size ~dims node);
+      Entry_nd.make (Node_nd.mbr node) id
+    in
+    let rec stage current ~kind ~height =
+      if Array.length current <= cap then begin
+        let root = write kind current in
+        Rtree_nd.of_root ~pool ~dims ~root:(Entry_nd.id root) ~height ~count
+      end
+      else begin
+        let pseudo = Pseudo_nd.build ~b:cap ~dims current in
+        let level = List.rev (List.rev_map (write kind) (Pseudo_nd.leaves pseudo)) in
+        stage (Array.of_list level) ~kind:Node_nd.Internal ~height:(height + 1)
+      end
+    in
+    stage entries ~kind:Node_nd.Leaf ~height:1
+  end

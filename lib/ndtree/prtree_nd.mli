@@ -1,0 +1,7 @@
+(** The d-dimensional PR-tree (Theorem 2 of the paper): bulk loading
+    with worst-case-optimal [O((N/B)^(1-1/d) + T/B)] window queries. *)
+
+val load : dims:int -> Prt_storage.Buffer_pool.t -> Entry_nd.t array -> Rtree_nd.t
+(** Staged in-memory construction over boxes of dimensionality [dims].
+    Raises [Invalid_argument] if a page cannot hold at least two
+    [dims]-dimensional entries. *)

@@ -1,0 +1,140 @@
+(* The paged d-dimensional R-tree: window queries with per-level visit
+   counts and structural validation, mirroring the 2-D Rtree. *)
+
+module Hyperrect = Prt_geom.Hyperrect
+module Pager = Prt_storage.Pager
+module Buffer_pool = Prt_storage.Buffer_pool
+
+type t = {
+  pool : Buffer_pool.t;
+  dims : int;
+  mutable root : int;
+  mutable height : int;
+  mutable count : int;
+}
+
+type query_stats = {
+  mutable internal_visited : int;
+  mutable leaf_visited : int;
+  mutable matched : int;
+}
+
+let pool t = t.pool
+let pager t = Buffer_pool.pager t.pool
+let dims t = t.dims
+let root t = t.root
+let height t = t.height
+let count t = t.count
+let page_size t = Pager.page_size (pager t)
+let capacity t = Node_nd.capacity ~page_size:(page_size t) ~dims:t.dims
+
+let set_root t ~root ~height =
+  t.root <- root;
+  t.height <- height
+
+let set_count t count = t.count <- count
+
+let read_node t id = Node_nd.decode ~dims:t.dims (Buffer_pool.read t.pool id)
+
+let write_node t id node =
+  Buffer_pool.write t.pool id (Node_nd.encode ~page_size:(page_size t) ~dims:t.dims node)
+
+let alloc_node t node =
+  let id = Buffer_pool.alloc t.pool in
+  write_node t id node;
+  id
+
+let create_empty ~dims pool =
+  let page_size = Pager.page_size (Buffer_pool.pager pool) in
+  let root = Buffer_pool.alloc pool in
+  Buffer_pool.write pool root (Node_nd.encode ~page_size ~dims (Node_nd.make Node_nd.Leaf [||]));
+  { pool; dims; root; height = 1; count = 0 }
+
+let of_root ~pool ~dims ~root ~height ~count = { pool; dims; root; height; count }
+
+let query t window ~f =
+  if Hyperrect.dims window <> t.dims then invalid_arg "Rtree_nd.query: dimension mismatch";
+  let stats = { internal_visited = 0; leaf_visited = 0; matched = 0 } in
+  let rec visit id =
+    let node = read_node t id in
+    match Node_nd.kind node with
+    | Node_nd.Leaf ->
+        stats.leaf_visited <- stats.leaf_visited + 1;
+        Array.iter
+          (fun e ->
+            if Hyperrect.intersects (Entry_nd.box e) window then begin
+              stats.matched <- stats.matched + 1;
+              f e
+            end)
+          (Node_nd.entries node)
+    | Node_nd.Internal ->
+        stats.internal_visited <- stats.internal_visited + 1;
+        Array.iter
+          (fun e -> if Hyperrect.intersects (Entry_nd.box e) window then visit (Entry_nd.id e))
+          (Node_nd.entries node)
+  in
+  visit t.root;
+  stats
+
+let query_list t window =
+  let acc = ref [] in
+  let stats = query t window ~f:(fun e -> acc := e :: !acc) in
+  (List.rev !acc, stats)
+
+let query_count t window = query t window ~f:(fun _ -> ())
+
+let iter t ~f =
+  let rec visit id =
+    let node = read_node t id in
+    match Node_nd.kind node with
+    | Node_nd.Leaf -> Array.iter f (Node_nd.entries node)
+    | Node_nd.Internal -> Array.iter (fun e -> visit (Entry_nd.id e)) (Node_nd.entries node)
+  in
+  visit t.root
+
+type structure = { nodes : int; leaves : int; entries : int; utilization : float }
+
+exception Invalid of string
+
+let invalid fmt = Format.kasprintf (fun s -> raise (Invalid s)) fmt
+
+let validate t =
+  let cap = capacity t in
+  let nodes = ref 0 and leaves = ref 0 and entries = ref 0 in
+  let rec visit id depth =
+    incr nodes;
+    let node = read_node t id in
+    let n = Node_nd.length node in
+    if n > cap then invalid "node %d holds %d entries, capacity %d" id n cap;
+    match Node_nd.kind node with
+    | Node_nd.Leaf ->
+        if depth <> t.height then
+          invalid "leaf %d at depth %d but tree height is %d" id depth t.height;
+        incr leaves;
+        entries := !entries + n;
+        if n = 0 && t.count > 0 then invalid "empty leaf %d in non-empty tree" id;
+        if n = 0 then None else Some (Node_nd.mbr node)
+    | Node_nd.Internal ->
+        if depth >= t.height then
+          invalid "internal node %d at depth %d but tree height is %d" id depth t.height;
+        if n = 0 then invalid "empty internal node %d" id;
+        Array.iter
+          (fun e ->
+            match visit (Entry_nd.id e) (depth + 1) with
+            | Some child_mbr ->
+                if not (Hyperrect.equal child_mbr (Entry_nd.box e)) then
+                  invalid "node %d records a stale MBR for child %d" id (Entry_nd.id e)
+            | None -> invalid "node %d points at empty subtree %d" id (Entry_nd.id e))
+          (Node_nd.entries node);
+        Some (Node_nd.mbr node)
+  in
+  ignore (visit t.root 1);
+  if !entries <> t.count then
+    invalid "tree metadata says %d entries but leaves hold %d" t.count !entries;
+  {
+    nodes = !nodes;
+    leaves = !leaves;
+    entries = !entries;
+    utilization =
+      (if !leaves = 0 then 0.0 else float_of_int !entries /. float_of_int (!leaves * cap));
+  }

@@ -1,0 +1,49 @@
+(** The paged d-dimensional R-tree: window queries with per-level visit
+    counts and structural validation (the d-D analogue of
+    {!Prt_rtree.Rtree}). *)
+
+type t
+
+type query_stats = {
+  mutable internal_visited : int;
+  mutable leaf_visited : int;
+  mutable matched : int;
+}
+
+val create_empty : dims:int -> Prt_storage.Buffer_pool.t -> t
+
+val of_root :
+  pool:Prt_storage.Buffer_pool.t -> dims:int -> root:int -> height:int -> count:int -> t
+
+val pool : t -> Prt_storage.Buffer_pool.t
+val pager : t -> Prt_storage.Pager.t
+val dims : t -> int
+val root : t -> int
+val height : t -> int
+val count : t -> int
+val page_size : t -> int
+val capacity : t -> int
+
+val set_root : t -> root:int -> height:int -> unit
+(** Repoint the tree (used by the update algorithms). *)
+
+val set_count : t -> int -> unit
+
+val read_node : t -> int -> Node_nd.t
+val write_node : t -> int -> Node_nd.t -> unit
+val alloc_node : t -> Node_nd.t -> int
+
+val query : t -> Prt_geom.Hyperrect.t -> f:(Entry_nd.t -> unit) -> query_stats
+(** Raises [Invalid_argument] if the window's dimensionality differs
+    from the tree's. *)
+
+val query_list : t -> Prt_geom.Hyperrect.t -> Entry_nd.t list * query_stats
+val query_count : t -> Prt_geom.Hyperrect.t -> query_stats
+val iter : t -> f:(Entry_nd.t -> unit) -> unit
+
+type structure = { nodes : int; leaves : int; entries : int; utilization : float }
+
+exception Invalid of string
+
+val validate : t -> structure
+(** Check the R-tree invariants; raises {!Invalid} on violation. *)

@@ -1,0 +1,150 @@
+(* Node splitting in d dimensions: Guttman's quadratic split with
+   volumes in place of areas (the standard generalization), plus the
+   linear split for cheap updates. *)
+
+module Hyperrect = Prt_geom.Hyperrect
+
+type algorithm = Linear | Quadratic
+
+let algorithm_name = function Linear -> "linear" | Quadratic -> "quadratic"
+
+let enlargement box extra =
+  Hyperrect.volume (Hyperrect.union box extra) -. Hyperrect.volume box
+
+type groups = {
+  mutable b1 : Hyperrect.t;
+  mutable b2 : Hyperrect.t;
+  mutable l1 : Entry_nd.t list;
+  mutable l2 : Entry_nd.t list;
+  mutable n1 : int;
+  mutable n2 : int;
+}
+
+let distribute ~min_fill ~pick_next entries seed1 seed2 =
+  let n = Array.length entries in
+  let g =
+    {
+      b1 = Entry_nd.box entries.(seed1);
+      b2 = Entry_nd.box entries.(seed2);
+      l1 = [ entries.(seed1) ];
+      l2 = [ entries.(seed2) ];
+      n1 = 1;
+      n2 = 1;
+    }
+  in
+  let assigned = Array.make n false in
+  assigned.(seed1) <- true;
+  assigned.(seed2) <- true;
+  let remaining = ref (n - 2) in
+  let take_1 i =
+    g.l1 <- entries.(i) :: g.l1;
+    g.b1 <- Hyperrect.union g.b1 (Entry_nd.box entries.(i));
+    g.n1 <- g.n1 + 1;
+    assigned.(i) <- true;
+    decr remaining
+  and take_2 i =
+    g.l2 <- entries.(i) :: g.l2;
+    g.b2 <- Hyperrect.union g.b2 (Entry_nd.box entries.(i));
+    g.n2 <- g.n2 + 1;
+    assigned.(i) <- true;
+    decr remaining
+  in
+  while !remaining > 0 do
+    if g.n1 + !remaining <= min_fill then
+      Array.iteri (fun i _ -> if not assigned.(i) then take_1 i) entries
+    else if g.n2 + !remaining <= min_fill then
+      Array.iteri (fun i _ -> if not assigned.(i) then take_2 i) entries
+    else begin
+      let i = pick_next g assigned in
+      let b = Entry_nd.box entries.(i) in
+      let d1 = enlargement g.b1 b and d2 = enlargement g.b2 b in
+      if d1 < d2 then take_1 i
+      else if d2 < d1 then take_2 i
+      else if Hyperrect.volume g.b1 < Hyperrect.volume g.b2 then take_1 i
+      else if Hyperrect.volume g.b2 < Hyperrect.volume g.b1 then take_2 i
+      else if g.n1 <= g.n2 then take_1 i
+      else take_2 i
+    end
+  done;
+  (Array.of_list g.l1, Array.of_list g.l2)
+
+let quadratic ~min_fill entries =
+  let n = Array.length entries in
+  let seed1 = ref 0 and seed2 = ref 1 and worst = ref neg_infinity in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let bi = Entry_nd.box entries.(i) and bj = Entry_nd.box entries.(j) in
+      let waste =
+        Hyperrect.volume (Hyperrect.union bi bj) -. Hyperrect.volume bi -. Hyperrect.volume bj
+      in
+      if waste > !worst then begin
+        worst := waste;
+        seed1 := i;
+        seed2 := j
+      end
+    done
+  done;
+  let pick_next g assigned =
+    let pick = ref (-1) and pick_diff = ref neg_infinity in
+    Array.iteri
+      (fun i e ->
+        if not assigned.(i) then begin
+          let b = Entry_nd.box e in
+          let diff = Float.abs (enlargement g.b1 b -. enlargement g.b2 b) in
+          if diff > !pick_diff then begin
+            pick_diff := diff;
+            pick := i
+          end
+        end)
+      entries;
+    !pick
+  in
+  distribute ~min_fill ~pick_next entries !seed1 !seed2
+
+let linear ~min_fill entries =
+  let dims = Hyperrect.dims (Entry_nd.box entries.(0)) in
+  let best_sep = ref neg_infinity and seed1 = ref 0 and seed2 = ref 1 in
+  for d = 0 to dims - 1 do
+    let hi_lo = ref 0 and lo_hi = ref 0 in
+    let wmin = ref infinity and wmax = ref neg_infinity in
+    Array.iteri
+      (fun i e ->
+        let b = Entry_nd.box e in
+        if Hyperrect.lo b d > Hyperrect.lo (Entry_nd.box entries.(!hi_lo)) d then hi_lo := i;
+        if Hyperrect.hi b d < Hyperrect.hi (Entry_nd.box entries.(!lo_hi)) d then lo_hi := i;
+        wmin := Float.min !wmin (Hyperrect.lo b d);
+        wmax := Float.max !wmax (Hyperrect.hi b d))
+      entries;
+    let width = !wmax -. !wmin in
+    let sep =
+      Hyperrect.lo (Entry_nd.box entries.(!hi_lo)) d
+      -. Hyperrect.hi (Entry_nd.box entries.(!lo_hi)) d
+    in
+    let normalized = if width > 0.0 then sep /. width else neg_infinity in
+    if normalized > !best_sep && !hi_lo <> !lo_hi then begin
+      best_sep := normalized;
+      seed1 := !hi_lo;
+      seed2 := !lo_hi
+    end
+  done;
+  if !seed1 = !seed2 then seed2 := if !seed1 = 0 then 1 else 0;
+  let pick_next _g assigned =
+    let pick = ref (-1) in
+    (try
+       Array.iteri
+         (fun i _ ->
+           if not assigned.(i) then begin
+             pick := i;
+             raise Exit
+           end)
+         entries
+     with Exit -> ());
+    !pick
+  in
+  distribute ~min_fill ~pick_next entries !seed1 !seed2
+
+let split algorithm ~min_fill entries =
+  let n = Array.length entries in
+  if n < 2 then invalid_arg "Split_nd.split: need at least two entries";
+  let min_fill = max 1 (min min_fill (n / 2)) in
+  match algorithm with Quadratic -> quadratic ~min_fill entries | Linear -> linear ~min_fill entries

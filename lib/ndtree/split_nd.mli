@@ -1,0 +1,12 @@
+(** Node splitting for dynamic d-dimensional R-tree updates (Guttman's
+    algorithms with volumes in place of areas). *)
+
+type algorithm = Linear | Quadratic
+
+val algorithm_name : algorithm -> string
+
+val split :
+  algorithm -> min_fill:int -> Entry_nd.t array -> Entry_nd.t array * Entry_nd.t array
+(** Partition an overflowing node's entries into two groups of at least
+    [min_fill] (capped at half). Raises [Invalid_argument] on fewer than
+    two entries. *)

@@ -1,0 +1,18 @@
+(** I/O-efficient PR-tree bulk loading (Section 2.1's efficient
+    construction, staged as in Section 2.2).
+
+    Reads the input from an entry record file in the tree's own pager;
+    all sorting, filtering and distribution passes go through the pager,
+    so the pager counters measure construction I/O the way the paper's
+    Figures 9-10 do. The resulting tree is structurally identical in
+    kind to {!Prtree.load}'s (and shares its query guarantee); the top
+    kd levels of each round are placed with sampled rather than exact
+    medians, as documented in DESIGN.md. *)
+
+val load :
+  ?mem_records:int -> Prt_storage.Buffer_pool.t -> Prt_rtree.Entry.File.t -> Prt_rtree.Rtree.t
+(** [load ~mem_records pool file] bulk-loads a PR-tree using at most
+    [mem_records] records of main memory (default 18_000 — the paper's
+    64 MB budget scaled 1:100). The input file is left intact. Raises
+    [Invalid_argument] if the budget is below 8 nodes' worth of
+    records. *)

@@ -1,0 +1,160 @@
+(* The two-dimensional pseudo-PR-tree (Section 2.1 of the paper).
+
+   A pseudo-PR-tree on a set S of rectangles is, conceptually, a 4-D
+   kd-tree on the points (xmin, ymin, xmax, ymax) where every internal
+   node additionally carries four "priority leaves": the B rectangles of
+   its subtree that are extreme in each of the four directions (leftmost
+   left edges, bottommost bottom edges, rightmost right edges, topmost
+   top edges), each drawn from what the earlier priority leaves left
+   behind.  The remainder is median-split on the kd-coordinate cycling
+   xmin, ymin, xmax, ymax.  Internal nodes therefore have degree at most
+   six: four priority leaves and two recursive subtrees.
+
+   Queries on this structure visit O(sqrt(N/B) + T/B) nodes (Lemma 2);
+   the real PR-tree (see {!Prtree}) uses only the *leaves* of
+   pseudo-PR-trees, stage by stage.
+
+   Construction here is in-memory and selection-based: priority leaves
+   are peeled off with expected-linear quickselect, and the median split
+   is a selection too, so building is O(N log N) expected.  The
+   I/O-efficient external construction lives in {!Ext_build}. *)
+
+module Rect = Prt_geom.Rect
+module Select = Prt_util.Select
+module Entry = Prt_rtree.Entry
+
+type t =
+  | Leaf of { mbr : Rect.t; entries : Entry.t array; priority : int option }
+    (* [priority] is the direction (0..3) the leaf is extreme in, or
+       [None] for an ordinary kd-leaf. *)
+  | Node of { mbr : Rect.t; children : t list }
+
+let mbr = function Leaf { mbr; _ } -> mbr | Node { mbr; _ } -> mbr
+
+(* Comparison that makes "smallest first" mean "most extreme first" for
+   each of the four priority directions: minimal xmin and ymin, maximal
+   xmax and ymax. *)
+let extreme_cmp dim =
+  if dim < 2 then Entry.compare_dim dim else fun a b -> Entry.compare_dim dim b a
+
+let leaf ?priority entries =
+  Leaf { mbr = Rect.union_map ~f:Entry.rect entries; entries; priority }
+
+(* Peel the priority leaves off [arr.(lo..hi)]: for each direction in
+   order, move the [size] most extreme remaining entries to the front
+   and emit them as a leaf. Returns the new [lo] and the reversed leaf
+   list. *)
+let extract_priority_leaves ~size arr lo hi =
+  let acc = ref [] and lo = ref lo in
+  let dim = ref 0 in
+  while !dim < 4 && !lo < hi && size > 0 do
+    let k = min size (hi - !lo) in
+    Select.smallest_to_front ~cmp:(extreme_cmp !dim) arr !lo hi k;
+    acc := leaf ~priority:!dim (Array.sub arr !lo k) :: !acc;
+    lo := !lo + k;
+    incr dim
+  done;
+  (!lo, !acc)
+
+let build ?(b = 113) ?priority_size ?(domains = 1) entries =
+  if b < 1 then invalid_arg "Pseudo.build: b must be >= 1";
+  (* Priority leaves default to full size b (the paper's choice); 0
+     disables them entirely, degenerating to a plain 4-D kd-tree — the
+     ablation baseline, essentially the structure of reference [2] when
+     set to 1. *)
+  let priority_size = match priority_size with Some s -> s | None -> b in
+  if priority_size < 0 || priority_size > b then
+    invalid_arg "Pseudo.build: priority_size outside [0, b]";
+  if Array.length entries = 0 then invalid_arg "Pseudo.build: empty input";
+  let arr = Array.copy entries in
+  (* [budget] is how many extra domains this subtree may still spawn;
+     the two kd halves work on disjoint ranges of [arr], so forking is
+     safe and the result is identical to the sequential build. *)
+  let rec go lo hi depth budget =
+    if hi - lo <= b then leaf (Array.sub arr lo (hi - lo))
+    else begin
+      let box = Rect.union_map ~lo ~hi ~f:Entry.rect arr in
+      let lo', rev_leaves = extract_priority_leaves ~size:priority_size arr lo hi in
+      let children =
+        if lo' >= hi then List.rev rev_leaves
+        else if hi - lo' <= b then
+          (* The remainder fits a single leaf: no kd split needed. *)
+          List.rev_append rev_leaves [ leaf (Array.sub arr lo' (hi - lo')) ]
+        else begin
+          (* kd median split of the remainder, cycling the dimension. *)
+          let dim = depth mod 4 in
+          let mid = lo' + ((hi - lo') / 2) in
+          Select.partition_at ~cmp:(Entry.compare_dim dim) arr lo' hi mid;
+          (* [mid] itself goes right so both sides are non-empty. *)
+          let parallel = budget > 1 && hi - lo' > 8192 in
+          let sub = if parallel then budget / 2 else budget in
+          let left, right =
+            Prt_util.Parallel.both ~parallel
+              (fun () -> go lo' mid (depth + 1) sub)
+              (fun () -> go mid hi (depth + 1) (budget - sub))
+          in
+          List.rev_append rev_leaves [ left; right ]
+        end
+      in
+      Node { mbr = box; children }
+    end
+  in
+  go 0 (Array.length arr) 0 (max 1 domains)
+
+let rec fold_leaves t ~init ~f =
+  match t with
+  | Leaf { entries; priority; _ } -> f init ~entries ~priority
+  | Node { children; _ } -> List.fold_left (fun acc c -> fold_leaves c ~init:acc ~f) init children
+
+let leaves t =
+  List.rev (fold_leaves t ~init:[] ~f:(fun acc ~entries ~priority:_ -> entries :: acc))
+
+(* Window query, counting visited nodes: used to check Lemma 2
+   empirically. A "node visit" here is any tree node whose parent's
+   recorded box intersects the query (the root is always visited). *)
+type query_stats = { mutable inner_visited : int; mutable leaves_visited : int; mutable matched : int }
+
+let query t window ~f =
+  let stats = { inner_visited = 0; leaves_visited = 0; matched = 0 } in
+  let rec visit t =
+    match t with
+    | Leaf { entries; _ } ->
+        stats.leaves_visited <- stats.leaves_visited + 1;
+        Array.iter
+          (fun e ->
+            if Rect.intersects (Entry.rect e) window then begin
+              stats.matched <- stats.matched + 1;
+              f e
+            end)
+          entries
+    | Node { children; _ } ->
+        stats.inner_visited <- stats.inner_visited + 1;
+        List.iter (fun c -> if Rect.intersects (mbr c) window then visit c) children
+  in
+  visit t;
+  stats
+
+(* Structural checks used by the test suite. *)
+
+let rec size t =
+  match t with
+  | Leaf { entries; _ } -> Array.length entries
+  | Node { children; _ } -> List.fold_left (fun acc c -> acc + size c) 0 children
+
+let rec validate ?(b = 113) t =
+  let check cond fmt =
+    Format.kasprintf (fun s -> if not cond then failwith ("Pseudo.validate: " ^ s)) fmt
+  in
+  match t with
+  | Leaf { mbr = box; entries; _ } ->
+      check (Array.length entries > 0) "empty leaf";
+      check (Array.length entries <= b) "leaf overflows b";
+      check
+        (Rect.equal box (Rect.union_map ~f:Entry.rect entries))
+        "leaf MBR does not match its entries"
+  | Node { mbr = box; children } ->
+      check (children <> []) "childless node";
+      check (List.length children <= 6) "node degree exceeds six";
+      let union = List.fold_left (fun acc c -> Rect.union acc (mbr c)) (mbr (List.hd children)) children in
+      check (Rect.equal box union) "node MBR does not match its children";
+      List.iter (validate ~b) children

@@ -1,0 +1,67 @@
+(** The two-dimensional pseudo-PR-tree (Section 2.1 of the paper).
+
+    A 4-D kd-tree over rectangles-as-points, where each internal node
+    carries up to four {e priority leaves} holding the [b] rectangles of
+    its subtree most extreme in each direction (minimal xmin, minimal
+    ymin, maximal xmax, maximal ymax), each drawn from what the previous
+    priority leaves left behind. Window queries visit
+    [O(sqrt(N/b) + T/b)] nodes (Lemma 2). The real {!Prtree} is built
+    from the {e leaves} of pseudo-PR-trees, one stage per level. *)
+
+type t =
+  | Leaf of {
+      mbr : Prt_geom.Rect.t;
+      entries : Prt_rtree.Entry.t array;
+      priority : int option;
+          (** direction (0..3 = xmin, ymin, xmax, ymax) this leaf is
+              extreme in, or [None] for an ordinary kd-leaf *)
+    }
+  | Node of { mbr : Prt_geom.Rect.t; children : t list }
+
+val build : ?b:int -> ?priority_size:int -> ?domains:int -> Prt_rtree.Entry.t array -> t
+(** [build ~b entries] constructs the pseudo-PR-tree with leaf capacity
+    [b] (default 113, the 4 KB-page fanout). Expected O(N log N) via
+    quickselect; the input array is not modified. Raises
+    [Invalid_argument] on empty input or [b < 1].
+
+    [priority_size] (default [b]) sets how many extreme rectangles each
+    priority leaf holds: [b] is the paper's choice, [1] the structure of
+    its reference [2], and [0] disables priority leaves entirely (a
+    plain 4-D kd-tree) — exposed for the ablation benchmarks. Raises
+    [Invalid_argument] outside [0, b].
+
+    [domains] (default 1) allows forking independent kd subtrees onto
+    OCaml domains; the result is identical to the sequential build. *)
+
+val mbr : t -> Prt_geom.Rect.t
+
+val leaves : t -> Prt_rtree.Entry.t array list
+(** All leaf entry-sets (priority and kd leaves), in construction
+    order — the node sets of one PR-tree level. *)
+
+val fold_leaves :
+  t ->
+  init:'acc ->
+  f:('acc -> entries:Prt_rtree.Entry.t array -> priority:int option -> 'acc) ->
+  'acc
+
+val size : t -> int
+(** Total entries stored. *)
+
+type query_stats = {
+  mutable inner_visited : int;
+  mutable leaves_visited : int;
+  mutable matched : int;
+}
+
+val query : t -> Prt_geom.Rect.t -> f:(Prt_rtree.Entry.t -> unit) -> query_stats
+(** Window query, counting visited kd-nodes and leaves (for empirical
+    Lemma 2 checks). *)
+
+val validate : ?b:int -> t -> unit
+(** Structural invariants: node degree at most six, no empty leaves,
+    leaf capacity [b], exact MBRs. Raises [Failure] on violation. *)
+
+val extreme_cmp : int -> Prt_rtree.Entry.t -> Prt_rtree.Entry.t -> int
+(** Total order putting the most extreme entry of the given priority
+    direction first. *)

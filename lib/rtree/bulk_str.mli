@@ -1,0 +1,8 @@
+(** Sort-Tile-Recursive (STR) bulk loading — an extra baseline beyond the
+    paper's three, included for ablations. *)
+
+val order : capacity:int -> Entry.t array -> unit
+(** In-place STR ordering of one level: x-sort, tile into vertical slabs
+    of [ceil(sqrt(n/capacity))] leaves, y-sort each slab. *)
+
+val load : Prt_storage.Buffer_pool.t -> Entry.t array -> Rtree.t

@@ -1,0 +1,13 @@
+(** Top-down Greedy Split bulk loading (García–López–Leutenegger), the
+    paper's strongest query-time baseline.
+
+    Builds top-down by repeated binary partitions: each cut is the one
+    of O(B) candidates over the four kd-orderings minimizing the sum of
+    the two resulting bounding-box areas; subtree sizes are rounded to
+    powers of B (footnote 1 of the paper), so one node per level may be
+    underfull, and undersized groups become thin single-child chains so
+    all leaves share a level. *)
+
+val load : Prt_storage.Buffer_pool.t -> Entry.t array -> Rtree.t
+(** In-memory construction, O(N log^2 N)-ish work. For the I/O-counted
+    external variant see {!Ext_load.load_tgs}. *)

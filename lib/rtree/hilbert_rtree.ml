@@ -1,0 +1,468 @@
+(* The dynamic Hilbert R-tree (Kamel & Faloutsos, VLDB 1994) — reference
+   [16] of the paper, the classic *dynamic* heuristic R-tree (the packed
+   Hilbert R-tree of {!Bulk_hilbert} is its bulk-loaded cousin).
+
+   Every data entry carries the Hilbert value [h] of its rectangle's
+   center on a fixed world grid; every internal entry carries the
+   largest Hilbert value (LHV) of its subtree.  Entries within a node
+   are kept in Hilbert order, which turns the R-tree into a B-tree over
+   Hilbert values with bounding boxes on the side:
+
+   - insertion descends by LHV (first child whose LHV >= h), not by
+     area enlargement;
+   - an overflowing node first redistributes with its right (or left)
+     cooperating sibling, and only when both are full do the two nodes
+     split into three ("2-to-3 split") — this is what gives the Hilbert
+     R-tree its high utilization (~66% worst case, unlike Guttman's
+     ~50%);
+   - deletion borrows from or merges with the cooperating sibling, as
+     in a B-tree.
+
+   Pages use their own 48-byte entry codec (rect + id + 64-bit
+   Hilbert/LHV), capacity 85 on 4 KB pages.  Window queries are the
+   ordinary MBR-intersection descent. *)
+
+module Rect = Prt_geom.Rect
+module Page = Prt_storage.Page
+module Pager = Prt_storage.Pager
+module Buffer_pool = Prt_storage.Buffer_pool
+module Hilbert2d = Prt_hilbert.Hilbert2d
+
+let order = 24
+
+type hentry = { rect : Rect.t; id : int; h : int }
+(* For leaf entries [h] is the center's Hilbert value; for internal
+   entries it is the subtree's largest Hilbert value (LHV). *)
+
+type kind = Leaf | Internal
+
+type node = { kind : kind; entries : hentry array }
+
+(* --- codec: u8 kind, u16 count, then 48-byte entries --- *)
+
+let header_size = 3
+let entry_size = 48
+let capacity ~page_size = (page_size - header_size) / entry_size
+
+let write_entry buf off e =
+  Page.set_f64 buf off (Rect.xmin e.rect);
+  Page.set_f64 buf (off + 8) (Rect.ymin e.rect);
+  Page.set_f64 buf (off + 16) (Rect.xmax e.rect);
+  Page.set_f64 buf (off + 24) (Rect.ymax e.rect);
+  Page.set_i32 buf (off + 32) e.id;
+  Bytes.set_int64_le buf (off + 36) (Int64.of_int e.h)
+
+let read_entry buf off =
+  let xmin = Page.get_f64 buf off in
+  let ymin = Page.get_f64 buf (off + 8) in
+  let xmax = Page.get_f64 buf (off + 16) in
+  let ymax = Page.get_f64 buf (off + 24) in
+  let id = Page.get_i32 buf (off + 32) in
+  let h = Int64.to_int (Bytes.get_int64_le buf (off + 36)) in
+  { rect = Rect.make ~xmin ~ymin ~xmax ~ymax; id; h }
+
+let encode ~page_size node =
+  if Array.length node.entries > capacity ~page_size then
+    invalid_arg "Hilbert_rtree: node exceeds page capacity";
+  let buf = Page.create page_size in
+  Page.set_u8 buf 0 (match node.kind with Leaf -> 0 | Internal -> 1);
+  Page.set_u16 buf 1 (Array.length node.entries);
+  Array.iteri (fun i e -> write_entry buf (header_size + (i * entry_size)) e) node.entries;
+  buf
+
+let decode buf =
+  let kind =
+    match Page.get_u8 buf 0 with
+    | 0 -> Leaf
+    | 1 -> Internal
+    | k -> invalid_arg (Printf.sprintf "Hilbert_rtree: bad node kind %d" k)
+  in
+  let count = Page.get_u16 buf 1 in
+  { kind; entries = Array.init count (fun i -> read_entry buf (header_size + (i * entry_size))) }
+
+(* --- the tree --- *)
+
+type t = {
+  pool : Buffer_pool.t;
+  world : Rect.t; (* fixed quantization frame for Hilbert keys *)
+  mutable root : int;
+  mutable height : int;
+  mutable count : int;
+}
+
+let pool t = t.pool
+let height t = t.height
+let count t = t.count
+let page_size t = Pager.page_size (Buffer_pool.pager t.pool)
+let cap t = capacity ~page_size:(page_size t)
+
+let read_node t id = decode (Buffer_pool.read t.pool id)
+let write_node t id node = Buffer_pool.write t.pool id (encode ~page_size:(page_size t) node)
+
+let alloc_node t node =
+  let id = Buffer_pool.alloc t.pool in
+  write_node t id node;
+  id
+
+let create ?world pool =
+  let world =
+    match world with Some w -> w | None -> Rect.make ~xmin:0.0 ~ymin:0.0 ~xmax:1.0 ~ymax:1.0
+  in
+  let page_size = Pager.page_size (Buffer_pool.pager pool) in
+  if capacity ~page_size < 4 then invalid_arg "Hilbert_rtree.create: page too small";
+  let root = Buffer_pool.alloc pool in
+  Buffer_pool.write pool root (encode ~page_size { kind = Leaf; entries = [||] });
+  { pool; world; root; height = 1; count = 0 }
+
+(* Hilbert key of a rectangle's center on the world's bounding square. *)
+let key t r =
+  let side = Float.max (Rect.width t.world) (Rect.height t.world) in
+  let side = Float.max side 1e-9 in
+  let xlo = Rect.xmin t.world and ylo = Rect.ymin t.world in
+  let cx, cy = Rect.center r in
+  let x = Hilbert2d.quantize ~order ~lo:xlo ~hi:(xlo +. side) cx in
+  let y = Hilbert2d.quantize ~order ~lo:ylo ~hi:(ylo +. side) cy in
+  Hilbert2d.index ~order x y
+
+let mbr_of entries = Rect.union_map ~f:(fun e -> e.rect) entries
+let lhv_of entries = Array.fold_left (fun acc e -> max acc e.h) min_int entries
+
+(* Parent entry summarizing a node. *)
+let summarize page node = { rect = mbr_of node.entries; id = page; h = lhv_of node.entries }
+
+(* Insert [e] into the ordered entry array. Stable on equal keys. *)
+let insert_ordered entries e =
+  let n = Array.length entries in
+  let pos = ref n in
+  (try
+     for i = 0 to n - 1 do
+       if entries.(i).h > e.h then begin
+         pos := i;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  let out = Array.make (n + 1) e in
+  Array.blit entries 0 out 0 !pos;
+  Array.blit entries !pos out (!pos + 1) (n - !pos);
+  out
+
+(* Split an ordered pool of entries into [parts] balanced chunks. *)
+let chunk ~parts pooled =
+  let n = Array.length pooled in
+  let base = n / parts and extra = n mod parts in
+  let chunks = ref [] and off = ref 0 in
+  for i = 0 to parts - 1 do
+    let len = base + (if i < extra then 1 else 0) in
+    chunks := Array.sub pooled !off len :: !chunks;
+    off := !off + len
+  done;
+  List.rev !chunks
+
+(* Result of inserting below: either the child's new summary, or the
+   child's pooled entries that no longer fit one node. *)
+type ins_result = Ok_summary of hentry | Overflowed of hentry array
+
+let rec insert_rec t node_page e ~depth =
+  let node = read_node t node_page in
+  if depth = t.height then begin
+    (* Place here (leaf, or the target level for internal reinserts). *)
+    let entries = insert_ordered node.entries e in
+    if Array.length entries <= cap t then begin
+      write_node t node_page { node with entries };
+      Ok_summary (summarize node_page { node with entries })
+    end
+    else Overflowed entries
+  end
+  else begin
+    let entries = node.entries in
+    (* Descend by LHV: the first child that can own this key. *)
+    let n = Array.length entries in
+    let ci = ref (n - 1) in
+    (try
+       for i = 0 to n - 1 do
+         if entries.(i).h >= e.h then begin
+           ci := i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    let ci = !ci in
+    match insert_rec t entries.(ci).id e ~depth:(depth + 1) with
+    | Ok_summary s ->
+        entries.(ci) <- s;
+        write_node t node_page { node with entries };
+        Ok_summary (summarize node_page { node with entries })
+    | Overflowed pooled ->
+        (* Cooperating sibling: right neighbour, else left. *)
+        let si = if ci + 1 < n then ci + 1 else ci - 1 in
+        let kind_below = if depth + 1 = t.height then Leaf else Internal in
+        let new_children =
+          if si < 0 then begin
+            (* No sibling: plain 1-to-2 split of the child. *)
+            let chunks = chunk ~parts:2 pooled in
+            List.mapi
+              (fun i chunk_entries ->
+                let node = { kind = kind_below; entries = chunk_entries } in
+                let page = if i = 0 then entries.(ci).id else alloc_node t node in
+                write_node t page node;
+                summarize page node)
+              chunks
+          end
+          else begin
+            let left_i = min ci si and right_i = max ci si in
+            let sib = read_node t entries.(si).id in
+            (* Pool the two siblings' entries in Hilbert order. The
+               overflowing child's pool replaces its stored entries. *)
+            let left_entries = if left_i = ci then pooled else (read_node t entries.(left_i).id).entries in
+            let right_entries = if right_i = ci then pooled else sib.entries in
+            let all = Array.append left_entries right_entries in
+            let total = Array.length all in
+            let parts = if total <= 2 * cap t then 2 else 3 in
+            let chunks = chunk ~parts all in
+            let pages =
+              [ entries.(left_i).id; entries.(right_i).id ]
+              @ (if parts = 3 then [ Buffer_pool.alloc t.pool ] else [])
+            in
+            List.map2
+              (fun page chunk_entries ->
+                let node = { kind = kind_below; entries = chunk_entries } in
+                write_node t page node;
+                summarize page node)
+              pages chunks
+          end
+        in
+        (* Replace the summaries of the children involved. *)
+        let keep =
+          Array.to_list entries
+          |> List.filteri (fun i _ -> i <> ci && (si < 0 || i <> si))
+        in
+        let merged =
+          List.sort (fun a b -> compare (a.h, a.id) (b.h, b.id)) (keep @ new_children)
+        in
+        let entries = Array.of_list merged in
+        if Array.length entries <= cap t then begin
+          write_node t node_page { node with entries };
+          Ok_summary (summarize node_page { node with entries })
+        end
+        else Overflowed entries
+  end
+
+let insert t rect id =
+  let e = { rect; id; h = key t rect } in
+  (match insert_rec t t.root e ~depth:1 with
+  | Ok_summary _ -> ()
+  | Overflowed pooled ->
+      (* Split the root: the pooled entries become two (or three) nodes
+         under a fresh root. *)
+      let kind_below = if t.height = 1 then Leaf else Internal in
+      let parts = if Array.length pooled <= 2 * cap t then 2 else 3 in
+      let children =
+        List.map
+          (fun chunk_entries ->
+            let node = { kind = kind_below; entries = chunk_entries } in
+            let page = alloc_node t node in
+            summarize page node)
+          (chunk ~parts pooled)
+      in
+      Buffer_pool.free t.pool t.root;
+      let root = alloc_node t { kind = Internal; entries = Array.of_list children } in
+      t.root <- root;
+      t.height <- t.height + 1);
+  t.count <- t.count + 1
+
+(* --- deletion: B-tree style borrow/merge with the right sibling --- *)
+
+type del_result = Not_found_here | Deleted of hentry option
+(* [Deleted (Some summary)] = child still exists; [Deleted None] = child
+   dissolved into its sibling and must be dropped from the parent. *)
+
+let min_fill t = max 1 (cap t / 3)
+
+let rec delete_rec t node_page ~target_rect ~target_id ~depth =
+  let node = read_node t node_page in
+  if node.kind = Leaf then begin
+    let entries = node.entries in
+    let found = ref (-1) in
+    Array.iteri
+      (fun i e -> if !found < 0 && e.id = target_id && Rect.equal e.rect target_rect then found := i)
+      entries;
+    if !found < 0 then Not_found_here
+    else begin
+      let remaining =
+        Array.init (Array.length entries - 1) (fun j -> if j < !found then entries.(j) else entries.(j + 1))
+      in
+      write_node t node_page { node with entries = remaining };
+      if Array.length remaining = 0 && t.height > 1 then Deleted None
+      else Deleted (Some (if Array.length remaining = 0 then { rect = target_rect; id = node_page; h = 0 } else summarize node_page { node with entries = remaining }))
+    end
+  end
+  else begin
+    let entries = node.entries in
+    let n = Array.length entries in
+    let result = ref Not_found_here and ci = ref (-1) in
+    (try
+       for i = 0 to n - 1 do
+         if Rect.contains entries.(i).rect target_rect then begin
+           match delete_rec t entries.(i).id ~target_rect ~target_id ~depth:(depth + 1) with
+           | Not_found_here -> ()
+           | r ->
+               result := r;
+               ci := i;
+               raise Exit
+         end
+       done
+     with Exit -> ());
+    match !result with
+    | Not_found_here -> Not_found_here
+    | Deleted child_summary -> begin
+        let ci = !ci in
+        (* Update or drop the child summary. *)
+        let entries =
+          match child_summary with
+          | Some s ->
+              entries.(ci) <- s;
+              entries
+          | None ->
+              Buffer_pool.free t.pool entries.(ci).id;
+              Array.init (n - 1) (fun j -> if j < ci then entries.(j) else entries.(j + 1))
+        in
+        (* Rebalance an underfull surviving child with its sibling. *)
+        let entries =
+          match child_summary with
+          | Some s when Array.length entries >= 2 -> begin
+              let ci = ref 0 in
+              Array.iteri (fun i e -> if e.id = s.id then ci := i) entries;
+              let ci = !ci in
+              let child = read_node t entries.(ci).id in
+              if Array.length child.entries >= min_fill t then entries
+              else begin
+                let si = if ci + 1 < Array.length entries then ci + 1 else ci - 1 in
+                let left_i = min ci si and right_i = max ci si in
+                let left = read_node t entries.(left_i).id and right = read_node t entries.(right_i).id in
+                let all = Array.append left.entries right.entries in
+                if Array.length all <= cap t then begin
+                  (* Merge into the left node, drop the right. *)
+                  let node = { kind = left.kind; entries = all } in
+                  write_node t entries.(left_i).id node;
+                  entries.(left_i) <- summarize entries.(left_i).id node;
+                  Buffer_pool.free t.pool entries.(right_i).id;
+                  Array.init
+                    (Array.length entries - 1)
+                    (fun j -> if j < right_i then entries.(j) else entries.(j + 1))
+                end
+                else begin
+                  (* Redistribute evenly, preserving Hilbert order. *)
+                  match chunk ~parts:2 all with
+                  | [ a; b ] ->
+                      let na = { kind = left.kind; entries = a } in
+                      let nb = { kind = right.kind; entries = b } in
+                      write_node t entries.(left_i).id na;
+                      write_node t entries.(right_i).id nb;
+                      entries.(left_i) <- summarize entries.(left_i).id na;
+                      entries.(right_i) <- summarize entries.(right_i).id nb;
+                      entries
+                  | _ -> assert false
+                end
+              end
+            end
+          | _ -> entries
+        in
+        write_node t node_page { node with entries };
+        if Array.length entries = 0 && t.height > depth then Deleted None
+        else Deleted (Some (summarize node_page { node with entries }))
+      end
+  end
+
+let delete t rect id =
+  match delete_rec t t.root ~target_rect:rect ~target_id:id ~depth:1 with
+  | Not_found_here -> false
+  | Deleted _ ->
+      t.count <- t.count - 1;
+      (* Shrink single-child internal roots. *)
+      let rec shrink () =
+        if t.height > 1 then begin
+          let node = read_node t t.root in
+          if node.kind = Internal && Array.length node.entries = 1 then begin
+            let old = t.root in
+            t.root <- node.entries.(0).id;
+            t.height <- t.height - 1;
+            Buffer_pool.free t.pool old;
+            shrink ()
+          end
+          else if node.kind = Internal && Array.length node.entries = 0 then begin
+            write_node t t.root { kind = Leaf; entries = [||] };
+            t.height <- 1
+          end
+        end
+      in
+      shrink ();
+      true
+
+(* --- queries --- *)
+
+type query_stats = {
+  mutable internal_visited : int;
+  mutable leaf_visited : int;
+  mutable matched : int;
+}
+
+let query t window ~f =
+  let stats = { internal_visited = 0; leaf_visited = 0; matched = 0 } in
+  let rec visit page =
+    let node = read_node t page in
+    match node.kind with
+    | Leaf ->
+        stats.leaf_visited <- stats.leaf_visited + 1;
+        Array.iter
+          (fun e ->
+            if Rect.intersects e.rect window then begin
+              stats.matched <- stats.matched + 1;
+              f e.rect e.id
+            end)
+          node.entries
+    | Internal ->
+        stats.internal_visited <- stats.internal_visited + 1;
+        Array.iter (fun e -> if Rect.intersects e.rect window then visit e.id) node.entries
+  in
+  visit t.root;
+  stats
+
+let query_ids t window =
+  let acc = ref [] in
+  let stats = query t window ~f:(fun _ id -> acc := id :: !acc) in
+  (List.rev !acc, stats)
+
+(* --- validation --- *)
+
+let validate t =
+  let fail fmt = Format.kasprintf failwith fmt in
+  let counted = ref 0 in
+  let rec visit page depth : hentry =
+    let node = read_node t page in
+    if Array.length node.entries > cap t then fail "node %d overflows" page;
+    (match node.kind with
+    | Leaf ->
+        if depth <> t.height then fail "leaf %d at depth %d (height %d)" page depth t.height;
+        counted := !counted + Array.length node.entries;
+        Array.iter
+          (fun e -> if e.h <> key t e.rect then fail "leaf %d holds a stale Hilbert key" page)
+          node.entries
+    | Internal ->
+        if depth >= t.height then fail "internal %d at depth %d" page depth;
+        if Array.length node.entries = 0 then fail "empty internal node %d" page;
+        Array.iter
+          (fun e ->
+            let actual = visit e.id (depth + 1) in
+            if not (Rect.equal actual.rect e.rect) then fail "stale MBR in node %d" page;
+            if actual.h <> e.h then fail "stale LHV in node %d" page)
+          node.entries);
+    (* Hilbert order within the node. *)
+    Array.iteri
+      (fun i e -> if i > 0 && node.entries.(i - 1).h > e.h then fail "node %d out of order" page)
+      node.entries;
+    if Array.length node.entries = 0 then { rect = t.world; id = page; h = min_int }
+    else { rect = mbr_of node.entries; id = page; h = lhv_of node.entries }
+  in
+  ignore (visit t.root 1);
+  if !counted <> t.count then fail "count %d but leaves hold %d" t.count !counted

@@ -1,0 +1,45 @@
+(** The dynamic Hilbert R-tree (Kamel–Faloutsos, VLDB 1994) — the
+    paper's reference [16]: a fully dynamic R-tree ordered by the
+    Hilbert values of rectangle centers, with B-tree-style descent,
+    cooperating-sibling redistribution and 2-to-3 splits.
+
+    Kept separate from {!Rtree} because its pages carry an extra 64-bit
+    Hilbert/LHV field per entry (48-byte entries, fanout 85 at 4 KB). *)
+
+type t
+
+val create : ?world:Prt_geom.Rect.t -> Prt_storage.Buffer_pool.t -> t
+(** An empty tree. [world] fixes the Hilbert quantization frame
+    (default the unit square); inserting far outside it degrades
+    clustering but stays correct (keys clamp). *)
+
+val insert : t -> Prt_geom.Rect.t -> int -> unit
+(** O(log N) node touches; high occupancy via 2-to-3 splits. *)
+
+val delete : t -> Prt_geom.Rect.t -> int -> bool
+(** Delete by rectangle and id; underfull nodes borrow from or merge
+    with their cooperating sibling. Returns [false] if absent. *)
+
+type query_stats = {
+  mutable internal_visited : int;
+  mutable leaf_visited : int;
+  mutable matched : int;
+}
+
+val query : t -> Prt_geom.Rect.t -> f:(Prt_geom.Rect.t -> int -> unit) -> query_stats
+(** Standard window query over MBRs. *)
+
+val query_ids : t -> Prt_geom.Rect.t -> int list * query_stats
+
+val count : t -> int
+val height : t -> int
+val pool : t -> Prt_storage.Buffer_pool.t
+
+val validate : t -> unit
+(** Check the Hilbert R-tree invariants: within-node Hilbert order,
+    exact LHVs and MBRs, uniform leaf depth, capacity, count.
+    Raises [Failure] on violation. *)
+
+val key : t -> Prt_geom.Rect.t -> int
+(** The Hilbert key this tree assigns to a rectangle (exposed for
+    tests). *)

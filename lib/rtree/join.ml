@@ -1,0 +1,110 @@
+(* R-tree spatial join: report all intersecting pairs between two
+   indexed rectangle sets by synchronized traversal (Brinkhoff, Kriegel
+   & Seeger).  At each step, only the child pairs whose bounding boxes
+   intersect are pursued; restricting each node's candidates to the
+   intersection window first ("window reduction") prunes most pairings
+   without touching pages.
+
+   The trees may have different heights; the shorter side "waits" at its
+   leaves while the taller side keeps descending. *)
+
+module Rect = Prt_geom.Rect
+
+type stats = {
+  mutable nodes_read_left : int;
+  mutable nodes_read_right : int;
+  mutable pairs : int;
+}
+
+(* All intersecting entry pairs between two entry arrays, restricted to
+   the given window. The double loop first filters both sides against
+   the window so the inner loop runs over survivors only. *)
+let join_entries window left right ~f stats =
+  let keep arr =
+    Array.to_list arr |> List.filter (fun e -> Rect.intersects (Entry.rect e) window)
+  in
+  let ls = keep left and rs = keep right in
+  List.iter
+    (fun l ->
+      List.iter
+        (fun r ->
+          if Rect.intersects (Entry.rect l) (Entry.rect r) then begin
+            stats.pairs <- stats.pairs + 1;
+            f l r
+          end)
+        rs)
+    ls
+
+let pairs ?window tl tr ~f =
+  let stats = { nodes_read_left = 0; nodes_read_right = 0; pairs = 0 } in
+  let read_left id =
+    stats.nodes_read_left <- stats.nodes_read_left + 1;
+    Rtree.read_node tl id
+  and read_right id =
+    stats.nodes_read_right <- stats.nodes_read_right + 1;
+    Rtree.read_node tr id
+  in
+  (* Visit the pair (left node, right node) knowing their boxes
+     intersect within [window]. *)
+  let rec visit lid rid window =
+    let ln = read_left lid and rn = read_right rid in
+    match (Node.kind ln, Node.kind rn) with
+    | Node.Leaf, Node.Leaf -> join_entries window (Node.entries ln) (Node.entries rn) ~f stats
+    | Node.Internal, Node.Internal ->
+        (* Descend both sides: all intersecting child pairs. *)
+        Array.iter
+          (fun le ->
+            match Rect.intersection (Entry.rect le) window with
+            | None -> ()
+            | Some lw ->
+                Array.iter
+                  (fun re ->
+                    match Rect.intersection (Entry.rect re) lw with
+                    | None -> ()
+                    | Some w -> visit (Entry.id le) (Entry.id re) w)
+                  (Node.entries rn))
+          (Node.entries ln)
+    | Node.Leaf, Node.Internal ->
+        (* Keep descending the right side against the left leaf. *)
+        Array.iter
+          (fun re ->
+            match Rect.intersection (Entry.rect re) window with
+            | None -> ()
+            | Some w -> visit lid (Entry.id re) w)
+          (Node.entries rn)
+    | Node.Internal, Node.Leaf ->
+        Array.iter
+          (fun le ->
+            match Rect.intersection (Entry.rect le) window with
+            | None -> ()
+            | Some w -> visit (Entry.id le) rid w)
+          (Node.entries ln)
+  in
+  let window =
+    match window with
+    | Some w -> Some w
+    | None -> (
+        (* No pair can fall outside the intersection of the root boxes. *)
+        match (Rtree.mbr tl, Rtree.mbr tr) with
+        | Some a, Some b -> Rect.intersection a b
+        | _ -> None)
+  in
+  (match window with
+  | None -> () (* one side empty or disjoint worlds: no pairs *)
+  | Some w -> visit (Rtree.root tl) (Rtree.root tr) w);
+  stats
+
+let pairs_list ?window tl tr =
+  let acc = ref [] in
+  let stats = pairs ?window tl tr ~f:(fun l r -> acc := (l, r) :: !acc) in
+  (List.rev !acc, stats)
+
+(* Self-join: all intersecting pairs within one tree, each unordered
+   pair reported once (by id order), self-pairs skipped. *)
+let self_pairs tree ~f =
+  let stats = pairs tree tree ~f:(fun l r -> if Entry.id l < Entry.id r then f l r) in
+  (* [pairs] counted ordered pairs including self-hits; recompute the
+     meaningful number: each unordered pair appeared twice, each entry
+     matched itself once. *)
+  stats.pairs <- (stats.pairs - Rtree.count tree) / 2;
+  stats

@@ -1,0 +1,21 @@
+(** Spatial join by synchronized R-tree traversal (Brinkhoff–Kriegel–
+    Seeger): all intersecting pairs between two indexed sets, in
+    O(output + overlapping-node pairs) page reads. *)
+
+type stats = {
+  mutable nodes_read_left : int;
+  mutable nodes_read_right : int;
+  mutable pairs : int;
+}
+
+val pairs : ?window:Prt_geom.Rect.t -> Rtree.t -> Rtree.t -> f:(Entry.t -> Entry.t -> unit) -> stats
+(** [pairs tl tr ~f] calls [f l r] for every pair of stored entries with
+    intersecting rectangles, optionally restricted to a window. The two
+    trees may have different heights (and may share a buffer pool). *)
+
+val pairs_list : ?window:Prt_geom.Rect.t -> Rtree.t -> Rtree.t -> (Entry.t * Entry.t) list * stats
+
+val self_pairs : Rtree.t -> f:(Entry.t -> Entry.t -> unit) -> stats
+(** Intersecting pairs within one tree; each unordered pair is reported
+    once (with [Entry.id l < Entry.id r]), self-pairs skipped. The
+    returned [pairs] field counts unordered pairs. *)

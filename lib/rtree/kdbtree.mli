@@ -1,0 +1,11 @@
+(** Bulk-loaded kdB-tree (Robinson): the worst-case-optimal disk index
+    for {e point} data the paper cites in Section 1.1 — a baseline that
+    matches the PR-tree on points and is inapplicable to rectangles. *)
+
+exception Not_points
+(** Raised by {!load} when an input rectangle has positive extent. *)
+
+val load : Prt_storage.Buffer_pool.t -> Entry.t array -> Rtree.t
+(** Build from degenerate (point) rectangles by recursive kd median
+    splits packed into pages. The result is a regular {!Rtree.t} whose
+    sibling boxes tile the space. *)

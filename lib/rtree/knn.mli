@@ -1,0 +1,30 @@
+(** k-nearest-neighbour search (best-first "distance browsing",
+    Hjaltason–Samet) over any bulk-loaded or dynamic {!Rtree.t}.
+
+    Distances are Euclidean point-to-rectangle distances (zero inside
+    the rectangle). *)
+
+type stream
+(** An incremental nearest-first cursor. *)
+
+type stats = { mutable nodes_read : int; mutable reported : int }
+
+val mindist2 : x:float -> y:float -> Prt_geom.Rect.t -> float
+(** Squared minimum distance from a point to a rectangle. *)
+
+val stream : Rtree.t -> x:float -> y:float -> stream
+(** Start browsing from the given query point. *)
+
+val next : stream -> (Entry.t * float) option
+(** The next-nearest entry and its squared distance, or [None] when the
+    tree is exhausted. Amortized cost: each tree node is read at most
+    once over the whole stream. *)
+
+val stats : stream -> stats
+
+val nearest : Rtree.t -> x:float -> y:float -> k:int -> (Entry.t * float) list * stats
+(** The [k] nearest entries (fewer if the tree is smaller), nearest
+    first, with their (non-squared) distances. *)
+
+val within : Rtree.t -> x:float -> y:float -> radius:float -> (Entry.t * float) list * stats
+(** All entries within [radius], nearest first. *)

@@ -1,0 +1,87 @@
+(* Structural quality metrics for R-trees: the quantities the heuristics
+   in this repository try to optimize (total area, margin) or avoid
+   (overlap among siblings).  Window-query cost intuitively tracks
+   sibling overlap — these metrics make "tree A is tighter than tree B"
+   quantifiable without running queries, and power the bench ablations
+   and a few tests. *)
+
+module Rect = Prt_geom.Rect
+
+type level = {
+  depth : int;            (* root = 1 *)
+  nodes : int;
+  entries : int;
+  area : float;           (* sum of node MBR areas on this level *)
+  margin : float;         (* sum of node MBR margins *)
+  sibling_overlap : float;(* sum of pairwise overlap areas among same-parent nodes *)
+}
+
+type t = {
+  levels : level list;    (* ordered root to leaves *)
+  height : int;
+  leaf_area : float;
+  leaf_overlap : float;
+  dead_space : float;     (* leaf area minus area actually covered by data MBRs, >= 0 modulo data overlap *)
+}
+
+let pairwise_overlap entries =
+  let n = Array.length entries in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      acc := !acc +. Rect.overlap_area (Entry.rect entries.(i)) (Entry.rect entries.(j))
+    done
+  done;
+  !acc
+
+let analyze tree =
+  let height = Rtree.height tree in
+  let stats = Array.init height (fun i -> (ref 0, ref 0, ref 0.0, ref 0.0, ref 0.0, i + 1)) in
+  let data_area = ref 0.0 in
+  Rtree.iter_nodes tree ~f:(fun ~depth ~id:_ node ->
+      let nodes, entries, area, margin, _overlap, _ = stats.(depth - 1) in
+      incr nodes;
+      entries := !entries + Node.length node;
+      if Node.length node > 0 then begin
+        let box = Node.mbr node in
+        area := !area +. Rect.area box;
+        margin := !margin +. Rect.margin box
+      end;
+      (match Node.kind node with
+      | Node.Internal ->
+          (* Overlap among this node's children (who are siblings). *)
+          if depth < height then begin
+            let _, _, _, _, child_overlap, _ = stats.(depth) in
+            child_overlap := !child_overlap +. pairwise_overlap (Node.entries node)
+          end
+      | Node.Leaf ->
+          Array.iter (fun e -> data_area := !data_area +. Rect.area (Entry.rect e)) (Node.entries node)));
+  let levels =
+    Array.to_list stats
+    |> List.map (fun (nodes, entries, area, margin, overlap, depth) ->
+           {
+             depth;
+             nodes = !nodes;
+             entries = !entries;
+             area = !area;
+             margin = !margin;
+             sibling_overlap = !overlap;
+           })
+  in
+  let leaf = List.nth levels (height - 1) in
+  {
+    levels;
+    height;
+    leaf_area = leaf.area;
+    leaf_overlap = leaf.sibling_overlap;
+    dead_space = Float.max 0.0 (leaf.area -. !data_area);
+  }
+
+let pp ppf m =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun l ->
+      Format.fprintf ppf "level %d: %d nodes, %d entries, area %.4f, margin %.2f, overlap %.6f@,"
+        l.depth l.nodes l.entries l.area l.margin l.sibling_overlap)
+    m.levels;
+  Format.fprintf ppf "leaf dead space %.4f@]" m.dead_space

@@ -1,0 +1,28 @@
+(** Structural quality metrics: per-level MBR area, margin and
+    sibling-overlap sums — the quantities bulk loaders optimize and
+    window-query cost tracks. *)
+
+type level = {
+  depth : int;  (** root = 1 *)
+  nodes : int;
+  entries : int;
+  area : float;
+  margin : float;
+  sibling_overlap : float;
+      (** summed pairwise overlap area among nodes sharing a parent *)
+}
+
+type t = {
+  levels : level list;  (** root first *)
+  height : int;
+  leaf_area : float;
+  leaf_overlap : float;
+  dead_space : float;
+      (** leaf MBR area not covered by stored rectangles (approximate
+          when data rectangles overlap) *)
+}
+
+val analyze : Rtree.t -> t
+(** One traversal; O(B^2) per internal node for the overlap sums. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,28 @@
+(** On-page R-tree node codec.
+
+    A node is a kind tag plus packed {!Entry} records; with the default
+    4 KB page the capacity is 113 entries, as in the paper. *)
+
+type kind = Leaf | Internal
+
+type t
+
+val capacity : page_size:int -> int
+(** Maximum entries per node for a given page size. *)
+
+val make : kind -> Entry.t array -> t
+(** The array is owned by the node afterwards. *)
+
+val kind : t -> kind
+val entries : t -> Entry.t array
+val length : t -> int
+
+val mbr : t -> Prt_geom.Rect.t
+(** Bounding box of all entries. Raises [Invalid_argument] on an empty
+    node. *)
+
+val encode : page_size:int -> t -> bytes
+(** Raises [Invalid_argument] if the node exceeds the page capacity. *)
+
+val decode : bytes -> t
+(** Raises [Invalid_argument] on a corrupt kind tag. *)

@@ -1,0 +1,17 @@
+(** Bottom-up level packing for sort-based bulk loaders. *)
+
+val pack_level :
+  Prt_storage.Buffer_pool.t -> kind:Node.kind -> Entry.t array -> Entry.t array
+(** Pack ordered entries into full nodes (only the last may be underfull)
+    and return the parent-level entries (MBR + page id), in order. *)
+
+val build_from_ordered : Prt_storage.Buffer_pool.t -> Entry.t array -> Rtree.t
+(** Build a complete R-tree whose leaf order is the array order and whose
+    upper levels pack that same order — the packed (Hilbert) R-tree
+    construction. The input array is not modified. *)
+
+val build_levelwise :
+  Prt_storage.Buffer_pool.t -> order:(Entry.t array -> unit) -> Entry.t array -> Rtree.t
+(** Like {!build_from_ordered}, but re-applies the in-place ordering
+    [order] to every level before packing it (STR re-sorts each level by
+    slabs). *)

@@ -1,0 +1,80 @@
+(* Query forms beyond the plain window query: point stabbing,
+   containment / enclosure variants, and an early-exit existence test.
+   All share the R-tree descent and report the same per-level visit
+   statistics as [Rtree.query]. *)
+
+module Rect = Prt_geom.Rect
+
+(* Generic filtered descent: visit children passing [down], report
+   entries passing [hit]. *)
+let search tree ~down ~hit ~f =
+  let stats = Rtree.fresh_stats () in
+  let rec visit id =
+    let node = Rtree.read_node tree id in
+    match Node.kind node with
+    | Node.Leaf ->
+        stats.Rtree.leaf_visited <- stats.Rtree.leaf_visited + 1;
+        Array.iter
+          (fun e ->
+            if hit (Entry.rect e) then begin
+              stats.Rtree.matched <- stats.Rtree.matched + 1;
+              f e
+            end)
+          (Node.entries node)
+    | Node.Internal ->
+        stats.Rtree.internal_visited <- stats.Rtree.internal_visited + 1;
+        Array.iter (fun e -> if down (Entry.rect e) then visit (Entry.id e)) (Node.entries node)
+  in
+  visit (Rtree.root tree);
+  stats
+
+(* Entries whose rectangle contains the point (stabbing query). A
+   node can only hold such entries if its box contains the point. *)
+let stabbing tree ~x ~y ~f =
+  let contains r = Rect.contains_point r x y in
+  search tree ~down:contains ~hit:contains ~f
+
+let stabbing_list tree ~x ~y =
+  let acc = ref [] in
+  let stats = stabbing tree ~x ~y ~f:(fun e -> acc := e :: !acc) in
+  (List.rev !acc, stats)
+
+(* Entries fully enclosed by the window. Descend on intersection (an
+   enclosed entry may sit in a node whose box pokes out of the
+   window). *)
+let enclosed tree window ~f =
+  search tree
+    ~down:(fun r -> Rect.intersects r window)
+    ~hit:(fun r -> Rect.contains window r)
+    ~f
+
+let enclosed_list tree window =
+  let acc = ref [] in
+  let stats = enclosed tree window ~f:(fun e -> acc := e :: !acc) in
+  (List.rev !acc, stats)
+
+(* Entries whose rectangle fully covers the window. Only nodes whose
+   box covers the window can hold one. *)
+let covering tree window ~f =
+  search tree
+    ~down:(fun r -> Rect.contains r window)
+    ~hit:(fun r -> Rect.contains r window)
+    ~f
+
+let covering_list tree window =
+  let acc = ref [] in
+  let stats = covering tree window ~f:(fun e -> acc := e :: !acc) in
+  (List.rev !acc, stats)
+
+exception Found
+
+(* Does anything intersect the window? Stops at the first hit. *)
+let exists tree window =
+  try
+    ignore
+      (search tree
+         ~down:(fun r -> Rect.intersects r window)
+         ~hit:(fun r -> Rect.intersects r window)
+         ~f:(fun _ -> raise Found));
+    false
+  with Found -> true

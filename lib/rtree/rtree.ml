@@ -1,0 +1,223 @@
+(* The paged R-tree: a handle over pages in a buffer pool, with the
+   standard recursive window query and a structural validator.
+
+   The tree itself is bulk-loading-agnostic — every loader (packed
+   Hilbert, 4-D Hilbert, STR, TGS, PR) produces this same structure, and
+   the dynamic update algorithms operate on it.  Queries count the nodes
+   they visit per level; the paper's headline query metric ("number of
+   I/Os with all internal nodes cached") is exactly [leaf_visited]. *)
+
+module Rect = Prt_geom.Rect
+module Pager = Prt_storage.Pager
+module Page = Prt_storage.Page
+module Buffer_pool = Prt_storage.Buffer_pool
+
+type t = {
+  pool : Buffer_pool.t;
+  mutable root : int;
+  mutable height : int; (* 1 = the root is a leaf *)
+  mutable count : int;  (* data entries stored *)
+}
+
+type query_stats = {
+  mutable internal_visited : int;
+  mutable leaf_visited : int;
+  mutable matched : int;
+}
+
+let fresh_stats () = { internal_visited = 0; leaf_visited = 0; matched = 0 }
+
+let nodes_visited s = s.internal_visited + s.leaf_visited
+
+let pool t = t.pool
+let pager t = Buffer_pool.pager t.pool
+let root t = t.root
+let height t = t.height
+let count t = t.count
+let page_size t = Pager.page_size (pager t)
+let capacity t = Node.capacity ~page_size:(page_size t)
+
+let set_root t ~root ~height =
+  t.root <- root;
+  t.height <- height
+
+let set_count t count = t.count <- count
+
+let read_node t id = Node.decode (Buffer_pool.read t.pool id)
+
+let free_node t id = Buffer_pool.free t.pool id
+
+let write_node t id node =
+  Buffer_pool.write t.pool id (Node.encode ~page_size:(page_size t) node)
+
+let alloc_node t node =
+  let id = Buffer_pool.alloc t.pool in
+  write_node t id node;
+  id
+
+let create_empty pool =
+  let page_size = Pager.page_size (Buffer_pool.pager pool) in
+  let root = Buffer_pool.alloc pool in
+  Buffer_pool.write pool root (Node.encode ~page_size (Node.make Node.Leaf [||]));
+  { pool; root; height = 1; count = 0 }
+
+let of_root ~pool ~root ~height ~count = { pool; root; height; count }
+
+(* Window query: recursively visit every node whose bounding box (as
+   recorded in its parent) intersects the query.  The root is always
+   visited. *)
+let query t window ~f =
+  let stats = fresh_stats () in
+  let rec visit id depth =
+    let node = read_node t id in
+    match Node.kind node with
+    | Node.Leaf ->
+        stats.leaf_visited <- stats.leaf_visited + 1;
+        Array.iter
+          (fun e ->
+            if Rect.intersects (Entry.rect e) window then begin
+              stats.matched <- stats.matched + 1;
+              f e
+            end)
+          (Node.entries node)
+    | Node.Internal ->
+        stats.internal_visited <- stats.internal_visited + 1;
+        Array.iter
+          (fun e -> if Rect.intersects (Entry.rect e) window then visit (Entry.id e) (depth + 1))
+          (Node.entries node)
+  in
+  visit t.root 1;
+  stats
+
+let query_list t window =
+  let acc = ref [] in
+  let stats = query t window ~f:(fun e -> acc := e :: !acc) in
+  (List.rev !acc, stats)
+
+let query_count t window = query t window ~f:(fun _ -> ())
+
+let iter t ~f =
+  let rec visit id =
+    let node = read_node t id in
+    match Node.kind node with
+    | Node.Leaf -> Array.iter f (Node.entries node)
+    | Node.Internal -> Array.iter (fun e -> visit (Entry.id e)) (Node.entries node)
+  in
+  visit t.root
+
+let iter_nodes t ~f =
+  let rec visit id depth =
+    let node = read_node t id in
+    f ~depth ~id node;
+    match Node.kind node with
+    | Node.Leaf -> ()
+    | Node.Internal -> Array.iter (fun e -> visit (Entry.id e) (depth + 1)) (Node.entries node)
+  in
+  visit t.root 1
+
+(* Structural validation. *)
+
+type structure = {
+  nodes : int;
+  leaves : int;
+  entries : int;
+  min_leaf_fill : int;
+  min_internal_fanout : int;
+  utilization : float; (* entries / (leaves * capacity) *)
+}
+
+exception Invalid of string
+
+let invalid fmt = Format.kasprintf (fun s -> raise (Invalid s)) fmt
+
+let validate t =
+  let cap = capacity t in
+  let nodes = ref 0 and leaves = ref 0 and entries = ref 0 in
+  let min_leaf_fill = ref max_int and min_internal_fanout = ref max_int in
+  (* Returns the exact bounding box of the subtree rooted at [id]. *)
+  let rec visit id depth =
+    incr nodes;
+    let node = read_node t id in
+    let n = Node.length node in
+    if n > cap then invalid "node %d holds %d entries, capacity %d" id n cap;
+    match Node.kind node with
+    | Node.Leaf ->
+        if depth <> t.height then
+          invalid "leaf %d at depth %d but tree height is %d" id depth t.height;
+        incr leaves;
+        entries := !entries + n;
+        if n < !min_leaf_fill then min_leaf_fill := n;
+        if n = 0 && t.count > 0 then invalid "empty leaf %d in non-empty tree" id;
+        if n = 0 then None else Some (Node.mbr node)
+    | Node.Internal ->
+        if depth >= t.height then
+          invalid "internal node %d at depth %d but tree height is %d" id depth t.height;
+        if n = 0 then invalid "empty internal node %d" id;
+        if n < !min_internal_fanout then min_internal_fanout := n;
+        Array.iter
+          (fun e ->
+            match visit (Entry.id e) (depth + 1) with
+            | Some child_mbr ->
+                if not (Rect.equal child_mbr (Entry.rect e)) then
+                  invalid "node %d records MBR %a for child %d whose exact box is %a" id Rect.pp
+                    (Entry.rect e) (Entry.id e) Rect.pp child_mbr
+            | None -> invalid "node %d points at empty subtree %d" id (Entry.id e))
+          (Node.entries node);
+        Some (Node.mbr node)
+  in
+  ignore (visit t.root 1);
+  if !entries <> t.count then
+    invalid "tree metadata says %d entries but leaves hold %d" t.count !entries;
+  {
+    nodes = !nodes;
+    leaves = !leaves;
+    entries = !entries;
+    min_leaf_fill = (if !min_leaf_fill = max_int then 0 else !min_leaf_fill);
+    min_internal_fanout = (if !min_internal_fanout = max_int then 0 else !min_internal_fanout);
+    utilization =
+      (if !leaves = 0 then 0.0 else float_of_int !entries /. float_of_int (!leaves * cap));
+  }
+
+let mbr t =
+  let node = read_node t t.root in
+  if Node.length node = 0 then None else Some (Node.mbr node)
+
+(* Debug rendering: one line per node, indented by depth, with page id,
+   fanout and bounding box — small trees only (tests, troubleshooting). *)
+let dump ?(max_depth = max_int) t ppf =
+  let rec visit id depth =
+    let node = read_node t id in
+    let indent = String.make (2 * (depth - 1)) ' ' in
+    let kind = match Node.kind node with Node.Leaf -> "leaf" | Node.Internal -> "node" in
+    if Node.length node = 0 then Format.fprintf ppf "%s%s #%d (empty)@." indent kind id
+    else
+      Format.fprintf ppf "%s%s #%d [%d] %a@." indent kind id (Node.length node) Rect.pp
+        (Node.mbr node);
+    if depth < max_depth && Node.kind node = Node.Internal then
+      Array.iter (fun e -> visit (Entry.id e) (depth + 1)) (Node.entries node)
+  in
+  visit t.root 1
+
+(* Metadata persistence: one page holding magic, root, height, count.
+   Used by the CLI to reopen file-backed indexes. *)
+
+let magic = 0x50525452 (* "PRTR" *)
+
+let save_meta t ~meta_page =
+  let buf = Page.create (page_size t) in
+  Page.set_i32 buf 0 magic;
+  Page.set_i32 buf 4 t.root;
+  Page.set_i32 buf 8 t.height;
+  Page.set_i32 buf 12 t.count;
+  Buffer_pool.write t.pool meta_page buf;
+  Buffer_pool.flush t.pool
+
+let load_meta pool ~meta_page =
+  let buf = Buffer_pool.read pool meta_page in
+  if Page.get_i32 buf 0 <> magic then invalid_arg "Rtree.load_meta: bad magic";
+  {
+    pool;
+    root = Page.get_i32 buf 4;
+    height = Page.get_i32 buf 8;
+    count = Page.get_i32 buf 12;
+  }

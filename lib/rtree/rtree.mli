@@ -1,0 +1,90 @@
+(** The paged R-tree: window queries, traversal, validation, metadata.
+
+    Every bulk loader in the repository (packed Hilbert, 4-D Hilbert,
+    STR, TGS, PR-tree) produces this structure; the dynamic update
+    algorithms ({!Dynamic}) mutate it. Queries report how many nodes they
+    visit per level — with all internal nodes cached (the paper's query
+    setup), [leaf_visited] is exactly the paper's query I/O count. *)
+
+type t
+
+type query_stats = {
+  mutable internal_visited : int;
+  mutable leaf_visited : int;
+  mutable matched : int;
+}
+
+val fresh_stats : unit -> query_stats
+val nodes_visited : query_stats -> int
+
+val create_empty : Prt_storage.Buffer_pool.t -> t
+(** A tree with a single empty leaf. *)
+
+val of_root :
+  pool:Prt_storage.Buffer_pool.t -> root:int -> height:int -> count:int -> t
+(** Wrap an already-written tree (used by the bulk loaders). [height] is
+    1 when the root is a leaf. *)
+
+val pool : t -> Prt_storage.Buffer_pool.t
+val pager : t -> Prt_storage.Pager.t
+val root : t -> int
+val height : t -> int
+val count : t -> int
+val page_size : t -> int
+
+val capacity : t -> int
+(** Node capacity [B] implied by the page size (113 at 4 KB). *)
+
+val read_node : t -> int -> Node.t
+val write_node : t -> int -> Node.t -> unit
+val alloc_node : t -> Node.t -> int
+val free_node : t -> int -> unit
+
+val set_root : t -> root:int -> height:int -> unit
+(** Repoint the tree at a new root (used by the update algorithms). *)
+
+val set_count : t -> int -> unit
+
+val query : t -> Prt_geom.Rect.t -> f:(Entry.t -> unit) -> query_stats
+(** Window query: [f] is called on every stored entry whose rectangle
+    intersects the window (closed-boundary semantics). *)
+
+val query_list : t -> Prt_geom.Rect.t -> Entry.t list * query_stats
+val query_count : t -> Prt_geom.Rect.t -> query_stats
+
+val iter : t -> f:(Entry.t -> unit) -> unit
+(** Visit every stored entry. *)
+
+val iter_nodes : t -> f:(depth:int -> id:int -> Node.t -> unit) -> unit
+(** Visit every node, with its depth (root = 1) and page id. *)
+
+type structure = {
+  nodes : int;
+  leaves : int;
+  entries : int;
+  min_leaf_fill : int;
+  min_internal_fanout : int;
+  utilization : float;  (** entries / (leaves * capacity) *)
+}
+
+exception Invalid of string
+
+val validate : t -> structure
+(** Check the R-tree invariants — all leaves on the same level, every
+    parent-recorded MBR exactly the union of its child's entries, fanout
+    within capacity, metadata count consistent — and return structural
+    statistics. Raises {!Invalid} with a description on violation. *)
+
+val mbr : t -> Prt_geom.Rect.t option
+(** Bounding box of the whole dataset ([None] when empty). *)
+
+val dump : ?max_depth:int -> t -> Format.formatter -> unit
+(** Debug rendering: one line per node (page id, fanout, MBR), indented
+    by depth. Intended for small trees. *)
+
+val save_meta : t -> meta_page:int -> unit
+(** Persist root/height/count into the given page and flush the pool. *)
+
+val load_meta : Prt_storage.Buffer_pool.t -> meta_page:int -> t
+(** Reopen a tree persisted with {!save_meta}. Raises [Invalid_argument]
+    on a bad magic number. *)

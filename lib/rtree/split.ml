@@ -1,0 +1,206 @@
+(* Node split algorithms for dynamic R-tree updates: Guttman's linear
+   and quadratic splits and the R*-tree split.  The paper updates
+   bulk-loaded trees "using the standard R-tree updating algorithms";
+   these are those algorithms. *)
+
+module Rect = Prt_geom.Rect
+
+type algorithm = Linear | Quadratic | Rstar
+
+let algorithm_name = function Linear -> "linear" | Quadratic -> "quadratic" | Rstar -> "rstar"
+
+let mbr_of entries lo hi = Rect.union_map ~lo ~hi ~f:Entry.rect entries
+
+(* --- Guttman's seed-and-distribute splits ---
+
+   Linear and quadratic split differ only in how the two seeds are
+   picked and how the next entry to place is chosen; the distribution
+   loop (including the force-assignment needed to respect min_fill) is
+   shared. *)
+
+type groups = {
+  mutable b1 : Rect.t;
+  mutable b2 : Rect.t;
+  mutable l1 : Entry.t list;
+  mutable l2 : Entry.t list;
+  mutable n1 : int;
+  mutable n2 : int;
+}
+
+let distribute ~min_fill ~pick_next entries seed1 seed2 =
+  let n = Array.length entries in
+  let g =
+    {
+      b1 = Entry.rect entries.(seed1);
+      b2 = Entry.rect entries.(seed2);
+      l1 = [ entries.(seed1) ];
+      l2 = [ entries.(seed2) ];
+      n1 = 1;
+      n2 = 1;
+    }
+  in
+  let assigned = Array.make n false in
+  assigned.(seed1) <- true;
+  assigned.(seed2) <- true;
+  let remaining = ref (n - 2) in
+  let take_1 i =
+    g.l1 <- entries.(i) :: g.l1;
+    g.b1 <- Rect.union g.b1 (Entry.rect entries.(i));
+    g.n1 <- g.n1 + 1;
+    assigned.(i) <- true;
+    decr remaining
+  and take_2 i =
+    g.l2 <- entries.(i) :: g.l2;
+    g.b2 <- Rect.union g.b2 (Entry.rect entries.(i));
+    g.n2 <- g.n2 + 1;
+    assigned.(i) <- true;
+    decr remaining
+  in
+  while !remaining > 0 do
+    if g.n1 + !remaining <= min_fill then
+      Array.iteri (fun i _ -> if not assigned.(i) then take_1 i) entries
+    else if g.n2 + !remaining <= min_fill then
+      Array.iteri (fun i _ -> if not assigned.(i) then take_2 i) entries
+    else begin
+      let i = pick_next g assigned in
+      let r = Entry.rect entries.(i) in
+      let d1 = Rect.enlargement g.b1 r and d2 = Rect.enlargement g.b2 r in
+      if d1 < d2 then take_1 i
+      else if d2 < d1 then take_2 i
+      else if Rect.area g.b1 < Rect.area g.b2 then take_1 i
+      else if Rect.area g.b2 < Rect.area g.b1 then take_2 i
+      else if g.n1 <= g.n2 then take_1 i
+      else take_2 i
+    end
+  done;
+  (Array.of_list g.l1, Array.of_list g.l2)
+
+let quadratic ~min_fill entries =
+  let n = Array.length entries in
+  (* PickSeeds: the pair wasting the most area. *)
+  let seed1 = ref 0 and seed2 = ref 1 and worst = ref neg_infinity in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let ri = Entry.rect entries.(i) and rj = Entry.rect entries.(j) in
+      let waste = Rect.area (Rect.union ri rj) -. Rect.area ri -. Rect.area rj in
+      if waste > !worst then begin
+        worst := waste;
+        seed1 := i;
+        seed2 := j
+      end
+    done
+  done;
+  (* PickNext: strongest preference for one group over the other. *)
+  let pick_next g assigned =
+    let pick = ref (-1) and pick_diff = ref neg_infinity in
+    Array.iteri
+      (fun i e ->
+        if not assigned.(i) then begin
+          let r = Entry.rect e in
+          let diff = Float.abs (Rect.enlargement g.b1 r -. Rect.enlargement g.b2 r) in
+          if diff > !pick_diff then begin
+            pick_diff := diff;
+            pick := i
+          end
+        end)
+      entries;
+    !pick
+  in
+  distribute ~min_fill ~pick_next entries !seed1 !seed2
+
+let linear ~min_fill entries =
+  (* LinearPickSeeds: greatest separation normalized by axis width. *)
+  let best_sep = ref neg_infinity and seed1 = ref 0 and seed2 = ref 1 in
+  let consider lo_of hi_of =
+    (* Entry with the highest low side and the one with the lowest high
+       side, against the total width of the axis. *)
+    let hi_lo = ref 0 and lo_hi = ref 0 in
+    let wmin = ref infinity and wmax = ref neg_infinity in
+    Array.iteri
+      (fun i e ->
+        let r = Entry.rect e in
+        if lo_of r > lo_of (Entry.rect entries.(!hi_lo)) then hi_lo := i;
+        if hi_of r < hi_of (Entry.rect entries.(!lo_hi)) then lo_hi := i;
+        wmin := Float.min !wmin (lo_of r);
+        wmax := Float.max !wmax (hi_of r))
+      entries;
+    let width = !wmax -. !wmin in
+    let sep = lo_of (Entry.rect entries.(!hi_lo)) -. hi_of (Entry.rect entries.(!lo_hi)) in
+    let normalized = if width > 0.0 then sep /. width else neg_infinity in
+    if normalized > !best_sep && !hi_lo <> !lo_hi then begin
+      best_sep := normalized;
+      seed1 := !hi_lo;
+      seed2 := !lo_hi
+    end
+  in
+  consider Rect.xmin Rect.xmax;
+  consider Rect.ymin Rect.ymax;
+  if !seed1 = !seed2 then seed2 := if !seed1 = 0 then 1 else 0;
+  (* PickNext: any unassigned entry, in array order. *)
+  let pick_next _g assigned =
+    let pick = ref (-1) in
+    (try
+       Array.iteri
+         (fun i _ ->
+           if not assigned.(i) then begin
+             pick := i;
+             raise Exit
+           end)
+         entries
+     with Exit -> ());
+    !pick
+  in
+  distribute ~min_fill ~pick_next entries !seed1 !seed2
+
+(* --- R* split --- *)
+
+let rstar ~min_fill entries =
+  let n = Array.length entries in
+  let fold_distributions sorted init f =
+    let acc = ref init in
+    for k = min_fill to n - min_fill do
+      acc := f !acc sorted k
+    done;
+    !acc
+  in
+  let margin_sum sorted =
+    fold_distributions sorted 0.0 (fun acc s k ->
+        acc +. Rect.margin (mbr_of s 0 k) +. Rect.margin (mbr_of s k n))
+  in
+  let axis_sorts axis =
+    let by_lo = Array.copy entries and by_hi = Array.copy entries in
+    Array.sort (Entry.compare_dim axis) by_lo;
+    Array.sort (Entry.compare_dim (axis + 2)) by_hi;
+    [ by_lo; by_hi ]
+  in
+  (* ChooseSplitAxis: minimize the margin sum over all distributions. *)
+  let x_sorts = axis_sorts 0 and y_sorts = axis_sorts 1 in
+  let total_margin sorts = List.fold_left (fun acc s -> acc +. margin_sum s) 0.0 sorts in
+  let sorts = if total_margin x_sorts <= total_margin y_sorts then x_sorts else y_sorts in
+  (* ChooseSplitIndex: minimize overlap, then total area. *)
+  let best = ref None in
+  List.iter
+    (fun sorted ->
+      fold_distributions sorted () (fun () s k ->
+          let m1 = mbr_of s 0 k and m2 = mbr_of s k n in
+          let overlap = Rect.overlap_area m1 m2 in
+          let area = Rect.area m1 +. Rect.area m2 in
+          let better =
+            match !best with
+            | None -> true
+            | Some (o, a, _, _) -> overlap < o || (overlap = o && area < a)
+          in
+          if better then best := Some (overlap, area, s, k)))
+    sorts;
+  match !best with
+  | None -> assert false (* min_fill <= n/2 guarantees a distribution *)
+  | Some (_, _, sorted, k) -> (Array.sub sorted 0 k, Array.sub sorted k (n - k))
+
+let split algorithm ~min_fill entries =
+  let n = Array.length entries in
+  if n < 2 then invalid_arg "Split.split: need at least two entries";
+  let min_fill = max 1 (min min_fill (n / 2)) in
+  match algorithm with
+  | Quadratic -> quadratic ~min_fill entries
+  | Linear -> linear ~min_fill entries
+  | Rstar -> rstar ~min_fill entries

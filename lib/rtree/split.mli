@@ -1,0 +1,13 @@
+(** Node split algorithms for dynamic R-tree updates. *)
+
+type algorithm =
+  | Linear  (** Guttman's linear-cost split *)
+  | Quadratic  (** Guttman's quadratic-cost split *)
+  | Rstar  (** the R*-tree margin/overlap split *)
+
+val algorithm_name : algorithm -> string
+
+val split : algorithm -> min_fill:int -> Entry.t array -> Entry.t array * Entry.t array
+(** Partition an overflowing node's entries into two non-empty groups,
+    each holding at least [min_fill] entries (capped at half the input).
+    Raises [Invalid_argument] on fewer than two entries. *)

@@ -1,0 +1,69 @@
+(* Write-back buffer pool over a pager.
+
+   The paper's query experiments cache all internal R-tree nodes (at most
+   6 MB) so that reported query I/Os equal the number of leaves read; the
+   buffer pool is the component that realizes such caching here.  Reads
+   served from the cache do not touch the pager and therefore do not
+   count as I/Os; dirty pages are written back on eviction or flush. *)
+
+type cached = { data : bytes; mutable dirty : bool }
+
+type t = {
+  pager : Pager.t;
+  cache : (int, cached) Lru.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ?(capacity = 1024) pager = { pager; cache = Lru.create capacity; hits = 0; misses = 0 }
+
+let pager t = t.pager
+let hits t = t.hits
+let misses t = t.misses
+
+let write_back t id (c : cached) = if c.dirty then Pager.write t.pager id c.data
+
+let evicted t = function
+  | Some (id, c) -> write_back t id c
+  | None -> ()
+
+let read t id =
+  match Lru.find t.cache id with
+  | Some c ->
+      t.hits <- t.hits + 1;
+      c.data
+  | None ->
+      t.misses <- t.misses + 1;
+      let data = Pager.read t.pager id in
+      evicted t (Lru.add t.cache id { data; dirty = false });
+      data
+
+let write t id data =
+  if Bytes.length data <> Pager.page_size t.pager then
+    invalid_arg "Buffer_pool.write: buffer size mismatch";
+  match Lru.find t.cache id with
+  | Some c ->
+      if c.data != data then Bytes.blit data 0 c.data 0 (Bytes.length data);
+      c.dirty <- true
+  | None -> evicted t (Lru.add t.cache id { data = Bytes.copy data; dirty = true })
+
+let alloc t = Pager.alloc t.pager
+
+let free t id =
+  ignore (Lru.remove t.cache id);
+  Pager.free t.pager id
+
+let flush t =
+  Lru.iter t.cache (fun id c ->
+      if c.dirty then begin
+        Pager.write t.pager id c.data;
+        c.dirty <- false
+      end)
+
+let drop_clean t =
+  flush t;
+  Lru.clear t.cache
+
+let reset_counters t =
+  t.hits <- 0;
+  t.misses <- 0

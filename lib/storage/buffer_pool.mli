@@ -1,0 +1,37 @@
+(** Write-back LRU buffer pool over a {!Pager}.
+
+    Cache hits do not touch the pager and therefore do not count as I/Os —
+    this is how the paper's "all internal nodes cached" query setup is
+    realized. *)
+
+type t
+
+val create : ?capacity:int -> Pager.t -> t
+(** [create ~capacity pager]: pool holding at most [capacity] pages
+    (default 1024). *)
+
+val pager : t -> Pager.t
+
+val read : t -> int -> bytes
+(** Read through the cache. The returned buffer is the cached page
+    itself; callers must not mutate it (use {!write}). *)
+
+val write : t -> int -> bytes -> unit
+(** Stage a full-page write in the cache (written back on eviction or
+    {!flush}). *)
+
+val alloc : t -> int
+(** Allocate a page in the underlying pager. *)
+
+val free : t -> int -> unit
+(** Drop any cached copy and free the page in the pager. *)
+
+val flush : t -> unit
+(** Write back all dirty pages (they stay cached, clean). *)
+
+val drop_clean : t -> unit
+(** Flush, then empty the cache entirely. *)
+
+val hits : t -> int
+val misses : t -> int
+val reset_counters : t -> unit

@@ -1,0 +1,90 @@
+(* Generic LRU map: hash table plus an intrusive doubly-linked recency
+   list.  Used by the buffer pool to decide which cached page to evict,
+   and directly testable in isolation. *)
+
+type ('k, 'v) node = {
+  key : 'k;
+  mutable value : 'v;
+  mutable prev : ('k, 'v) node option;
+  mutable next : ('k, 'v) node option;
+}
+
+type ('k, 'v) t = {
+  capacity : int;
+  table : ('k, ('k, 'v) node) Hashtbl.t;
+  mutable head : ('k, 'v) node option; (* most recently used *)
+  mutable tail : ('k, 'v) node option; (* least recently used *)
+}
+
+let create capacity =
+  if capacity < 1 then invalid_arg "Lru.create: capacity must be >= 1";
+  { capacity; table = Hashtbl.create (2 * capacity); head = None; tail = None }
+
+let length t = Hashtbl.length t.table
+let capacity t = t.capacity
+
+let unlink t node =
+  (match node.prev with
+  | Some p -> p.next <- node.next
+  | None -> t.head <- node.next);
+  (match node.next with
+  | Some n -> n.prev <- node.prev
+  | None -> t.tail <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.next <- t.head;
+  node.prev <- None;
+  (match t.head with Some h -> h.prev <- Some node | None -> t.tail <- Some node);
+  t.head <- Some node
+
+let touch t node =
+  if t.head != Some node then begin
+    unlink t node;
+    push_front t node
+  end
+
+let find t key =
+  match Hashtbl.find_opt t.table key with
+  | None -> None
+  | Some node ->
+      touch t node;
+      Some node.value
+
+let mem t key = Hashtbl.mem t.table key
+
+let remove t key =
+  match Hashtbl.find_opt t.table key with
+  | None -> None
+  | Some node ->
+      unlink t node;
+      Hashtbl.remove t.table key;
+      Some node.value
+
+let add t key value =
+  match Hashtbl.find_opt t.table key with
+  | Some node ->
+      node.value <- value;
+      touch t node;
+      None
+  | None ->
+      let node = { key; value; prev = None; next = None } in
+      Hashtbl.replace t.table key node;
+      push_front t node;
+      if Hashtbl.length t.table > t.capacity then begin
+        match t.tail with
+        | None -> assert false
+        | Some lru ->
+            unlink t lru;
+            Hashtbl.remove t.table lru.key;
+            Some (lru.key, lru.value)
+      end
+      else None
+
+let iter t f = Hashtbl.iter (fun key node -> f key node.value) t.table
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.head <- None;
+  t.tail <- None

@@ -1,0 +1,32 @@
+(* Fixed-size page buffers and the little-endian field codecs used by
+   every on-page format in the repository (R-tree nodes, sorted-run
+   records).  Keeping the codec in one place makes the 36-byte record
+   layout of the paper's experiments (4 x float64 + int32) auditable. *)
+
+type t = bytes
+
+let create size = Bytes.make size '\000'
+
+let size = Bytes.length
+
+let set_f64 page off v = Bytes.set_int64_le page off (Int64.bits_of_float v)
+let get_f64 page off = Int64.float_of_bits (Bytes.get_int64_le page off)
+
+let set_i32 page off v =
+  if v < Int32.to_int Int32.min_int || v > Int32.to_int Int32.max_int then
+    invalid_arg "Page.set_i32: value exceeds 32 bits";
+  Bytes.set_int32_le page off (Int32.of_int v)
+
+let get_i32 page off = Int32.to_int (Bytes.get_int32_le page off)
+
+let set_u16 page off v =
+  if v < 0 || v > 0xFFFF then invalid_arg "Page.set_u16: value exceeds 16 bits";
+  Bytes.set_uint16_le page off v
+
+let get_u16 page off = Bytes.get_uint16_le page off
+
+let set_u8 page off v =
+  if v < 0 || v > 0xFF then invalid_arg "Page.set_u8: value exceeds 8 bits";
+  Bytes.set_uint8 page off v
+
+let get_u8 page off = Bytes.get_uint8 page off

@@ -1,0 +1,25 @@
+(** Fixed-size page buffers with little-endian field codecs.
+
+    All on-disk structures (R-tree nodes, external-sort runs) are encoded
+    through this module so the byte layout is defined in one place. *)
+
+type t = bytes
+
+val create : int -> t
+(** Zero-filled page of the given size in bytes. *)
+
+val size : t -> int
+
+val set_f64 : t -> int -> float -> unit
+val get_f64 : t -> int -> float
+
+val set_i32 : t -> int -> int -> unit
+(** Raises [Invalid_argument] if the value does not fit in 32 bits. *)
+
+val get_i32 : t -> int -> int
+
+val set_u16 : t -> int -> int -> unit
+val get_u16 : t -> int -> int
+
+val set_u8 : t -> int -> int -> unit
+val get_u8 : t -> int -> int

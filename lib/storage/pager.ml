@@ -1,0 +1,181 @@
+(* The simulated disk: a flat array of fixed-size pages addressed by page
+   id, with every read and write counted.  This plays the role of the
+   paper's physical disk — all reported "I/Os" in the experiments are
+   page reads/writes observed here.
+
+   Two backends are provided: an in-memory one (default for experiments,
+   so benchmarks measure the algorithms and not the host filesystem) and
+   a real-file one used by the CLI so indexes persist across runs.  Freed
+   pages go on a free list and are handed out again by [alloc]; this is
+   what keeps space bounded under the dynamic update algorithms. *)
+
+type stats = { mutable reads : int; mutable writes : int; mutable allocs : int }
+
+type snapshot = { s_reads : int; s_writes : int; s_allocs : int }
+
+type backend =
+  | Memory of { mutable pages : bytes array; mutable used : int }
+  | File of { fd : Unix.file_descr; mutable used : int }
+
+type t = {
+  page_size : int;
+  backend : backend;
+  stats : stats;
+  mutable free_list : int list;
+  free_set : (int, unit) Hashtbl.t;
+  mutable closed : bool;
+}
+
+let default_page_size = 4096
+
+let create_memory ?(page_size = default_page_size) () =
+  if page_size <= 0 then invalid_arg "Pager.create_memory: page_size must be positive";
+  {
+    page_size;
+    backend = Memory { pages = Array.make 64 Bytes.empty; used = 0 };
+    stats = { reads = 0; writes = 0; allocs = 0 };
+    free_list = [];
+    free_set = Hashtbl.create 16;
+    closed = false;
+  }
+
+let create_file ?(page_size = default_page_size) path =
+  if page_size <= 0 then invalid_arg "Pager.create_file: page_size must be positive";
+  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  {
+    page_size;
+    backend = File { fd; used = 0 };
+    stats = { reads = 0; writes = 0; allocs = 0 };
+    free_list = [];
+    free_set = Hashtbl.create 16;
+    closed = false;
+  }
+
+let open_file ?(page_size = default_page_size) path =
+  let fd = Unix.openfile path [ Unix.O_RDWR ] 0o644 in
+  let bytes = (Unix.fstat fd).Unix.st_size in
+  if bytes mod page_size <> 0 then begin
+    Unix.close fd;
+    invalid_arg
+      (Printf.sprintf "Pager.open_file: %s size %d is not a multiple of the page size %d" path
+         bytes page_size)
+  end;
+  {
+    page_size;
+    backend = File { fd; used = bytes / page_size };
+    stats = { reads = 0; writes = 0; allocs = 0 };
+    free_list = [];
+    free_set = Hashtbl.create 16;
+    closed = false;
+  }
+
+let page_size t = t.page_size
+
+let num_pages t =
+  match t.backend with Memory m -> m.used | File f -> f.used
+
+let check_open t op = if t.closed then invalid_arg ("Pager." ^ op ^ ": pager is closed")
+
+let check_id t op id =
+  if id < 0 || id >= num_pages t then
+    invalid_arg (Printf.sprintf "Pager.%s: page %d out of range (0..%d)" op id (num_pages t - 1))
+
+let alloc t =
+  check_open t "alloc";
+  t.stats.allocs <- t.stats.allocs + 1;
+  match t.free_list with
+  | id :: rest ->
+      t.free_list <- rest;
+      Hashtbl.remove t.free_set id;
+      id
+  | [] -> (
+      match t.backend with
+      | Memory m ->
+          if m.used = Array.length m.pages then begin
+            let pages = Array.make (2 * Array.length m.pages) Bytes.empty in
+            Array.blit m.pages 0 pages 0 m.used;
+            m.pages <- pages
+          end;
+          m.pages.(m.used) <- Bytes.make t.page_size '\000';
+          m.used <- m.used + 1;
+          m.used - 1
+      | File f ->
+          (* Extend the file by one zero page. *)
+          let id = f.used in
+          let off = id * t.page_size in
+          ignore (Unix.lseek f.fd off Unix.SEEK_SET);
+          let zeros = Bytes.make t.page_size '\000' in
+          let n = Unix.write f.fd zeros 0 t.page_size in
+          if n <> t.page_size then failwith "Pager.alloc: short write";
+          f.used <- f.used + 1;
+          id)
+
+let free t id =
+  check_open t "free";
+  check_id t "free" id;
+  if Hashtbl.mem t.free_set id then invalid_arg "Pager.free: double free";
+  Hashtbl.replace t.free_set id ();
+  t.free_list <- id :: t.free_list
+
+let read_into t id buf =
+  check_open t "read";
+  check_id t "read" id;
+  if Bytes.length buf <> t.page_size then invalid_arg "Pager.read_into: buffer size mismatch";
+  t.stats.reads <- t.stats.reads + 1;
+  match t.backend with
+  | Memory m -> Bytes.blit m.pages.(id) 0 buf 0 t.page_size
+  | File f ->
+      ignore (Unix.lseek f.fd (id * t.page_size) Unix.SEEK_SET);
+      let rec fill off =
+        if off < t.page_size then begin
+          let n = Unix.read f.fd buf off (t.page_size - off) in
+          if n = 0 then failwith "Pager.read: unexpected end of file";
+          fill (off + n)
+        end
+      in
+      fill 0
+
+let read t id =
+  let buf = Bytes.create t.page_size in
+  read_into t id buf;
+  buf
+
+let write t id buf =
+  check_open t "write";
+  check_id t "write" id;
+  if Bytes.length buf <> t.page_size then invalid_arg "Pager.write: buffer size mismatch";
+  t.stats.writes <- t.stats.writes + 1;
+  match t.backend with
+  | Memory m -> Bytes.blit buf 0 m.pages.(id) 0 t.page_size
+  | File f ->
+      ignore (Unix.lseek f.fd (id * t.page_size) Unix.SEEK_SET);
+      let n = Unix.write f.fd buf 0 t.page_size in
+      if n <> t.page_size then failwith "Pager.write: short write"
+
+let stats t = t.stats
+
+let snapshot t =
+  { s_reads = t.stats.reads; s_writes = t.stats.writes; s_allocs = t.stats.allocs }
+
+let diff ~before ~after =
+  {
+    s_reads = after.s_reads - before.s_reads;
+    s_writes = after.s_writes - before.s_writes;
+    s_allocs = after.s_allocs - before.s_allocs;
+  }
+
+let total_io snap = snap.s_reads + snap.s_writes
+
+let reset_stats t =
+  t.stats.reads <- 0;
+  t.stats.writes <- 0;
+  t.stats.allocs <- 0
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    match t.backend with Memory _ -> () | File f -> Unix.close f.fd
+  end
+
+let pp_snapshot ppf s =
+  Fmt.pf ppf "reads=%d writes=%d allocs=%d" s.s_reads s.s_writes s.s_allocs

@@ -1,0 +1,66 @@
+(** The simulated disk: fixed-size pages addressed by id, with every
+    page read and write counted.
+
+    All "I/O" numbers reported by the benchmark harness are observations
+    of these counters — the OCaml analogue of the paper's TPIE block
+    layer. The memory backend is used for experiments (it measures the
+    algorithms, not the host filesystem); the file backend persists
+    indexes for the CLI. *)
+
+type stats = { mutable reads : int; mutable writes : int; mutable allocs : int }
+
+type snapshot = { s_reads : int; s_writes : int; s_allocs : int }
+(** Immutable copy of the counters, for before/after accounting. *)
+
+type t
+
+val default_page_size : int
+(** 4096 bytes, the block size used throughout the paper. *)
+
+val create_memory : ?page_size:int -> unit -> t
+(** Fresh in-memory device with zero pages. *)
+
+val create_file : ?page_size:int -> string -> t
+(** Create (truncate) a file-backed device. *)
+
+val open_file : ?page_size:int -> string -> t
+(** Open an existing file-backed device. Raises [Invalid_argument] if the
+    file size is not a multiple of the page size. *)
+
+val page_size : t -> int
+
+val num_pages : t -> int
+(** Number of pages ever allocated (including freed ones). *)
+
+val alloc : t -> int
+(** Allocate a page (zero-filled when fresh; recycled pages keep their
+    bytes) and return its id. Freed pages are reused first. *)
+
+val free : t -> int -> unit
+(** Return a page to the free list. Raises [Invalid_argument] on double
+    free or a bad id. *)
+
+val read : t -> int -> bytes
+(** Read a page into a fresh buffer. Counts one read. *)
+
+val read_into : t -> int -> bytes -> unit
+(** Read a page into a caller-supplied page-sized buffer. Counts one
+    read. *)
+
+val write : t -> int -> bytes -> unit
+(** Write a full page. Counts one write. *)
+
+val stats : t -> stats
+(** The live counters (mutable; prefer {!snapshot} for accounting). *)
+
+val snapshot : t -> snapshot
+
+val diff : before:snapshot -> after:snapshot -> snapshot
+(** Counter delta between two snapshots. *)
+
+val total_io : snapshot -> int
+(** [s_reads + s_writes]. *)
+
+val reset_stats : t -> unit
+val close : t -> unit
+val pp_snapshot : Format.formatter -> snapshot -> unit

@@ -1,0 +1,21 @@
+(** Binary min-heap priority queue with an explicit comparison. *)
+
+type 'a t
+
+val create : ?capacity:int -> ('a -> 'a -> int) -> 'a t
+(** [create cmp] is an empty heap ordered by [cmp] (minimum first). *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val add : 'a t -> 'a -> unit
+(** Insert an element (amortized O(log n)). *)
+
+val peek : 'a t -> 'a option
+(** Smallest element, if any, without removing it. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the smallest element. *)
+
+val pop_exn : 'a t -> 'a
+(** Like {!pop}; raises [Invalid_argument] on an empty heap. *)

@@ -1,0 +1,40 @@
+(** Deterministic pseudo-random number generation (the xoshiro256
+    star-star generator).
+
+    Experiment workloads must be bit-for-bit reproducible, so all
+    randomness in the repository flows through this module rather than
+    [Stdlib.Random]. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] builds a generator from an integer seed (expanded
+    through splitmix64, so small seeds are fine). *)
+
+val split : t -> t
+(** [split t] derives a statistically independent generator, advancing
+    [t]. Use it to give each workload component its own stream. *)
+
+val next_int64 : t -> int64
+(** Next raw 64 random bits. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. Rejection-sampled, so free
+    of modulo bias. Raises [Invalid_argument] if [bound <= 0]. *)
+
+val bool : t -> bool
+(** Uniform coin flip. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)] with 53 bits of
+    precision. *)
+
+val float_range : t -> float -> float -> float
+(** [float_range t lo hi] is uniform in [\[lo, hi)]. *)
+
+val gaussian : t -> float
+(** Standard normal deviate (Box–Muller). *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

@@ -1,0 +1,52 @@
+(* Small descriptive-statistics helpers for the benchmark harness. *)
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  total : float;
+}
+
+let mean values =
+  let n = Array.length values in
+  if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 values /. float_of_int n
+
+let stddev values =
+  let n = Array.length values in
+  if n < 2 then 0.0
+  else begin
+    let m = mean values in
+    let acc = Array.fold_left (fun acc v -> acc +. ((v -. m) *. (v -. m))) 0.0 values in
+    sqrt (acc /. float_of_int (n - 1))
+  end
+
+let summarize values =
+  let n = Array.length values in
+  if n = 0 then { n = 0; mean = 0.0; stddev = 0.0; min = 0.0; max = 0.0; total = 0.0 }
+  else begin
+    let total = Array.fold_left ( +. ) 0.0 values in
+    let min = Array.fold_left Float.min values.(0) values in
+    let max = Array.fold_left Float.max values.(0) values in
+    { n; mean = total /. float_of_int n; stddev = stddev values; min; max; total }
+  end
+
+let percentile values p =
+  let n = Array.length values in
+  if n = 0 then invalid_arg "Stats.percentile: empty";
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p outside [0,100]";
+  let sorted = Array.copy values in
+  Array.sort compare sorted;
+  (* Linear interpolation between closest ranks. *)
+  let rank = p /. 100.0 *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor rank) in
+  let hi = int_of_float (Float.ceil rank) in
+  if lo = hi then sorted.(lo)
+  else begin
+    let frac = rank -. float_of_int lo in
+    (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+  end
+
+let pp_summary ppf s =
+  Fmt.pf ppf "n=%d mean=%.2f sd=%.2f min=%.2f max=%.2f" s.n s.mean s.stddev s.min s.max

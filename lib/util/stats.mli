@@ -1,0 +1,25 @@
+(** Descriptive statistics for experiment measurements. *)
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;  (** sample standard deviation *)
+  min : float;
+  max : float;
+  total : float;
+}
+
+val mean : float array -> float
+(** Arithmetic mean; [0.] on the empty array. *)
+
+val stddev : float array -> float
+(** Sample standard deviation; [0.] for fewer than two values. *)
+
+val summarize : float array -> summary
+(** One-pass summary of a measurement series. *)
+
+val percentile : float array -> float -> float
+(** [percentile values p] with linear interpolation, [p] in [\[0,100\]].
+    Raises [Invalid_argument] on an empty array or out-of-range [p]. *)
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,61 @@
+(* Window-query generators matching Section 3.3: square queries whose
+   area is a given fraction of the dataset bounding box, skew-following
+   squares for SKEWED(c), and the long skinny horizontal strips used
+   against CLUSTER. *)
+
+module Rect = Prt_geom.Rect
+module Rng = Prt_util.Rng
+module Entry = Prt_rtree.Entry
+
+let world_of entries =
+  if Array.length entries = 0 then Rect.make ~xmin:0.0 ~ymin:0.0 ~xmax:1.0 ~ymax:1.0
+  else Rect.union_map ~f:Entry.rect entries
+
+(* Square queries with area equal to [area_fraction] of the world box,
+   placed uniformly so the query lies inside the world. *)
+let squares ~count ~area_fraction ~world ~seed =
+  if count < 0 then invalid_arg "Queries.squares: count must be >= 0";
+  if area_fraction <= 0.0 || area_fraction > 1.0 then
+    invalid_arg "Queries.squares: area_fraction outside (0,1]";
+  let rng = Rng.create seed in
+  let w = Rect.width world and h = Rect.height world in
+  let side = sqrt (area_fraction *. w *. h) in
+  let side_x = Float.min side w and side_y = Float.min side h in
+  Array.init count (fun _ ->
+      let x = Rect.xmin world +. Rng.float rng (w -. side_x) in
+      let y = Rect.ymin world +. Rng.float rng (h -. side_y) in
+      Rect.make ~xmin:x ~ymin:y ~xmax:(x +. side_x) ~ymax:(y +. side_y))
+
+(* SKEWED(c) queries: squares transformed like the data — the corner
+   (x, y) maps to (x, y^c) — so output sizes stay comparable across
+   skews (Section 3.3). *)
+let skewed_squares ~count ~area_fraction ~c ~seed =
+  if c < 1 then invalid_arg "Queries.skewed_squares: c must be >= 1";
+  let unit = Rect.make ~xmin:0.0 ~ymin:0.0 ~xmax:1.0 ~ymax:1.0 in
+  let plain = squares ~count ~area_fraction ~world:unit ~seed in
+  let pow_c y =
+    let acc = ref 1.0 in
+    for _ = 1 to c do
+      acc := !acc *. y
+    done;
+    !acc
+  in
+  Array.map
+    (fun q ->
+      Rect.make ~xmin:(Rect.xmin q) ~xmax:(Rect.xmax q) ~ymin:(pow_c (Rect.ymin q))
+        ~ymax:(pow_c (Rect.ymax q)))
+    plain
+
+(* Table 1 queries: horizontal strips of area 1e-7 spanning the full
+   cluster line, with the bottom edge placed uniformly so the strip
+   passes through every cluster. *)
+let cluster_strips ~count ~seed =
+  if count < 0 then invalid_arg "Queries.cluster_strips: count must be >= 0";
+  let rng = Rng.create seed in
+  let height = 1e-7 in
+  let half = Datasets.cluster_side /. 2.0 in
+  let lo = Datasets.cluster_band_center -. half in
+  let span = Datasets.cluster_side -. height in
+  Array.init count (fun _ ->
+      let y = lo +. Rng.float rng span in
+      Rect.make ~xmin:0.0 ~ymin:y ~xmax:1.0 ~ymax:(y +. height))

@@ -1,0 +1,18 @@
+(** Window-query generators for the experiments (Section 3.3). *)
+
+val world_of : Prt_rtree.Entry.t array -> Prt_geom.Rect.t
+(** Bounding box of a dataset (unit square when empty). *)
+
+val squares :
+  count:int -> area_fraction:float -> world:Prt_geom.Rect.t -> seed:int -> Prt_geom.Rect.t array
+(** Uniformly placed squares covering [area_fraction] of the world box,
+    fully inside it. *)
+
+val skewed_squares :
+  count:int -> area_fraction:float -> c:int -> seed:int -> Prt_geom.Rect.t array
+(** Squares in the unit square transformed like SKEWED(c) data
+    ([y := y^c]), keeping output sizes comparable across skews. *)
+
+val cluster_strips : count:int -> seed:int -> Prt_geom.Rect.t array
+(** Table 1's long skinny horizontal queries of area 1e-7 passing
+    through every cluster of the CLUSTER dataset. *)

@@ -1,0 +1,118 @@
+(* Synthetic stand-in for the TIGER/Line road datasets.
+
+   The paper's real-life data is the bounding boxes of road line
+   segments from the US Census TIGER/Line CD-ROMs ("Eastern": 16.7M
+   rectangles over 16 states, "Western": 12M over 5).  That data is not
+   available here, so we synthesize road networks with the properties
+   the paper relies on: long roads are divided into short segments, so
+   rectangles are small and often thin; segments cluster around urban
+   areas of power-law size, with a sparse rural background; the data is
+   "relatively nicely distributed... somewhat (but not too badly)
+   clustered" (Section 3.2).
+
+   Roads are random walks: a start point near a weighted urban center, a
+   heading that drifts slowly (with grid-aligned bias, like street
+   grids), and a few dozen short steps.  Each step contributes the
+   bounding box of its segment.  Scale is controlled by [n], the number
+   of segment rectangles. *)
+
+module Rect = Prt_geom.Rect
+module Rng = Prt_util.Rng
+module Entry = Prt_rtree.Entry
+
+type params = {
+  n : int;
+  seed : int;
+  urban_centers : int;       (* number of urban clusters *)
+  rural_fraction : float;    (* share of roads starting anywhere *)
+  segment_length : float;    (* mean step length *)
+  segments_per_road : int;   (* mean road length in segments *)
+}
+
+let default_params ~n ~seed =
+  {
+    n;
+    seed;
+    urban_centers = max 8 (n / 12000);
+    rural_fraction = 0.15;
+    segment_length = 0.0006;
+    segments_per_road = 30;
+  }
+
+let clamp v = Float.max 0.0 (Float.min 1.0 v)
+
+let generate params =
+  if params.n < 0 then invalid_arg "Tiger.generate: n must be >= 0";
+  let rng = Rng.create params.seed in
+  (* Urban centers with Zipf-like weights: center k has weight 1/(k+1),
+     sampled by cumulative search. *)
+  let centers =
+    Array.init params.urban_centers (fun _ ->
+        (Rng.float rng 1.0, Rng.float rng 1.0, 0.004 +. Rng.float rng 0.03))
+  in
+  let weights = Array.init params.urban_centers (fun k -> 1.0 /. float_of_int (k + 1)) in
+  let total_weight = Array.fold_left ( +. ) 0.0 weights in
+  let pick_center () =
+    let target = Rng.float rng total_weight in
+    let rec go k acc =
+      if k = params.urban_centers - 1 then k
+      else begin
+        let acc = acc +. weights.(k) in
+        if target < acc then k else go (k + 1) acc
+      end
+    in
+    centers.(go 0 0.0)
+  in
+  let out = ref [] and made = ref 0 in
+  while !made < params.n do
+    (* Start a road. *)
+    let x, y =
+      if Rng.float rng 1.0 < params.rural_fraction then (Rng.float rng 1.0, Rng.float rng 1.0)
+      else begin
+        let cx, cy, radius = pick_center () in
+        (clamp (cx +. (Rng.gaussian rng *. radius)), clamp (cy +. (Rng.gaussian rng *. radius)))
+      end
+    in
+    (* Grid-aligned initial heading with some noise: many streets run
+       close to north-south or east-west, giving thin bounding boxes. *)
+    let heading =
+      (float_of_int (Rng.int rng 4) *. (Float.pi /. 2.0)) +. (Rng.gaussian rng *. 0.2)
+    in
+    let segments = 1 + Rng.int rng (2 * params.segments_per_road) in
+    let x = ref x and y = ref y and heading = ref heading in
+    let step = ref 0 in
+    while !step < segments && !made < params.n do
+      let len = params.segment_length *. (0.25 +. Rng.float rng 1.5) in
+      let nx = clamp (!x +. (len *. cos !heading)) in
+      let ny = clamp (!y +. (len *. sin !heading)) in
+      if nx <> !x || ny <> !y then begin
+        out := Rect.of_corners (!x, !y) (nx, ny) :: !out;
+        incr made
+      end;
+      x := nx;
+      y := ny;
+      heading := !heading +. (Rng.gaussian rng *. 0.15);
+      incr step
+    done
+  done;
+  let rects = Array.of_list (List.rev !out) in
+  Array.mapi (fun i r -> Entry.make r i) rects
+
+(* The two named datasets, scaled 1:100 against the paper by default. *)
+let eastern ~scale ~seed = generate (default_params ~n:(int_of_float (167_000.0 *. scale)) ~seed)
+let western ~scale ~seed = generate (default_params ~n:(int_of_float (120_000.0 *. scale)) ~seed)
+
+(* The paper also slices Eastern into five cumulative regions; we slice
+   by longitude bands the same way. *)
+let eastern_subsets ~scale ~seed =
+  let full = eastern ~scale ~seed in
+  let fractions = [| 0.125; 0.34; 0.55; 0.76; 1.0 |] in
+  Array.map
+    (fun frac ->
+      let cut = frac in
+      let selected = Array.of_list (List.filter
+        (fun e -> Rect.xmin (Entry.rect e) <= cut)
+        (Array.to_list full))
+      in
+      Array.mapi (fun i e -> Entry.make (Entry.rect e) i) selected)
+    fractions

@@ -1,0 +1,30 @@
+(** Synthetic stand-in for the paper's TIGER/Line road data.
+
+    Random-walk road networks: short, thin, axis-leaning segment
+    bounding boxes, clustered around power-law-weighted urban centers
+    with a sparse rural background — the "relatively small rectangles...
+    somewhat (but not too badly) clustered around urban areas" the paper
+    describes. See DESIGN.md for the substitution rationale. *)
+
+type params = {
+  n : int;
+  seed : int;
+  urban_centers : int;
+  rural_fraction : float;
+  segment_length : float;
+  segments_per_road : int;
+}
+
+val default_params : n:int -> seed:int -> params
+val generate : params -> Prt_rtree.Entry.t array
+
+val eastern : scale:float -> seed:int -> Prt_rtree.Entry.t array
+(** The "Eastern" stand-in: [167_000 * scale] segment rectangles
+    (the paper's 16.7M at [scale = 100.]). *)
+
+val western : scale:float -> seed:int -> Prt_rtree.Entry.t array
+(** The "Western" stand-in: [120_000 * scale] rectangles. *)
+
+val eastern_subsets : scale:float -> seed:int -> Prt_rtree.Entry.t array array
+(** Five nested longitude-band slices of Eastern, mirroring the paper's
+    five cumulative regions of increasing size. *)

@@ -1,0 +1,69 @@
+(* Shared helpers for the test suite: small-page pools (deep trees from
+   few entries), brute-force query oracles, random dataset generators
+   driven by the repository's deterministic RNG, and qcheck
+   registration. *)
+
+module Rect = Prt_geom.Rect
+module Rng = Prt_util.Rng
+module Pager = Prt_storage.Pager
+module Buffer_pool = Prt_storage.Buffer_pool
+module Entry = Prt_rtree.Entry
+module Rtree = Prt_rtree.Rtree
+
+(* 512-byte pages -> capacity (512-3)/36 = 14: multi-level trees appear
+   at a few dozen entries already. *)
+let small_page_size = 512
+
+let small_pool () = Buffer_pool.create ~capacity:4096 (Pager.create_memory ~page_size:small_page_size ())
+
+let default_pool () = Buffer_pool.create ~capacity:4096 (Pager.create_memory ())
+
+let qcheck_case ?(long = false) test =
+  ignore long;
+  QCheck_alcotest.to_alcotest test
+
+(* Deterministic random rectangles in the unit square. *)
+let random_rect rng =
+  let x0 = Rng.float rng 1.0 and y0 = Rng.float rng 1.0 in
+  let w = Rng.float rng 0.2 and h = Rng.float rng 0.2 in
+  Rect.make ~xmin:x0 ~ymin:y0 ~xmax:(Float.min 1.0 (x0 +. w)) ~ymax:(Float.min 1.0 (y0 +. h))
+
+let random_entries ~n ~seed =
+  let rng = Rng.create seed in
+  Array.init n (fun i -> Entry.make (random_rect rng) i)
+
+let random_queries ~n ~seed =
+  let rng = Rng.create seed in
+  Array.init n (fun _ -> random_rect rng)
+
+(* Brute-force oracle: sorted ids of entries intersecting the window. *)
+let brute_force entries window =
+  Array.to_list entries
+  |> List.filter (fun e -> Rect.intersects (Entry.rect e) window)
+  |> List.map Entry.id
+  |> List.sort Int.compare
+
+let ids_of result = List.sort Int.compare (List.map Entry.id result)
+
+let check_query_matches_brute_force tree entries window =
+  let result, _ = Rtree.query_list tree window in
+  Alcotest.(check (list int)) "query result matches brute force" (brute_force entries window)
+    (ids_of result)
+
+(* Run a batch of random queries against a tree and its oracle. *)
+let check_tree_queries ?(nqueries = 40) ~seed tree entries =
+  let queries = random_queries ~n:nqueries ~seed in
+  Array.iter (fun q -> check_query_matches_brute_force tree entries q) queries
+
+let check_structure tree =
+  match Rtree.validate tree with
+  | structure -> structure
+  | exception Rtree.Invalid msg -> Alcotest.failf "invalid tree: %s" msg
+
+(* QCheck generator for an entry array of the given max size. *)
+let arbitrary_entries max_n =
+  QCheck.make
+    ~print:(fun arr -> Printf.sprintf "<%d entries>" (Array.length arr))
+    QCheck.Gen.(
+      int_range 0 max_n >>= fun n ->
+      int_range 0 1_000_000 >>= fun seed -> return (random_entries ~n ~seed))

@@ -1,0 +1,101 @@
+(* Differential testing across every index implementation in the
+   repository: for the same random rectangle set and query batch, all of
+   them — five bulk loaders, the external builders, the dynamically
+   built tree, the dynamic Hilbert R-tree, the logarithmic method, and
+   (on points) the kdB-tree — must return exactly the same answers.
+
+   This is the strongest cheap correctness signal the repo has: a bug in
+   any one traversal, codec, split or build shows up as a disagreement
+   with seven independent implementations. *)
+
+module Rect = Prt_geom.Rect
+module Rng = Prt_util.Rng
+module Entry = Prt_rtree.Entry
+module Rtree = Prt_rtree.Rtree
+module Hrt = Prt_rtree.Hilbert_rtree
+module Logmethod = Prt_logmethod.Logmethod
+
+type impl = { name : string; query : Rect.t -> int list }
+
+let rtree_impl name tree = { name; query = (fun q -> Helpers.ids_of (fst (Rtree.query_list tree q))) }
+
+let build_impls entries =
+  let pool () = Helpers.small_pool () in
+  let dynamic =
+    let tree = Rtree.create_empty (pool ()) in
+    Array.iter (Prt_rtree.Dynamic.insert tree) entries;
+    tree
+  in
+  let hrt = Hrt.create (pool ()) in
+  Array.iter (fun e -> Hrt.insert hrt (Entry.rect e) (Entry.id e)) entries;
+  let lm = Logmethod.create ~buffer_capacity:14 (pool ()) in
+  Array.iter (Logmethod.insert lm) entries;
+  let ext_pr =
+    let p = pool () in
+    let file = Entry.File.of_array (Prt_storage.Buffer_pool.pager p) entries in
+    Prt_prtree.Ext_build.load ~mem_records:200 p file
+  in
+  [
+    rtree_impl "pr" (Prt_prtree.Prtree.load (pool ()) entries);
+    rtree_impl "pr-ext" ext_pr;
+    rtree_impl "h" (Prt_rtree.Bulk_hilbert.load_h (pool ()) entries);
+    rtree_impl "h4" (Prt_rtree.Bulk_hilbert.load_h4 (pool ()) entries);
+    rtree_impl "str" (Prt_rtree.Bulk_str.load (pool ()) entries);
+    rtree_impl "tgs" (Prt_rtree.Bulk_tgs.load (pool ()) entries);
+    rtree_impl "dynamic" dynamic;
+    { name = "hilbert-rtree"; query = (fun q -> List.sort Int.compare (fst (Hrt.query_ids hrt q))) };
+    { name = "logmethod"; query = (fun q -> Helpers.ids_of (fst (Logmethod.query_list lm q))) };
+  ]
+
+let run_batch ~n ~seed ~make_entries =
+  let entries = make_entries ~n ~seed in
+  let impls = build_impls entries in
+  let rng = Rng.create (seed + 1) in
+  for _ = 1 to 25 do
+    let q = Helpers.random_rect rng in
+    let expected = Helpers.brute_force entries q in
+    List.iter
+      (fun impl ->
+        Alcotest.(check (list int)) (impl.name ^ " agrees with oracle") expected (impl.query q))
+      impls
+  done
+
+let test_differential_random () =
+  run_batch ~n:400 ~seed:10 ~make_entries:(fun ~n ~seed -> Helpers.random_entries ~n ~seed)
+
+let test_differential_points () =
+  (* Points additionally admit the kdB-tree. *)
+  let entries = Prt_workloads.Datasets.uniform_points ~n:400 ~seed:20 in
+  let impls =
+    build_impls entries
+    @ [ rtree_impl "kdb" (Prt_rtree.Kdbtree.load (Helpers.small_pool ()) entries) ]
+  in
+  let rng = Rng.create 21 in
+  for _ = 1 to 25 do
+    let q = Helpers.random_rect rng in
+    let expected = Helpers.brute_force entries q in
+    List.iter
+      (fun impl ->
+        Alcotest.(check (list int)) (impl.name ^ " agrees with oracle") expected (impl.query q))
+      impls
+  done
+
+let test_differential_extreme () =
+  run_batch ~n:300 ~seed:30 ~make_entries:(fun ~n ~seed ->
+      Prt_workloads.Datasets.aspect ~n ~a:1000.0 ~seed)
+
+let test_differential_duplicates () =
+  run_batch ~n:300 ~seed:40 ~make_entries:(fun ~n ~seed ->
+      let rng = Rng.create seed in
+      let protos = Array.init 3 (fun _ -> Helpers.random_rect rng) in
+      Array.init n (fun i -> Entry.make protos.(i mod 3) i))
+
+let suite =
+  [
+    Alcotest.test_case "all implementations agree (random rects)" `Quick test_differential_random;
+    Alcotest.test_case "all implementations agree (points, incl. kdB)" `Quick
+      test_differential_points;
+    Alcotest.test_case "all implementations agree (high aspect)" `Quick test_differential_extreme;
+    Alcotest.test_case "all implementations agree (duplicates)" `Quick
+      test_differential_duplicates;
+  ]

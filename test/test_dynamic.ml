@@ -1,0 +1,198 @@
+(* Dynamic update tests: split algorithm contracts, insertion from
+   empty, deletion down to empty, and long random insert/delete/query
+   interleavings checked against a model — for each split algorithm. *)
+
+module Rect = Prt_geom.Rect
+module Pager = Prt_storage.Pager
+module Rng = Prt_util.Rng
+module Entry = Prt_rtree.Entry
+module Rtree = Prt_rtree.Rtree
+module Split = Prt_rtree.Split
+module Dynamic = Prt_rtree.Dynamic
+module Bulk_hilbert = Prt_rtree.Bulk_hilbert
+
+let algorithms = [ Split.Linear; Split.Quadratic; Split.Rstar ]
+
+let config alg = { Dynamic.default_config with Dynamic.split_algorithm = alg }
+
+(* --- Split contracts --- *)
+
+let prop_split_contract alg =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "split %s: partition with min fill" (Split.algorithm_name alg))
+    ~count:150
+    (QCheck.pair (Helpers.arbitrary_entries 40) QCheck.(int_range 1 10))
+    (fun (entries, min_fill) ->
+      QCheck.assume (Array.length entries >= 2);
+      let g1, g2 = Split.split alg ~min_fill entries in
+      let effective = max 1 (min min_fill (Array.length entries / 2)) in
+      let ids arr = List.sort Int.compare (Array.to_list (Array.map Entry.id arr)) in
+      (* Both non-empty, respect min fill, and together exactly the input. *)
+      Array.length g1 >= effective
+      && Array.length g2 >= effective
+      && ids (Array.append g1 g2) = ids entries)
+
+let test_split_two_entries () =
+  List.iter
+    (fun alg ->
+      let entries = Helpers.random_entries ~n:2 ~seed:1 in
+      let g1, g2 = Split.split alg ~min_fill:1 entries in
+      Alcotest.(check int) "1+1" 2 (Array.length g1 + Array.length g2);
+      Alcotest.(check bool) "both non-empty" true (Array.length g1 = 1 && Array.length g2 = 1))
+    algorithms
+
+let test_split_rejects_singleton () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Split.split Split.Quadratic ~min_fill:1 (Helpers.random_entries ~n:1 ~seed:1));
+       false
+     with Invalid_argument _ -> true)
+
+(* --- Insertion --- *)
+
+let test_insert_from_empty alg () =
+  let pool = Helpers.small_pool () in
+  let tree = Rtree.create_empty pool in
+  let entries = Helpers.random_entries ~n:300 ~seed:42 in
+  Array.iteri
+    (fun i e ->
+      Dynamic.insert ~config:(config alg) tree e;
+      if (i + 1) mod 50 = 0 then ignore (Helpers.check_structure tree))
+    entries;
+  Alcotest.(check int) "count" 300 (Rtree.count tree);
+  ignore (Helpers.check_structure tree);
+  Helpers.check_tree_queries ~seed:7 tree entries
+
+let test_insert_into_bulk_loaded alg () =
+  let pool = Helpers.small_pool () in
+  let base = Helpers.random_entries ~n:200 ~seed:5 in
+  let tree = Bulk_hilbert.load_h pool base in
+  let extra = Array.map (fun e -> Entry.make (Entry.rect e) (Entry.id e + 200))
+      (Helpers.random_entries ~n:100 ~seed:6)
+  in
+  Array.iter (Dynamic.insert ~config:(config alg) tree) extra;
+  ignore (Helpers.check_structure tree);
+  Helpers.check_tree_queries ~seed:8 tree (Array.append base extra)
+
+let test_insert_duplicates alg () =
+  (* Inserting the same rectangle many times must split fine. *)
+  let pool = Helpers.small_pool () in
+  let tree = Rtree.create_empty pool in
+  let r = Rect.make ~xmin:0.2 ~ymin:0.2 ~xmax:0.3 ~ymax:0.3 in
+  let entries = Array.init 100 (fun i -> Entry.make r i) in
+  Array.iter (Dynamic.insert ~config:(config alg) tree) entries;
+  ignore (Helpers.check_structure tree);
+  Helpers.check_query_matches_brute_force tree entries r
+
+(* --- Deletion --- *)
+
+let test_delete_missing () =
+  let pool = Helpers.small_pool () in
+  let tree = Bulk_hilbert.load_h pool (Helpers.random_entries ~n:50 ~seed:3) in
+  let ghost = Entry.make (Rect.point 0.123 0.456) 9999 in
+  Alcotest.(check bool) "returns false" false (Dynamic.delete tree ghost);
+  Alcotest.(check int) "count unchanged" 50 (Rtree.count tree)
+
+let test_delete_all alg () =
+  let pool = Helpers.small_pool () in
+  let entries = Helpers.random_entries ~n:250 ~seed:13 in
+  let tree = Bulk_hilbert.load_h pool entries in
+  Array.iteri
+    (fun i e ->
+      Alcotest.(check bool) "deleted" true (Dynamic.delete ~config:(config alg) tree e);
+      if (i + 1) mod 50 = 0 then ignore (Helpers.check_structure tree))
+    entries;
+  Alcotest.(check int) "empty" 0 (Rtree.count tree);
+  Alcotest.(check int) "height collapsed" 1 (Rtree.height tree);
+  ignore (Helpers.check_structure tree)
+
+let test_delete_half_then_query alg () =
+  let pool = Helpers.small_pool () in
+  let entries = Helpers.random_entries ~n:300 ~seed:23 in
+  let tree = Bulk_hilbert.load_h pool entries in
+  let keep = ref [] in
+  Array.iteri
+    (fun i e ->
+      if i mod 2 = 0 then Alcotest.(check bool) "deleted" true (Dynamic.delete ~config:(config alg) tree e)
+      else keep := e :: !keep)
+    entries;
+  ignore (Helpers.check_structure tree);
+  Helpers.check_tree_queries ~seed:99 tree (Array.of_list !keep)
+
+let test_delete_then_space_reused () =
+  (* Pages of dissolved nodes must return to the free list: rebuilding
+     the same content must not grow the page count unboundedly. *)
+  let pool = Helpers.small_pool () in
+  let pager = Prt_storage.Buffer_pool.pager pool in
+  let entries = Helpers.random_entries ~n:200 ~seed:31 in
+  let tree = Rtree.create_empty pool in
+  Array.iter (Dynamic.insert tree) entries;
+  let pages_after_first = Pager.num_pages pager in
+  for _ = 1 to 3 do
+    Array.iter (fun e -> ignore (Dynamic.delete tree e)) entries;
+    Array.iter (Dynamic.insert tree) entries
+  done;
+  let growth = Pager.num_pages pager - pages_after_first in
+  Alcotest.(check bool) (Printf.sprintf "page growth %d bounded" growth) true
+    (growth < pages_after_first)
+
+(* --- Random mixed workload vs model --- *)
+
+let test_mixed_model alg () =
+  let pool = Helpers.small_pool () in
+  let tree = Rtree.create_empty pool in
+  let rng = Rng.create 555 in
+  let model : (int, Entry.t) Hashtbl.t = Hashtbl.create 64 in
+  let next_id = ref 0 in
+  for step = 1 to 800 do
+    let p = Rng.float rng 1.0 in
+    if p < 0.55 || Hashtbl.length model = 0 then begin
+      let e = Entry.make (Helpers.random_rect rng) !next_id in
+      incr next_id;
+      Hashtbl.replace model (Entry.id e) e;
+      Dynamic.insert ~config:(config alg) tree e
+    end
+    else if p < 0.8 then begin
+      (* Delete a random present entry. *)
+      let ids = Hashtbl.fold (fun id _ acc -> id :: acc) model [] in
+      let id = List.nth ids (Rng.int rng (List.length ids)) in
+      let e = Hashtbl.find model id in
+      Hashtbl.remove model id;
+      Alcotest.(check bool) "delete succeeds" true (Dynamic.delete ~config:(config alg) tree e)
+    end
+    else begin
+      let q = Helpers.random_rect rng in
+      let expected =
+        Hashtbl.fold
+          (fun id e acc -> if Rect.intersects (Entry.rect e) q then id :: acc else acc)
+          model []
+        |> List.sort Int.compare
+      in
+      let result, _ = Rtree.query_list tree q in
+      Alcotest.(check (list int)) "query matches model" expected (Helpers.ids_of result)
+    end;
+    Alcotest.(check int) "count matches model" (Hashtbl.length model) (Rtree.count tree);
+    if step mod 100 = 0 then ignore (Helpers.check_structure tree)
+  done;
+  ignore (Helpers.check_structure tree)
+
+let suite =
+  let per_alg name f =
+    List.map
+      (fun alg ->
+        Alcotest.test_case (Printf.sprintf "%s [%s]" name (Split.algorithm_name alg)) `Quick (f alg))
+      algorithms
+  in
+  [
+    Alcotest.test_case "split: two entries" `Quick test_split_two_entries;
+    Alcotest.test_case "split: singleton raises" `Quick test_split_rejects_singleton;
+    Alcotest.test_case "delete: missing entry" `Quick test_delete_missing;
+    Alcotest.test_case "delete: pages reused" `Quick test_delete_then_space_reused;
+  ]
+  @ List.map (fun alg -> Helpers.qcheck_case (prop_split_contract alg)) algorithms
+  @ per_alg "insert: from empty" test_insert_from_empty
+  @ per_alg "insert: into bulk-loaded" test_insert_into_bulk_loaded
+  @ per_alg "insert: duplicates" test_insert_duplicates
+  @ per_alg "delete: all entries" test_delete_all
+  @ per_alg "delete: half then query" test_delete_half_then_query
+  @ per_alg "mixed: random ops vs model" test_mixed_model

@@ -1,0 +1,160 @@
+(* External sort tests: record files roundtrip exactly, sorting agrees
+   with in-memory sorting across memory budgets, and the I/O accounting
+   behaves plausibly. *)
+
+module Pager = Prt_storage.Pager
+module Page = Prt_storage.Page
+
+module Int_record = struct
+  type t = int
+
+  let size = 8
+  let write buf off v = Bytes.set_int64_le buf off (Int64.of_int v)
+  let read buf off = Int64.to_int (Bytes.get_int64_le buf off)
+end
+
+module Int_file = Prt_extsort.Record_file.Make (Int_record)
+
+let page_size = 64 (* 8 records per page: multi-page files from tiny inputs *)
+let per_page = page_size / Int_record.size
+
+let make_pager () = Pager.create_memory ~page_size ()
+
+let test_roundtrip () =
+  let pager = make_pager () in
+  let values = Array.init 100 (fun i -> (i * 37) mod 91) in
+  let file = Int_file.of_array pager values in
+  Alcotest.(check int) "length" 100 (Int_file.length file);
+  Alcotest.(check (array int)) "roundtrip" values (Int_file.read_all file)
+
+let test_empty_file () =
+  let pager = make_pager () in
+  let file = Int_file.of_array pager [||] in
+  Alcotest.(check int) "length" 0 (Int_file.length file);
+  Alcotest.(check (array int)) "read_all" [||] (Int_file.read_all file);
+  Alcotest.(check int) "no pages" 0 (Int_file.pages_used file)
+
+let test_partial_tail_page () =
+  let pager = make_pager () in
+  let values = Array.init (per_page + 3) Fun.id in
+  let file = Int_file.of_array pager values in
+  Alcotest.(check int) "two pages" 2 (Int_file.pages_used file);
+  Alcotest.(check (array int)) "content" values (Int_file.read_all file)
+
+let test_append_after_seal () =
+  let pager = make_pager () in
+  let file = Int_file.of_array pager [| 1 |] in
+  Alcotest.(check bool) "raises" true
+    (try
+       Int_file.append file 2;
+       false
+     with Invalid_argument _ -> true)
+
+let test_reader_before_seal () =
+  let pager = make_pager () in
+  let file = Int_file.create pager in
+  Int_file.append file 1;
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Int_file.reader file);
+       false
+     with Invalid_argument _ -> true)
+
+let test_iter_order () =
+  let pager = make_pager () in
+  let values = Array.init 50 (fun i -> i * i) in
+  let file = Int_file.of_array pager values in
+  let seen = ref [] in
+  Int_file.iter file (fun v -> seen := v :: !seen);
+  Alcotest.(check (list int)) "in order" (Array.to_list values) (List.rev !seen)
+
+let test_destroy_frees_pages () =
+  let pager = make_pager () in
+  let file = Int_file.of_array pager (Array.init 100 Fun.id) in
+  let used = Pager.num_pages pager in
+  Int_file.destroy file;
+  (* A new file of the same size must fit entirely in recycled pages. *)
+  let _file2 = Int_file.of_array pager (Array.init 100 Fun.id) in
+  Alcotest.(check int) "pages recycled" used (Pager.num_pages pager)
+
+let check_sorted_matches ~mem_records values =
+  let pager = make_pager () in
+  let file = Int_file.of_array pager values in
+  let sorted = Int_file.sort ~mem_records ~cmp:Int.compare file in
+  let expected = Array.copy values in
+  Array.sort Int.compare expected;
+  Int_file.read_all sorted = expected && Int_file.length sorted = Array.length values
+
+let prop_sort_small_memory =
+  QCheck.Test.make ~name:"external sort matches Array.sort (tiny memory)" ~count:60
+    QCheck.(list_of_size Gen.(int_range 0 500) int)
+    (fun l -> check_sorted_matches ~mem_records:(2 * per_page) (Array.of_list l))
+
+let prop_sort_medium_memory =
+  QCheck.Test.make ~name:"external sort matches Array.sort (several runs)" ~count:60
+    QCheck.(list_of_size Gen.(int_range 0 500) int)
+    (fun l -> check_sorted_matches ~mem_records:(5 * per_page) (Array.of_list l))
+
+let prop_sort_ample_memory =
+  QCheck.Test.make ~name:"external sort matches Array.sort (single run)" ~count:60
+    QCheck.(list_of_size Gen.(int_range 0 300) int)
+    (fun l -> check_sorted_matches ~mem_records:10_000 (Array.of_list l))
+
+let test_sort_rejects_tiny_budget () =
+  let pager = make_pager () in
+  let file = Int_file.of_array pager [| 3; 1; 2 |] in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Int_file.sort ~mem_records:(per_page + 1) ~cmp:Int.compare file);
+       false
+     with Invalid_argument _ -> true)
+
+let test_sort_stability_of_input () =
+  (* The input file must survive sorting (it is not destroyed). *)
+  let pager = make_pager () in
+  let values = [| 5; 3; 9; 1 |] in
+  let file = Int_file.of_array pager values in
+  let _sorted = Int_file.sort ~mem_records:(2 * per_page) ~cmp:Int.compare file in
+  Alcotest.(check (array int)) "input intact" values (Int_file.read_all file)
+
+let test_sort_io_accounting () =
+  (* Sorting must cost more than a constant number of passes but not be
+     absurd: between 2 and ~4 log-factor scans of the data. *)
+  let pager = make_pager () in
+  let n = 2000 in
+  let rng = Prt_util.Rng.create 77 in
+  let values = Array.init n (fun _ -> Prt_util.Rng.int rng 1_000_000) in
+  let file = Int_file.of_array pager values in
+  let data_pages = Int_file.pages_used file in
+  let before = Pager.snapshot pager in
+  let sorted = Int_file.sort ~mem_records:(8 * per_page) ~cmp:Int.compare file in
+  let d = Pager.diff ~before ~after:(Pager.snapshot pager) in
+  Alcotest.(check bool) "sorted" true (Int_file.read_all sorted |> fun a ->
+    let e = Array.copy values in Array.sort Int.compare e; a = e);
+  let total = Pager.total_io d in
+  Alcotest.(check bool)
+    (Printf.sprintf "io %d within [2, 40] data scans (%d pages)" total data_pages)
+    true
+    (total >= 2 * data_pages && total <= 40 * data_pages)
+
+let test_sort_duplicates () =
+  let values = Array.make 200 7 in
+  Alcotest.(check bool) "all-equal input" true (check_sorted_matches ~mem_records:16 values)
+
+let suite =
+  [
+    Alcotest.test_case "file: roundtrip" `Quick test_roundtrip;
+    Alcotest.test_case "file: empty" `Quick test_empty_file;
+    Alcotest.test_case "file: partial tail page" `Quick test_partial_tail_page;
+    Alcotest.test_case "file: append after seal" `Quick test_append_after_seal;
+    Alcotest.test_case "file: reader before seal" `Quick test_reader_before_seal;
+    Alcotest.test_case "file: iter order" `Quick test_iter_order;
+    Alcotest.test_case "file: destroy frees pages" `Quick test_destroy_frees_pages;
+    Helpers.qcheck_case prop_sort_small_memory;
+    Helpers.qcheck_case prop_sort_medium_memory;
+    Helpers.qcheck_case prop_sort_ample_memory;
+    Alcotest.test_case "sort: rejects tiny budget" `Quick test_sort_rejects_tiny_budget;
+    Alcotest.test_case "sort: input intact" `Quick test_sort_stability_of_input;
+    Alcotest.test_case "sort: io accounting" `Quick test_sort_io_accounting;
+    Alcotest.test_case "sort: duplicates" `Quick test_sort_duplicates;
+  ]

@@ -1,0 +1,207 @@
+(* Geometry tests: rectangle algebra laws (unit + property tests) and
+   the d-dimensional box module. *)
+
+module Rect = Prt_geom.Rect
+module Hyperrect = Prt_geom.Hyperrect
+module Rng = Prt_util.Rng
+
+let rect = Alcotest.testable Rect.pp Rect.equal
+
+let arbitrary_rect =
+  QCheck.make
+    ~print:(Format.asprintf "%a" Rect.pp)
+    QCheck.Gen.(
+      int_range 0 1_000_000 >>= fun seed ->
+      return (Helpers.random_rect (Rng.create seed)))
+
+let pair_rects = QCheck.pair arbitrary_rect arbitrary_rect
+let triple_rects = QCheck.triple arbitrary_rect arbitrary_rect arbitrary_rect
+
+(* --- unit tests --- *)
+
+let test_make_valid () =
+  let r = Rect.make ~xmin:1.0 ~ymin:2.0 ~xmax:3.0 ~ymax:5.0 in
+  Alcotest.(check (float 0.0)) "width" 2.0 (Rect.width r);
+  Alcotest.(check (float 0.0)) "height" 3.0 (Rect.height r);
+  Alcotest.(check (float 0.0)) "area" 6.0 (Rect.area r);
+  Alcotest.(check (float 0.0)) "margin" 5.0 (Rect.margin r);
+  let cx, cy = Rect.center r in
+  Alcotest.(check (float 0.0)) "cx" 2.0 cx;
+  Alcotest.(check (float 0.0)) "cy" 3.5 cy
+
+let test_make_inverted () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Rect.make ~xmin:1.0 ~ymin:0.0 ~xmax:0.0 ~ymax:1.0);
+       false
+     with Invalid_argument _ -> true)
+
+let test_of_corners () =
+  let r = Rect.of_corners (3.0, 1.0) (0.0, 4.0) in
+  Alcotest.check rect "normalized" (Rect.make ~xmin:0.0 ~ymin:1.0 ~xmax:3.0 ~ymax:4.0) r
+
+let test_point_degenerate () =
+  let p = Rect.point 2.0 3.0 in
+  Alcotest.(check (float 0.0)) "area" 0.0 (Rect.area p);
+  Alcotest.(check bool) "self-intersects" true (Rect.intersects p p);
+  Alcotest.(check bool) "contains point" true (Rect.contains_point p 2.0 3.0)
+
+let test_touching_intersect () =
+  (* Closed rectangles: shared boundary counts as intersection. *)
+  let a = Rect.make ~xmin:0.0 ~ymin:0.0 ~xmax:1.0 ~ymax:1.0 in
+  let b = Rect.make ~xmin:1.0 ~ymin:0.0 ~xmax:2.0 ~ymax:1.0 in
+  Alcotest.(check bool) "touching" true (Rect.intersects a b);
+  let c = Rect.make ~xmin:1.0001 ~ymin:0.0 ~xmax:2.0 ~ymax:1.0 in
+  Alcotest.(check bool) "separated" false (Rect.intersects a c)
+
+let test_intersection_value () =
+  let a = Rect.make ~xmin:0.0 ~ymin:0.0 ~xmax:2.0 ~ymax:2.0 in
+  let b = Rect.make ~xmin:1.0 ~ymin:1.0 ~xmax:3.0 ~ymax:3.0 in
+  match Rect.intersection a b with
+  | Some i -> Alcotest.check rect "overlap" (Rect.make ~xmin:1.0 ~ymin:1.0 ~xmax:2.0 ~ymax:2.0) i
+  | None -> Alcotest.fail "expected overlap"
+
+let test_no_intersection () =
+  let a = Rect.make ~xmin:0.0 ~ymin:0.0 ~xmax:1.0 ~ymax:1.0 in
+  let b = Rect.make ~xmin:5.0 ~ymin:5.0 ~xmax:6.0 ~ymax:6.0 in
+  Alcotest.(check bool) "none" true (Rect.intersection a b = None);
+  Alcotest.(check (float 0.0)) "overlap area" 0.0 (Rect.overlap_area a b)
+
+let test_union_array () =
+  let rects = [| Rect.point 0.0 0.0; Rect.point 2.0 1.0; Rect.point 1.0 3.0 |] in
+  Alcotest.check rect "bounding box" (Rect.make ~xmin:0.0 ~ymin:0.0 ~xmax:2.0 ~ymax:3.0)
+    (Rect.union_array rects);
+  Alcotest.check rect "subrange" (Rect.make ~xmin:1.0 ~ymin:1.0 ~xmax:2.0 ~ymax:3.0)
+    (Rect.union_array ~lo:1 rects)
+
+let test_coord_dims () =
+  let r = Rect.make ~xmin:1.0 ~ymin:2.0 ~xmax:3.0 ~ymax:4.0 in
+  Alcotest.(check (float 0.0)) "xmin" 1.0 (Rect.coord 0 r);
+  Alcotest.(check (float 0.0)) "ymin" 2.0 (Rect.coord 1 r);
+  Alcotest.(check (float 0.0)) "xmax" 3.0 (Rect.coord 2 r);
+  Alcotest.(check (float 0.0)) "ymax" 4.0 (Rect.coord 3 r);
+  Alcotest.(check bool) "bad dim raises" true
+    (try
+       ignore (Rect.coord 4 r);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- property tests --- *)
+
+let prop_union_commutative =
+  QCheck.Test.make ~name:"union commutative" ~count:300 pair_rects (fun (a, b) ->
+      Rect.equal (Rect.union a b) (Rect.union b a))
+
+let prop_union_associative =
+  QCheck.Test.make ~name:"union associative" ~count:300 triple_rects (fun (a, b, c) ->
+      Rect.equal (Rect.union a (Rect.union b c)) (Rect.union (Rect.union a b) c))
+
+let prop_union_idempotent =
+  QCheck.Test.make ~name:"union idempotent" ~count:300 arbitrary_rect (fun a ->
+      Rect.equal (Rect.union a a) a)
+
+let prop_union_contains =
+  QCheck.Test.make ~name:"union contains both" ~count:300 pair_rects (fun (a, b) ->
+      let u = Rect.union a b in
+      Rect.contains u a && Rect.contains u b)
+
+let prop_intersects_symmetric =
+  QCheck.Test.make ~name:"intersects symmetric" ~count:300 pair_rects (fun (a, b) ->
+      Rect.intersects a b = Rect.intersects b a)
+
+let prop_intersection_inside =
+  QCheck.Test.make ~name:"intersection inside both" ~count:300 pair_rects (fun (a, b) ->
+      match Rect.intersection a b with
+      | Some i -> Rect.contains a i && Rect.contains b i
+      | None -> not (Rect.intersects a b))
+
+let prop_enlargement_nonnegative =
+  QCheck.Test.make ~name:"enlargement >= 0" ~count:300 pair_rects (fun (a, b) ->
+      Rect.enlargement a b >= 0.0)
+
+let prop_enlargement_zero_when_contained =
+  QCheck.Test.make ~name:"enlargement 0 iff covered" ~count:300 pair_rects (fun (a, b) ->
+      if Rect.contains a b then Rect.enlargement a b = 0.0 else true)
+
+let prop_contains_implies_intersects =
+  QCheck.Test.make ~name:"contains implies intersects" ~count:300 pair_rects (fun (a, b) ->
+      if Rect.contains a b then Rect.intersects a b else true)
+
+let prop_overlap_area_symmetric =
+  QCheck.Test.make ~name:"overlap area symmetric" ~count:300 pair_rects (fun (a, b) ->
+      Float.abs (Rect.overlap_area a b -. Rect.overlap_area b a) < 1e-12)
+
+(* --- Hyperrect --- *)
+
+let test_hyperrect_basics () =
+  let b = Hyperrect.make ~lo:[| 0.0; 1.0; 2.0 |] ~hi:[| 1.0; 3.0; 5.0 |] in
+  Alcotest.(check int) "dims" 3 (Hyperrect.dims b);
+  Alcotest.(check (float 0.0)) "volume" 6.0 (Hyperrect.volume b);
+  Alcotest.(check (float 0.0)) "margin" 6.0 (Hyperrect.margin b);
+  Alcotest.(check (float 0.0)) "side 2" 3.0 (Hyperrect.side b 2)
+
+let test_hyperrect_mismatch () =
+  Alcotest.(check bool) "dim mismatch raises" true
+    (try
+       ignore (Hyperrect.make ~lo:[| 0.0 |] ~hi:[| 1.0; 2.0 |]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_hyperrect_rect_roundtrip () =
+  let r = Rect.make ~xmin:0.5 ~ymin:1.5 ~xmax:2.5 ~ymax:3.5 in
+  Alcotest.check rect "roundtrip" r (Hyperrect.to_rect (Hyperrect.of_rect r))
+
+let test_hyperrect_intersects_matches_rect () =
+  let rng = Rng.create 99 in
+  for _ = 1 to 200 do
+    let a = Helpers.random_rect rng and b = Helpers.random_rect rng in
+    Alcotest.(check bool) "agrees with Rect" (Rect.intersects a b)
+      (Hyperrect.intersects (Hyperrect.of_rect a) (Hyperrect.of_rect b))
+  done
+
+let test_hyperrect_union_contains () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 200 do
+    let a = Hyperrect.of_rect (Helpers.random_rect rng) in
+    let b = Hyperrect.of_rect (Helpers.random_rect rng) in
+    let u = Hyperrect.union a b in
+    Alcotest.(check bool) "contains a" true (Hyperrect.contains u a);
+    Alcotest.(check bool) "contains b" true (Hyperrect.contains u b)
+  done
+
+let test_hyperrect_coord () =
+  let b = Hyperrect.make ~lo:[| 1.0; 2.0 |] ~hi:[| 3.0; 4.0 |] in
+  Alcotest.(check (float 0.0)) "lo 0" 1.0 (Hyperrect.coord 0 b);
+  Alcotest.(check (float 0.0)) "lo 1" 2.0 (Hyperrect.coord 1 b);
+  Alcotest.(check (float 0.0)) "hi 0" 3.0 (Hyperrect.coord 2 b);
+  Alcotest.(check (float 0.0)) "hi 1" 4.0 (Hyperrect.coord 3 b)
+
+let suite =
+  [
+    Alcotest.test_case "rect: make and measures" `Quick test_make_valid;
+    Alcotest.test_case "rect: inverted raises" `Quick test_make_inverted;
+    Alcotest.test_case "rect: of_corners" `Quick test_of_corners;
+    Alcotest.test_case "rect: degenerate point" `Quick test_point_degenerate;
+    Alcotest.test_case "rect: touching intersects" `Quick test_touching_intersect;
+    Alcotest.test_case "rect: intersection value" `Quick test_intersection_value;
+    Alcotest.test_case "rect: disjoint" `Quick test_no_intersection;
+    Alcotest.test_case "rect: union_array" `Quick test_union_array;
+    Alcotest.test_case "rect: kd coords" `Quick test_coord_dims;
+    Helpers.qcheck_case prop_union_commutative;
+    Helpers.qcheck_case prop_union_associative;
+    Helpers.qcheck_case prop_union_idempotent;
+    Helpers.qcheck_case prop_union_contains;
+    Helpers.qcheck_case prop_intersects_symmetric;
+    Helpers.qcheck_case prop_intersection_inside;
+    Helpers.qcheck_case prop_enlargement_nonnegative;
+    Helpers.qcheck_case prop_enlargement_zero_when_contained;
+    Helpers.qcheck_case prop_contains_implies_intersects;
+    Helpers.qcheck_case prop_overlap_area_symmetric;
+    Alcotest.test_case "hyperrect: basics" `Quick test_hyperrect_basics;
+    Alcotest.test_case "hyperrect: mismatch raises" `Quick test_hyperrect_mismatch;
+    Alcotest.test_case "hyperrect: rect roundtrip" `Quick test_hyperrect_rect_roundtrip;
+    Alcotest.test_case "hyperrect: intersects agrees with rect" `Quick
+      test_hyperrect_intersects_matches_rect;
+    Alcotest.test_case "hyperrect: union contains" `Quick test_hyperrect_union_contains;
+    Alcotest.test_case "hyperrect: kd coords" `Quick test_hyperrect_coord;
+  ]

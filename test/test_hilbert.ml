@@ -1,0 +1,149 @@
+(* Hilbert curve tests: bijectivity, the defining locality property
+   (consecutive curve positions are grid neighbours), and agreement of
+   quantization edges. *)
+
+module H2 = Prt_hilbert.Hilbert2d
+module Hnd = Prt_hilbert.Hilbert_nd
+
+(* --- 2-D --- *)
+
+let test_2d_exhaustive_bijection () =
+  (* Order 4: 256 cells; index must be a bijection onto 0..255. *)
+  let order = 4 in
+  let n = 1 lsl order in
+  let seen = Array.make (n * n) false in
+  for x = 0 to n - 1 do
+    for y = 0 to n - 1 do
+      let d = H2.index ~order x y in
+      Alcotest.(check bool) "in range" true (d >= 0 && d < n * n);
+      Alcotest.(check bool) "not seen" false seen.(d);
+      seen.(d) <- true;
+      let x', y' = H2.coords ~order d in
+      Alcotest.(check (pair int int)) "roundtrip" (x, y) (x', y')
+    done
+  done
+
+let test_2d_locality () =
+  (* Consecutive indices are adjacent cells (Manhattan distance 1). *)
+  let order = 5 in
+  let n = 1 lsl order in
+  for d = 0 to (n * n) - 2 do
+    let x0, y0 = H2.coords ~order d in
+    let x1, y1 = H2.coords ~order (d + 1) in
+    Alcotest.(check int) "adjacent" 1 (abs (x1 - x0) + abs (y1 - y0))
+  done
+
+let prop_2d_roundtrip_large_order =
+  QCheck.Test.make ~name:"2d roundtrip at order 16" ~count:500
+    QCheck.(pair (int_range 0 65535) (int_range 0 65535))
+    (fun (x, y) ->
+      let d = H2.index ~order:16 x y in
+      H2.coords ~order:16 d = (x, y))
+
+let test_2d_bounds () =
+  Alcotest.(check bool) "coordinate out of range" true
+    (try
+       ignore (H2.index ~order:4 16 0);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "negative coordinate" true
+    (try
+       ignore (H2.index ~order:4 (-1) 0);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "order too large" true
+    (try
+       ignore (H2.index ~order:40 0 0);
+       false
+     with Invalid_argument _ -> true)
+
+let test_2d_origin () = Alcotest.(check int) "origin is curve start" 0 (H2.index ~order:8 0 0)
+
+let test_quantize () =
+  Alcotest.(check int) "lo" 0 (H2.quantize ~order:4 ~lo:0.0 ~hi:1.0 0.0);
+  Alcotest.(check int) "hi clamps to last cell" 15 (H2.quantize ~order:4 ~lo:0.0 ~hi:1.0 1.0);
+  Alcotest.(check int) "above clamps" 15 (H2.quantize ~order:4 ~lo:0.0 ~hi:1.0 2.0);
+  Alcotest.(check int) "below clamps" 0 (H2.quantize ~order:4 ~lo:0.0 ~hi:1.0 (-1.0));
+  Alcotest.(check int) "midpoint" 8 (H2.quantize ~order:4 ~lo:0.0 ~hi:1.0 0.5)
+
+(* --- n-D --- *)
+
+let test_nd_exhaustive_bijection_3d () =
+  let order = 2 and dims = 3 in
+  let n = 1 lsl order in
+  let total = n * n * n in
+  let seen = Array.make total false in
+  for x = 0 to n - 1 do
+    for y = 0 to n - 1 do
+      for z = 0 to n - 1 do
+        let d = Hnd.index ~order [| x; y; z |] in
+        Alcotest.(check bool) "in range" true (d >= 0 && d < total);
+        Alcotest.(check bool) "not seen" false seen.(d);
+        seen.(d) <- true;
+        Alcotest.(check (array int)) "roundtrip" [| x; y; z |] (Hnd.coords ~order ~dims d)
+      done
+    done
+  done
+
+let test_nd_locality_4d () =
+  (* The defining Hilbert property in 4-D: curve neighbours are grid
+     neighbours. *)
+  let order = 3 and dims = 4 in
+  let total = 1 lsl (order * dims) in
+  let prev = ref (Hnd.coords ~order ~dims 0) in
+  for d = 1 to total - 1 do
+    let cur = Hnd.coords ~order ~dims d in
+    let dist = ref 0 in
+    Array.iteri (fun i v -> dist := !dist + abs (v - !prev.(i))) cur;
+    Alcotest.(check int) "adjacent" 1 !dist;
+    prev := cur
+  done
+
+let prop_nd_roundtrip_4d =
+  QCheck.Test.make ~name:"4d roundtrip at order 15" ~count:500
+    QCheck.(
+      quad (int_range 0 32767) (int_range 0 32767) (int_range 0 32767) (int_range 0 32767))
+    (fun (a, b, c, d) ->
+      let coords = [| a; b; c; d |] in
+      Hnd.coords ~order:15 ~dims:4 (Hnd.index ~order:15 coords) = coords)
+
+let prop_nd_matches_dims_2 =
+  (* The 2-D specialization of the n-D algorithm must be a bijection with
+     the same locality, though not necessarily the same orientation as
+     Hilbert2d. *)
+  QCheck.Test.make ~name:"nd dims=2 roundtrip" ~count:300
+    QCheck.(pair (int_range 0 255) (int_range 0 255))
+    (fun (x, y) ->
+      let coords = [| x; y |] in
+      Hnd.coords ~order:8 ~dims:2 (Hnd.index ~order:8 coords) = coords)
+
+let test_nd_bounds () =
+  Alcotest.(check bool) "too many bits" true
+    (try
+       ignore (Hnd.index ~order:16 [| 0; 0; 0; 0 |]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "coordinate out of range" true
+    (try
+       ignore (Hnd.index ~order:4 [| 16; 0 |]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_nd_origin () =
+  Alcotest.(check int) "origin is curve start" 0 (Hnd.index ~order:5 [| 0; 0; 0; 0 |])
+
+let suite =
+  [
+    Alcotest.test_case "2d: exhaustive bijection" `Quick test_2d_exhaustive_bijection;
+    Alcotest.test_case "2d: locality" `Quick test_2d_locality;
+    Helpers.qcheck_case prop_2d_roundtrip_large_order;
+    Alcotest.test_case "2d: bounds" `Quick test_2d_bounds;
+    Alcotest.test_case "2d: origin" `Quick test_2d_origin;
+    Alcotest.test_case "2d: quantize" `Quick test_quantize;
+    Alcotest.test_case "nd: exhaustive bijection 3d" `Quick test_nd_exhaustive_bijection_3d;
+    Alcotest.test_case "nd: locality 4d" `Quick test_nd_locality_4d;
+    Helpers.qcheck_case prop_nd_roundtrip_4d;
+    Helpers.qcheck_case prop_nd_matches_dims_2;
+    Alcotest.test_case "nd: bounds" `Quick test_nd_bounds;
+    Alcotest.test_case "nd: origin" `Quick test_nd_origin;
+  ]

@@ -1,0 +1,167 @@
+(* Dynamic Hilbert R-tree tests: invariants (Hilbert order, LHV, MBRs),
+   exact query answers under long random insert/delete/query
+   interleavings, high utilization from 2-to-3 splits, and survival of
+   degenerate inputs. *)
+
+module Rect = Prt_geom.Rect
+module Rng = Prt_util.Rng
+module Hrt = Prt_rtree.Hilbert_rtree
+
+let make () =
+  Hrt.create
+    (Prt_storage.Buffer_pool.create ~capacity:4096
+       (Prt_storage.Pager.create_memory ~page_size:Helpers.small_page_size ()))
+
+let brute_force model window =
+  Hashtbl.fold
+    (fun id r acc -> if Rect.intersects r window then id :: acc else acc)
+    model []
+  |> List.sort Int.compare
+
+let test_insert_query () =
+  let t = make () in
+  let entries = Helpers.random_entries ~n:500 ~seed:1 in
+  Array.iter (fun e -> Hrt.insert t (Prt_rtree.Entry.rect e) (Prt_rtree.Entry.id e)) entries;
+  Hrt.validate t;
+  Alcotest.(check int) "count" 500 (Hrt.count t);
+  let queries = Helpers.random_queries ~n:40 ~seed:2 in
+  Array.iter
+    (fun q ->
+      let ids, _ = Hrt.query_ids t q in
+      Alcotest.(check (list int)) "query vs oracle" (Helpers.brute_force entries q)
+        (List.sort Int.compare ids))
+    queries
+
+let test_incremental_validation () =
+  let t = make () in
+  let entries = Helpers.random_entries ~n:300 ~seed:3 in
+  Array.iteri
+    (fun i e ->
+      Hrt.insert t (Prt_rtree.Entry.rect e) (Prt_rtree.Entry.id e);
+      if (i + 1) mod 60 = 0 then Hrt.validate t)
+    entries;
+  Hrt.validate t
+
+let test_utilization_via_two_to_three () =
+  (* 2-to-3 splits should keep nodes noticeably fuller than Guttman's
+     ~50-70%: count leaves against the minimum possible. *)
+  let t = make () in
+  let n = 2000 in
+  let entries = Helpers.random_entries ~n ~seed:4 in
+  Array.iter (fun e -> Hrt.insert t (Prt_rtree.Entry.rect e) (Prt_rtree.Entry.id e)) entries;
+  Hrt.validate t;
+  (* Utilization proxy: visited leaves for the whole world ~ total
+     leaves; compare with ceil(n/cap). *)
+  let world = Rect.make ~xmin:0.0 ~ymin:0.0 ~xmax:1.0 ~ymax:1.0 in
+  let _, stats = Hrt.query_ids t world in
+  let cap = (Helpers.small_page_size - 3) / 48 in
+  let min_leaves = (n + cap - 1) / cap in
+  let util = float_of_int min_leaves /. float_of_int stats.Hrt.leaf_visited in
+  Alcotest.(check bool) (Printf.sprintf "utilization %.2f >= 0.6" util) true (util >= 0.6)
+
+let test_delete_all () =
+  let t = make () in
+  let entries = Helpers.random_entries ~n:400 ~seed:5 in
+  Array.iter (fun e -> Hrt.insert t (Prt_rtree.Entry.rect e) (Prt_rtree.Entry.id e)) entries;
+  Array.iteri
+    (fun i e ->
+      Alcotest.(check bool) "deleted" true
+        (Hrt.delete t (Prt_rtree.Entry.rect e) (Prt_rtree.Entry.id e));
+      if (i + 1) mod 80 = 0 then Hrt.validate t)
+    entries;
+  Alcotest.(check int) "empty" 0 (Hrt.count t);
+  Alcotest.(check int) "height collapsed" 1 (Hrt.height t);
+  Hrt.validate t
+
+let test_delete_missing () =
+  let t = make () in
+  Hrt.insert t (Rect.point 0.5 0.5) 1;
+  Alcotest.(check bool) "absent" false (Hrt.delete t (Rect.point 0.4 0.4) 2);
+  Alcotest.(check int) "count" 1 (Hrt.count t)
+
+let test_mixed_model () =
+  let t = make () in
+  let rng = Rng.create 6 in
+  let model : (int, Rect.t) Hashtbl.t = Hashtbl.create 64 in
+  let next_id = ref 0 in
+  for step = 1 to 900 do
+    let p = Rng.float rng 1.0 in
+    if p < 0.55 || Hashtbl.length model = 0 then begin
+      let r = Helpers.random_rect rng in
+      Hashtbl.replace model !next_id r;
+      Hrt.insert t r !next_id;
+      incr next_id
+    end
+    else if p < 0.8 then begin
+      let ids = Hashtbl.fold (fun id _ acc -> id :: acc) model [] in
+      let id = List.nth ids (Rng.int rng (List.length ids)) in
+      let r = Hashtbl.find model id in
+      Hashtbl.remove model id;
+      Alcotest.(check bool) "delete" true (Hrt.delete t r id)
+    end
+    else begin
+      let q = Helpers.random_rect rng in
+      let ids, _ = Hrt.query_ids t q in
+      Alcotest.(check (list int)) "query vs model" (brute_force model q)
+        (List.sort Int.compare ids)
+    end;
+    Alcotest.(check int) "count" (Hashtbl.length model) (Hrt.count t);
+    if step mod 150 = 0 then Hrt.validate t
+  done;
+  Hrt.validate t
+
+let test_duplicates_and_identical_keys () =
+  (* Identical rectangles share a Hilbert key; splits must still work. *)
+  let t = make () in
+  let r = Rect.make ~xmin:0.25 ~ymin:0.25 ~xmax:0.3 ~ymax:0.3 in
+  for i = 0 to 199 do
+    Hrt.insert t r i
+  done;
+  Hrt.validate t;
+  let ids, _ = Hrt.query_ids t r in
+  Alcotest.(check int) "all stored" 200 (List.length ids);
+  for i = 0 to 99 do
+    Alcotest.(check bool) "deleted" true (Hrt.delete t r i)
+  done;
+  Hrt.validate t;
+  let ids, _ = Hrt.query_ids t r in
+  Alcotest.(check int) "half remain" 100 (List.length ids)
+
+let test_outside_world_clamps () =
+  (* Rectangles outside the quantization frame clamp but stay correct. *)
+  let t = make () in
+  Hrt.insert t (Rect.make ~xmin:5.0 ~ymin:5.0 ~xmax:6.0 ~ymax:6.0) 1;
+  Hrt.insert t (Rect.make ~xmin:(-3.0) ~ymin:(-3.0) ~xmax:(-2.0) ~ymax:(-2.0)) 2;
+  Hrt.insert t (Rect.point 0.5 0.5) 3;
+  Hrt.validate t;
+  let ids, _ = Hrt.query_ids t (Rect.make ~xmin:4.0 ~ymin:4.0 ~xmax:7.0 ~ymax:7.0) in
+  Alcotest.(check (list int)) "outside found" [ 1 ] ids
+
+let test_query_cost_reasonable () =
+  (* The dynamic Hilbert tree must be a real index: small queries touch
+     few leaves. *)
+  let t = make () in
+  let entries = Prt_workloads.Datasets.uniform_points ~n:3000 ~seed:7 in
+  Array.iter (fun e -> Hrt.insert t (Prt_rtree.Entry.rect e) (Prt_rtree.Entry.id e)) entries;
+  let q = Rect.make ~xmin:0.4 ~ymin:0.4 ~xmax:0.45 ~ymax:0.45 in
+  let _, stats = Hrt.query_ids t q in
+  let world = Rect.make ~xmin:0.0 ~ymin:0.0 ~xmax:1.0 ~ymax:1.0 in
+  let _, all = Hrt.query_ids t world in
+  Alcotest.(check bool)
+    (Printf.sprintf "small query %d of %d leaves" stats.Hrt.leaf_visited all.Hrt.leaf_visited)
+    true
+    (stats.Hrt.leaf_visited * 5 < all.Hrt.leaf_visited)
+
+let suite =
+  [
+    Alcotest.test_case "insert and query" `Quick test_insert_query;
+    Alcotest.test_case "incremental validation" `Quick test_incremental_validation;
+    Alcotest.test_case "2-to-3 splits keep utilization high" `Quick
+      test_utilization_via_two_to_three;
+    Alcotest.test_case "delete all" `Quick test_delete_all;
+    Alcotest.test_case "delete missing" `Quick test_delete_missing;
+    Alcotest.test_case "mixed ops vs model" `Quick test_mixed_model;
+    Alcotest.test_case "duplicate keys" `Quick test_duplicates_and_identical_keys;
+    Alcotest.test_case "outside world clamps" `Quick test_outside_world_clamps;
+    Alcotest.test_case "query cost reasonable" `Quick test_query_cost_reasonable;
+  ]

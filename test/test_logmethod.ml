@@ -1,0 +1,192 @@
+(* Logarithmic-method tests: component size discipline, exact query
+   answers under long insert/delete interleavings (vs a model), page
+   reclamation across merges, and bookkeeping validation. *)
+
+module Rect = Prt_geom.Rect
+module Rng = Prt_util.Rng
+module Pager = Prt_storage.Pager
+module Entry = Prt_rtree.Entry
+module Logmethod = Prt_logmethod.Logmethod
+
+let buffer_capacity = 14
+
+let make () = (Helpers.small_pool (), ())
+
+let test_insert_query_basic () =
+  let pool, () = make () in
+  let t = Logmethod.create ~buffer_capacity pool in
+  let entries = Helpers.random_entries ~n:200 ~seed:1 in
+  Array.iter (Logmethod.insert t) entries;
+  Logmethod.validate t;
+  Alcotest.(check int) "count" 200 (Logmethod.count t);
+  let queries = Helpers.random_queries ~n:30 ~seed:2 in
+  Array.iter
+    (fun q ->
+      let result, _ = Logmethod.query_list t q in
+      Alcotest.(check (list int)) "query matches brute force" (Helpers.brute_force entries q)
+        (Helpers.ids_of result))
+    queries
+
+let test_component_sizes () =
+  (* Slot i must never exceed buffer_capacity * 2^i entries. *)
+  let pool, () = make () in
+  let t = Logmethod.create ~buffer_capacity pool in
+  let entries = Helpers.random_entries ~n:500 ~seed:3 in
+  Array.iter
+    (fun e ->
+      Logmethod.insert t e;
+      List.iter
+        (fun (level, size) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "slot %d holds %d <= %d" level size (buffer_capacity * (1 lsl level)))
+            true
+            (size <= buffer_capacity * (1 lsl level)))
+        (Logmethod.components t))
+    entries;
+  (* Logarithmically many components. *)
+  Alcotest.(check bool) "few components" true (List.length (Logmethod.components t) <= 7)
+
+let test_buffer_flush () =
+  let pool, () = make () in
+  let t = Logmethod.create ~buffer_capacity pool in
+  let entries = Helpers.random_entries ~n:10 ~seed:4 in
+  Array.iter (Logmethod.insert t) entries;
+  Alcotest.(check int) "buffered" 10 (Logmethod.buffer_size t);
+  Alcotest.(check (list (pair int int))) "no components yet" [] (Logmethod.components t);
+  Logmethod.flush_buffer t;
+  Alcotest.(check int) "buffer empty" 0 (Logmethod.buffer_size t);
+  Alcotest.(check int) "one component" 1 (List.length (Logmethod.components t));
+  Logmethod.validate t
+
+let test_delete_from_buffer_and_components () =
+  let pool, () = make () in
+  let t = Logmethod.create ~buffer_capacity pool in
+  let entries = Helpers.random_entries ~n:100 ~seed:5 in
+  Array.iter (Logmethod.insert t) entries;
+  (* Delete one guaranteed-buffered entry (the last inserted batch may
+     be in the buffer or not; both paths must work). *)
+  Array.iteri
+    (fun i e ->
+      if i mod 3 = 0 then
+        Alcotest.(check bool) "delete succeeds" true (Logmethod.delete t e))
+    entries;
+  Logmethod.validate t;
+  let expected = Array.to_list entries
+    |> List.filteri (fun i _ -> i mod 3 <> 0)
+    |> Array.of_list
+  in
+  Alcotest.(check int) "count" (Array.length expected) (Logmethod.count t);
+  let queries = Helpers.random_queries ~n:20 ~seed:6 in
+  Array.iter
+    (fun q ->
+      let result, _ = Logmethod.query_list t q in
+      Alcotest.(check (list int)) "query after deletes" (Helpers.brute_force expected q)
+        (Helpers.ids_of result))
+    queries
+
+let test_delete_missing () =
+  let pool, () = make () in
+  let t = Logmethod.create ~buffer_capacity pool in
+  Array.iter (Logmethod.insert t) (Helpers.random_entries ~n:50 ~seed:7);
+  Alcotest.(check bool) "absent id" false
+    (Logmethod.delete t (Entry.make (Rect.point 0.5 0.5) 777));
+  Alcotest.(check int) "count unchanged" 50 (Logmethod.count t)
+
+let test_delete_all_triggers_rebuild () =
+  let pool, () = make () in
+  let t = Logmethod.create ~buffer_capacity pool in
+  let entries = Helpers.random_entries ~n:300 ~seed:8 in
+  Array.iter (Logmethod.insert t) entries;
+  Array.iter (fun e -> ignore (Logmethod.delete t e)) entries;
+  Logmethod.validate t;
+  Alcotest.(check int) "empty" 0 (Logmethod.count t);
+  let result, _ = Logmethod.query_list t (Rect.make ~xmin:0.0 ~ymin:0.0 ~xmax:1.0 ~ymax:1.0) in
+  Alcotest.(check (list int)) "nothing stored" [] (Helpers.ids_of result)
+
+let test_of_entries () =
+  let pool, () = make () in
+  let entries = Helpers.random_entries ~n:150 ~seed:9 in
+  let t = Logmethod.of_entries ~buffer_capacity pool entries in
+  Logmethod.validate t;
+  Alcotest.(check int) "count" 150 (Logmethod.count t);
+  Alcotest.(check int) "single component" 1 (List.length (Logmethod.components t));
+  let q = Helpers.random_rect (Rng.create 10) in
+  let result, _ = Logmethod.query_list t q in
+  Alcotest.(check (list int)) "query" (Helpers.brute_force entries q) (Helpers.ids_of result)
+
+let test_duplicate_buffer_id () =
+  let pool, () = make () in
+  let t = Logmethod.create ~buffer_capacity pool in
+  Logmethod.insert t (Entry.make (Rect.point 0.1 0.1) 1);
+  Alcotest.(check bool) "duplicate id raises" true
+    (try
+       Logmethod.insert t (Entry.make (Rect.point 0.2 0.2) 1);
+       false
+     with Invalid_argument _ -> true)
+
+let test_pages_reclaimed_across_merges () =
+  (* Components are repeatedly destroyed by merges; their pages must be
+     recycled, keeping total allocation proportional to the data. *)
+  let pool, () = make () in
+  let pager = Prt_storage.Buffer_pool.pager pool in
+  let t = Logmethod.create ~buffer_capacity pool in
+  let entries = Helpers.random_entries ~n:1000 ~seed:11 in
+  Array.iter (Logmethod.insert t) entries;
+  let data_pages = 1000 / buffer_capacity in
+  let used = Pager.num_pages pager in
+  Alcotest.(check bool)
+    (Printf.sprintf "pages %d within 4x data pages %d" used data_pages)
+    true
+    (used < 4 * data_pages + 16)
+
+let test_mixed_model () =
+  let pool, () = make () in
+  let t = Logmethod.create ~buffer_capacity pool in
+  let rng = Rng.create 999 in
+  let model : (int, Entry.t) Hashtbl.t = Hashtbl.create 64 in
+  let next_id = ref 0 in
+  for step = 1 to 600 do
+    let p = Rng.float rng 1.0 in
+    if p < 0.55 || Hashtbl.length model = 0 then begin
+      let e = Entry.make (Helpers.random_rect rng) !next_id in
+      incr next_id;
+      Hashtbl.replace model (Entry.id e) e;
+      Logmethod.insert t e
+    end
+    else if p < 0.8 then begin
+      let ids = Hashtbl.fold (fun id _ acc -> id :: acc) model [] in
+      let id = List.nth ids (Rng.int rng (List.length ids)) in
+      let e = Hashtbl.find model id in
+      Hashtbl.remove model id;
+      Alcotest.(check bool) "delete succeeds" true (Logmethod.delete t e)
+    end
+    else begin
+      let q = Helpers.random_rect rng in
+      let expected =
+        Hashtbl.fold
+          (fun id e acc -> if Rect.intersects (Entry.rect e) q then id :: acc else acc)
+          model []
+        |> List.sort Int.compare
+      in
+      let result, _ = Logmethod.query_list t q in
+      Alcotest.(check (list int)) "query matches model" expected (Helpers.ids_of result)
+    end;
+    Alcotest.(check int) "count matches model" (Hashtbl.length model) (Logmethod.count t);
+    if step mod 150 = 0 then Logmethod.validate t
+  done;
+  Logmethod.validate t
+
+let suite =
+  [
+    Alcotest.test_case "insert and query" `Quick test_insert_query_basic;
+    Alcotest.test_case "component size discipline" `Quick test_component_sizes;
+    Alcotest.test_case "buffer flush" `Quick test_buffer_flush;
+    Alcotest.test_case "delete from buffer and components" `Quick
+      test_delete_from_buffer_and_components;
+    Alcotest.test_case "delete missing" `Quick test_delete_missing;
+    Alcotest.test_case "delete all triggers rebuild" `Quick test_delete_all_triggers_rebuild;
+    Alcotest.test_case "of_entries" `Quick test_of_entries;
+    Alcotest.test_case "duplicate buffered id" `Quick test_duplicate_buffer_id;
+    Alcotest.test_case "pages reclaimed across merges" `Quick test_pages_reclaimed_across_merges;
+    Alcotest.test_case "mixed ops vs model" `Quick test_mixed_model;
+  ]

@@ -1,0 +1,26 @@
+let () =
+  Alcotest.run "prtree-repro"
+    [
+      ("util", Test_util.suite);
+      ("parallel", Test_parallel.suite);
+      ("geom", Test_geom.suite);
+      ("storage", Test_storage.suite);
+      ("extsort", Test_extsort.suite);
+      ("hilbert", Test_hilbert.suite);
+      ("rtree", Test_rtree.suite);
+      ("dynamic", Test_dynamic.suite);
+      ("prtree", Test_prtree.suite);
+      ("ext", Test_ext.suite);
+      ("logmethod", Test_logmethod.suite);
+      ("ndtree", Test_ndtree.suite);
+      ("ndtree-dynamic", Test_ndtree_dynamic.suite);
+      ("metrics", Test_metrics.suite);
+      ("kdbtree", Test_kdbtree.suite);
+      ("hilbert-rtree", Test_hilbert_rtree.suite);
+      ("features", Test_features.suite);
+      ("robustness", Test_robustness.suite);
+      ("adversarial", Test_adversarial.suite);
+      ("differential", Test_differential.suite);
+      ("paper-scale", Test_paper_scale.suite);
+      ("workloads", Test_workloads.suite);
+    ]

@@ -1,0 +1,139 @@
+(* Dynamic update tests for the d-dimensional tree: insertion from
+   empty, deletion to empty, and random mixed operations checked against
+   a model, in 3 dimensions. *)
+
+module Hyperrect = Prt_geom.Hyperrect
+module Rng = Prt_util.Rng
+module Entry_nd = Prt_ndtree.Entry_nd
+module Rtree_nd = Prt_ndtree.Rtree_nd
+module Split_nd = Prt_ndtree.Split_nd
+module Dynamic_nd = Prt_ndtree.Dynamic_nd
+module Prtree_nd = Prt_ndtree.Prtree_nd
+
+let dims = 3
+
+let random_box rng =
+  let lo = Array.init dims (fun _ -> Rng.float rng 1.0) in
+  let hi = Array.map (fun v -> Float.min 1.0 (v +. Rng.float rng 0.2)) lo in
+  Hyperrect.make ~lo ~hi
+
+let random_entries ~n ~seed =
+  let rng = Rng.create seed in
+  Array.init n (fun i -> Entry_nd.make (random_box rng) i)
+
+let brute_force entries window =
+  Array.to_list entries
+  |> List.filter (fun e -> Hyperrect.intersects (Entry_nd.box e) window)
+  |> List.map Entry_nd.id
+  |> List.sort Int.compare
+
+let small_pool () =
+  Prt_storage.Buffer_pool.create ~capacity:4096 (Prt_storage.Pager.create_memory ~page_size:512 ())
+
+let check_queries tree entries ~seed =
+  let rng = Rng.create seed in
+  for _ = 1 to 20 do
+    let w = random_box rng in
+    let result, _ = Rtree_nd.query_list tree w in
+    Alcotest.(check (list int)) "query vs oracle" (brute_force entries w)
+      (List.sort Int.compare (List.map Entry_nd.id result))
+  done
+
+let algorithms = [ Split_nd.Linear; Split_nd.Quadratic ]
+
+let config alg = { Dynamic_nd.split_algorithm = alg; min_fill_fraction = 0.4 }
+
+let prop_split_contract alg () =
+  let rng = Rng.create 77 in
+  for _ = 1 to 60 do
+    let n = 2 + Rng.int rng 20 in
+    let entries = Array.init n (fun i -> Entry_nd.make (random_box rng) i) in
+    let min_fill = 1 + Rng.int rng 5 in
+    let g1, g2 = Split_nd.split alg ~min_fill entries in
+    let effective = max 1 (min min_fill (n / 2)) in
+    Alcotest.(check bool) "sizes" true
+      (Array.length g1 >= effective && Array.length g2 >= effective);
+    let ids arr = List.sort Int.compare (Array.to_list (Array.map Entry_nd.id arr)) in
+    Alcotest.(check (list int)) "partition" (List.init n Fun.id) (ids (Array.append g1 g2))
+  done
+
+let test_insert_from_empty alg () =
+  let tree = Rtree_nd.create_empty ~dims (small_pool ()) in
+  let entries = random_entries ~n:250 ~seed:1 in
+  Array.iter (Dynamic_nd.insert ~config:(config alg) tree) entries;
+  Alcotest.(check int) "count" 250 (Rtree_nd.count tree);
+  ignore (Rtree_nd.validate tree);
+  check_queries tree entries ~seed:2
+
+let test_insert_into_bulk alg () =
+  let pool = small_pool () in
+  let base = random_entries ~n:200 ~seed:3 in
+  let tree = Prtree_nd.load ~dims pool base in
+  let extra =
+    Array.map (fun e -> Entry_nd.make (Entry_nd.box e) (Entry_nd.id e + 200))
+      (random_entries ~n:80 ~seed:4)
+  in
+  Array.iter (Dynamic_nd.insert ~config:(config alg) tree) extra;
+  ignore (Rtree_nd.validate tree);
+  check_queries tree (Array.append base extra) ~seed:5
+
+let test_delete_all alg () =
+  let pool = small_pool () in
+  let entries = random_entries ~n:200 ~seed:6 in
+  let tree = Prtree_nd.load ~dims pool entries in
+  Array.iter
+    (fun e ->
+      Alcotest.(check bool) "deleted" true (Dynamic_nd.delete ~config:(config alg) tree e))
+    entries;
+  Alcotest.(check int) "empty" 0 (Rtree_nd.count tree);
+  Alcotest.(check int) "height 1" 1 (Rtree_nd.height tree);
+  ignore (Rtree_nd.validate tree)
+
+let test_mixed_model alg () =
+  let tree = Rtree_nd.create_empty ~dims (small_pool ()) in
+  let rng = Rng.create 99 in
+  let model : (int, Entry_nd.t) Hashtbl.t = Hashtbl.create 64 in
+  let next_id = ref 0 in
+  for step = 1 to 500 do
+    let p = Rng.float rng 1.0 in
+    if p < 0.55 || Hashtbl.length model = 0 then begin
+      let e = Entry_nd.make (random_box rng) !next_id in
+      incr next_id;
+      Hashtbl.replace model (Entry_nd.id e) e;
+      Dynamic_nd.insert ~config:(config alg) tree e
+    end
+    else if p < 0.8 then begin
+      let ids = Hashtbl.fold (fun id _ acc -> id :: acc) model [] in
+      let id = List.nth ids (Rng.int rng (List.length ids)) in
+      let e = Hashtbl.find model id in
+      Hashtbl.remove model id;
+      Alcotest.(check bool) "delete" true (Dynamic_nd.delete ~config:(config alg) tree e)
+    end
+    else begin
+      let w = random_box rng in
+      let expected =
+        Hashtbl.fold
+          (fun id e acc -> if Hyperrect.intersects (Entry_nd.box e) w then id :: acc else acc)
+          model []
+        |> List.sort Int.compare
+      in
+      let result, _ = Rtree_nd.query_list tree w in
+      Alcotest.(check (list int)) "query" expected
+        (List.sort Int.compare (List.map Entry_nd.id result))
+    end;
+    Alcotest.(check int) "count" (Hashtbl.length model) (Rtree_nd.count tree);
+    if step mod 125 = 0 then ignore (Rtree_nd.validate tree)
+  done
+
+let suite =
+  List.concat_map
+    (fun alg ->
+      let n = Split_nd.algorithm_name alg in
+      [
+        Alcotest.test_case ("split contract [" ^ n ^ "]") `Quick (prop_split_contract alg);
+        Alcotest.test_case ("insert from empty [" ^ n ^ "]") `Quick (test_insert_from_empty alg);
+        Alcotest.test_case ("insert into bulk [" ^ n ^ "]") `Quick (test_insert_into_bulk alg);
+        Alcotest.test_case ("delete all [" ^ n ^ "]") `Quick (test_delete_all alg);
+        Alcotest.test_case ("mixed vs model [" ^ n ^ "]") `Quick (test_mixed_model alg);
+      ])
+    algorithms

@@ -1,0 +1,82 @@
+(* Multicore tests: the parallel sort and the parallel PR-tree build
+   must produce results identical to their sequential counterparts. *)
+
+module Rng = Prt_util.Rng
+module Parallel = Prt_util.Parallel
+module Entry = Prt_rtree.Entry
+module Rtree = Prt_rtree.Rtree
+
+let test_parallel_sort_matches () =
+  let rng = Rng.create 1 in
+  List.iter
+    (fun n ->
+      let arr = Array.init n (fun _ -> Rng.int rng 1_000_000) in
+      let seq = Array.copy arr and par = Array.copy arr in
+      Array.sort Int.compare seq;
+      Parallel.sort ~domains:4 ~cmp:Int.compare par;
+      Alcotest.(check bool) (Printf.sprintf "n=%d identical" n) true (seq = par))
+    [ 0; 1; 100; 5_000; 50_000 ]
+
+let test_parallel_sort_total_order_determinism () =
+  (* With a total order, the merge has no ties to resolve, so any domain
+     count gives the same permutation. *)
+  let rng = Rng.create 2 in
+  let arr = Array.init 20_000 (fun i -> (Rng.int rng 50, i)) in
+  let one = Array.copy arr and four = Array.copy arr and eight = Array.copy arr in
+  Parallel.sort ~domains:1 ~cmp:compare one;
+  Parallel.sort ~domains:4 ~cmp:compare four;
+  Parallel.sort ~domains:8 ~cmp:compare eight;
+  Alcotest.(check bool) "1 = 4 domains" true (one = four);
+  Alcotest.(check bool) "4 = 8 domains" true (four = eight)
+
+let test_both_runs_and_propagates () =
+  let a, b = Parallel.both ~parallel:true (fun () -> 6 * 7) (fun () -> "ok") in
+  Alcotest.(check int) "left" 42 a;
+  Alcotest.(check string) "right" "ok" b;
+  Alcotest.(check bool) "exception propagates" true
+    (try
+       ignore (Parallel.both ~parallel:true (fun () -> failwith "boom") (fun () -> ()));
+       false
+     with Failure _ -> true)
+
+let leaves_signature tree =
+  let acc = ref [] in
+  Rtree.iter_nodes tree ~f:(fun ~depth ~id:_ node ->
+      if Prt_rtree.Node.kind node = Prt_rtree.Node.Leaf then
+        acc :=
+          (depth, Array.to_list (Array.map Entry.id (Prt_rtree.Node.entries node))) :: !acc);
+  List.sort compare !acc
+
+let test_parallel_prtree_identical () =
+  let entries = Helpers.random_entries ~n:20_000 ~seed:3 in
+  let seq = Prt_prtree.Prtree.load ~domains:1 (Helpers.small_pool ()) entries in
+  let par = Prt_prtree.Prtree.load ~domains:4 (Helpers.small_pool ()) entries in
+  ignore (Helpers.check_structure par);
+  Alcotest.(check bool) "identical leaf structure" true
+    (leaves_signature seq = leaves_signature par)
+
+let test_parallel_hilbert_identical () =
+  let entries = Helpers.random_entries ~n:20_000 ~seed:4 in
+  let seq = Prt_rtree.Bulk_hilbert.load_h ~domains:1 (Helpers.small_pool ()) entries in
+  let par = Prt_rtree.Bulk_hilbert.load_h ~domains:4 (Helpers.small_pool ()) entries in
+  ignore (Helpers.check_structure par);
+  Alcotest.(check bool) "identical leaf structure" true
+    (leaves_signature seq = leaves_signature par)
+
+let test_parallel_prtree_queries () =
+  let entries = Helpers.random_entries ~n:12_000 ~seed:5 in
+  let par = Prt_prtree.Prtree.load ~domains:(Parallel.default_domains ()) (Helpers.small_pool ()) entries in
+  Helpers.check_tree_queries ~nqueries:20 ~seed:6 par entries
+
+let suite =
+  [
+    Alcotest.test_case "parallel sort matches Array.sort" `Quick test_parallel_sort_matches;
+    Alcotest.test_case "parallel sort deterministic" `Quick
+      test_parallel_sort_total_order_determinism;
+    Alcotest.test_case "both: results and exceptions" `Quick test_both_runs_and_propagates;
+    Alcotest.test_case "parallel PR-tree identical to sequential" `Quick
+      test_parallel_prtree_identical;
+    Alcotest.test_case "parallel Hilbert identical to sequential" `Quick
+      test_parallel_hilbert_identical;
+    Alcotest.test_case "parallel PR-tree queries correct" `Quick test_parallel_prtree_queries;
+  ]

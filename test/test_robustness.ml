@@ -1,0 +1,207 @@
+(* Robustness and failure-injection tests: corrupted pages must be
+   detected, not silently misread; caches under extreme pressure must
+   stay coherent; file-backed indexes must survive close/reopen. *)
+
+module Rect = Prt_geom.Rect
+module Page = Prt_storage.Page
+module Pager = Prt_storage.Pager
+module Buffer_pool = Prt_storage.Buffer_pool
+module Entry = Prt_rtree.Entry
+module Node = Prt_rtree.Node
+module Rtree = Prt_rtree.Rtree
+module Dynamic = Prt_rtree.Dynamic
+
+let with_temp_file f =
+  let path = Filename.temp_file "prt_robust" ".pages" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () -> f path)
+
+(* --- corruption detection --- *)
+
+let test_corrupt_kind_byte () =
+  let pool = Helpers.small_pool () in
+  let entries = Helpers.random_entries ~n:100 ~seed:1 in
+  let tree = Prt_prtree.Prtree.load pool entries in
+  (* Smash the root's kind byte in the pager, bypassing the cache. *)
+  Buffer_pool.flush pool;
+  let pager = Buffer_pool.pager pool in
+  let buf = Pager.read pager (Rtree.root tree) in
+  Page.set_u8 buf 0 7;
+  Pager.write pager (Rtree.root tree) buf;
+  (* A cold pool must refuse to decode it. *)
+  let cold = Buffer_pool.create ~capacity:8 pager in
+  let reopened =
+    Rtree.of_root ~pool:cold ~root:(Rtree.root tree) ~height:(Rtree.height tree)
+      ~count:(Rtree.count tree)
+  in
+  Alcotest.(check bool) "decode raises" true
+    (try
+       ignore (Rtree.query_count reopened (Rect.point 0.5 0.5));
+       false
+     with Invalid_argument _ -> true)
+
+let test_corrupt_child_pointer_detected () =
+  let pool = Helpers.small_pool () in
+  let entries = Helpers.random_entries ~n:400 ~seed:2 in
+  let tree = Prt_prtree.Prtree.load pool entries in
+  (* Point the root's first child at a leaf page that is not its child:
+     validation must notice the MBR mismatch. *)
+  let root_node = Rtree.read_node tree (Rtree.root tree) in
+  Alcotest.(check bool) "multi-level tree" true (Node.kind root_node = Node.Internal);
+  let root_entries = Node.entries root_node in
+  let a = root_entries.(0) and b = root_entries.(1) in
+  root_entries.(0) <- Entry.make (Entry.rect a) (Entry.id b);
+  Rtree.write_node tree (Rtree.root tree) (Node.make Node.Internal root_entries);
+  Alcotest.(check bool) "validate raises" true
+    (try
+       ignore (Rtree.validate tree);
+       false
+     with Rtree.Invalid _ -> true)
+
+let test_truncated_index_file () =
+  with_temp_file (fun path ->
+      let oc = open_out_bin path in
+      output_string oc "this is not a multiple of the page size";
+      close_out oc;
+      Alcotest.(check bool) "open_file raises" true
+        (try
+           ignore (Pager.open_file path);
+           false
+         with Invalid_argument _ -> true))
+
+let test_load_meta_garbage () =
+  let pool = Helpers.small_pool () in
+  let page = Buffer_pool.alloc pool in
+  Buffer_pool.write pool page (Bytes.make Helpers.small_page_size '\042');
+  Alcotest.(check bool) "bad magic raises" true
+    (try
+       ignore (Rtree.load_meta pool ~meta_page:page);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- cache pressure --- *)
+
+let test_query_correct_under_tiny_cache () =
+  (* A 2-page cache forces constant eviction during both build and
+     query; results must be identical to the brute-force oracle. *)
+  let pager = Pager.create_memory ~page_size:Helpers.small_page_size () in
+  let pool = Buffer_pool.create ~capacity:2 pager in
+  let entries = Helpers.random_entries ~n:500 ~seed:3 in
+  let tree = Prt_rtree.Bulk_hilbert.load_h pool entries in
+  ignore (Helpers.check_structure tree);
+  Helpers.check_tree_queries ~seed:4 tree entries
+
+let test_updates_correct_under_tiny_cache () =
+  let pager = Pager.create_memory ~page_size:Helpers.small_page_size () in
+  let pool = Buffer_pool.create ~capacity:2 pager in
+  let tree = Rtree.create_empty pool in
+  let entries = Helpers.random_entries ~n:200 ~seed:5 in
+  Array.iter (Dynamic.insert tree) entries;
+  Array.iteri (fun i e -> if i mod 2 = 0 then ignore (Dynamic.delete tree e)) entries;
+  ignore (Helpers.check_structure tree);
+  let survivors =
+    Array.of_list (Array.to_list entries |> List.filteri (fun i _ -> i mod 2 = 1))
+  in
+  Helpers.check_tree_queries ~seed:6 tree survivors
+
+let test_logmethod_under_tiny_cache () =
+  let pager = Pager.create_memory ~page_size:Helpers.small_page_size () in
+  let pool = Buffer_pool.create ~capacity:2 pager in
+  let t = Prt_logmethod.Logmethod.create ~buffer_capacity:14 pool in
+  let entries = Helpers.random_entries ~n:300 ~seed:7 in
+  Array.iter (Prt_logmethod.Logmethod.insert t) entries;
+  Prt_logmethod.Logmethod.validate t;
+  let q = Helpers.random_rect (Prt_util.Rng.create 8) in
+  let result, _ = Prt_logmethod.Logmethod.query_list t q in
+  Alcotest.(check (list int)) "query under pressure" (Helpers.brute_force entries q)
+    (Helpers.ids_of result)
+
+(* --- file-backed persistence --- *)
+
+let test_file_backed_tree_roundtrip () =
+  with_temp_file (fun path ->
+      let entries = Helpers.random_entries ~n:300 ~seed:9 in
+      (* Build and persist. *)
+      let pager = Pager.create_file ~page_size:Helpers.small_page_size path in
+      let pool = Buffer_pool.create ~capacity:64 pager in
+      let meta = Buffer_pool.alloc pool in
+      let tree = Prt_prtree.Prtree.load pool entries in
+      Rtree.save_meta tree ~meta_page:meta;
+      Buffer_pool.flush pool;
+      Pager.close pager;
+      (* Reopen cold and verify. *)
+      let pager = Pager.open_file ~page_size:Helpers.small_page_size path in
+      let pool = Buffer_pool.create ~capacity:64 pager in
+      let tree = Rtree.load_meta pool ~meta_page:meta in
+      Alcotest.(check int) "count" 300 (Rtree.count tree);
+      ignore (Helpers.check_structure tree);
+      Helpers.check_tree_queries ~seed:10 tree entries;
+      Pager.close pager)
+
+let test_file_backed_updates_persist () =
+  with_temp_file (fun path ->
+      let entries = Helpers.random_entries ~n:100 ~seed:11 in
+      let extra = Entry.make (Rect.point 0.123 0.456) 999 in
+      let pager = Pager.create_file ~page_size:Helpers.small_page_size path in
+      let pool = Buffer_pool.create ~capacity:64 pager in
+      let meta = Buffer_pool.alloc pool in
+      let tree = Prt_rtree.Bulk_hilbert.load_h pool entries in
+      Dynamic.insert tree extra;
+      ignore (Dynamic.delete tree entries.(0));
+      Rtree.save_meta tree ~meta_page:meta;
+      Buffer_pool.flush pool;
+      Pager.close pager;
+      let pager = Pager.open_file ~page_size:Helpers.small_page_size path in
+      let pool = Buffer_pool.create ~capacity:64 pager in
+      let tree = Rtree.load_meta pool ~meta_page:meta in
+      Alcotest.(check int) "count survived" 100 (Rtree.count tree);
+      let hits, _ = Rtree.query_list tree (Rect.point 0.123 0.456) in
+      Alcotest.(check bool) "inserted entry present" true
+        (List.exists (fun e -> Entry.id e = 999) hits);
+      let hits, _ = Rtree.query_list tree (Entry.rect entries.(0)) in
+      Alcotest.(check bool) "deleted entry gone" false
+        (List.exists (fun e -> Entry.id e = Entry.id entries.(0)) hits);
+      Pager.close pager)
+
+(* --- odd record geometries in the extsort layer --- *)
+
+module Odd_record = struct
+  type t = int * int
+
+  let size = 12 (* 64-byte pages hold 5 with 4 bytes of slack *)
+
+  let write buf off (a, b) =
+    Page.set_i32 buf off a;
+    Bytes.set_int64_le buf (off + 4) (Int64.of_int b)
+
+  let read buf off = (Page.get_i32 buf off, Int64.to_int (Bytes.get_int64_le buf (off + 4)))
+end
+
+module Odd_file = Prt_extsort.Record_file.Make (Odd_record)
+
+let test_extsort_odd_record_size () =
+  let pager = Pager.create_memory ~page_size:64 () in
+  let values = Array.init 123 (fun i -> ((i * 7) mod 31, i)) in
+  let file = Odd_file.of_array pager values in
+  Alcotest.(check bool) "roundtrip" true (Odd_file.read_all file = values);
+  let sorted = Odd_file.sort ~mem_records:20 ~cmp:compare file in
+  let expected = Array.copy values in
+  Array.sort compare expected;
+  Alcotest.(check bool) "sorted" true (Odd_file.read_all sorted = expected)
+
+let suite =
+  [
+    Alcotest.test_case "corrupt kind byte detected" `Quick test_corrupt_kind_byte;
+    Alcotest.test_case "corrupt child pointer detected" `Quick
+      test_corrupt_child_pointer_detected;
+    Alcotest.test_case "truncated index file rejected" `Quick test_truncated_index_file;
+    Alcotest.test_case "garbage metadata rejected" `Quick test_load_meta_garbage;
+    Alcotest.test_case "queries correct under 2-page cache" `Quick
+      test_query_correct_under_tiny_cache;
+    Alcotest.test_case "updates correct under 2-page cache" `Quick
+      test_updates_correct_under_tiny_cache;
+    Alcotest.test_case "logmethod correct under 2-page cache" `Quick
+      test_logmethod_under_tiny_cache;
+    Alcotest.test_case "file-backed tree roundtrip" `Quick test_file_backed_tree_roundtrip;
+    Alcotest.test_case "file-backed updates persist" `Quick test_file_backed_updates_persist;
+    Alcotest.test_case "extsort with page slack" `Quick test_extsort_odd_record_size;
+  ]

@@ -1,0 +1,232 @@
+(* R-tree framework tests: entry/node codecs, and for every bulk loader
+   (packed Hilbert, 4-D Hilbert, STR, TGS): structural validity, exact
+   agreement with a brute-force oracle on random window queries, and the
+   near-100% utilization the paper reports for packed loaders. *)
+
+module Rect = Prt_geom.Rect
+module Pager = Prt_storage.Pager
+module Entry = Prt_rtree.Entry
+module Node = Prt_rtree.Node
+module Rtree = Prt_rtree.Rtree
+module Pack = Prt_rtree.Pack
+module Bulk_hilbert = Prt_rtree.Bulk_hilbert
+module Bulk_str = Prt_rtree.Bulk_str
+module Bulk_tgs = Prt_rtree.Bulk_tgs
+
+(* --- codecs --- *)
+
+let test_entry_codec_roundtrip () =
+  let buf = Bytes.create 100 in
+  let e = Entry.make (Rect.make ~xmin:(-1.5) ~ymin:0.25 ~xmax:3.75 ~ymax:1e9) 123456 in
+  Entry.write buf 7 e;
+  Alcotest.(check bool) "roundtrip" true (Entry.equal e (Entry.read buf 7))
+
+let test_entry_size () =
+  Alcotest.(check int) "36 bytes, the paper's record" 36 Entry.size;
+  (* 4 KB pages must give the paper's fanout of 113. *)
+  Alcotest.(check int) "fanout 113" 113 (Node.capacity ~page_size:4096)
+
+let test_entry_compare_dim () =
+  let a = Entry.make (Rect.make ~xmin:0.0 ~ymin:5.0 ~xmax:1.0 ~ymax:6.0) 1 in
+  let b = Entry.make (Rect.make ~xmin:2.0 ~ymin:3.0 ~xmax:4.0 ~ymax:9.0) 2 in
+  Alcotest.(check bool) "xmin order" true (Entry.compare_dim 0 a b < 0);
+  Alcotest.(check bool) "ymin order" true (Entry.compare_dim 1 a b > 0);
+  Alcotest.(check bool) "xmax order" true (Entry.compare_dim 2 a b < 0);
+  Alcotest.(check bool) "ymax order" true (Entry.compare_dim 3 a b < 0);
+  (* Identical rectangles order by id. *)
+  let c = Entry.make (Entry.rect a) 9 in
+  Alcotest.(check bool) "id tiebreak" true (Entry.compare_dim 0 a c < 0)
+
+let test_node_codec_roundtrip () =
+  let entries = Helpers.random_entries ~n:14 ~seed:5 in
+  let node = Node.make Node.Leaf entries in
+  let decoded = Node.decode (Node.encode ~page_size:Helpers.small_page_size node) in
+  Alcotest.(check int) "count" 14 (Node.length decoded);
+  Alcotest.(check bool) "kind" true (Node.kind decoded = Node.Leaf);
+  Array.iteri
+    (fun i e -> Alcotest.(check bool) "entry" true (Entry.equal e (Node.entries decoded).(i)))
+    entries
+
+let test_node_overflow () =
+  let entries = Helpers.random_entries ~n:15 ~seed:5 in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Node.encode ~page_size:Helpers.small_page_size (Node.make Node.Leaf entries));
+       false
+     with Invalid_argument _ -> true)
+
+let test_node_bad_kind () =
+  let buf = Bytes.make Helpers.small_page_size '\255' in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Node.decode buf);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- loaders --- *)
+
+let loaders =
+  [
+    ("hilbert2d", fun pool entries -> Bulk_hilbert.load_h pool entries);
+    ("hilbert4d", fun pool entries -> Bulk_hilbert.load_h4 pool entries);
+    ("str", Bulk_str.load);
+    ("tgs", Bulk_tgs.load);
+  ]
+
+let test_loader_queries (name, load) () =
+  List.iter
+    (fun n ->
+      let entries = Helpers.random_entries ~n ~seed:(n + 17) in
+      let pool = Helpers.small_pool () in
+      let tree = load pool entries in
+      Alcotest.(check int) (name ^ " count") n (Rtree.count tree);
+      let structure = Helpers.check_structure tree in
+      Alcotest.(check int) (name ^ " entries") n structure.Rtree.entries;
+      Helpers.check_tree_queries ~seed:(n * 31) tree entries)
+    [ 0; 1; 5; 14; 15; 50; 200; 600 ]
+
+let test_loader_all_leaves_same_level (name, load) () =
+  let entries = Helpers.random_entries ~n:400 ~seed:3 in
+  let pool = Helpers.small_pool () in
+  let tree = load pool entries in
+  let depths = ref [] in
+  Rtree.iter_nodes tree ~f:(fun ~depth ~id:_ node ->
+      if Node.kind node = Node.Leaf then depths := depth :: !depths);
+  let unique = List.sort_uniq Int.compare !depths in
+  Alcotest.(check int) (name ^ " single leaf depth") 1 (List.length unique);
+  Alcotest.(check int) (name ^ " leaf depth = height") (Rtree.height tree) (List.hd unique)
+
+let test_loader_duplicate_rects (name, load) () =
+  (* Many identical rectangles: loaders must still produce a valid tree
+     and exact query answers. *)
+  let r = Rect.make ~xmin:0.4 ~ymin:0.4 ~xmax:0.6 ~ymax:0.6 in
+  let entries = Array.init 100 (fun i -> Entry.make r i) in
+  let pool = Helpers.small_pool () in
+  let tree = load pool entries in
+  ignore (Helpers.check_structure tree);
+  Helpers.check_query_matches_brute_force tree entries r;
+  Helpers.check_query_matches_brute_force tree entries (Rect.point 0.5 0.5);
+  Alcotest.(check bool) (name ^ " miss") true
+    (let result, _ = Rtree.query_list tree (Rect.point 0.9 0.9) in
+     result = [])
+
+let test_packed_utilization () =
+  (* The paper reports > 99% space utilization for all bulk loaders; for
+     our packed loaders only the last node per level may be underfull. *)
+  let entries = Helpers.random_entries ~n:2000 ~seed:21 in
+  List.iter
+    (fun (name, load) ->
+      let pool = Helpers.small_pool () in
+      let tree = load pool entries in
+      let s = Helpers.check_structure tree in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s utilization %.3f > 0.9" name s.Rtree.utilization)
+        true (s.Rtree.utilization > 0.9))
+    [ ("hilbert2d", fun pool entries -> Bulk_hilbert.load_h pool entries); ("hilbert4d", fun pool entries -> Bulk_hilbert.load_h4 pool entries); ("str", Bulk_str.load) ]
+
+let test_empty_tree_queries () =
+  let pool = Helpers.small_pool () in
+  let tree = Rtree.create_empty pool in
+  let result, stats = Rtree.query_list tree (Rect.point 0.5 0.5) in
+  Alcotest.(check (list int)) "no results" [] (Helpers.ids_of result);
+  Alcotest.(check int) "visits the root leaf" 1 stats.Rtree.leaf_visited;
+  ignore (Helpers.check_structure tree)
+
+let test_query_stats_leaf_counts () =
+  let entries = Helpers.random_entries ~n:500 ~seed:11 in
+  let pool = Helpers.small_pool () in
+  let tree = Bulk_hilbert.load_h pool entries in
+  let s = Helpers.check_structure tree in
+  (* A query covering everything must visit every node. *)
+  let world = Rect.union_map ~f:Entry.rect entries in
+  let stats = Rtree.query_count tree world in
+  Alcotest.(check int) "all leaves visited" s.Rtree.leaves stats.Rtree.leaf_visited;
+  Alcotest.(check int) "all nodes visited" s.Rtree.nodes (Rtree.nodes_visited stats);
+  Alcotest.(check int) "all entries matched" 500 stats.Rtree.matched
+
+let prop_loader_query_correct =
+  QCheck.Test.make ~name:"all loaders answer random queries exactly" ~count:25
+    (QCheck.pair (Helpers.arbitrary_entries 300) QCheck.(int_range 0 1_000_000))
+    (fun (entries, qseed) ->
+      let query = Helpers.random_rect (Prt_util.Rng.create qseed) in
+      let expected = Helpers.brute_force entries query in
+      List.for_all
+        (fun (_, load) ->
+          let pool = Helpers.small_pool () in
+          let tree = load pool entries in
+          let result, _ = Rtree.query_list tree query in
+          Helpers.ids_of result = expected)
+        loaders)
+
+let test_tgs_beats_random_order () =
+  (* Sanity check that TGS produces a genuinely clustered tree: on
+     uniform data its average query must touch far fewer leaves than a
+     tree packed in input (random) order. *)
+  let entries = Helpers.random_entries ~n:1500 ~seed:8 in
+  let random_tree = Pack.build_from_ordered (Helpers.small_pool ()) entries in
+  let tgs_tree = Bulk_tgs.load (Helpers.small_pool ()) entries in
+  let queries = Helpers.random_queries ~n:30 ~seed:9 in
+  let leaves tree =
+    Array.fold_left (fun acc q -> acc + (Rtree.query_count tree q).Rtree.leaf_visited) 0 queries
+  in
+  let r = leaves random_tree and t = leaves tgs_tree in
+  Alcotest.(check bool) (Printf.sprintf "tgs %d < random %d / 2" t r) true (t < r / 2)
+
+let test_meta_roundtrip () =
+  let pool = Helpers.small_pool () in
+  let meta_page = Prt_storage.Buffer_pool.alloc pool in
+  let entries = Helpers.random_entries ~n:100 ~seed:4 in
+  let tree = Bulk_hilbert.load_h pool entries in
+  Rtree.save_meta tree ~meta_page;
+  let reopened = Rtree.load_meta pool ~meta_page in
+  Alcotest.(check int) "root" (Rtree.root tree) (Rtree.root reopened);
+  Alcotest.(check int) "height" (Rtree.height tree) (Rtree.height reopened);
+  Alcotest.(check int) "count" (Rtree.count tree) (Rtree.count reopened);
+  Helpers.check_tree_queries ~seed:44 reopened entries
+
+let test_validate_catches_corruption () =
+  let pool = Helpers.small_pool () in
+  let entries = Helpers.random_entries ~n:200 ~seed:2 in
+  let tree = Bulk_hilbert.load_h pool entries in
+  (* Corrupt the MBR of the root's first child. *)
+  let root_node = Rtree.read_node tree (Rtree.root tree) in
+  let root_entries = Node.entries root_node in
+  root_entries.(0) <- Entry.make (Rect.point 0.0 0.0) (Entry.id root_entries.(0));
+  Rtree.write_node tree (Rtree.root tree) (Node.make (Node.kind root_node) root_entries);
+  Alcotest.(check bool) "validation fails" true
+    (try
+       ignore (Rtree.validate tree);
+       false
+     with Rtree.Invalid _ -> true)
+
+let suite =
+  let loader_cases =
+    List.concat_map
+      (fun loader ->
+        let name, _ = loader in
+        [
+          Alcotest.test_case (name ^ ": query vs oracle across sizes") `Quick
+            (test_loader_queries loader);
+          Alcotest.test_case (name ^ ": leaves on one level") `Quick
+            (test_loader_all_leaves_same_level loader);
+          Alcotest.test_case (name ^ ": duplicate rectangles") `Quick
+            (test_loader_duplicate_rects loader);
+        ])
+      loaders
+  in
+  [
+    Alcotest.test_case "entry: codec roundtrip" `Quick test_entry_codec_roundtrip;
+    Alcotest.test_case "entry: paper record size" `Quick test_entry_size;
+    Alcotest.test_case "entry: kd comparators" `Quick test_entry_compare_dim;
+    Alcotest.test_case "node: codec roundtrip" `Quick test_node_codec_roundtrip;
+    Alcotest.test_case "node: overflow" `Quick test_node_overflow;
+    Alcotest.test_case "node: bad kind" `Quick test_node_bad_kind;
+    Alcotest.test_case "tree: empty queries" `Quick test_empty_tree_queries;
+    Alcotest.test_case "tree: stats count every node" `Quick test_query_stats_leaf_counts;
+    Alcotest.test_case "tree: packed utilization" `Quick test_packed_utilization;
+    Alcotest.test_case "tree: meta roundtrip" `Quick test_meta_roundtrip;
+    Alcotest.test_case "tree: validate catches corruption" `Quick test_validate_catches_corruption;
+    Alcotest.test_case "tgs: beats random packing" `Quick test_tgs_beats_random_order;
+    Helpers.qcheck_case prop_loader_query_correct;
+  ]
+  @ loader_cases

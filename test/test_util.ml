@@ -1,0 +1,245 @@
+(* Tests for the util substrate: RNG, selection, priority queue,
+   statistics, table rendering. *)
+
+module Rng = Prt_util.Rng
+module Select = Prt_util.Select
+module Pqueue = Prt_util.Pqueue
+module Stats = Prt_util.Stats
+module Table = Prt_util.Table
+
+(* --- Rng --- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next_int64 a) (Rng.next_int64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if not (Int64.equal (Rng.next_int64 a) (Rng.next_int64 b)) then differs := true
+  done;
+  Alcotest.(check bool) "different seeds differ" true !differs
+
+let test_rng_int_range () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done
+
+let test_rng_int_rejects_bad_bound () =
+  let rng = Rng.create 7 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0))
+
+let test_rng_float_range () =
+  let rng = Rng.create 11 in
+  for _ = 1 to 1000 do
+    let v = Rng.float rng 3.5 in
+    Alcotest.(check bool) "in [0,3.5)" true (v >= 0.0 && v < 3.5)
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create 5 in
+  let b = Rng.split a in
+  let xa = Rng.next_int64 a and xb = Rng.next_int64 b in
+  Alcotest.(check bool) "split streams differ" false (Int64.equal xa xb)
+
+let test_rng_int_covers_values () =
+  let rng = Rng.create 3 in
+  let seen = Array.make 4 false in
+  for _ = 1 to 200 do
+    seen.(Rng.int rng 4) <- true
+  done;
+  Alcotest.(check bool) "all residues seen" true (Array.for_all Fun.id seen)
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.create 9 in
+  let arr = Array.init 50 Fun.id in
+  Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort Int.compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 50 Fun.id) sorted
+
+let prop_gaussian_moments =
+  QCheck.Test.make ~name:"gaussian has roughly standard moments" ~count:5
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let n = 5000 in
+      let values = Array.init n (fun _ -> Rng.gaussian rng) in
+      let mean = Stats.mean values and sd = Stats.stddev values in
+      Float.abs mean < 0.1 && Float.abs (sd -. 1.0) < 0.1)
+
+(* --- Select --- *)
+
+let prop_select_matches_sort =
+  QCheck.Test.make ~name:"select yields the sorted order statistic" ~count:200
+    QCheck.(pair (list_of_size Gen.(int_range 1 60) int) small_nat)
+    (fun (l, k) ->
+      let arr = Array.of_list l in
+      let n = Array.length arr in
+      let k = k mod n in
+      let v = Select.select ~cmp:Int.compare (Array.copy arr) 0 n k in
+      let sorted = Array.copy arr in
+      Array.sort Int.compare sorted;
+      v = sorted.(k))
+
+let prop_smallest_to_front =
+  QCheck.Test.make ~name:"smallest_to_front moves the k smallest" ~count:200
+    QCheck.(pair (list_of_size Gen.(int_range 1 60) int) small_nat)
+    (fun (l, k) ->
+      let arr = Array.of_list l in
+      let n = Array.length arr in
+      let k = k mod (n + 1) in
+      Select.smallest_to_front ~cmp:Int.compare arr 0 n k;
+      let front = Array.sub arr 0 k and rest = Array.sub arr k (n - k) in
+      Array.sort Int.compare front;
+      let sorted = Array.of_list l in
+      Array.sort Int.compare sorted;
+      (* Front holds the k smallest (as a multiset)... *)
+      front = Array.sub sorted 0 k
+      (* ...and everything in the back is >= everything in front. *)
+      && (k = 0 || Array.for_all (fun v -> v >= front.(k - 1)) rest))
+
+let prop_partition_preserves_multiset =
+  QCheck.Test.make ~name:"partition_at permutes the range" ~count:200
+    QCheck.(pair (list_of_size Gen.(int_range 1 60) int) small_nat)
+    (fun (l, k) ->
+      let arr = Array.of_list l in
+      let n = Array.length arr in
+      let k = k mod n in
+      Select.partition_at ~cmp:Int.compare arr 0 n k;
+      let after = Array.copy arr and before = Array.of_list l in
+      Array.sort Int.compare after;
+      Array.sort Int.compare before;
+      after = before)
+
+let test_select_subrange () =
+  let arr = [| 100; 5; 3; 9; 1; 7; -100 |] in
+  (* Select within [1, 6): the sorted subrange is [1;3;5;7;9], so
+     absolute index 3 holds rank 2 of the subrange, i.e. 5. *)
+  let v = Select.select ~cmp:Int.compare arr 1 6 3 in
+  Alcotest.(check int) "rank within subrange" 5 v;
+  Alcotest.(check int) "untouched left sentinel" 100 arr.(0);
+  Alcotest.(check int) "untouched right sentinel" (-100) arr.(6)
+
+let test_select_duplicates () =
+  let arr = Array.make 20 5 in
+  Alcotest.(check int) "all equal" 5 (Select.select ~cmp:Int.compare arr 0 20 10)
+
+let test_median () =
+  let arr = [| 5; 2; 8; 1; 9 |] in
+  Alcotest.(check int) "median" 5 (Select.median ~cmp:Int.compare arr 0 5);
+  let arr2 = [| 4; 1; 3; 2 |] in
+  Alcotest.(check int) "lower median" 2 (Select.median ~cmp:Int.compare arr2 0 4)
+
+let test_select_bad_range () =
+  Alcotest.check_raises "empty range" (Invalid_argument "Select.select: index out of range")
+    (fun () -> ignore (Select.select ~cmp:Int.compare [| 1 |] 0 0 0))
+
+(* --- Pqueue --- *)
+
+let prop_heapsort =
+  QCheck.Test.make ~name:"pqueue drains in sorted order" ~count:200
+    QCheck.(list int)
+    (fun l ->
+      let q = Pqueue.create Int.compare in
+      List.iter (Pqueue.add q) l;
+      let rec drain acc = match Pqueue.pop q with Some x -> drain (x :: acc) | None -> List.rev acc in
+      drain [] = List.sort Int.compare l)
+
+let test_pqueue_empty () =
+  let q = Pqueue.create Int.compare in
+  Alcotest.(check bool) "is_empty" true (Pqueue.is_empty q);
+  Alcotest.(check (option int)) "pop empty" None (Pqueue.pop q);
+  Alcotest.(check (option int)) "peek empty" None (Pqueue.peek q);
+  Alcotest.check_raises "pop_exn" (Invalid_argument "Pqueue.pop_exn: empty") (fun () ->
+      ignore (Pqueue.pop_exn q))
+
+let test_pqueue_peek () =
+  let q = Pqueue.create Int.compare in
+  Pqueue.add q 5;
+  Pqueue.add q 2;
+  Pqueue.add q 9;
+  Alcotest.(check (option int)) "peek min" (Some 2) (Pqueue.peek q);
+  Alcotest.(check int) "length" 3 (Pqueue.length q)
+
+let test_pqueue_floats () =
+  (* Exercises the lazily-allocated backing array with unboxed floats. *)
+  let q = Pqueue.create Float.compare in
+  List.iter (Pqueue.add q) [ 3.5; -1.0; 0.25 ];
+  Alcotest.(check (option (float 0.0))) "min float" (Some (-1.0)) (Pqueue.pop q)
+
+(* --- Stats --- *)
+
+let test_stats_summary () =
+  let s = Stats.summarize [| 1.0; 2.0; 3.0; 4.0 |] in
+  Alcotest.(check (float 1e-9)) "mean" 2.5 s.Stats.mean;
+  Alcotest.(check (float 1e-9)) "total" 10.0 s.Stats.total;
+  Alcotest.(check (float 1e-9)) "min" 1.0 s.Stats.min;
+  Alcotest.(check (float 1e-9)) "max" 4.0 s.Stats.max;
+  Alcotest.(check (float 1e-6)) "stddev" 1.2909944487 s.Stats.stddev
+
+let test_stats_empty () =
+  let s = Stats.summarize [||] in
+  Alcotest.(check int) "n" 0 s.Stats.n;
+  Alcotest.(check (float 0.0)) "mean" 0.0 s.Stats.mean
+
+let test_percentile () =
+  let v = [| 10.0; 20.0; 30.0; 40.0 |] in
+  Alcotest.(check (float 1e-9)) "p0" 10.0 (Stats.percentile v 0.0);
+  Alcotest.(check (float 1e-9)) "p100" 40.0 (Stats.percentile v 100.0);
+  Alcotest.(check (float 1e-9)) "p50" 25.0 (Stats.percentile v 50.0)
+
+let test_percentile_errors () =
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.percentile: empty") (fun () ->
+      ignore (Stats.percentile [||] 50.0))
+
+(* --- Table --- *)
+
+let test_table_render () =
+  let out = Table.render ~header:[ "name"; "count" ] [ [ "alpha"; "12" ]; [ "b"; "3" ] ] in
+  Alcotest.(check bool) "contains header" true (String.length out > 0);
+  let lines = String.split_on_char '\n' out in
+  (match lines with
+  | header :: _ ->
+      Alcotest.(check bool) "header starts with name" true
+        (String.length header >= 4 && String.sub header 0 4 = "name")
+  | [] -> Alcotest.fail "no output");
+  (* Numeric column is right-aligned: "12" under "count" ends the line. *)
+  let row = List.nth lines 2 in
+  Alcotest.(check bool) "right-aligned numeric" true
+    (String.length row > 0 && row.[String.length row - 1] = '2')
+
+let suite =
+  [
+    Alcotest.test_case "rng: deterministic" `Quick test_rng_deterministic;
+    Alcotest.test_case "rng: seed sensitivity" `Quick test_rng_seed_sensitivity;
+    Alcotest.test_case "rng: int range" `Quick test_rng_int_range;
+    Alcotest.test_case "rng: int bad bound" `Quick test_rng_int_rejects_bad_bound;
+    Alcotest.test_case "rng: float range" `Quick test_rng_float_range;
+    Alcotest.test_case "rng: split independence" `Quick test_rng_split_independent;
+    Alcotest.test_case "rng: int covers values" `Quick test_rng_int_covers_values;
+    Alcotest.test_case "rng: shuffle permutation" `Quick test_rng_shuffle_permutation;
+    Helpers.qcheck_case prop_gaussian_moments;
+    Helpers.qcheck_case prop_select_matches_sort;
+    Helpers.qcheck_case prop_smallest_to_front;
+    Helpers.qcheck_case prop_partition_preserves_multiset;
+    Alcotest.test_case "select: subrange" `Quick test_select_subrange;
+    Alcotest.test_case "select: duplicates" `Quick test_select_duplicates;
+    Alcotest.test_case "select: median" `Quick test_median;
+    Alcotest.test_case "select: bad range" `Quick test_select_bad_range;
+    Helpers.qcheck_case prop_heapsort;
+    Alcotest.test_case "pqueue: empty" `Quick test_pqueue_empty;
+    Alcotest.test_case "pqueue: peek/length" `Quick test_pqueue_peek;
+    Alcotest.test_case "pqueue: floats" `Quick test_pqueue_floats;
+    Alcotest.test_case "stats: summary" `Quick test_stats_summary;
+    Alcotest.test_case "stats: empty" `Quick test_stats_empty;
+    Alcotest.test_case "stats: percentile" `Quick test_percentile;
+    Alcotest.test_case "stats: percentile errors" `Quick test_percentile_errors;
+    Alcotest.test_case "table: render" `Quick test_table_render;
+  ]
