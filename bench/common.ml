@@ -32,7 +32,50 @@ let capacity = Prt_rtree.Node.capacity ~page_size
 let mem_records ~scale =
   max (16 * capacity) (int_of_float (float_of_int 1_800_000 /. 100.0 *. scale))
 
-let fresh_pool () = Buffer_pool.create ~capacity:4096 (Pager.create_memory ~page_size ())
+(* Optional degraded-mode runs: PRT_FAULT_RATE (a probability, e.g. 0.1)
+   wraps every experiment pager in a deterministic failpoint, so the
+   same figures can be reproduced over an unreliable simulated disk.
+   The buffer pool's retry policy absorbs the transient faults; the
+   injected/absorbed counts are reported next to the I/O numbers.  With
+   the variable unset, pagers are bare — fault injection adds exactly
+   zero observable I/O. *)
+let fault_rate =
+  match Sys.getenv_opt "PRT_FAULT_RATE" with
+  | None -> 0.0
+  | Some s -> (
+      match float_of_string_opt s with
+      | Some r when r >= 0.0 && r < 1.0 -> r
+      | _ -> failwith "PRT_FAULT_RATE must be a float in [0, 1)")
+
+let fault_seed =
+  match Sys.getenv_opt "PRT_FAULT_SEED" with
+  | None -> 4242
+  | Some s -> int_of_string s
+
+let fresh_pool () =
+  let pager = Pager.create_memory ~page_size () in
+  let pager =
+    if fault_rate > 0.0 then
+      Pager.wrap_faulty pager
+        (Prt_storage.Failpoint.create (Prt_storage.Failpoint.uniform ~seed:fault_seed fault_rate))
+    else pager
+  in
+  Buffer_pool.create ~capacity:4096 pager
+
+(* One-line degraded-mode summary for a pool (empty when no faults were
+   injected or absorbed). *)
+let degraded_summary pool =
+  let d = Buffer_pool.degraded pool in
+  let injected =
+    match Pager.failpoint (Buffer_pool.pager pool) with
+    | None -> ""
+    | Some fp ->
+        let i = Prt_storage.Failpoint.injected fp in
+        if Prt_storage.Failpoint.total_faults i = 0 then ""
+        else Format.asprintf " injected: %a;" Prt_storage.Failpoint.pp_injected i
+  in
+  if d.Buffer_pool.faults = 0 && injected = "" then None
+  else Some (Format.asprintf "degraded:%s absorbed: %a" injected Buffer_pool.pp_degraded d)
 
 (* In-memory builders: used for the query experiments, where only the
    resulting tree matters. *)
@@ -69,6 +112,9 @@ let measure_build variant ~scale entries =
   Buffer_pool.flush pool;
   let seconds = Unix.gettimeofday () -. t0 in
   let d = Pager.diff ~before ~after:(Pager.snapshot pager) in
+  (match degraded_summary pool with
+  | Some s -> Printf.printf "   [%s %s]\n%!" (name variant) s
+  | None -> ());
   { ios = Pager.total_io d; seconds; tree }
 
 type query_cost = {
@@ -133,5 +179,10 @@ let commas n =
 
 let section title =
   Printf.printf "\n== %s ==\n%!" title
+
+let degraded_banner () =
+  if fault_rate > 0.0 then
+    Printf.printf "   (degraded mode: injecting faults at rate %.1f%%, seed %d)\n%!"
+      (100.0 *. fault_rate) fault_seed
 
 let note fmt = Printf.ksprintf (fun s -> Printf.printf "%s\n%!" s) fmt

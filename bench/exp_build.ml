@@ -16,6 +16,7 @@ open Common
    Eastern H/H4 1.7, PR 4.4, TGS 21.1. *)
 let fig9 ~scale ~seed =
   section "Figure 9: bulk-loading cost on TIGER-like data";
+  degraded_banner ();
   let datasets =
     [ ("Western", Tiger.western ~scale ~seed); ("Eastern", Tiger.eastern ~scale ~seed:(seed + 1)) ]
   in
@@ -59,6 +60,7 @@ let fig9 ~scale ~seed =
    TGS 1.8/6.2/11.0/15.2/21.1. *)
 let fig10 ~scale ~seed =
   section "Figure 10: bulk-loading I/Os vs dataset size (Eastern slices)";
+  degraded_banner ();
   let subsets = Tiger.eastern_subsets ~scale ~seed in
   let header =
     "variant"
@@ -82,6 +84,7 @@ let fig10 ~scale ~seed =
    H/H4/PR are not. *)
 let fig11 ~scale ~seed =
   section "Figure 11: TGS bulk-loading cost across distributions";
+  degraded_banner ();
   let n = int_of_float (100_000.0 *. scale) in
   let size_params = [ 0.002; 0.005; 0.01; 0.02; 0.05; 0.1; 0.2 ] in
   let aspect_params = [ 10.0; 100.0; 1_000.0; 10_000.0; 100_000.0 ] in

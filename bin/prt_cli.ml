@@ -5,6 +5,7 @@
      prt build --variant pr -i roads.dat -o roads.idx
      prt query -i roads.idx --window 0.2,0.2,0.3,0.3
      prt validate -i roads.idx
+     prt audit -i roads.idx
 
    Data files are flat pages of 36-byte entry records with a one-page
    header; index files are pager images whose page 0 holds the R-tree
@@ -347,6 +348,31 @@ let validate_cmd =
     (Cmd.info "validate" ~doc:"Check the structural invariants of an index file.")
     Term.(const run $ index)
 
+let audit_cmd =
+  let index =
+    Arg.(required & opt (some string) None & info [ "i"; "index" ] ~docv:"FILE" ~doc:"Index file.")
+  in
+  let no_leaks =
+    Arg.(
+      value & flag
+      & info [ "no-leak-check" ] ~doc:"Skip the page-leak sweep (for indexes sharing their file).")
+  in
+  let run index no_leaks =
+    with_index index (fun tree ->
+        (* Page 0 holds the index metadata; it is reachable by contract. *)
+        let report =
+          Audit.check ~check_leaks:(not no_leaks) ~reachable:[ 0 ] tree
+        in
+        Printf.printf "%s\n" (Format.asprintf "%a" Audit.pp_report report);
+        if not (Audit.ok report) then exit 1)
+  in
+  Cmd.v
+    (Cmd.info "audit"
+       ~doc:
+         "Run the full invariant audit on an index file: MBR containment and tightness, uniform \
+          leaf depth, fill bounds, entry counts, and page leaks. Exits 1 on any violation.")
+    Term.(const run $ index $ no_leaks)
+
 let () =
   let doc = "Priority R-tree spatial index tooling" in
   let info = Cmd.info "prt" ~version:"1.0.0" ~doc in
@@ -364,4 +390,5 @@ let () =
             compare_cmd;
             stats_cmd;
             validate_cmd;
+            audit_cmd;
           ]))

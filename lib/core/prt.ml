@@ -11,11 +11,13 @@ module Rng = Prt_util.Rng
 module Stats = Prt_util.Stats
 module Table = Prt_util.Table
 
-(* The simulated disk and caching. *)
+(* The simulated disk and caching, plus deterministic fault injection
+   for storage-stress testing. *)
 module Page = Prt_storage.Page
 module Pager = Prt_storage.Pager
 module Buffer_pool = Prt_storage.Buffer_pool
 module Lru = Prt_storage.Lru
+module Failpoint = Prt_storage.Failpoint
 
 (* Hilbert curves. *)
 module Hilbert2d = Prt_hilbert.Hilbert2d
@@ -45,6 +47,10 @@ end
 module Kdbtree = Prt_rtree.Kdbtree
 module Metrics = Prt_rtree.Metrics
 
+(* The unified invariant audit (MBR tightness, leaf depth, fill bounds,
+   page leaks, pseudo-node degree, priority-leaf extremeness). *)
+module Audit = Prt_rtree.Audit
+
 (* The fully dynamic Hilbert R-tree (the paper's reference [16]). *)
 module Hilbert_rtree = Prt_rtree.Hilbert_rtree
 
@@ -62,6 +68,7 @@ module Ndtree = struct
   module Prtree = Prt_ndtree.Prtree_nd
   module Split = Prt_ndtree.Split_nd
   module Dynamic = Prt_ndtree.Dynamic_nd
+  module Audit = Prt_ndtree.Audit_nd
 end
 
 (* Dynamization via the logarithmic method. *)
@@ -81,6 +88,13 @@ let memory_pool ?(page_size = Pager.default_page_size) ?(cache_pages = 4096) () 
 (* A file-backed pool for persistent indexes. *)
 let file_pool ?(page_size = Pager.default_page_size) ?(cache_pages = 4096) path =
   Buffer_pool.create ~capacity:cache_pages (Pager.create_file ~page_size path)
+
+(* An in-memory pool over an unreliable simulated disk: faults are
+   injected per [config], transient ones absorbed by the pool's retry
+   policy.  The storage-stress testing path. *)
+let faulty_pool ?(page_size = Pager.default_page_size) ?(cache_pages = 4096) ?retry config =
+  let pager = Pager.wrap_faulty (Pager.create_memory ~page_size ()) (Failpoint.create config) in
+  Buffer_pool.create ~capacity:cache_pages ?retry pager
 
 let entries_of_rects rects = Array.mapi (fun i r -> Entry.make r i) rects
 

@@ -14,6 +14,22 @@ module Pager = Prt_storage.Pager
 module Page = Prt_storage.Page
 module Pqueue = Prt_util.Pqueue
 
+(* Record files stream straight through the pager (deliberately: a
+   sequential scan must not evict the buffer pool's cache), so they
+   absorb transient device faults themselves.  Same bound as
+   [Buffer_pool.default_retry]: enough attempts to outlast any failpoint
+   with the default max_consecutive cap; a permanent fault still
+   surfaces as [Pager.Io_error].  Retrying is safe because every
+   operation here is a full-page read or a full-page (re-)write. *)
+let io_attempts = 5
+
+let with_retry f =
+  let rec go attempt =
+    try f ()
+    with Pager.Io_error _ when attempt < io_attempts -> go (attempt + 1)
+  in
+  go 1
+
 module type RECORD = sig
   type t
 
@@ -71,8 +87,8 @@ module Make (R : RECORD) = struct
     t.tail_used <- t.tail_used + 1;
     t.count <- t.count + 1;
     if t.tail_used = per_page t.pager then begin
-      let id = Pager.alloc t.pager in
-      Pager.write t.pager id buf;
+      let id = with_retry (fun () -> Pager.alloc t.pager) in
+      with_retry (fun () -> Pager.write t.pager id buf);
       push_page t id;
       t.tail <- None;
       t.tail_used <- 0
@@ -82,8 +98,8 @@ module Make (R : RECORD) = struct
     if not t.sealed then begin
       (match t.tail with
       | Some buf ->
-          let id = Pager.alloc t.pager in
-          Pager.write t.pager id buf;
+          let id = with_retry (fun () -> Pager.alloc t.pager) in
+          with_retry (fun () -> Pager.write t.pager id buf);
           push_page t id;
           t.tail <- None;
           t.tail_used <- 0
@@ -131,7 +147,7 @@ module Make (R : RECORD) = struct
     if r.remaining = 0 then None
     else begin
       if r.in_page = 0 then begin
-        Pager.read_into r.file.pager r.file.pages.(r.page_idx) r.buf;
+        with_retry (fun () -> Pager.read_into r.file.pager r.file.pages.(r.page_idx) r.buf);
         r.page_idx <- r.page_idx + 1;
         r.in_page <- min (per_page r.file.pager) r.remaining;
         r.offset <- 0

@@ -141,6 +141,87 @@ let rec size t =
   | Leaf { entries; _ } -> Array.length entries
   | Node { children; _ } -> List.fold_left (fun acc c -> acc + size c) 0 children
 
+(* Flatten the tree into the unified audit's neutral descriptors.  The
+   geometry-aware part — is this priority leaf really extreme? — is
+   computed here: every entry of a priority leaf in direction [d] must
+   be at least as extreme under [extreme_cmp d] as every entry held by
+   the siblings that come after it (later priority leaves and the kd
+   subtrees), because the build peels the directions in order. *)
+let audit ?(b = 113) t =
+  let module Audit = Prt_rtree.Audit in
+  let descs = ref [] in
+  let add d = descs := d :: !descs in
+  let rec subtree_entries t acc =
+    match t with
+    | Leaf { entries; _ } -> entries :: acc
+    | Node { children; _ } -> List.fold_left (fun acc c -> subtree_entries c acc) acc children
+  in
+  let leaf_box_ok box entries =
+    Array.length entries = 0 || Rect.equal box (Rect.union_map ~f:Entry.rect entries)
+  in
+  let emit_leaf where ~box ~entries ~priority ~extreme =
+    add
+      {
+        Audit.pd_where = where;
+        pd_kind =
+          Audit.Pseudo_leaf { size = Array.length entries; priority; extreme };
+        pd_box_ok = leaf_box_ok box entries;
+      }
+  in
+  (* Least-extreme member of the leaf vs. most-extreme member of the
+     rest: one comparison decides the whole leaf. *)
+  let extreme_ok dir entries rest =
+    Array.length entries = 0
+    ||
+    let worst =
+      Array.fold_left
+        (fun w e -> if extreme_cmp dir e w > 0 then e else w)
+        entries.(0) entries
+    in
+    List.for_all (Array.for_all (fun r -> extreme_cmp dir worst r <= 0)) rest
+  in
+  let rec go where t =
+    match t with
+    | Leaf { mbr = box; entries; priority } ->
+        (* A leaf root has nothing to be extreme against. *)
+        emit_leaf where ~box ~entries ~priority ~extreme:true
+    | Node { mbr = box; children } ->
+        let box_ok =
+          children <> []
+          && Rect.equal box
+               (List.fold_left
+                  (fun acc c -> Rect.union acc (mbr c))
+                  (mbr (List.hd children))
+                  children)
+        in
+        add
+          {
+            Audit.pd_where = where;
+            pd_kind = Audit.Pseudo_node { degree = List.length children };
+            pd_box_ok = box_ok;
+          };
+        List.iteri
+          (fun i c ->
+            let where' = where ^ "/" ^ string_of_int i in
+            match c with
+            | Leaf { mbr = box'; entries; priority } ->
+                let extreme =
+                  match priority with
+                  | None -> true
+                  | Some dir ->
+                      let rest =
+                        List.filteri (fun j _ -> j > i) children
+                        |> List.fold_left (fun acc s -> subtree_entries s acc) []
+                      in
+                      extreme_ok dir entries rest
+                in
+                emit_leaf where' ~box:box' ~entries ~priority ~extreme
+            | Node _ -> go where' c)
+          children
+  in
+  go "pseudo" t;
+  Prt_rtree.Audit.check_pseudo ~degree_limit:6 ~leaf_capacity:b (List.rev !descs)
+
 let rec validate ?(b = 113) t =
   let check cond fmt =
     Format.kasprintf (fun s -> if not cond then failwith ("Pseudo.validate: " ^ s)) fmt

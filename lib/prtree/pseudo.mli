@@ -62,6 +62,13 @@ val validate : ?b:int -> t -> unit
 (** Structural invariants: node degree at most six, no empty leaves,
     leaf capacity [b], exact MBRs. Raises [Failure] on violation. *)
 
+val audit : ?b:int -> t -> Prt_rtree.Audit.violation list
+(** The unified-audit version of {!validate}: degree at most six, leaf
+    occupancy in [1, b], exact boxes, and {e priority-leaf extremeness}
+    (every entry of a priority leaf at least as extreme in its direction
+    as everything held by the siblings after it).  Returns the violation
+    list instead of raising; empty means the invariants hold. *)
+
 val extreme_cmp : int -> Prt_rtree.Entry.t -> Prt_rtree.Entry.t -> int
 (** Total order putting the most extreme entry of the given priority
     direction first. *)

@@ -4,24 +4,83 @@
    6 MB) so that reported query I/Os equal the number of leaves read; the
    buffer pool is the component that realizes such caching here.  Reads
    served from the cache do not touch the pager and therefore do not
-   count as I/Os; dirty pages are written back on eviction or flush. *)
+   count as I/Os; dirty pages are written back on eviction or flush.
+
+   The pool is also the fault-absorption layer: every pager operation
+   runs under a bounded retry-with-backoff policy, so transient
+   [Pager.Io_error]s (from a fault-injecting pager, see
+   {!Pager.wrap_faulty}) are retried and recorded in the [degraded]
+   statistics channel, while permanent failures surface as [Io_error]
+   after the attempt budget is exhausted.  Retrying a full-page write
+   also heals torn writes, and re-reading heals short reads, because
+   pages are always transferred whole. *)
+
+type retry = { attempts : int; backoff_base : int }
+
+let default_retry = { attempts = 5; backoff_base = 1 }
+
+type degraded = {
+  mutable faults : int;
+  mutable retries : int;
+  mutable backoff : int;
+  mutable failures : int;
+  mutable last_error : string option;
+}
 
 type cached = { data : bytes; mutable dirty : bool }
 
 type t = {
   pager : Pager.t;
   cache : (int, cached) Lru.t;
+  retry : retry;
+  degraded : degraded;
   mutable hits : int;
   mutable misses : int;
 }
 
-let create ?(capacity = 1024) pager = { pager; cache = Lru.create capacity; hits = 0; misses = 0 }
+let create ?(capacity = 1024) ?(retry = default_retry) pager =
+  if retry.attempts < 1 then invalid_arg "Buffer_pool.create: retry attempts must be >= 1";
+  if retry.backoff_base < 0 then invalid_arg "Buffer_pool.create: backoff must be non-negative";
+  {
+    pager;
+    cache = Lru.create capacity;
+    retry;
+    degraded = { faults = 0; retries = 0; backoff = 0; failures = 0; last_error = None };
+    hits = 0;
+    misses = 0;
+  }
 
 let pager t = t.pager
 let hits t = t.hits
 let misses t = t.misses
+let degraded t = t.degraded
 
-let write_back t id (c : cached) = if c.dirty then Pager.write t.pager id c.data
+(* Run one pager operation under the retry policy.  Each failed attempt
+   charges exponentially growing (simulated) backoff; when the budget is
+   exhausted the last [Io_error] is re-raised with the operation name, so
+   permanent faults surface cleanly instead of corrupting state. *)
+let with_retry t op f =
+  let r = t.retry in
+  let rec go attempt =
+    try f ()
+    with Pager.Io_error msg ->
+      t.degraded.faults <- t.degraded.faults + 1;
+      if attempt < r.attempts then begin
+        t.degraded.retries <- t.degraded.retries + 1;
+        t.degraded.backoff <- t.degraded.backoff + (r.backoff_base lsl (attempt - 1));
+        go (attempt + 1)
+      end
+      else begin
+        t.degraded.failures <- t.degraded.failures + 1;
+        t.degraded.last_error <- Some (op ^ ": " ^ msg);
+        raise
+          (Pager.Io_error (Printf.sprintf "%s: giving up after %d attempts: %s" op r.attempts msg))
+      end
+  in
+  go 1
+
+let write_back t id (c : cached) =
+  if c.dirty then with_retry t "write_back" (fun () -> Pager.write t.pager id c.data)
 
 let evicted t = function
   | Some (id, c) -> write_back t id c
@@ -34,7 +93,7 @@ let read t id =
       c.data
   | None ->
       t.misses <- t.misses + 1;
-      let data = Pager.read t.pager id in
+      let data = with_retry t "read" (fun () -> Pager.read t.pager id) in
       evicted t (Lru.add t.cache id { data; dirty = false });
       data
 
@@ -47,7 +106,7 @@ let write t id data =
       c.dirty <- true
   | None -> evicted t (Lru.add t.cache id { data = Bytes.copy data; dirty = true })
 
-let alloc t = Pager.alloc t.pager
+let alloc t = with_retry t "alloc" (fun () -> Pager.alloc t.pager)
 
 let free t id =
   ignore (Lru.remove t.cache id);
@@ -56,7 +115,7 @@ let free t id =
 let flush t =
   Lru.iter t.cache (fun id c ->
       if c.dirty then begin
-        Pager.write t.pager id c.data;
+        with_retry t "flush" (fun () -> Pager.write t.pager id c.data);
         c.dirty <- false
       end)
 
@@ -66,4 +125,15 @@ let drop_clean t =
 
 let reset_counters t =
   t.hits <- 0;
-  t.misses <- 0
+  t.misses <- 0;
+  t.degraded.faults <- 0;
+  t.degraded.retries <- 0;
+  t.degraded.backoff <- 0;
+  t.degraded.failures <- 0;
+  t.degraded.last_error <- None
+
+let pp_degraded ppf d =
+  Fmt.pf ppf "faults=%d retries=%d backoff=%d failures=%d%a" d.faults d.retries d.backoff
+    d.failures
+    (fun ppf -> function None -> () | Some e -> Fmt.pf ppf " last=%S" e)
+    d.last_error

@@ -2,13 +2,41 @@
 
     Cache hits do not touch the pager and therefore do not count as I/Os —
     this is how the paper's "all internal nodes cached" query setup is
-    realized. *)
+    realized.
+
+    The pool is also where device faults are absorbed: every pager
+    operation runs under a bounded retry-with-backoff policy, so
+    transient {!Pager.Io_error}s (e.g. from {!Pager.wrap_faulty}) are
+    retried — full-page re-writes heal torn writes, re-reads heal short
+    reads — and recorded in the {!degraded} channel.  A fault that
+    survives the whole attempt budget is re-raised as
+    [Pager.Io_error]: permanent failures surface, they never corrupt
+    the tree silently. *)
+
+type retry = { attempts : int; backoff_base : int }
+(** Retry policy: total attempts per operation (>= 1) and the base of
+    the exponential simulated backoff charged per retry (attempt [k]
+    charges [backoff_base * 2^(k-1)] units). *)
+
+val default_retry : retry
+(** 5 attempts, backoff base 1 — enough to outlast any failpoint with
+    the default [max_consecutive = 3] cap. *)
+
+(** Degraded-mode statistics: what the retry layer observed. *)
+type degraded = {
+  mutable faults : int;  (** [Io_error]s seen from the pager. *)
+  mutable retries : int;  (** Re-attempts made after a fault. *)
+  mutable backoff : int;  (** Total simulated backoff units charged. *)
+  mutable failures : int;  (** Operations that exhausted their attempts. *)
+  mutable last_error : string option;
+}
 
 type t
 
-val create : ?capacity:int -> Pager.t -> t
-(** [create ~capacity pager]: pool holding at most [capacity] pages
-    (default 1024). *)
+val create : ?capacity:int -> ?retry:retry -> Pager.t -> t
+(** [create ~capacity ~retry pager]: pool holding at most [capacity]
+    pages (default 1024), retrying faulted pager operations per [retry]
+    (default {!default_retry}). *)
 
 val pager : t -> Pager.t
 
@@ -34,4 +62,9 @@ val drop_clean : t -> unit
 
 val hits : t -> int
 val misses : t -> int
+
+val degraded : t -> degraded
+(** The live degraded-mode counters (reset by {!reset_counters}). *)
+
 val reset_counters : t -> unit
+val pp_degraded : Format.formatter -> degraded -> unit

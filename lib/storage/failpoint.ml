@@ -1,0 +1,179 @@
+(* Deterministic fault injection for the paged storage stack (see the
+   interface for the model).  Every decision draws from one xoshiro
+   stream, so the schedule is a pure function of the seed and the
+   sequence of operations — failing runs replay exactly.
+
+   The [max_consecutive] cap is what separates "transient" from
+   "permanent": with the default cap of 3, any retry loop making at
+   least 4 attempts is guaranteed to complete, which is the contract
+   {!Buffer_pool}'s retry policy relies on. *)
+
+module Rng = Prt_util.Rng
+
+type config = {
+  seed : int;
+  read_error : float;
+  short_read : float;
+  write_error : float;
+  torn_write : float;
+  alloc_error : float;
+  read_latency : int;
+  write_latency : int;
+  max_consecutive : int;
+}
+
+let default =
+  {
+    seed = 0;
+    read_error = 0.0;
+    short_read = 0.0;
+    write_error = 0.0;
+    torn_write = 0.0;
+    alloc_error = 0.0;
+    read_latency = 0;
+    write_latency = 0;
+    max_consecutive = 3;
+  }
+
+let uniform ?(seed = 0) ?(max_consecutive = 3) rate =
+  if rate < 0.0 || rate >= 1.0 then invalid_arg "Failpoint.uniform: rate outside [0, 1)";
+  if max_consecutive < 1 then invalid_arg "Failpoint.uniform: max_consecutive must be >= 1";
+  {
+    default with
+    seed;
+    read_error = rate /. 2.0;
+    short_read = rate /. 2.0;
+    write_error = rate /. 2.0;
+    torn_write = rate /. 2.0;
+    alloc_error = rate;
+    max_consecutive;
+  }
+
+type injected = {
+  read_errors : int;
+  short_reads : int;
+  write_errors : int;
+  torn_writes : int;
+  alloc_errors : int;
+  latency : int;
+}
+
+type t = {
+  cfg : config;
+  rng : Rng.t;
+  mutable read_errors : int;
+  mutable short_reads : int;
+  mutable write_errors : int;
+  mutable torn_writes : int;
+  mutable alloc_errors : int;
+  mutable latency : int;
+  (* Back-to-back injected faults per operation class, for the
+     [max_consecutive] guarantee. *)
+  mutable read_streak : int;
+  mutable write_streak : int;
+  mutable alloc_streak : int;
+}
+
+let create cfg =
+  if cfg.max_consecutive < 1 then invalid_arg "Failpoint.create: max_consecutive must be >= 1";
+  {
+    cfg;
+    rng = Rng.create cfg.seed;
+    read_errors = 0;
+    short_reads = 0;
+    write_errors = 0;
+    torn_writes = 0;
+    alloc_errors = 0;
+    latency = 0;
+    read_streak = 0;
+    write_streak = 0;
+    alloc_streak = 0;
+  }
+
+let config t = t.cfg
+
+type verdict = Ok | Error | Partial of float
+
+(* One decision: [u] uniform in [0,1); fault when it lands under
+   [p_error + p_partial], unless the streak cap forces success. *)
+let decide t ~p_error ~p_partial ~streak =
+  let u = Rng.float t.rng 1.0 in
+  if streak >= t.cfg.max_consecutive then Ok
+  else if u < p_error then Error
+  else if u < p_error +. p_partial then
+    (* A second draw picks how much of the page survives. *)
+    Partial (0.05 +. (0.9 *. Rng.float t.rng 1.0))
+  else Ok
+
+let on_read t =
+  let v =
+    decide t ~p_error:t.cfg.read_error ~p_partial:t.cfg.short_read ~streak:t.read_streak
+  in
+  (match v with
+  | Ok ->
+      t.read_streak <- 0;
+      t.latency <- t.latency + t.cfg.read_latency
+  | Error ->
+      t.read_streak <- t.read_streak + 1;
+      t.read_errors <- t.read_errors + 1
+  | Partial _ ->
+      t.read_streak <- t.read_streak + 1;
+      t.short_reads <- t.short_reads + 1);
+  v
+
+let on_write t =
+  let v =
+    decide t ~p_error:t.cfg.write_error ~p_partial:t.cfg.torn_write ~streak:t.write_streak
+  in
+  (match v with
+  | Ok ->
+      t.write_streak <- 0;
+      t.latency <- t.latency + t.cfg.write_latency
+  | Error ->
+      t.write_streak <- t.write_streak + 1;
+      t.write_errors <- t.write_errors + 1
+  | Partial _ ->
+      t.write_streak <- t.write_streak + 1;
+      t.torn_writes <- t.torn_writes + 1);
+  v
+
+let on_alloc t =
+  let u = Rng.float t.rng 1.0 in
+  if t.alloc_streak >= t.cfg.max_consecutive then begin
+    t.alloc_streak <- 0;
+    false
+  end
+  else if u < t.cfg.alloc_error then begin
+    t.alloc_streak <- t.alloc_streak + 1;
+    t.alloc_errors <- t.alloc_errors + 1;
+    true
+  end
+  else begin
+    t.alloc_streak <- 0;
+    false
+  end
+
+let injected t =
+  {
+    read_errors = t.read_errors;
+    short_reads = t.short_reads;
+    write_errors = t.write_errors;
+    torn_writes = t.torn_writes;
+    alloc_errors = t.alloc_errors;
+    latency = t.latency;
+  }
+
+let total_faults (i : injected) =
+  i.read_errors + i.short_reads + i.write_errors + i.torn_writes + i.alloc_errors
+
+let reset t =
+  t.read_errors <- 0;
+  t.short_reads <- 0;
+  t.write_errors <- 0;
+  t.torn_writes <- 0;
+  t.alloc_errors <- 0;
+  t.latency <- 0
+
+let pp_injected ppf (i : injected) =
+  Fmt.pf ppf "read-errors=%d short-reads=%d write-errors=%d torn-writes=%d alloc-errors=%d latency=%d"
+    i.read_errors i.short_reads i.write_errors i.torn_writes i.alloc_errors i.latency

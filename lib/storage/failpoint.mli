@@ -1,0 +1,75 @@
+(** Deterministic fault injection for the paged storage stack.
+
+    A failpoint is an RNG-seeded failure policy consulted by
+    {!Pager.wrap_faulty} before every read, write and allocation of the
+    wrapped pager: transient errors, torn writes that persist only a
+    prefix of the page, short reads that fill only a prefix of the
+    buffer, allocation failures (ENOSPC), and simulated latency.  The
+    same seed always yields the same fault schedule relative to the
+    sequence of operations, so failing runs reproduce bit-for-bit.
+
+    To keep transient faults genuinely transient, a failpoint never
+    injects more than [max_consecutive] faults in a row per operation
+    class — a retry loop with more attempts than that is guaranteed to
+    make progress.  Set [max_consecutive] very high to model a
+    permanently broken device. *)
+
+type config = {
+  seed : int;  (** RNG seed: the whole schedule is a function of it. *)
+  read_error : float;  (** Probability a read raises before any data moves. *)
+  short_read : float;  (** Probability a read fills only a prefix of the buffer. *)
+  write_error : float;  (** Probability a write raises with nothing persisted. *)
+  torn_write : float;  (** Probability a write persists only a prefix of the page. *)
+  alloc_error : float;  (** Probability an allocation fails (out of space). *)
+  read_latency : int;  (** Simulated latency units charged per completed read. *)
+  write_latency : int;  (** Simulated latency units charged per completed write. *)
+  max_consecutive : int;  (** Cap on back-to-back faults per operation class. *)
+}
+
+val default : config
+(** All rates zero, no latency: a wrapped pager behaves exactly like the
+    underlying one. *)
+
+val uniform : ?seed:int -> ?max_consecutive:int -> float -> config
+(** [uniform rate] makes every operation class fail with probability
+    [rate], split evenly between the two flavours of each class (error /
+    short read, error / torn write).  [rate] must be in [0, 1).
+    Default [seed] 0, [max_consecutive] 3. *)
+
+type t
+(** Mutable failpoint state: RNG position plus injection counters. *)
+
+val create : config -> t
+val config : t -> config
+
+type verdict =
+  | Ok
+  | Error  (** Fail the operation without touching any data. *)
+  | Partial of float
+      (** Complete only a prefix: the fraction (in (0,1)) of the page
+          that makes it through before the fault. *)
+
+val on_read : t -> verdict
+(** Consult the policy for the next read (advances the RNG). *)
+
+val on_write : t -> verdict
+val on_alloc : t -> bool
+(** [true] means the allocation must fail. *)
+
+(** Counters of what was actually injected, for assertions and degraded-mode
+    reporting. *)
+type injected = {
+  read_errors : int;
+  short_reads : int;
+  write_errors : int;
+  torn_writes : int;
+  alloc_errors : int;
+  latency : int;  (** Total simulated latency units charged. *)
+}
+
+val injected : t -> injected
+val total_faults : injected -> int
+val reset : t -> unit
+(** Reset the counters (the RNG position is kept). *)
+
+val pp_injected : Format.formatter -> injected -> unit

@@ -7,7 +7,21 @@
    so benchmarks measure the algorithms and not the host filesystem) and
    a real-file one used by the CLI so indexes persist across runs.  Freed
    pages go on a free list and are handed out again by [alloc]; this is
-   what keeps space bounded under the dynamic update algorithms. *)
+   what keeps space bounded under the dynamic update algorithms.
+
+   A third backend, [Faulty], wraps any pager with a {!Failpoint} policy
+   and turns its verdicts into real device misbehaviour: transient
+   [Io_error]s, torn writes that persist only a prefix of the new page,
+   short reads that clobber only a prefix of the buffer.  The wrapper
+   shares the inner pager's counters, so with an all-zero policy it is
+   observationally identical to the pager it wraps. *)
+
+exception Io_error of string
+
+let () =
+  Printexc.register_printer (function
+    | Io_error msg -> Some ("Pager.Io_error: " ^ msg)
+    | _ -> None)
 
 type stats = { mutable reads : int; mutable writes : int; mutable allocs : int }
 
@@ -16,8 +30,9 @@ type snapshot = { s_reads : int; s_writes : int; s_allocs : int }
 type backend =
   | Memory of { mutable pages : bytes array; mutable used : int }
   | File of { fd : Unix.file_descr; mutable used : int }
+  | Faulty of { inner : t; fp : Failpoint.t }
 
-type t = {
+and t = {
   page_size : int;
   backend : backend;
   stats : stats;
@@ -52,27 +67,52 @@ let create_file ?(page_size = default_page_size) path =
   }
 
 let open_file ?(page_size = default_page_size) path =
+  if page_size <= 0 then invalid_arg "Pager.open_file: page_size must be positive";
   let fd = Unix.openfile path [ Unix.O_RDWR ] 0o644 in
-  let bytes = (Unix.fstat fd).Unix.st_size in
-  if bytes mod page_size <> 0 then begin
-    Unix.close fd;
-    invalid_arg
-      (Printf.sprintf "Pager.open_file: %s size %d is not a multiple of the page size %d" path
-         bytes page_size)
-  end;
+  (* Anything that fails between here and a fully constructed pager must
+     not leak the descriptor. *)
+  let used =
+    match
+      let bytes = (Unix.fstat fd).Unix.st_size in
+      if bytes mod page_size <> 0 then
+        invalid_arg
+          (Printf.sprintf "Pager.open_file: %s size %d is not a multiple of the page size %d"
+             path bytes page_size);
+      bytes / page_size
+    with
+    | used -> used
+    | exception e ->
+        Unix.close fd;
+        raise e
+  in
   {
     page_size;
-    backend = File { fd; used = bytes / page_size };
+    backend = File { fd; used };
     stats = { reads = 0; writes = 0; allocs = 0 };
     free_list = [];
     free_set = Hashtbl.create 16;
     closed = false;
   }
 
+(* The wrapper aliases the inner pager's [stats] record, so I/O
+   accounting is identical whether callers observe the wrapper or the
+   wrapped pager. *)
+let wrap_faulty inner fp =
+  {
+    page_size = inner.page_size;
+    backend = Faulty { inner; fp };
+    stats = inner.stats;
+    free_list = [];
+    free_set = Hashtbl.create 1;
+    closed = false;
+  }
+
+let failpoint t = match t.backend with Faulty f -> Some f.fp | Memory _ | File _ -> None
+
 let page_size t = t.page_size
 
-let num_pages t =
-  match t.backend with Memory m -> m.used | File f -> f.used
+let rec num_pages t =
+  match t.backend with Memory m -> m.used | File f -> f.used | Faulty f -> num_pages f.inner
 
 let check_open t op = if t.closed then invalid_arg ("Pager." ^ op ^ ": pager is closed")
 
@@ -80,51 +120,89 @@ let check_id t op id =
   if id < 0 || id >= num_pages t then
     invalid_arg (Printf.sprintf "Pager.%s: page %d out of range (0..%d)" op id (num_pages t - 1))
 
-let alloc t =
+let rec alloc t =
   check_open t "alloc";
-  t.stats.allocs <- t.stats.allocs + 1;
-  match t.free_list with
-  | id :: rest ->
-      t.free_list <- rest;
-      Hashtbl.remove t.free_set id;
-      id
-  | [] -> (
-      match t.backend with
-      | Memory m ->
-          if m.used = Array.length m.pages then begin
-            let pages = Array.make (2 * Array.length m.pages) Bytes.empty in
-            Array.blit m.pages 0 pages 0 m.used;
-            m.pages <- pages
-          end;
-          m.pages.(m.used) <- Bytes.make t.page_size '\000';
-          m.used <- m.used + 1;
-          m.used - 1
-      | File f ->
-          (* Extend the file by one zero page. *)
-          let id = f.used in
-          let off = id * t.page_size in
-          ignore (Unix.lseek f.fd off Unix.SEEK_SET);
-          let zeros = Bytes.make t.page_size '\000' in
-          let n = Unix.write f.fd zeros 0 t.page_size in
-          if n <> t.page_size then failwith "Pager.alloc: short write";
-          f.used <- f.used + 1;
-          id)
+  match t.backend with
+  | Faulty { inner; fp } ->
+      if Failpoint.on_alloc fp then
+        raise (Io_error "alloc: injected allocation failure (out of space)");
+      alloc inner
+  | Memory _ | File _ -> (
+      t.stats.allocs <- t.stats.allocs + 1;
+      match t.free_list with
+      | id :: rest ->
+          t.free_list <- rest;
+          Hashtbl.remove t.free_set id;
+          id
+      | [] -> (
+          match t.backend with
+          | Faulty _ -> assert false
+          | Memory m ->
+              if m.used = Array.length m.pages then begin
+                let pages = Array.make (2 * Array.length m.pages) Bytes.empty in
+                Array.blit m.pages 0 pages 0 m.used;
+                m.pages <- pages
+              end;
+              m.pages.(m.used) <- Bytes.make t.page_size '\000';
+              m.used <- m.used + 1;
+              m.used - 1
+          | File f ->
+              (* Extend the file by one zero page. *)
+              let id = f.used in
+              let off = id * t.page_size in
+              ignore (Unix.lseek f.fd off Unix.SEEK_SET);
+              let zeros = Bytes.make t.page_size '\000' in
+              let n = Unix.write f.fd zeros 0 t.page_size in
+              if n <> t.page_size then failwith "Pager.alloc: short write";
+              f.used <- f.used + 1;
+              id))
 
-let free t id =
+let rec free t id =
   check_open t "free";
-  check_id t "free" id;
-  if Hashtbl.mem t.free_set id then invalid_arg "Pager.free: double free";
-  Hashtbl.replace t.free_set id ();
-  t.free_list <- id :: t.free_list
+  match t.backend with
+  | Faulty { inner; _ } -> free inner id
+  | Memory _ | File _ ->
+      check_id t "free" id;
+      if Hashtbl.mem t.free_set id then invalid_arg "Pager.free: double free";
+      Hashtbl.replace t.free_set id ();
+      t.free_list <- id :: t.free_list
 
-let read_into t id buf =
+let rec is_free t id =
+  match t.backend with
+  | Faulty { inner; _ } -> is_free inner id
+  | Memory _ | File _ -> Hashtbl.mem t.free_set id
+
+(* Fraction -> byte prefix that survives a torn write / short read:
+   always at least one byte, never the full page. *)
+let partial_len page_size frac =
+  let k = int_of_float (frac *. float_of_int page_size) in
+  max 1 (min (page_size - 1) k)
+
+let rec read_into t id buf =
   check_open t "read";
   check_id t "read" id;
   if Bytes.length buf <> t.page_size then invalid_arg "Pager.read_into: buffer size mismatch";
-  t.stats.reads <- t.stats.reads + 1;
   match t.backend with
-  | Memory m -> Bytes.blit m.pages.(id) 0 buf 0 t.page_size
+  | Faulty { inner; fp } -> (
+      match Failpoint.on_read fp with
+      | Failpoint.Ok -> read_into inner id buf
+      | Failpoint.Error ->
+          raise (Io_error (Printf.sprintf "read: injected transient error on page %d" id))
+      | Failpoint.Partial frac ->
+          (* Short read: only a prefix of the buffer is valid; poison the
+             tail so nothing can silently use it. *)
+          read_into inner id buf;
+          let keep = partial_len t.page_size frac in
+          Bytes.fill buf keep (t.page_size - keep) '\xAA';
+          raise
+            (Io_error
+               (Printf.sprintf "read: injected short read (%d of %d bytes) on page %d" keep
+                  t.page_size id)))
+  | Memory m ->
+      t.stats.reads <- t.stats.reads + 1;
+      Bytes.blit m.pages.(id) 0 buf 0 t.page_size
   | File f ->
+      t.stats.reads <- t.stats.reads + 1;
       ignore (Unix.lseek f.fd (id * t.page_size) Unix.SEEK_SET);
       let rec fill off =
         if off < t.page_size then begin
@@ -140,14 +218,33 @@ let read t id =
   read_into t id buf;
   buf
 
-let write t id buf =
+let rec write t id buf =
   check_open t "write";
   check_id t "write" id;
   if Bytes.length buf <> t.page_size then invalid_arg "Pager.write: buffer size mismatch";
-  t.stats.writes <- t.stats.writes + 1;
   match t.backend with
-  | Memory m -> Bytes.blit buf 0 m.pages.(id) 0 t.page_size
+  | Faulty { inner; fp } -> (
+      match Failpoint.on_write fp with
+      | Failpoint.Ok -> write inner id buf
+      | Failpoint.Error ->
+          raise (Io_error (Printf.sprintf "write: injected transient error on page %d" id))
+      | Failpoint.Partial frac ->
+          (* Torn write: the device persisted only a prefix of the new
+             page; the tail keeps its previous contents. *)
+          let keep = partial_len t.page_size frac in
+          let cur = Bytes.create t.page_size in
+          read_into inner id cur;
+          Bytes.blit buf 0 cur 0 keep;
+          write inner id cur;
+          raise
+            (Io_error
+               (Printf.sprintf "write: injected torn write (%d of %d bytes) on page %d" keep
+                  t.page_size id)))
+  | Memory m ->
+      t.stats.writes <- t.stats.writes + 1;
+      Bytes.blit buf 0 m.pages.(id) 0 t.page_size
   | File f ->
+      t.stats.writes <- t.stats.writes + 1;
       ignore (Unix.lseek f.fd (id * t.page_size) Unix.SEEK_SET);
       let n = Unix.write f.fd buf 0 t.page_size in
       if n <> t.page_size then failwith "Pager.write: short write"
@@ -171,10 +268,10 @@ let reset_stats t =
   t.stats.writes <- 0;
   t.stats.allocs <- 0
 
-let close t =
+let rec close t =
   if not t.closed then begin
     t.closed <- true;
-    match t.backend with Memory _ -> () | File f -> Unix.close f.fd
+    match t.backend with Memory _ -> () | File f -> Unix.close f.fd | Faulty f -> close f.inner
   end
 
 let pp_snapshot ppf s =

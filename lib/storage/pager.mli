@@ -7,6 +7,13 @@
     algorithms, not the host filesystem); the file backend persists
     indexes for the CLI. *)
 
+exception Io_error of string
+(** A device-level I/O failure: raised by fault-injecting pagers (see
+    {!wrap_faulty}) when the policy decides an operation fails.  Unlike
+    [Invalid_argument] (caller bugs), an [Io_error] models the disk
+    misbehaving and may succeed on retry — {!Buffer_pool} absorbs
+    transient ones with bounded retries. *)
+
 type stats = { mutable reads : int; mutable writes : int; mutable allocs : int }
 
 type snapshot = { s_reads : int; s_writes : int; s_allocs : int }
@@ -25,7 +32,21 @@ val create_file : ?page_size:int -> string -> t
 
 val open_file : ?page_size:int -> string -> t
 (** Open an existing file-backed device. Raises [Invalid_argument] if the
-    file size is not a multiple of the page size. *)
+    file size is not a multiple of the page size (the descriptor is
+    closed before raising — no fd leaks on the error path). *)
+
+val wrap_faulty : t -> Failpoint.t -> t
+(** [wrap_faulty pager fp] is a pager backed by [pager] whose reads,
+    writes and allocations first consult the failure policy [fp]:
+    transient faults raise {!Io_error}, torn writes persist only a
+    prefix of the page, short reads clobber only a prefix of the buffer
+    (the tail is poisoned with [0xAA]).  The wrapper shares [pager]'s
+    counters and free list, so with an all-zero policy it is
+    observationally identical to [pager].  Closing the wrapper closes
+    [pager]. *)
+
+val failpoint : t -> Failpoint.t option
+(** The failure policy of a {!wrap_faulty} pager, [None] otherwise. *)
 
 val page_size : t -> int
 
@@ -39,6 +60,10 @@ val alloc : t -> int
 val free : t -> int -> unit
 (** Return a page to the free list. Raises [Invalid_argument] on double
     free or a bad id. *)
+
+val is_free : t -> int -> bool
+(** Is the page currently on the free list?  Used by the audit's
+    page-leak check. *)
 
 val read : t -> int -> bytes
 (** Read a page into a fresh buffer. Counts one read. *)

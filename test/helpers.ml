@@ -1,12 +1,13 @@
 (* Shared helpers for the test suite: small-page pools (deep trees from
-   few entries), brute-force query oracles, random dataset generators
-   driven by the repository's deterministic RNG, and qcheck
-   registration. *)
+   few entries), faulty pools over a seeded fault schedule, brute-force
+   query oracles, random dataset generators driven by the repository's
+   deterministic RNG, and qcheck registration. *)
 
 module Rect = Prt_geom.Rect
 module Rng = Prt_util.Rng
 module Pager = Prt_storage.Pager
 module Buffer_pool = Prt_storage.Buffer_pool
+module Failpoint = Prt_storage.Failpoint
 module Entry = Prt_rtree.Entry
 module Rtree = Prt_rtree.Rtree
 
@@ -18,9 +19,32 @@ let small_pool () = Buffer_pool.create ~capacity:4096 (Pager.create_memory ~page
 
 let default_pool () = Buffer_pool.create ~capacity:4096 (Pager.create_memory ())
 
+(* The expensive qcheck runs only fire under `dune build @runtest-long`
+   (which sets QCHECK_LONG); plain `dune runtest` stays fast. *)
+let long_run = Sys.getenv_opt "QCHECK_LONG" <> None
+
 let qcheck_case ?(long = false) test =
   ignore long;
   QCheck_alcotest.to_alcotest test
+
+(* --- fault injection --- *)
+
+(* Seeded fault schedule shared by the fault suites: every operation
+   class faults with probability [rate], never more than
+   [max_consecutive] times in a row, on a deterministic schedule derived
+   from [seed]. *)
+let fault_schedule ?(max_consecutive = 3) ~seed ~rate () =
+  Failpoint.create (Failpoint.uniform ~seed ~max_consecutive rate)
+
+(* A small-page in-memory pool whose pager injects faults per the given
+   schedule; the pool's retry policy (attempts > max_consecutive) is
+   what absorbs them.  Returns the failpoint too so tests can assert on
+   the injected counters. *)
+let faulty_pool ?(page_size = small_page_size) ?(capacity = 4096)
+    ?(retry = Buffer_pool.default_retry) ~seed ~rate () =
+  let fp = fault_schedule ~seed ~rate () in
+  let pager = Pager.wrap_faulty (Pager.create_memory ~page_size ()) fp in
+  (Buffer_pool.create ~capacity ~retry pager, fp)
 
 (* Deterministic random rectangles in the unit square. *)
 let random_rect rng =
@@ -59,6 +83,33 @@ let check_structure tree =
   match Rtree.validate tree with
   | structure -> structure
   | exception Rtree.Invalid msg -> Alcotest.failf "invalid tree: %s" msg
+
+(* The shared oracle for differential suites: every named implementation
+   must agree with the brute force on a batch of random windows. *)
+type impl = { impl_name : string; impl_query : Rect.t -> int list }
+
+let rtree_impl impl_name tree =
+  { impl_name; impl_query = (fun q -> ids_of (fst (Rtree.query_list tree q))) }
+
+let check_impls_agree ?(nqueries = 25) ~seed impls entries =
+  let rng = Rng.create seed in
+  for _ = 1 to nqueries do
+    let q = random_rect rng in
+    let expected = brute_force entries q in
+    List.iter
+      (fun impl ->
+        Alcotest.(check (list int))
+          (impl.impl_name ^ " agrees with oracle")
+          expected (impl.impl_query q))
+      impls
+  done
+
+(* Audit wrapper mirroring [check_structure]. *)
+let check_audit ?check_leaks ?reachable tree =
+  let report = Prt_rtree.Audit.check ?check_leaks ?reachable tree in
+  if not (Prt_rtree.Audit.ok report) then
+    Alcotest.failf "audit failed: %s" (Format.asprintf "%a" Prt_rtree.Audit.pp_report report);
+  report
 
 (* QCheck generator for an entry array of the given max size. *)
 let arbitrary_entries max_n =

@@ -6,18 +6,14 @@
 
    This is the strongest cheap correctness signal the repo has: a bug in
    any one traversal, codec, split or build shows up as a disagreement
-   with seven independent implementations. *)
+   with seven independent implementations.  The oracle loop itself lives
+   in Helpers.check_impls_agree, shared with the fault-injection suite. *)
 
-module Rect = Prt_geom.Rect
 module Rng = Prt_util.Rng
 module Entry = Prt_rtree.Entry
 module Rtree = Prt_rtree.Rtree
 module Hrt = Prt_rtree.Hilbert_rtree
 module Logmethod = Prt_logmethod.Logmethod
-
-type impl = { name : string; query : Rect.t -> int list }
-
-let rtree_impl name tree = { name; query = (fun q -> Helpers.ids_of (fst (Rtree.query_list tree q))) }
 
 let build_impls entries =
   let pool () = Helpers.small_pool () in
@@ -36,29 +32,26 @@ let build_impls entries =
     Prt_prtree.Ext_build.load ~mem_records:200 p file
   in
   [
-    rtree_impl "pr" (Prt_prtree.Prtree.load (pool ()) entries);
-    rtree_impl "pr-ext" ext_pr;
-    rtree_impl "h" (Prt_rtree.Bulk_hilbert.load_h (pool ()) entries);
-    rtree_impl "h4" (Prt_rtree.Bulk_hilbert.load_h4 (pool ()) entries);
-    rtree_impl "str" (Prt_rtree.Bulk_str.load (pool ()) entries);
-    rtree_impl "tgs" (Prt_rtree.Bulk_tgs.load (pool ()) entries);
-    rtree_impl "dynamic" dynamic;
-    { name = "hilbert-rtree"; query = (fun q -> List.sort Int.compare (fst (Hrt.query_ids hrt q))) };
-    { name = "logmethod"; query = (fun q -> Helpers.ids_of (fst (Logmethod.query_list lm q))) };
+    Helpers.rtree_impl "pr" (Prt_prtree.Prtree.load (pool ()) entries);
+    Helpers.rtree_impl "pr-ext" ext_pr;
+    Helpers.rtree_impl "h" (Prt_rtree.Bulk_hilbert.load_h (pool ()) entries);
+    Helpers.rtree_impl "h4" (Prt_rtree.Bulk_hilbert.load_h4 (pool ()) entries);
+    Helpers.rtree_impl "str" (Prt_rtree.Bulk_str.load (pool ()) entries);
+    Helpers.rtree_impl "tgs" (Prt_rtree.Bulk_tgs.load (pool ()) entries);
+    Helpers.rtree_impl "dynamic" dynamic;
+    {
+      Helpers.impl_name = "hilbert-rtree";
+      impl_query = (fun q -> List.sort Int.compare (fst (Hrt.query_ids hrt q)));
+    };
+    {
+      Helpers.impl_name = "logmethod";
+      impl_query = (fun q -> Helpers.ids_of (fst (Logmethod.query_list lm q)));
+    };
   ]
 
 let run_batch ~n ~seed ~make_entries =
   let entries = make_entries ~n ~seed in
-  let impls = build_impls entries in
-  let rng = Rng.create (seed + 1) in
-  for _ = 1 to 25 do
-    let q = Helpers.random_rect rng in
-    let expected = Helpers.brute_force entries q in
-    List.iter
-      (fun impl ->
-        Alcotest.(check (list int)) (impl.name ^ " agrees with oracle") expected (impl.query q))
-      impls
-  done
+  Helpers.check_impls_agree ~seed:(seed + 1) (build_impls entries) entries
 
 let test_differential_random () =
   run_batch ~n:400 ~seed:10 ~make_entries:(fun ~n ~seed -> Helpers.random_entries ~n ~seed)
@@ -68,17 +61,9 @@ let test_differential_points () =
   let entries = Prt_workloads.Datasets.uniform_points ~n:400 ~seed:20 in
   let impls =
     build_impls entries
-    @ [ rtree_impl "kdb" (Prt_rtree.Kdbtree.load (Helpers.small_pool ()) entries) ]
+    @ [ Helpers.rtree_impl "kdb" (Prt_rtree.Kdbtree.load (Helpers.small_pool ()) entries) ]
   in
-  let rng = Rng.create 21 in
-  for _ = 1 to 25 do
-    let q = Helpers.random_rect rng in
-    let expected = Helpers.brute_force entries q in
-    List.iter
-      (fun impl ->
-        Alcotest.(check (list int)) (impl.name ^ " agrees with oracle") expected (impl.query q))
-      impls
-  done
+  Helpers.check_impls_agree ~seed:21 impls entries
 
 let test_differential_extreme () =
   run_batch ~n:300 ~seed:30 ~make_entries:(fun ~n ~seed ->

@@ -1,0 +1,201 @@
+(* Fault-injection suite: every bulk-loading variant is built over a
+   pager that injects transient read/write/alloc faults, torn writes and
+   short reads on a deterministic seeded schedule.  The contract under
+   test is the storage stack's fault-absorption story: with fault rates
+   up to 20% and the default retry policies, every build completes, the
+   resulting tree answers queries identically to the brute-force oracle,
+   and the unified audit finds nothing — or, if the device is modelled
+   as permanently broken, the failure surfaces as [Pager.Io_error].
+   Under no schedule may a fault produce silent corruption.
+
+   Also holds the [Pager.open_file] error-path regression tests (no fd
+   leak, no [Division_by_zero] on a zero page size). *)
+
+module Rng = Prt_util.Rng
+module Pager = Prt_storage.Pager
+module Buffer_pool = Prt_storage.Buffer_pool
+module Failpoint = Prt_storage.Failpoint
+module Entry = Prt_rtree.Entry
+
+(* The six bulk-loaded variants of the acceptance criteria.  pr-ext
+   exercises the streaming (Record_file) retry path on top of the
+   buffer-pool one. *)
+let variants =
+  [
+    ("pr", fun pool entries -> Prt_prtree.Prtree.load pool entries);
+    ( "pr-ext",
+      fun pool entries ->
+        let file = Entry.File.of_array (Buffer_pool.pager pool) entries in
+        Prt_prtree.Ext_build.load ~mem_records:200 pool file );
+    ("h", fun pool entries -> Prt_rtree.Bulk_hilbert.load_h pool entries);
+    ("h4", fun pool entries -> Prt_rtree.Bulk_hilbert.load_h4 pool entries);
+    ("str", fun pool entries -> Prt_rtree.Bulk_str.load pool entries);
+    ("tgs", fun pool entries -> Prt_rtree.Bulk_tgs.load pool entries);
+  ]
+
+(* Build [vname] over a faulty pool and check the full contract: oracle
+   agreement, clean audit, no permanent failures, and (so the test is
+   not vacuous) report how many faults the schedule actually injected. *)
+let build_and_check ~seed ~rate (vname, build) entries =
+  let pool, fp = Helpers.faulty_pool ~seed ~rate () in
+  let tree = build pool entries in
+  Helpers.check_tree_queries ~nqueries:15 ~seed:(seed + 1) tree entries;
+  ignore (Helpers.check_audit tree);
+  let d = Buffer_pool.degraded pool in
+  Alcotest.(check int) (vname ^ ": no permanent failures") 0 d.Buffer_pool.failures;
+  Failpoint.total_faults (Failpoint.injected fp)
+
+let test_variants_survive_faults () =
+  let entries = Helpers.random_entries ~n:300 ~seed:7 in
+  let injected =
+    List.fold_left
+      (fun acc ((vname, _) as v) ->
+        acc + build_and_check ~seed:(Hashtbl.hash vname) ~rate:0.1 v entries)
+      0 variants
+  in
+  (* A 10% schedule over six builds must actually have fired. *)
+  Alcotest.(check bool) "faults were injected" true (injected > 0)
+
+(* The degraded channel attributes what the retry layer absorbed. *)
+let test_degraded_counters () =
+  let entries = Helpers.random_entries ~n:200 ~seed:11 in
+  let pool, fp = Helpers.faulty_pool ~seed:13 ~rate:0.15 () in
+  let tree = Prt_prtree.Prtree.load pool entries in
+  ignore (Helpers.check_audit tree);
+  let d = Buffer_pool.degraded pool in
+  let injected = Failpoint.total_faults (Failpoint.injected fp) in
+  Alcotest.(check bool) "schedule fired" true (injected > 0);
+  (* The in-memory PR build does all its I/O through the pool, so every
+     injected fault is a fault the pool saw and retried away. *)
+  Alcotest.(check int) "pool saw every fault" injected d.Buffer_pool.faults;
+  Alcotest.(check bool) "retries recorded" true (d.Buffer_pool.retries >= injected);
+  Alcotest.(check bool) "backoff charged" true (d.Buffer_pool.backoff > 0);
+  Alcotest.(check int) "no permanent failures" 0 d.Buffer_pool.failures
+
+(* Acceptance criterion: with faults disabled, [Pager.wrap_faulty] is
+   observationally free — the exact same build performs the exact same
+   I/Os whether or not the pager is wrapped. *)
+let test_zero_rate_zero_overhead () =
+  let entries = Helpers.random_entries ~n:250 ~seed:17 in
+  let build pager =
+    let pool = Buffer_pool.create ~capacity:4096 pager in
+    let tree = Prt_prtree.Prtree.load pool entries in
+    Buffer_pool.flush pool;
+    Helpers.check_tree_queries ~nqueries:10 ~seed:18 tree entries;
+    Pager.snapshot pager
+  in
+  let bare = build (Pager.create_memory ~page_size:Helpers.small_page_size ()) in
+  let wrapped =
+    build
+      (Pager.wrap_faulty
+         (Pager.create_memory ~page_size:Helpers.small_page_size ())
+         (Failpoint.create Failpoint.default))
+  in
+  Alcotest.(check int) "reads identical" bare.Pager.s_reads wrapped.Pager.s_reads;
+  Alcotest.(check int) "writes identical" bare.Pager.s_writes wrapped.Pager.s_writes;
+  Alcotest.(check int) "allocs identical" bare.Pager.s_allocs wrapped.Pager.s_allocs
+
+(* A device that faults more times in a row than the retry budget is a
+   permanent failure: it must surface as [Pager.Io_error], and the
+   degraded channel must record the exhaustion. *)
+let test_permanent_failure_surfaces () =
+  let entries = Helpers.random_entries ~n:200 ~seed:23 in
+  (* An effectively unbounded streak cap models a permanently broken
+     device: with only two attempts, both can genuinely fault. *)
+  let fp = Helpers.fault_schedule ~max_consecutive:1_000_000 ~seed:29 ~rate:0.5 () in
+  let pager = Pager.wrap_faulty (Pager.create_memory ~page_size:Helpers.small_page_size ()) fp in
+  let pool =
+    Buffer_pool.create ~capacity:4096 ~retry:{ Buffer_pool.attempts = 2; backoff_base = 1 } pager
+  in
+  (match Prt_prtree.Prtree.load pool entries with
+  | _ -> Alcotest.fail "expected the build to fail with Pager.Io_error"
+  | exception Pager.Io_error _ -> ());
+  let d = Buffer_pool.degraded pool in
+  Alcotest.(check bool) "exhaustion recorded" true (d.Buffer_pool.failures >= 1);
+  Alcotest.(check bool) "last error kept" true (d.Buffer_pool.last_error <> None)
+
+(* The qcheck property of the acceptance criteria: for arbitrary seeds,
+   fault rates in [0, 20%] and input sizes, a build over a faulty pager
+   either completes with oracle-identical queries and a clean audit, or
+   raises [Pager.Io_error] — silent corruption is the only failure. *)
+let prop_no_silent_corruption ~name ~variants ~count =
+  QCheck.Test.make ~count ~name
+    QCheck.(
+      make
+        ~print:(fun (seed, rate, n) -> Printf.sprintf "seed=%d rate=%.3f n=%d" seed rate n)
+        Gen.(
+          triple (int_range 0 1_000_000) (float_range 0.0 0.2) (int_range 1 150)))
+    (fun (seed, rate, n) ->
+      let entries = Helpers.random_entries ~n ~seed in
+      List.for_all
+        (fun (_vname, build) ->
+          let pool, _fp = Helpers.faulty_pool ~seed:(seed + 1) ~rate () in
+          match build pool entries with
+          | exception Pager.Io_error _ -> true (* surfaced, not silent *)
+          | tree ->
+              let ok_queries =
+                let rng = Rng.create (seed + 2) in
+                let all_ok = ref true in
+                for _ = 1 to 8 do
+                  let q = Helpers.random_rect rng in
+                  let got = Helpers.ids_of (fst (Prt_rtree.Rtree.query_list tree q)) in
+                  if got <> Helpers.brute_force entries q then all_ok := false
+                done;
+                !all_ok
+              in
+              ok_queries && Prt_rtree.Audit.ok (Prt_rtree.Audit.check tree))
+        variants)
+
+let quick_variants = List.filter (fun (n, _) -> List.mem n [ "pr"; "h"; "tgs" ]) variants
+
+(* --- Pager.open_file error-path regressions --- *)
+
+let count_fds () = Array.length (Sys.readdir "/proc/self/fd")
+
+let test_open_file_no_fd_leak () =
+  let path = Filename.temp_file "prt_faults" ".idx" in
+  let oc = open_out_bin path in
+  output_string oc (String.make 100 'x');
+  close_out oc;
+  let before = count_fds () in
+  (match Pager.open_file ~page_size:512 path with
+  | _ -> Alcotest.fail "expected Invalid_argument (size not a page multiple)"
+  | exception Invalid_argument _ -> ());
+  Alcotest.(check int) "fd count unchanged" before (count_fds ());
+  Sys.remove path
+
+let test_open_file_bad_page_size () =
+  let path = Filename.temp_file "prt_faults" ".idx" in
+  let before = count_fds () in
+  (match Pager.open_file ~page_size:0 path with
+  | _ -> Alcotest.fail "expected Invalid_argument (page_size 0)"
+  | exception Invalid_argument _ -> ());
+  Alcotest.(check int) "fd count unchanged" before (count_fds ());
+  Sys.remove path
+
+let suite =
+  [
+    Alcotest.test_case "all variants survive a 10% fault schedule" `Quick
+      test_variants_survive_faults;
+    Alcotest.test_case "degraded channel accounts for absorbed faults" `Quick
+      test_degraded_counters;
+    Alcotest.test_case "zero-rate wrapper adds zero I/O" `Quick test_zero_rate_zero_overhead;
+    Alcotest.test_case "permanent failure surfaces as Io_error" `Quick
+      test_permanent_failure_surfaces;
+    Helpers.qcheck_case
+      (prop_no_silent_corruption ~name:"faulty build: oracle-identical or Io_error"
+         ~variants:quick_variants ~count:15);
+    Alcotest.test_case "open_file: no fd leak on bad file size" `Quick test_open_file_no_fd_leak;
+    Alcotest.test_case "open_file: page_size 0 rejected cleanly" `Quick
+      test_open_file_bad_page_size;
+  ]
+  @
+  (* The expensive sweep — every variant, more cases — only under
+     QCHECK_LONG (dune build @runtest-long). *)
+  if Helpers.long_run then
+    [
+      Helpers.qcheck_case
+        (prop_no_silent_corruption ~name:"faulty build (long): all six variants" ~variants
+           ~count:100);
+    ]
+  else []

@@ -21,6 +21,8 @@ let () =
       ("robustness", Test_robustness.suite);
       ("adversarial", Test_adversarial.suite);
       ("differential", Test_differential.suite);
+      ("faults", Test_faults.suite);
+      ("audit", Test_audit.suite);
       ("paper-scale", Test_paper_scale.suite);
       ("workloads", Test_workloads.suite);
     ]
