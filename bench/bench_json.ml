@@ -1,0 +1,34 @@
+(* Machine-readable results alongside the ASCII tables: each experiment
+   run writes BENCH_<name>.json — one row object per measured point
+   (variant x dataset x metrics) — so plots and regression checks can be
+   scripted without scraping table output.  Files land in the current
+   directory unless PRT_BENCH_DIR points elsewhere. *)
+
+module Json = Prt_obs.Json
+
+let current : (string * Json.t list ref) option ref = ref None
+
+let dir () = Option.value (Sys.getenv_opt "PRT_BENCH_DIR") ~default:"."
+
+let start exp = current := Some (exp, ref [])
+
+(* Record one measured point. A no-op outside [start]/[finish], so the
+   experiment code can emit unconditionally. *)
+let row fields =
+  match !current with
+  | Some (_, rows) -> rows := Json.Obj fields :: !rows
+  | None -> ()
+
+let str s = Json.Str s
+let int i = Json.Int i
+let flt f = Json.Float f
+
+let finish () =
+  match !current with
+  | None -> ()
+  | Some (exp, rows) ->
+      current := None;
+      let path = Filename.concat (dir ()) ("BENCH_" ^ exp ^ ".json") in
+      Json.to_file path
+        (Json.Obj [ ("experiment", Json.Str exp); ("rows", Json.List (List.rev !rows)) ]);
+      Printf.printf "   [wrote %s: %d rows]\n%!" path (List.length !rows)

@@ -1,0 +1,64 @@
+(* Smoke verifier for the bench emitters (the @bench-smoke alias): each
+   argument must be a well-formed JSON file.  A Chrome trace file (an
+   object with "traceEvents") must additionally have strictly balanced
+   B/E span events with monotone timestamps; a BENCH_*.json must carry a
+   non-empty "rows" array of objects.  Exits 1 with a message on any
+   violation, so the dune rule fails loudly. *)
+
+module Json = Prt_obs.Json
+
+let fail fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 1) fmt
+
+let get name o = match Json.member name o with Some v -> v | None -> Json.Null
+
+let check_trace path j =
+  let events =
+    match Json.member "traceEvents" j with
+    | Some (Json.List l) -> l
+    | _ -> fail "%s: no traceEvents array" path
+  in
+  let stack = ref [] in
+  let last_ts = ref neg_infinity in
+  List.iter
+    (fun e ->
+      let name = match get "name" e with Json.Str s -> s | _ -> fail "%s: unnamed event" path in
+      let ts =
+        match Json.to_number (get "ts" e) with
+        | Some t -> t
+        | None -> fail "%s: event %s has no numeric ts" path name
+      in
+      if ts < !last_ts then fail "%s: timestamps not monotone at %s" path name;
+      last_ts := ts;
+      match get "ph" e with
+      | Json.Str "B" -> stack := name :: !stack
+      | Json.Str "E" -> (
+          match !stack with
+          | top :: rest when top = name -> stack := rest
+          | top :: _ -> fail "%s: E %s closes B %s" path name top
+          | [] -> fail "%s: E %s without matching B" path name)
+      | Json.Str "i" -> ()
+      | _ -> fail "%s: event %s has bad ph" path name)
+    events;
+  (match !stack with [] -> () | top :: _ -> fail "%s: unclosed span %s" path top);
+  Printf.printf "%s: %d events, spans balanced\n" path (List.length events)
+
+let check_bench path j =
+  match Json.member "rows" j with
+  | Some (Json.List rows) ->
+      if rows = [] then fail "%s: empty rows" path;
+      List.iter
+        (function Json.Obj _ -> () | _ -> fail "%s: non-object row" path)
+        rows;
+      Printf.printf "%s: %d rows\n" path (List.length rows)
+  | _ -> fail "%s: no rows array" path
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  if args = [] then fail "usage: check_json FILE.json ...";
+  List.iter
+    (fun path ->
+      let j = try Json.of_file path with Json.Parse_error m -> fail "%s: %s" path m in
+      match Json.member "traceEvents" j with
+      | Some _ -> check_trace path j
+      | None -> check_bench path j)
+    args

@@ -14,6 +14,13 @@ module Ext_load = Prt_rtree.Ext_load
 module Ext_build = Prt_prtree.Ext_build
 module Table = Prt_util.Table
 module Stats = Prt_util.Stats
+module Trace = Prt_obs.Trace
+module Obs_metrics = Prt_obs.Metrics
+
+(* Per-query distributions, visible in `prt-bench` runs under PRT_TRACE
+   (the registry is only collecting while a trace sink is installed). *)
+let h_query_leaves = Obs_metrics.histogram "query.leaves"
+let h_query_matched = Obs_metrics.histogram "query.matched"
 
 type variant = H | H4 | PR | TGS | STR
 
@@ -103,6 +110,9 @@ type build_cost = { ios : int; seconds : float; tree : Rtree.t }
    (outside the measurement), then every page touched during
    construction is counted. *)
 let measure_build variant ~scale entries =
+  Trace.with_span "bench.build"
+    ~args:[ ("variant", Trace.Str (name variant)); ("n", Trace.Int (Array.length entries)) ]
+  @@ fun () ->
   let pool = fresh_pool () in
   let pager = Buffer_pool.pager pool in
   let file = Entry.File.of_array pager entries in
@@ -129,12 +139,17 @@ let measure_queries tree queries =
   let n = Array.length queries in
   if n = 0 then invalid_arg "Common.measure_queries: no queries";
   let leaves = ref 0 and matched = ref 0 in
-  Array.iter
-    (fun q ->
-      let s = Rtree.query_count tree q in
-      leaves := !leaves + s.Rtree.leaf_visited;
-      matched := !matched + s.Rtree.matched)
-    queries;
+  Trace.with_span "bench.queries"
+    ~args:[ ("queries", Trace.Int n) ]
+    (fun () ->
+      Array.iter
+        (fun q ->
+          let s = Rtree.query_count tree q in
+          Obs_metrics.observe h_query_leaves s.Rtree.leaf_visited;
+          Obs_metrics.observe h_query_matched s.Rtree.matched;
+          leaves := !leaves + s.Rtree.leaf_visited;
+          matched := !matched + s.Rtree.matched)
+        queries);
   let mean_leaves = float_of_int !leaves /. float_of_int n in
   let mean_output = float_of_int !matched /. float_of_int n in
   let ideal = mean_output /. float_of_int capacity in

@@ -33,6 +33,18 @@ let fig9 ~scale ~seed =
     (fun (dname, entries) ->
       note "%s: %s rectangles" dname (commas (Array.length entries));
       let results = List.map (fun v -> (v, measure_build v ~scale entries)) paper_variants in
+      List.iter
+        (fun (v, c) ->
+          Bench_json.(
+            row
+              [
+                ("dataset", str dname);
+                ("variant", str (name v));
+                ("ios", int c.ios);
+                ("seconds", flt c.seconds);
+                ("entries", int (Prt_rtree.Rtree.count c.tree));
+              ]))
+        results;
       let h_ios =
         match List.assoc_opt H results with Some c -> float_of_int c.ios | None -> Float.nan
       in
@@ -70,7 +82,18 @@ let fig10 ~scale ~seed =
     List.map
       (fun v ->
         name v
-        :: (Array.to_list subsets |> List.map (fun entries -> commas (measure_build v ~scale entries).ios)))
+        :: (Array.to_list subsets
+           |> List.map (fun entries ->
+                  let c = measure_build v ~scale entries in
+                  Bench_json.(
+                    row
+                      [
+                        ("variant", str (name v));
+                        ("n", int (Array.length entries));
+                        ("ios", int c.ios);
+                        ("seconds", flt c.seconds);
+                      ]);
+                  commas c.ios)))
       paper_variants
   in
   Table.print ~header rows;
@@ -101,6 +124,17 @@ let fig11 ~scale ~seed =
       (fun (dname, entries) ->
         let tgs = measure_build TGS ~scale entries in
         let pr = measure_build PR ~scale entries in
+        List.iter
+          (fun (v, c) ->
+            Bench_json.(
+              row
+                [
+                  ("dataset", str dname);
+                  ("variant", str (name v));
+                  ("ios", int c.ios);
+                  ("seconds", flt c.seconds);
+                ]))
+          [ (TGS, tgs); (PR, pr) ];
         [
           dname;
           commas tgs.ios;

@@ -36,6 +36,14 @@ let table1 ~scale ~seed =
         let s = Rtree.validate tree in
         let c = measure_queries tree queries in
         let visited_pct = 100.0 *. c.mean_leaves /. float_of_int s.Rtree.leaves in
+        Bench_json.(
+          row
+            [
+              ("variant", str (name v));
+              ("mean_leaves", flt c.mean_leaves);
+              ("mean_output", flt c.mean_output);
+              ("visited_pct", flt visited_pct);
+            ]);
         [
           name v;
           f1 c.mean_leaves;
@@ -78,6 +86,13 @@ let thm3 ~scale ~seed =
         let s = Rtree.validate tree in
         let stats = Rtree.query_count tree query in
         assert (stats.Rtree.matched = 0);
+        Bench_json.(
+          row
+            [
+              ("variant", str vname);
+              ("leaves_visited", int stats.Rtree.leaf_visited);
+              ("total_leaves", int s.Rtree.leaves);
+            ]);
         [
           vname;
           string_of_int stats.Rtree.leaf_visited;
@@ -118,6 +133,8 @@ let bound ~scale ~seed =
         done;
         let mean = float_of_int !total /. float_of_int q in
         let sqrt_nb = sqrt (float_of_int n /. float_of_int capacity) in
+        Bench_json.(
+          row [ ("n", int n); ("mean_leaves", flt mean); ("ratio", flt (mean /. sqrt_nb)) ]);
         [ commas n; f1 mean; f1 sqrt_nb; f2 (mean /. sqrt_nb) ])
       sizes
   in

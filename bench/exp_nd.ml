@@ -48,6 +48,8 @@ let nd ~scale ~seed =
         done;
         let mean = float_of_int !total /. float_of_int q in
         let bound = Float.pow (float_of_int n /. float_of_int cap) (2.0 /. 3.0) in
+        Bench_json.(
+          row [ ("n", int n); ("mean_leaves", flt mean); ("ratio", flt (mean /. bound)) ]);
         [
           commas n;
           f1 mean;

@@ -18,6 +18,22 @@ let query_count = 100
 let area_fractions = [ 0.0025; 0.005; 0.0075; 0.01; 0.0125; 0.015; 0.0175; 0.02 ]
 
 let relative_table results =
+  (* Mirror every measured point into the experiment's BENCH_*.json. *)
+  List.iter
+    (fun (label, per_variant) ->
+      List.iter
+        (fun (v, c) ->
+          Bench_json.(
+            row
+              [
+                ("query", str label);
+                ("variant", str (name v));
+                ("relative", flt c.relative);
+                ("mean_output", flt c.mean_output);
+                ("mean_leaves", flt c.mean_leaves);
+              ]))
+        per_variant)
+    results;
   let header =
     "query" :: "output T" :: List.map (fun v -> name v) paper_variants
   in

@@ -4,6 +4,37 @@
    order. *)
 
 open Cmdliner
+module Trace = Prt_obs.Trace
+
+(* PRT_TRACE=out.json records every span of the run (builds, sorts,
+   merges, query batches) into a Chrome trace-event file loadable in
+   Perfetto / about:tracing, plus a span summary table on stdout. *)
+let trace_out = Sys.getenv_opt "PRT_TRACE"
+
+(* Each experiment runs inside its own span and JSON row collector, so a
+   traced `all` run decomposes cleanly per figure. *)
+let instrumented name f ~scale ~seed =
+  Bench_json.start name;
+  Fun.protect ~finally:Bench_json.finish (fun () ->
+      Trace.with_span ("exp." ^ name) (fun () -> f ~scale ~seed))
+
+let span_report () =
+  let stats = Trace.summary (Trace.events ()) in
+  if stats <> [] then begin
+    Printf.printf "\n== span summary ==\n";
+    let rows =
+      List.map
+        (fun s ->
+          [
+            s.Trace.span_name;
+            string_of_int s.Trace.calls;
+            Printf.sprintf "%.1f" (s.Trace.total_us /. 1000.0);
+            String.concat " " (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) s.Trace.io);
+          ])
+        stats
+    in
+    Prt_util.Table.print ~header:[ "span"; "calls"; "total ms"; "I/O deltas" ] rows
+  end
 
 let scale_arg =
   let doc =
@@ -38,13 +69,11 @@ let experiments =
   ]
 
 let run_named name f =
-  let term =
-    Term.(
-      const (fun scale seed ->
-          f ~scale ~seed;
-          ())
-      $ scale_arg $ seed_arg)
+  let run scale seed =
+    instrumented name f ~scale ~seed;
+    ()
   in
+  let term = Term.(const run $ scale_arg $ seed_arg) in
   Cmd.v (Cmd.info name ~doc:(List.assoc name (List.map (fun (n, d, _) -> (n, d)) experiments))) term
 
 let all_cmd =
@@ -52,7 +81,7 @@ let all_cmd =
   let term =
     Term.(
       const (fun scale seed ->
-          List.iter (fun (_, _, f) -> f ~scale ~seed) experiments)
+          List.iter (fun (n, _, f) -> instrumented n f ~scale ~seed) experiments)
       $ scale_arg $ seed_arg)
   in
   Cmd.v (Cmd.info "all" ~doc) term
@@ -62,4 +91,20 @@ let () =
   let info = Cmd.info "prt-bench" ~version:"1.0.0" ~doc in
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   let cmds = all_cmd :: List.map (fun (n, _, f) -> run_named n f) experiments in
-  exit (Cmd.eval (Cmd.group ~default info cmds))
+  let root =
+    match trace_out with
+    | None -> None
+    | Some _ ->
+        Trace.install (Trace.memory_sink ~capacity:(1 lsl 20) ());
+        Some (Trace.span_begin "bench")
+  in
+  let code = Cmd.eval (Cmd.group ~default info cmds) in
+  (match (trace_out, root) with
+  | Some path, Some root ->
+      Trace.span_end root;
+      span_report ();
+      let n = Trace.write_chrome path in
+      Printf.printf "\nwrote %d trace events to %s\n" n path;
+      Trace.uninstall ()
+  | _ -> ());
+  exit code

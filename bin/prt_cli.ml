@@ -326,11 +326,85 @@ let stats_cmd =
           (Rtree.capacity tree);
         Printf.printf "%s\n" (Format.asprintf "%a" Metrics.pp m);
         Printf.printf "utilization %.1f%%, min leaf fill %d, min fanout %d\n"
-          (100.0 *. s.Rtree.utilization) s.Rtree.min_leaf_fill s.Rtree.min_internal_fanout)
+          (100.0 *. s.Rtree.utilization) s.Rtree.min_leaf_fill s.Rtree.min_internal_fanout;
+        (* Storage-side statistics accumulated while computing the above
+           (validate + analyze read every node once, modulo caching). *)
+        let pool = Rtree.pool tree in
+        Printf.printf "pager: %s\n"
+          (Format.asprintf "%a" Pager.pp_snapshot (Pager.snapshot (Rtree.pager tree)));
+        Printf.printf "pool: hits=%d misses=%d evictions=%d\n" (Buffer_pool.hits pool)
+          (Buffer_pool.misses pool) (Buffer_pool.evictions pool);
+        Printf.printf "degraded: %s\n"
+          (Format.asprintf "%a" Buffer_pool.pp_degraded (Buffer_pool.degraded pool)))
   in
   Cmd.v
     (Cmd.info "stats" ~doc:"Print per-level structure and quality metrics of an index.")
     Term.(const run $ index)
+
+let profile_cmd =
+  let index =
+    Arg.(required & opt (some string) None & info [ "i"; "index" ] ~docv:"FILE" ~doc:"Index file.")
+  in
+  let window =
+    Arg.(
+      required
+      & opt (some window_conv) None
+      & info [ "window"; "w" ] ~docv:"X0,Y0,X1,Y1" ~doc:"Query window corners.")
+  in
+  let repeat =
+    Arg.(
+      value & opt int 1
+      & info [ "repeat"; "n" ] ~docv:"N" ~doc:"Run the query N times (first run cold, rest warm).")
+  in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Also record a Chrome trace-event JSON file (load it in Perfetto or about:tracing).")
+  in
+  let run index window repeat trace =
+    with_index index (fun tree ->
+        if trace <> None then Obs.Trace.install (Obs.Trace.memory_sink ());
+        Fun.protect
+          ~finally:(fun () ->
+            match trace with
+            | Some path ->
+                let n = Obs.Trace.write_chrome path in
+                Obs.Trace.uninstall ();
+                Printf.printf "wrote %d trace events to %s\n" n path
+            | None -> ())
+          (fun () ->
+            let pool = Rtree.pool tree in
+            let last = ref None in
+            for run = 1 to max 1 repeat do
+              let p = Rtree.query_profile tree window ~f:(fun _ -> ()) in
+              if run = 1 || run = max 1 repeat then last := Some (run, p)
+            done;
+            (match !last with
+            | Some (run, p) ->
+                if repeat > 1 then Printf.printf "profile of run %d/%d:\n" run repeat;
+                Printf.printf "%s\n" (Format.asprintf "%a" Rtree.pp_profile p)
+            | None -> ());
+            Printf.printf "pool totals: hits=%d misses=%d evictions=%d\n" (Buffer_pool.hits pool)
+              (Buffer_pool.misses pool) (Buffer_pool.evictions pool);
+            if trace <> None then begin
+              let stats = Obs.Trace.summary (Obs.Trace.events ()) in
+              List.iter
+                (fun s ->
+                  Printf.printf "span %-24s calls=%d total=%.0fus%s\n" s.Obs.Trace.span_name
+                    s.Obs.Trace.calls s.Obs.Trace.total_us
+                    (String.concat ""
+                       (List.map (fun (k, v) -> Printf.sprintf " %s=%d" k v) s.Obs.Trace.io)))
+                stats
+            end))
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Profile a window query: nodes visited per level, pager and buffer-pool activity, \
+          wall-clock time, and optionally a Chrome trace.")
+    Term.(const run $ index $ window $ repeat $ trace)
 
 let validate_cmd =
   let index =
@@ -384,6 +458,7 @@ let () =
             gen_cmd;
             build_cmd;
             query_cmd;
+            profile_cmd;
             knn_cmd;
             insert_cmd;
             delete_cmd;

@@ -74,6 +74,15 @@ end
 (* Dynamization via the logarithmic method. *)
 module Logmethod = Prt_logmethod.Logmethod
 
+(* Observability: span tracing (Chrome trace-event export), the global
+   metrics registry, and the minimal JSON used by both.  [Metrics] above
+   is the R-tree *quality* metrics module; this is runtime telemetry. *)
+module Obs = struct
+  module Metrics = Prt_obs.Metrics
+  module Trace = Prt_obs.Trace
+  module Json = Prt_obs.Json
+end
+
 (* Workloads from the paper's evaluation. *)
 module Datasets = Prt_workloads.Datasets
 module Tiger = Prt_workloads.Tiger

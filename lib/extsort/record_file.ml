@@ -13,6 +13,16 @@
 module Pager = Prt_storage.Pager
 module Page = Prt_storage.Page
 module Pqueue = Prt_util.Pqueue
+module Metrics = Prt_obs.Metrics
+module Trace = Prt_obs.Trace
+
+(* Phase-level observability for the external sort: one span per run
+   formation and per k-way merge, so a trace of a bulk load shows where
+   its sort I/Os go.  Counters aggregate across all record types. *)
+let m_runs = Metrics.counter "extsort.runs"
+let m_merges = Metrics.counter "extsort.merges"
+let m_records_sorted = Metrics.counter "extsort.records_sorted"
+let h_run_len = Metrics.histogram "extsort.run_records"
 
 (* Record files stream straight through the pager (deliberately: a
    sequential scan must not evict the buffer pool's cache), so they
@@ -187,26 +197,31 @@ module Make (R : RECORD) = struct
   (* External mergesort. *)
 
   let merge_runs pager cmp runs =
-    let out = create pager in
-    let heap = Pqueue.create (fun (a, _) (b, _) -> cmp a b) in
-    let readers = Array.of_list (List.map reader runs) in
-    Array.iteri
-      (fun i r -> match read_next r with Some record -> Pqueue.add heap (record, i) | None -> ())
-      readers;
-    let rec drain () =
-      match Pqueue.pop heap with
-      | None -> ()
-      | Some (record, i) ->
-          append out record;
-          (match read_next readers.(i) with
-          | Some next -> Pqueue.add heap (next, i)
-          | None -> ());
-          drain ()
-    in
-    drain ();
-    seal out;
-    List.iter destroy runs;
-    out
+    Trace.with_span "extsort.merge"
+      ~args:[ ("fan_in", Trace.Int (List.length runs)) ]
+      (fun () ->
+        Metrics.tick m_merges;
+        let out = create pager in
+        let heap = Pqueue.create (fun (a, _) (b, _) -> cmp a b) in
+        let readers = Array.of_list (List.map reader runs) in
+        Array.iteri
+          (fun i r ->
+            match read_next r with Some record -> Pqueue.add heap (record, i) | None -> ())
+          readers;
+        let rec drain () =
+          match Pqueue.pop heap with
+          | None -> ()
+          | Some (record, i) ->
+              append out record;
+              (match read_next readers.(i) with
+              | Some next -> Pqueue.add heap (next, i)
+              | None -> ());
+              drain ()
+        in
+        drain ();
+        seal out;
+        List.iter destroy runs;
+        out)
 
   let sort ~mem_records ~cmp t =
     seal t;
@@ -220,6 +235,8 @@ module Make (R : RECORD) = struct
     let runs = ref [] in
     let flush_chunk () =
       if !chunk_len > 0 then begin
+        Metrics.tick m_runs;
+        Metrics.observe h_run_len !chunk_len;
         let arr = Array.of_list !chunk in
         Array.sort cmp arr;
         runs := of_array pager arr :: !runs;
@@ -236,7 +253,11 @@ module Make (R : RECORD) = struct
           read_phase ()
       | None -> flush_chunk ()
     in
-    read_phase ();
+    Trace.with_span "extsort.run_formation"
+      ~args:[ ("records", Trace.Int t.count) ]
+      (fun () ->
+        Metrics.add m_records_sorted t.count;
+        read_phase ());
     (* Phase 2: k-way merges with k input buffers + 1 output buffer. *)
     let fan_in = max 2 ((mem_records / per) - 1) in
     let rec merge_phase runs =

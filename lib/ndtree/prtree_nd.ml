@@ -5,8 +5,12 @@
 
 module Buffer_pool = Prt_storage.Buffer_pool
 module Pager = Prt_storage.Pager
+module Trace = Prt_obs.Trace
 
 let load ~dims pool entries =
+  Trace.with_span "prtree_nd.load"
+    ~args:[ ("n", Trace.Int (Array.length entries)); ("dims", Trace.Int dims) ]
+  @@ fun () ->
   let page_size = Pager.page_size (Buffer_pool.pager pool) in
   let cap = Node_nd.capacity ~page_size ~dims in
   if cap < 2 then invalid_arg "Prtree_nd.load: page too small for this dimensionality";
@@ -25,8 +29,13 @@ let load ~dims pool entries =
         Rtree_nd.of_root ~pool ~dims ~root:(Entry_nd.id root) ~height ~count
       end
       else begin
-        let pseudo = Pseudo_nd.build ~b:cap ~dims current in
-        let level = List.rev (List.rev_map (write kind) (Pseudo_nd.leaves pseudo)) in
+        let level =
+          Trace.with_span "prtree_nd.stage"
+            ~args:[ ("level", Trace.Int (height - 1)); ("n", Trace.Int (Array.length current)) ]
+            (fun () ->
+              let pseudo = Pseudo_nd.build ~b:cap ~dims current in
+              List.rev (List.rev_map (write kind) (Pseudo_nd.leaves pseudo)))
+        in
         stage (Array.of_list level) ~kind:Node_nd.Internal ~height:(height + 1)
       end
     in

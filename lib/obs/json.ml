@@ -1,0 +1,272 @@
+(* A minimal JSON tree with an emitter and a strict parser.
+
+   The observability layer needs to *write* JSON in two shapes — Chrome
+   trace-event files and the machine-readable benchmark/metrics exports —
+   and the test suite needs to *read* those files back to check
+   well-formedness, so both directions live here.  No external JSON
+   dependency exists in the container; this is deliberately a small,
+   total implementation (ints and floats are kept apart so counter values
+   round-trip exactly). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* --- emission --- *)
+
+let escape buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+(* Non-finite floats have no JSON spelling; they become null rather than
+   producing an unparseable file. *)
+let float_repr f =
+  if not (Float.is_finite f) then "null"
+  else begin
+    let s = Printf.sprintf "%.12g" f in
+    (* "3" is valid JSON but would re-parse as an Int; keep the float
+       marker so round trips preserve the constructor. *)
+    if String.exists (fun c -> c = '.' || c = 'e' || c = 'E' || c = 'n') s then s else s ^ ".0"
+  end
+
+let rec emit buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> Buffer.add_string buf (float_repr f)
+  | Str s ->
+      Buffer.add_char buf '"';
+      escape buf s;
+      Buffer.add_char buf '"'
+  | List xs ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char buf ',';
+          emit buf x)
+        xs;
+      Buffer.add_char buf ']'
+  | Obj kvs ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_char buf '"';
+          escape buf k;
+          Buffer.add_string buf "\":";
+          emit buf v)
+        kvs;
+      Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 1024 in
+  emit buf v;
+  Buffer.contents buf
+
+let to_file path v =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (to_string v);
+      output_char oc '\n')
+
+(* --- parsing --- *)
+
+exception Parse_error of string
+
+let parse_error fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+type cursor = { src : string; mutable pos : int }
+
+let peek c = if c.pos < String.length c.src then Some c.src.[c.pos] else None
+
+let advance c = c.pos <- c.pos + 1
+
+let skip_ws c =
+  while
+    c.pos < String.length c.src
+    && (match c.src.[c.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+  do
+    advance c
+  done
+
+let expect c ch =
+  match peek c with
+  | Some x when x = ch -> advance c
+  | Some x -> parse_error "expected %C at offset %d, found %C" ch c.pos x
+  | None -> parse_error "expected %C at offset %d, found end of input" ch c.pos
+
+let literal c word value =
+  let n = String.length word in
+  if c.pos + n <= String.length c.src && String.sub c.src c.pos n = word then begin
+    c.pos <- c.pos + n;
+    value
+  end
+  else parse_error "invalid literal at offset %d" c.pos
+
+let parse_string_body c =
+  expect c '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek c with
+    | None -> parse_error "unterminated string"
+    | Some '"' -> advance c
+    | Some '\\' ->
+        advance c;
+        (match peek c with
+        | Some '"' -> Buffer.add_char buf '"'; advance c
+        | Some '\\' -> Buffer.add_char buf '\\'; advance c
+        | Some '/' -> Buffer.add_char buf '/'; advance c
+        | Some 'n' -> Buffer.add_char buf '\n'; advance c
+        | Some 'r' -> Buffer.add_char buf '\r'; advance c
+        | Some 't' -> Buffer.add_char buf '\t'; advance c
+        | Some 'b' -> Buffer.add_char buf '\b'; advance c
+        | Some 'f' -> Buffer.add_char buf '\012'; advance c
+        | Some 'u' ->
+            advance c;
+            if c.pos + 4 > String.length c.src then parse_error "truncated \\u escape";
+            let hex = String.sub c.src c.pos 4 in
+            let code =
+              match int_of_string_opt ("0x" ^ hex) with
+              | Some v -> v
+              | None -> parse_error "bad \\u escape %S" hex
+            in
+            c.pos <- c.pos + 4;
+            (* Only the control-character range is emitted by [escape];
+               decode the BMP generically as UTF-8 anyway. *)
+            if code < 0x80 then Buffer.add_char buf (Char.chr code)
+            else if code < 0x800 then begin
+              Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+              Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+            end
+            else begin
+              Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+              Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+              Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+            end
+        | _ -> parse_error "bad escape at offset %d" c.pos);
+        go ()
+    | Some ch ->
+        Buffer.add_char buf ch;
+        advance c;
+        go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number c =
+  let start = c.pos in
+  let num_char ch =
+    (ch >= '0' && ch <= '9') || ch = '-' || ch = '+' || ch = '.' || ch = 'e' || ch = 'E'
+  in
+  while (match peek c with Some ch -> num_char ch | None -> false) do
+    advance c
+  done;
+  let s = String.sub c.src start (c.pos - start) in
+  match int_of_string_opt s with
+  | Some i -> Int i
+  | None -> (
+      match float_of_string_opt s with
+      | Some f -> Float f
+      | None -> parse_error "bad number %S at offset %d" s start)
+
+let rec parse_value c =
+  skip_ws c;
+  match peek c with
+  | None -> parse_error "unexpected end of input"
+  | Some '{' ->
+      advance c;
+      skip_ws c;
+      if peek c = Some '}' then begin
+        advance c;
+        Obj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws c;
+          let key = parse_string_body c in
+          skip_ws c;
+          expect c ':';
+          let v = parse_value c in
+          skip_ws c;
+          match peek c with
+          | Some ',' ->
+              advance c;
+              members ((key, v) :: acc)
+          | Some '}' ->
+              advance c;
+              List.rev ((key, v) :: acc)
+          | _ -> parse_error "expected ',' or '}' at offset %d" c.pos
+        in
+        Obj (members [])
+      end
+  | Some '[' ->
+      advance c;
+      skip_ws c;
+      if peek c = Some ']' then begin
+        advance c;
+        List []
+      end
+      else begin
+        let rec elements acc =
+          let v = parse_value c in
+          skip_ws c;
+          match peek c with
+          | Some ',' ->
+              advance c;
+              elements (v :: acc)
+          | Some ']' ->
+              advance c;
+              List.rev (v :: acc)
+          | _ -> parse_error "expected ',' or ']' at offset %d" c.pos
+        in
+        List (elements [])
+      end
+  | Some '"' -> Str (parse_string_body c)
+  | Some 't' -> literal c "true" (Bool true)
+  | Some 'f' -> literal c "false" (Bool false)
+  | Some 'n' -> literal c "null" Null
+  | Some _ -> parse_number c
+
+let of_string s =
+  let c = { src = s; pos = 0 } in
+  let v = parse_value c in
+  skip_ws c;
+  if c.pos <> String.length s then parse_error "trailing garbage at offset %d" c.pos;
+  v
+
+let of_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))
+
+(* --- accessors (used by tests and the trace checker) --- *)
+
+let member key = function
+  | Obj kvs -> List.assoc_opt key kvs
+  | _ -> None
+
+let to_list = function List xs -> Some xs | _ -> None
+
+let to_str = function Str s -> Some s | _ -> None
+
+let to_int = function Int i -> Some i | _ -> None
+
+let to_number = function Int i -> Some (float_of_int i) | Float f -> Some f | _ -> None

@@ -1,0 +1,210 @@
+(* A process-wide registry of named counters, gauges and log-bucketed
+   histograms.
+
+   Design constraints, in order:
+
+   1. Zero perturbation: recording a metric must never touch the pager
+      or buffer pool, so instrumented code observes exactly the I/O it
+      would without instrumentation (the bench harness's numbers are the
+      paper's figures — they must not move).
+   2. Near-zero cost when off: every mutator is gated on one global
+      flag, so an uninstrumented run pays a load and a branch per call
+      site and nothing else.  [collecting] is flipped on by
+      {!Trace.install} or explicitly by a surface that wants metrics
+      without tracing.
+   3. Stable identity: metrics are registered once by name (find-or-
+      create), so hot call sites hold the record directly and pay no
+      lookup.  Registration order is the export order, which gives
+      {!Trace} a cheap dense snapshot for span-boundary deltas.
+
+   The registry is intentionally not domain-safe: all instrumented
+   layers (pager, buffer pool, extsort) run on a single domain — the
+   parallel helpers fork only pure in-memory computations. *)
+
+type counter = { c_name : string; mutable c_value : int }
+
+type gauge = { g_name : string; mutable g_value : float }
+
+(* Bucket 0 holds values <= 0; bucket k >= 1 holds [2^(k-1), 2^k - 1].
+   63 buckets cover the whole non-negative int range on 64-bit. *)
+let nbuckets = 63
+
+type histogram = {
+  h_name : string;
+  h_buckets : int array;
+  mutable h_count : int;
+  mutable h_sum : int;
+  mutable h_min : int;
+  mutable h_max : int;
+}
+
+type kind = Kc of counter | Kg of gauge | Kh of histogram
+
+(* Registration order matters (dense counter snapshots index it), so the
+   registry keeps reversed lists plus a by-name table for find-or-create. *)
+let counters : counter list ref = ref []
+let gauges : gauge list ref = ref []
+let histograms : histogram list ref = ref []
+let by_name : (string, kind) Hashtbl.t = Hashtbl.create 64
+let ncounters = ref 0
+
+let collecting_flag = ref false
+
+let collecting () = !collecting_flag
+let set_collecting b = collecting_flag := b
+
+let wrong_kind name =
+  invalid_arg (Printf.sprintf "Metrics: %S is already registered with a different kind" name)
+
+let counter name =
+  match Hashtbl.find_opt by_name name with
+  | Some (Kc c) -> c
+  | Some _ -> wrong_kind name
+  | None ->
+      let c = { c_name = name; c_value = 0 } in
+      Hashtbl.replace by_name name (Kc c);
+      counters := c :: !counters;
+      incr ncounters;
+      c
+
+let gauge name =
+  match Hashtbl.find_opt by_name name with
+  | Some (Kg g) -> g
+  | Some _ -> wrong_kind name
+  | None ->
+      let g = { g_name = name; g_value = 0.0 } in
+      Hashtbl.replace by_name name (Kg g);
+      gauges := g :: !gauges;
+      g
+
+let histogram name =
+  match Hashtbl.find_opt by_name name with
+  | Some (Kh h) -> h
+  | Some _ -> wrong_kind name
+  | None ->
+      let h =
+        {
+          h_name = name;
+          h_buckets = Array.make nbuckets 0;
+          h_count = 0;
+          h_sum = 0;
+          h_min = max_int;
+          h_max = min_int;
+        }
+      in
+      Hashtbl.replace by_name name (Kh h);
+      histograms := h :: !histograms;
+      h
+
+let add c n = if !collecting_flag then c.c_value <- c.c_value + n
+
+let tick c = add c 1
+
+let value c = c.c_value
+
+let counter_name c = c.c_name
+
+let set_gauge g v = if !collecting_flag then g.g_value <- v
+
+let gauge_value g = g.g_value
+
+let bucket_index v =
+  if v <= 0 then 0
+  else begin
+    let rec bits acc v = if v = 0 then acc else bits (acc + 1) (v lsr 1) in
+    min (nbuckets - 1) (bits 0 v)
+  end
+
+let bucket_bounds k =
+  if k <= 0 then (min_int, 0)
+  else if k >= nbuckets - 1 then (1 lsl (nbuckets - 2), max_int)
+  else (1 lsl (k - 1), (1 lsl k) - 1)
+
+let observe h v =
+  if !collecting_flag then begin
+    h.h_buckets.(bucket_index v) <- h.h_buckets.(bucket_index v) + 1;
+    h.h_count <- h.h_count + 1;
+    h.h_sum <- h.h_sum + v;
+    if v < h.h_min then h.h_min <- v;
+    if v > h.h_max then h.h_max <- v
+  end
+
+let histogram_count h = h.h_count
+let histogram_sum h = h.h_sum
+let histogram_bucket h k = h.h_buckets.(k)
+
+let reset_all () =
+  List.iter (fun c -> c.c_value <- 0) !counters;
+  List.iter (fun g -> g.g_value <- 0.0) !gauges;
+  List.iter
+    (fun h ->
+      Array.fill h.h_buckets 0 nbuckets 0;
+      h.h_count <- 0;
+      h.h_sum <- 0;
+      h.h_min <- max_int;
+      h.h_max <- min_int)
+    !histograms
+
+(* --- dense counter snapshots (the span-delta fast path) --- *)
+
+(* Counters are stored newest-first; index from the tail so a counter's
+   slot is stable as the registry grows.  A snapshot taken when k
+   counters existed aligns with the *oldest* k slots of a later one. *)
+let counter_values () =
+  let n = !ncounters in
+  let arr = Array.make n 0 in
+  List.iteri (fun i c -> arr.(n - 1 - i) <- c.c_value) !counters;
+  arr
+
+let counter_deltas ~since =
+  let n = !ncounters in
+  let old = Array.length since in
+  let deltas = Array.make n ("", 0) in
+  List.iteri
+    (fun i c ->
+      let slot = n - 1 - i in
+      let base = if slot < old then since.(slot) else 0 in
+      deltas.(slot) <- (c.c_name, c.c_value - base))
+    !counters;
+  Array.to_list deltas
+
+let snapshot_counters () =
+  List.rev_map (fun c -> (c.c_name, c.c_value)) !counters
+
+(* --- export --- *)
+
+let histogram_json h =
+  let buckets =
+    List.filter_map
+      (fun k ->
+        if h.h_buckets.(k) = 0 then None
+        else begin
+          let lo, hi = bucket_bounds k in
+          Some (Json.Obj [ ("lo", Json.Int lo); ("hi", Json.Int hi); ("count", Json.Int h.h_buckets.(k)) ])
+        end)
+      (List.init nbuckets Fun.id)
+  in
+  Json.Obj
+    ([ ("count", Json.Int h.h_count); ("sum", Json.Int h.h_sum) ]
+    @ (if h.h_count = 0 then []
+       else [ ("min", Json.Int h.h_min); ("max", Json.Int h.h_max) ])
+    @ [ ("buckets", Json.List buckets) ])
+
+let to_json () =
+  Json.Obj
+    [
+      ("counters", Json.Obj (List.rev_map (fun c -> (c.c_name, Json.Int c.c_value)) !counters));
+      ("gauges", Json.Obj (List.rev_map (fun g -> (g.g_name, Json.Float g.g_value)) !gauges));
+      ("histograms", Json.Obj (List.rev_map (fun h -> (h.h_name, histogram_json h)) !histograms));
+    ]
+
+let pp ppf () =
+  List.iter (fun c -> Format.fprintf ppf "%s %d@." c.c_name c.c_value) (List.rev !counters);
+  List.iter (fun g -> Format.fprintf ppf "%s %g@." g.g_name g.g_value) (List.rev !gauges);
+  List.iter
+    (fun h ->
+      if h.h_count = 0 then Format.fprintf ppf "%s (empty)@." h.h_name
+      else
+        Format.fprintf ppf "%s count=%d sum=%d min=%d max=%d@." h.h_name h.h_count h.h_sum
+          h.h_min h.h_max)
+    (List.rev !histograms)

@@ -1,0 +1,73 @@
+(** Process-wide registry of named counters, gauges and log-bucketed
+    histograms — the quantitative half of the observability layer
+    (spans and sinks are {!Trace}).
+
+    Every mutator ({!add}, {!tick}, {!set_gauge}, {!observe}) is a no-op
+    while collection is off, so instrumented hot paths pay one flag
+    check; and metrics never touch the pager, so the repository's I/O
+    accounting is bit-identical with or without collection (the
+    [zero-overhead-off] property test pins this down).
+
+    Metrics are registered find-or-create by name; hot call sites hold
+    the returned handle and pay no lookup.  The registry is not
+    domain-safe — all instrumented layers run on a single domain. *)
+
+type counter
+type gauge
+type histogram
+
+val collecting : unit -> bool
+
+val set_collecting : bool -> unit
+(** Master switch. {!Trace.install} flips it on alongside tracing;
+    surfaces that want metrics without spans set it directly. *)
+
+val counter : string -> counter
+(** Find-or-create. Raises [Invalid_argument] if the name is already
+    registered as a different kind. *)
+
+val gauge : string -> gauge
+val histogram : string -> histogram
+
+val add : counter -> int -> unit
+val tick : counter -> unit
+val value : counter -> int
+val counter_name : counter -> string
+
+val set_gauge : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+val observe : histogram -> int -> unit
+(** Record a sample into its logarithmic bucket. *)
+
+val bucket_index : int -> int
+(** Bucket that holds a value: 0 for [v <= 0], else the bit length of
+    [v] — bucket [k >= 1] spans [[2^(k-1), 2^k - 1]]. *)
+
+val bucket_bounds : int -> int * int
+(** Inclusive value range of a bucket index. *)
+
+val histogram_count : histogram -> int
+val histogram_sum : histogram -> int
+val histogram_bucket : histogram -> int -> int
+
+val reset_all : unit -> unit
+(** Zero every registered metric (registrations are kept). *)
+
+val counter_values : unit -> int array
+(** Dense snapshot of all counters in registration order — the
+    span-boundary fast path. *)
+
+val counter_deltas : since:int array -> (string * int) list
+(** Per-counter change since a {!counter_values} snapshot, in
+    registration order; counters registered after the snapshot count
+    from zero. *)
+
+val snapshot_counters : unit -> (string * int) list
+(** Named counter values in registration order. *)
+
+val to_json : unit -> Json.t
+(** The whole registry: [{"counters": .., "gauges": .., "histograms": ..}];
+    histogram buckets are exported sparsely with their value bounds. *)
+
+val pp : Format.formatter -> unit -> unit

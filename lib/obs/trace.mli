@@ -1,0 +1,91 @@
+(** Hierarchical span tracing with pluggable sinks and Chrome
+    trace-event export.
+
+    Spans capture wall-clock time and, at their boundaries, the deltas of
+    every registered {!Metrics} counter — so a span over a bulk-loading
+    phase carries exactly the pager reads/writes, cache hits/misses and
+    sort passes that happened inside it.  With the null sink installed
+    (the default) every entry point reduces to one flag check; the
+    instrumented libraries are free when tracing is off. *)
+
+type value = Int of int | Float of float | Str of string | Bool of bool
+
+type phase = B | E | I  (** span begin, span end, instant *)
+
+type event = {
+  ev_phase : phase;
+  ev_name : string;
+  ev_cat : string;
+  ev_ts : float;  (** microseconds since {!install} *)
+  ev_args : (string * value) list;
+}
+
+type sink
+
+val null_sink : sink
+(** Discards everything; installing it disables tracing. *)
+
+val memory_sink : ?capacity:int -> unit -> sink
+(** Bounded ring buffer (default 65536 events); when full the oldest
+    events are dropped and counted ({!dropped}). *)
+
+val text_sink : Format.formatter -> sink
+(** Prints one indented line per event as it happens. *)
+
+val install : sink -> unit
+(** Make a sink current.  A non-null sink enables tracing, restarts the
+    trace clock and turns on {!Metrics} collection (spans need counter
+    snapshots). *)
+
+val uninstall : unit -> unit
+(** Back to the null sink; also turns {!Metrics} collection off. *)
+
+val enabled : unit -> bool
+
+val events : unit -> event list
+(** Buffered events of the current memory sink, oldest first; [[]] for
+    other sinks. *)
+
+val dropped : unit -> int
+(** Events lost to ring overflow in the current memory sink. *)
+
+type span
+
+val span_begin : ?cat:string -> ?args:(string * value) list -> string -> span
+(** Open a span: emits a begin event and snapshots all counters.  A
+    dead no-op span is returned while tracing is disabled. *)
+
+val span_end : ?args:(string * value) list -> span -> unit
+(** Close a span: emits an end event carrying [args] plus the non-zero
+    counter deltas since {!span_begin}. *)
+
+val with_span : ?cat:string -> ?args:(string * value) list -> string -> (unit -> 'a) -> 'a
+(** [with_span name f] runs [f] inside a span.  The end event is emitted
+    even when [f] raises, so traces stay balanced under exceptions.
+    When tracing is off this is exactly [f ()]. *)
+
+val instant : ?args:(string * value) list -> string -> unit
+(** A zero-duration marker event. *)
+
+val event_to_json : event -> Json.t
+
+val chrome_json : event list -> Json.t
+(** The Chrome trace-event document ([{"traceEvents": [...]}]) —
+    loadable in chrome://tracing and Perfetto. *)
+
+val write_chrome : string -> int
+(** Write the current memory sink's events as a Chrome trace file and
+    return how many events were written (0, with a valid empty trace,
+    for non-memory sinks). *)
+
+type span_stats = {
+  span_name : string;
+  calls : int;
+  total_us : float;  (** inclusive of child spans *)
+  io : (string * int) list;  (** summed integer end-args (counter deltas) *)
+}
+
+val summary : event list -> span_stats list
+(** Aggregate balanced begin/end pairs per span name, in first-seen
+    order — the span-aware report printed by the bench harness and
+    [prt profile]. *)

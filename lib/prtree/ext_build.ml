@@ -34,6 +34,7 @@ module Select = Prt_util.Select
 module Entry = Prt_rtree.Entry
 module Node = Prt_rtree.Node
 module Rtree = Prt_rtree.Rtree
+module Trace = Prt_obs.Trace
 
 (* --- the in-memory top-levels structure --- *)
 
@@ -181,24 +182,30 @@ let rec pseudo_leaves pager ~cap ~mem_records ~emit_leaf files n =
     let root, ncells = build_sample_tree ~cap sample depth in
     (* Filtering pass: fill the priority buffers. *)
     let absorbed = Hashtbl.create (8 * cap * ncells) in
-    Entry.File.iter files.(0) (fun e -> filter_record ~absorbed root e);
-    iter_priority_buffers root ~f:emit_leaf;
+    Trace.with_span "prtree.ext.filter"
+      ~args:[ ("n", Trace.Int n); ("cells", Trace.Int ncells) ]
+      (fun () ->
+        Entry.File.iter files.(0) (fun e -> filter_record ~absorbed root e);
+        iter_priority_buffers root ~f:emit_leaf);
     (* Distribution pass: split each sorted list by cell. *)
     let outputs =
       Array.init ncells (fun _ -> Array.init 4 (fun _ -> Entry.File.create pager))
     in
     let counts = Array.make ncells 0 in
-    Array.iteri
-      (fun dim file ->
-        Entry.File.iter file (fun e ->
-            if not (Hashtbl.mem absorbed (Entry.id e)) then begin
-              let c = cell_of root e in
-              Entry.File.append outputs.(c).(dim) e;
-              if dim = 0 then counts.(c) <- counts.(c) + 1
-            end);
-        Entry.File.destroy file)
-      files;
-    Array.iter (fun fs -> Array.iter Entry.File.seal fs) outputs;
+    Trace.with_span "prtree.ext.distribute"
+      ~args:[ ("cells", Trace.Int ncells) ]
+      (fun () ->
+        Array.iteri
+          (fun dim file ->
+            Entry.File.iter file (fun e ->
+                if not (Hashtbl.mem absorbed (Entry.id e)) then begin
+                  let c = cell_of root e in
+                  Entry.File.append outputs.(c).(dim) e;
+                  if dim = 0 then counts.(c) <- counts.(c) + 1
+                end);
+            Entry.File.destroy file)
+          files;
+        Array.iter (fun fs -> Array.iter Entry.File.seal fs) outputs);
     (* Recurse per cell. The filtering pass absorbed at least 4*cap
        records (the root's buffers), so n strictly decreases even if the
        sample split badly. *)
@@ -208,6 +215,9 @@ let rec pseudo_leaves pager ~cap ~mem_records ~emit_leaf files n =
 (* --- staged PR-tree construction --- *)
 
 let load ?(mem_records = 18_000) pool file =
+  Trace.with_span "prtree.ext.load"
+    ~args:[ ("n", Trace.Int (Entry.File.length file)) ]
+  @@ fun () ->
   let pager = Buffer_pool.pager pool in
   let page_size = Pager.page_size pager in
   let cap = Node.capacity ~page_size in
@@ -234,22 +244,26 @@ let load ?(mem_records = 18_000) pool file =
       else begin
         let next = Entry.File.create pager in
         let emit_leaf entries = Entry.File.append next (write_node kind entries) in
-        if n <= mem_records then begin
-          (* Small levels skip the sorted lists entirely. *)
-          let entries = Entry.File.read_all level_file in
-          if owned then Entry.File.destroy level_file;
-          let t = Pseudo.build ~b:cap entries in
-          List.iter emit_leaf (Pseudo.leaves t)
-        end
-        else begin
-          let sorted =
-            Array.init 4 (fun d ->
-                Entry.File.sort ~mem_records ~cmp:(Entry.compare_dim d) level_file)
-          in
-          if owned then Entry.File.destroy level_file;
-          pseudo_leaves pager ~cap ~mem_records ~emit_leaf sorted n
-        end;
-        Entry.File.seal next;
+        Trace.with_span "prtree.ext.stage"
+          ~args:[ ("level", Trace.Int (height - 1)); ("n", Trace.Int n) ]
+          (fun () ->
+            if n <= mem_records then begin
+              (* Small levels skip the sorted lists entirely. *)
+              let entries = Entry.File.read_all level_file in
+              if owned then Entry.File.destroy level_file;
+              let t = Pseudo.build ~b:cap entries in
+              List.iter emit_leaf (Pseudo.leaves t)
+            end
+            else begin
+              let sorted =
+                Trace.with_span "prtree.ext.sort" (fun () ->
+                    Array.init 4 (fun d ->
+                        Entry.File.sort ~mem_records ~cmp:(Entry.compare_dim d) level_file))
+              in
+              if owned then Entry.File.destroy level_file;
+              pseudo_leaves pager ~cap ~mem_records ~emit_leaf sorted n
+            end;
+            Entry.File.seal next);
         stage next ~kind:Node.Internal ~height:(height + 1) ~owned:true
       end
     in

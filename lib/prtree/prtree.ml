@@ -16,6 +16,7 @@ module Pager = Prt_storage.Pager
 module Entry = Prt_rtree.Entry
 module Node = Prt_rtree.Node
 module Rtree = Prt_rtree.Rtree
+module Trace = Prt_obs.Trace
 
 let write_level pool ~kind entry_sets =
   let page_size = Pager.page_size (Buffer_pool.pager pool) in
@@ -29,6 +30,9 @@ let write_level pool ~kind entry_sets =
        entry_sets)
 
 let load ?priority_size ?(domains = 1) pool entries =
+  Trace.with_span "prtree.load"
+    ~args:[ ("n", Trace.Int (Array.length entries)) ]
+  @@ fun () ->
   let page_size = Pager.page_size (Buffer_pool.pager pool) in
   let cap = Node.capacity ~page_size in
   let count = Array.length entries in
@@ -44,9 +48,16 @@ let load ?priority_size ?(domains = 1) pool entries =
         Rtree.of_root ~pool ~root:id ~height ~count
       end
       else begin
-        let pseudo = Pseudo.build ~b:cap ?priority_size ~domains current in
-        let level = write_level pool ~kind (Pseudo.leaves pseudo) in
-        stage (Array.of_list level) ~kind:Node.Internal ~height:(height + 1)
+        Trace.with_span "prtree.stage"
+          ~args:[ ("level", Trace.Int (height - 1)); ("n", Trace.Int (Array.length current)) ]
+          (fun () ->
+            let pseudo =
+              Trace.with_span "prtree.pseudo" (fun () ->
+                  Pseudo.build ~b:cap ?priority_size ~domains current)
+            in
+            Trace.with_span "prtree.write_level" (fun () ->
+                write_level pool ~kind (Pseudo.leaves pseudo)))
+        |> fun level -> stage (Array.of_list level) ~kind:Node.Internal ~height:(height + 1)
       end
     in
     stage entries ~kind:Node.Leaf ~height:1

@@ -10,6 +10,7 @@
 module Rect = Prt_geom.Rect
 module Hilbert2d = Prt_hilbert.Hilbert2d
 module Hilbert_nd = Prt_hilbert.Hilbert_nd
+module Trace = Prt_obs.Trace
 
 let order_2d = 24 (* fine enough that micro-clusters (1e-5 wide) still
                      get within-cluster Hilbert locality *)
@@ -63,8 +64,19 @@ let sort_by_key ?(domains = 1) ~key entries =
   Prt_util.Parallel.sort ~domains ~cmp:compare_keyed keyed;
   Array.map (fun k -> k.entry) keyed
 
-let load_h ?domains pool entries =
-  Pack.build_from_ordered pool (sort_by_key ?domains ~key:hilbert2d_key entries)
+(* Each loader traces its two phases separately: key-sort (CPU-bound)
+   and leaf packing (write-bound), so a trace shows where build I/Os
+   accrue. *)
+let load_with ~name ~key ?domains pool entries =
+  Trace.with_span name
+    ~args:[ ("n", Trace.Int (Array.length entries)) ]
+    (fun () ->
+      let ordered =
+        Trace.with_span "hilbert.sort" (fun () -> sort_by_key ?domains ~key entries)
+      in
+      Trace.with_span "hilbert.pack" (fun () -> Pack.build_from_ordered pool ordered))
+
+let load_h ?domains pool entries = load_with ~name:"hilbert.load_h" ~key:hilbert2d_key ?domains pool entries
 
 let load_h4 ?domains pool entries =
-  Pack.build_from_ordered pool (sort_by_key ?domains ~key:hilbert4d_key entries)
+  load_with ~name:"hilbert.load_h4" ~key:hilbert4d_key ?domains pool entries

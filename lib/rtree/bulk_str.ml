@@ -37,6 +37,9 @@ let order ~capacity entries =
   end
 
 let load pool entries =
-  let page_size = Prt_storage.Pager.page_size (Prt_storage.Buffer_pool.pager pool) in
-  let capacity = Node.capacity ~page_size in
-  Pack.build_levelwise pool ~order:(order ~capacity) entries
+  Prt_obs.Trace.with_span "str.load"
+    ~args:[ ("n", Prt_obs.Trace.Int (Array.length entries)) ]
+    (fun () ->
+      let page_size = Prt_storage.Pager.page_size (Prt_storage.Buffer_pool.pager pool) in
+      let capacity = Node.capacity ~page_size in
+      Pack.build_levelwise pool ~order:(order ~capacity) entries)

@@ -73,6 +73,9 @@ let rec partition ~unit set groups =
   end
 
 let load pool entries =
+  Prt_obs.Trace.with_span "tgs.build"
+    ~args:[ ("n", Prt_obs.Trace.Int (Array.length entries)) ]
+  @@ fun () ->
   let page_size = Pager.page_size (Buffer_pool.pager pool) in
   let cap = Node.capacity ~page_size in
   if Array.length entries = 0 then Rtree.create_empty pool

@@ -19,6 +19,7 @@
 module Rect = Prt_geom.Rect
 module Buffer_pool = Prt_storage.Buffer_pool
 module Pager = Prt_storage.Pager
+module Trace = Prt_obs.Trace
 
 let world_of_file file =
   let world = ref None in
@@ -66,14 +67,21 @@ let hilbert_cmp key world a b =
   if c <> 0 then c else Entry.compare_dim 0 a b
 
 let load_hilbert ~variant pool ~mem_records file =
-  let key =
-    match variant with `H -> Bulk_hilbert.hilbert2d_key | `H4 -> Bulk_hilbert.hilbert4d_key
-  in
-  let world = world_of_file file in
-  let sorted = Entry.File.sort ~mem_records ~cmp:(hilbert_cmp key world) file in
-  let tree = pack_sorted_file pool sorted in
-  Entry.File.destroy sorted;
-  tree
+  let name = match variant with `H -> "ext.load_h" | `H4 -> "ext.load_h4" in
+  Trace.with_span name
+    ~args:[ ("n", Trace.Int (Entry.File.length file)) ]
+    (fun () ->
+      let key =
+        match variant with `H -> Bulk_hilbert.hilbert2d_key | `H4 -> Bulk_hilbert.hilbert4d_key
+      in
+      let world = world_of_file file in
+      let sorted =
+        Trace.with_span "ext.hilbert.sort" (fun () ->
+            Entry.File.sort ~mem_records ~cmp:(hilbert_cmp key world) file)
+      in
+      let tree = Trace.with_span "ext.hilbert.pack" (fun () -> pack_sorted_file pool sorted) in
+      Entry.File.destroy sorted;
+      tree)
 
 let load_h pool ~mem_records file = load_hilbert ~variant:`H pool ~mem_records file
 let load_h4 pool ~mem_records file = load_hilbert ~variant:`H4 pool ~mem_records file
@@ -95,13 +103,19 @@ let center_y_cmp a b =
    Upper levels (N/B entries) are re-tiled in memory, matching the
    in-memory loader. *)
 let load_str pool ~mem_records file =
+  Trace.with_span "ext.load_str"
+    ~args:[ ("n", Trace.Int (Entry.File.length file)) ]
+  @@ fun () ->
   let pager = Buffer_pool.pager pool in
   let page_size = Pager.page_size pager in
   let cap = Node.capacity ~page_size in
   let n = Entry.File.length file in
   if n = 0 then Rtree.create_empty pool
   else begin
-    let by_x = Entry.File.sort ~mem_records ~cmp:center_x_cmp file in
+    let by_x =
+      Trace.with_span "ext.str.sort_x" (fun () ->
+          Entry.File.sort ~mem_records ~cmp:center_x_cmp file)
+    in
     let nleaves = (n + cap - 1) / cap in
     let slabs = int_of_float (Float.ceil (sqrt (float_of_int nleaves))) in
     let per_slab = slabs * cap in
@@ -120,18 +134,19 @@ let load_str pool ~mem_records file =
         in_slab := 0
       end
     in
-    Entry.File.iter by_x (fun e ->
-        Entry.File.append !slab e;
-        incr in_slab;
-        if !in_slab = per_slab then flush_slab ());
-    flush_slab ();
+    Trace.with_span "ext.str.slabs" (fun () ->
+        Entry.File.iter by_x (fun e ->
+            Entry.File.append !slab e;
+            incr in_slab;
+            if !in_slab = per_slab then flush_slab ());
+        flush_slab ());
     Entry.File.destroy !slab;
     Entry.File.destroy by_x;
     Entry.File.seal ordered;
     (* Pack leaves from the tiled order; upper levels pack sequentially
        in that same order (the in-memory loader re-tiles each level,
        a refinement that matters little above the leaves). *)
-    let tree = pack_sorted_file pool ordered in
+    let tree = Trace.with_span "ext.str.pack" (fun () -> pack_sorted_file pool ordered) in
     Entry.File.destroy ordered;
     tree
   end
@@ -215,6 +230,9 @@ let split_files pager ~dim ~cut files =
   (Array.map fst pair, Array.map snd pair)
 
 let load_tgs pool ~mem_records file =
+  Trace.with_span "ext.load_tgs"
+    ~args:[ ("n", Trace.Int (Entry.File.length file)) ]
+  @@ fun () ->
   let pager = Buffer_pool.pager pool in
   let page_size = Pager.page_size pager in
   let cap = Node.capacity ~page_size in
@@ -250,8 +268,11 @@ let load_tgs pool ~mem_records file =
       end
     in
     (* Four initial sorted copies; the input file is left intact. *)
-    let sorted = Array.init 4 (fun d -> Entry.File.sort ~mem_records ~cmp:(Entry.compare_dim d) file) in
+    let sorted =
+      Trace.with_span "ext.tgs.sort" (fun () ->
+          Array.init 4 (fun d -> Entry.File.sort ~mem_records ~cmp:(Entry.compare_dim d) file))
+    in
     let height = height_for ~cap n in
-    let root = build sorted n ~height in
+    let root = Trace.with_span "ext.tgs.build" (fun () -> build sorted n ~height) in
     Rtree.of_root ~pool ~root:(Entry.id root) ~height ~count:n
   end

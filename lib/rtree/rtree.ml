@@ -96,6 +96,76 @@ let query_list t window =
 
 let query_count t window = query t window ~f:(fun _ -> ())
 
+(* Profiled window query: same traversal as [query], but additionally
+   records how many nodes were visited on each level and what the
+   storage stack did on the tree's behalf (pager I/Os, pool hits and
+   misses) between entry and exit.  The plain [query] stays untouched so
+   profiling costs nothing unless asked for. *)
+
+type profile = {
+  pf_levels : int array; (* nodes visited per level; index 0 = root *)
+  pf_internal : int;
+  pf_leaves : int;
+  pf_matched : int;
+  pf_reads : int;
+  pf_writes : int;
+  pf_hits : int;
+  pf_misses : int;
+  pf_seconds : float;
+}
+
+let query_profile t window ~f =
+  Prt_obs.Trace.with_span "rtree.query" (fun () ->
+      let levels = Array.make (max 1 t.height) 0 in
+      let stats = fresh_stats () in
+      let before = Pager.snapshot (pager t) in
+      let hits0 = Buffer_pool.hits t.pool and misses0 = Buffer_pool.misses t.pool in
+      let t0 = Unix.gettimeofday () in
+      let rec visit id depth =
+        let node = read_node t id in
+        levels.(depth - 1) <- levels.(depth - 1) + 1;
+        match Node.kind node with
+        | Node.Leaf ->
+            stats.leaf_visited <- stats.leaf_visited + 1;
+            Array.iter
+              (fun e ->
+                if Rect.intersects (Entry.rect e) window then begin
+                  stats.matched <- stats.matched + 1;
+                  f e
+                end)
+              (Node.entries node)
+        | Node.Internal ->
+            stats.internal_visited <- stats.internal_visited + 1;
+            Array.iter
+              (fun e ->
+                if Rect.intersects (Entry.rect e) window then visit (Entry.id e) (depth + 1))
+              (Node.entries node)
+      in
+      visit t.root 1;
+      let seconds = Unix.gettimeofday () -. t0 in
+      let d = Pager.diff ~before ~after:(Pager.snapshot (pager t)) in
+      {
+        pf_levels = levels;
+        pf_internal = stats.internal_visited;
+        pf_leaves = stats.leaf_visited;
+        pf_matched = stats.matched;
+        pf_reads = d.Pager.s_reads;
+        pf_writes = d.Pager.s_writes;
+        pf_hits = Buffer_pool.hits t.pool - hits0;
+        pf_misses = Buffer_pool.misses t.pool - misses0;
+        pf_seconds = seconds;
+      })
+
+let pp_profile ppf p =
+  Format.fprintf ppf "@[<v>";
+  Array.iteri
+    (fun i n -> Format.fprintf ppf "level %d: %d node%s@," i n (if n = 1 then "" else "s"))
+    p.pf_levels;
+  Format.fprintf ppf "internal=%d leaves=%d matched=%d@," p.pf_internal p.pf_leaves p.pf_matched;
+  Format.fprintf ppf "pager: reads=%d writes=%d  pool: hits=%d misses=%d@," p.pf_reads p.pf_writes
+    p.pf_hits p.pf_misses;
+  Format.fprintf ppf "time: %.6fs@]" p.pf_seconds
+
 let iter t ~f =
   let rec visit id =
     let node = read_node t id in

@@ -52,6 +52,30 @@ val query : t -> Prt_geom.Rect.t -> f:(Entry.t -> unit) -> query_stats
 val query_list : t -> Prt_geom.Rect.t -> Entry.t list * query_stats
 val query_count : t -> Prt_geom.Rect.t -> query_stats
 
+(** Per-query I/O profile, collected by {!query_profile}: the node count
+    per level (root = index 0), the classic visit/match counts, the
+    pager and buffer-pool activity attributable to the query, and its
+    wall-clock time. *)
+type profile = {
+  pf_levels : int array;  (** nodes visited on each level; index 0 = root *)
+  pf_internal : int;
+  pf_leaves : int;
+  pf_matched : int;  (** the paper's output size [T] *)
+  pf_reads : int;  (** pager reads during the query *)
+  pf_writes : int;
+  pf_hits : int;  (** buffer-pool hits during the query *)
+  pf_misses : int;
+  pf_seconds : float;
+}
+
+val query_profile : t -> Prt_geom.Rect.t -> f:(Entry.t -> unit) -> profile
+(** Same traversal and same results as {!query}, but returns a full
+    {!profile}. Emits an ["rtree.query"] span when tracing is installed.
+    The plain {!query} path is untouched, so profiling costs nothing
+    unless requested. *)
+
+val pp_profile : Format.formatter -> profile -> unit
+
 val iter : t -> f:(Entry.t -> unit) -> unit
 (** Visit every stored entry. *)
 

@@ -36,7 +36,18 @@ type t = {
   degraded : degraded;
   mutable hits : int;
   mutable misses : int;
+  mutable evictions : int;
 }
+
+(* Observability mirrors of the per-pool counters (see the note in
+   {!Pager}): registry-level aggregates across all pools, bumped next to
+   the fields so span deltas attribute caching behaviour per phase. *)
+let m_hits = Prt_obs.Metrics.counter "pool.hits"
+let m_misses = Prt_obs.Metrics.counter "pool.misses"
+let m_evictions = Prt_obs.Metrics.counter "pool.evictions"
+let m_faults = Prt_obs.Metrics.counter "pool.faults"
+let m_retries = Prt_obs.Metrics.counter "pool.retries"
+let m_failures = Prt_obs.Metrics.counter "pool.failures"
 
 let create ?(capacity = 1024) ?(retry = default_retry) pager =
   if retry.attempts < 1 then invalid_arg "Buffer_pool.create: retry attempts must be >= 1";
@@ -48,11 +59,13 @@ let create ?(capacity = 1024) ?(retry = default_retry) pager =
     degraded = { faults = 0; retries = 0; backoff = 0; failures = 0; last_error = None };
     hits = 0;
     misses = 0;
+    evictions = 0;
   }
 
 let pager t = t.pager
 let hits t = t.hits
 let misses t = t.misses
+let evictions t = t.evictions
 let degraded t = t.degraded
 
 (* Run one pager operation under the retry policy.  Each failed attempt
@@ -65,13 +78,16 @@ let with_retry t op f =
     try f ()
     with Pager.Io_error msg ->
       t.degraded.faults <- t.degraded.faults + 1;
+      Prt_obs.Metrics.tick m_faults;
       if attempt < r.attempts then begin
         t.degraded.retries <- t.degraded.retries + 1;
+        Prt_obs.Metrics.tick m_retries;
         t.degraded.backoff <- t.degraded.backoff + (r.backoff_base lsl (attempt - 1));
         go (attempt + 1)
       end
       else begin
         t.degraded.failures <- t.degraded.failures + 1;
+        Prt_obs.Metrics.tick m_failures;
         t.degraded.last_error <- Some (op ^ ": " ^ msg);
         raise
           (Pager.Io_error (Printf.sprintf "%s: giving up after %d attempts: %s" op r.attempts msg))
@@ -83,16 +99,21 @@ let write_back t id (c : cached) =
   if c.dirty then with_retry t "write_back" (fun () -> Pager.write t.pager id c.data)
 
 let evicted t = function
-  | Some (id, c) -> write_back t id c
+  | Some (id, c) ->
+      t.evictions <- t.evictions + 1;
+      Prt_obs.Metrics.tick m_evictions;
+      write_back t id c
   | None -> ()
 
 let read t id =
   match Lru.find t.cache id with
   | Some c ->
       t.hits <- t.hits + 1;
+      Prt_obs.Metrics.tick m_hits;
       c.data
   | None ->
       t.misses <- t.misses + 1;
+      Prt_obs.Metrics.tick m_misses;
       let data = with_retry t "read" (fun () -> Pager.read t.pager id) in
       evicted t (Lru.add t.cache id { data; dirty = false });
       data
@@ -126,6 +147,7 @@ let drop_clean t =
 let reset_counters t =
   t.hits <- 0;
   t.misses <- 0;
+  t.evictions <- 0;
   t.degraded.faults <- 0;
   t.degraded.retries <- 0;
   t.degraded.backoff <- 0;

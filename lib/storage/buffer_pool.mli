@@ -63,6 +63,10 @@ val drop_clean : t -> unit
 val hits : t -> int
 val misses : t -> int
 
+val evictions : t -> int
+(** Cached pages pushed out by capacity pressure (each one a write-back
+    if dirty) — surfaced by [prt stats] alongside hits/misses. *)
+
 val degraded : t -> degraded
 (** The live degraded-mode counters (reset by {!reset_counters}). *)
 

@@ -27,6 +27,16 @@ type stats = { mutable reads : int; mutable writes : int; mutable allocs : int }
 
 type snapshot = { s_reads : int; s_writes : int; s_allocs : int }
 
+(* Observability mirrors: the same events that bump [stats] also bump
+   these registry counters (no-ops unless collection is on), which is
+   what lets {!Prt_obs.Trace} spans attribute I/O to build/query phases.
+   The pager's own [stats] are never derived from these — fault-free
+   accounting stays bit-identical whether or not anyone is watching. *)
+let m_reads = Prt_obs.Metrics.counter "pager.reads"
+let m_writes = Prt_obs.Metrics.counter "pager.writes"
+let m_allocs = Prt_obs.Metrics.counter "pager.allocs"
+let m_frees = Prt_obs.Metrics.counter "pager.frees"
+
 type backend =
   | Memory of { mutable pages : bytes array; mutable used : int }
   | File of { fd : Unix.file_descr; mutable used : int }
@@ -129,6 +139,7 @@ let rec alloc t =
       alloc inner
   | Memory _ | File _ -> (
       t.stats.allocs <- t.stats.allocs + 1;
+      Prt_obs.Metrics.tick m_allocs;
       match t.free_list with
       | id :: rest ->
           t.free_list <- rest;
@@ -164,6 +175,7 @@ let rec free t id =
   | Memory _ | File _ ->
       check_id t "free" id;
       if Hashtbl.mem t.free_set id then invalid_arg "Pager.free: double free";
+      Prt_obs.Metrics.tick m_frees;
       Hashtbl.replace t.free_set id ();
       t.free_list <- id :: t.free_list
 
@@ -200,9 +212,11 @@ let rec read_into t id buf =
                   t.page_size id)))
   | Memory m ->
       t.stats.reads <- t.stats.reads + 1;
+      Prt_obs.Metrics.tick m_reads;
       Bytes.blit m.pages.(id) 0 buf 0 t.page_size
   | File f ->
       t.stats.reads <- t.stats.reads + 1;
+      Prt_obs.Metrics.tick m_reads;
       ignore (Unix.lseek f.fd (id * t.page_size) Unix.SEEK_SET);
       let rec fill off =
         if off < t.page_size then begin
@@ -242,9 +256,11 @@ let rec write t id buf =
                   t.page_size id)))
   | Memory m ->
       t.stats.writes <- t.stats.writes + 1;
+      Prt_obs.Metrics.tick m_writes;
       Bytes.blit buf 0 m.pages.(id) 0 t.page_size
   | File f ->
       t.stats.writes <- t.stats.writes + 1;
+      Prt_obs.Metrics.tick m_writes;
       ignore (Unix.lseek f.fd (id * t.page_size) Unix.SEEK_SET);
       let n = Unix.write f.fd buf 0 t.page_size in
       if n <> t.page_size then failwith "Pager.write: short write"
@@ -275,4 +291,4 @@ let rec close t =
   end
 
 let pp_snapshot ppf s =
-  Fmt.pf ppf "reads=%d writes=%d allocs=%d" s.s_reads s.s_writes s.s_allocs
+  Fmt.pf ppf "reads=%d writes=%d allocs=%d io=%d" s.s_reads s.s_writes s.s_allocs (total_io s)

@@ -88,4 +88,7 @@ val total_io : snapshot -> int
 
 val reset_stats : t -> unit
 val close : t -> unit
+
 val pp_snapshot : Format.formatter -> snapshot -> unit
+(** ["reads=R writes=W allocs=A io=R+W"] — every field labelled, so the
+    CLI and bench output stay greppable. *)

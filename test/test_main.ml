@@ -23,6 +23,7 @@ let () =
       ("differential", Test_differential.suite);
       ("faults", Test_faults.suite);
       ("audit", Test_audit.suite);
+      ("obs", Test_obs.suite);
       ("paper-scale", Test_paper_scale.suite);
       ("workloads", Test_workloads.suite);
     ]

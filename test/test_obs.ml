@@ -1,0 +1,287 @@
+(* The observability layer: span balance (including under exceptions),
+   Chrome trace-event well-formedness, histogram bucketing, span-level
+   I/O attribution, and — most load-bearing — the zero-overhead-off
+   property: instrumentation must not perturb the repository's I/O
+   accounting or query results in any way. *)
+
+module Json = Prt_obs.Json
+module Metrics = Prt_obs.Metrics
+module Trace = Prt_obs.Trace
+module Pager = Prt_storage.Pager
+module Buffer_pool = Prt_storage.Buffer_pool
+module Rtree = Prt_rtree.Rtree
+
+(* Every test must leave the global trace/metrics state as it found it:
+   null sink installed, collection off. *)
+let with_clean_trace f =
+  Fun.protect ~finally:(fun () -> Trace.uninstall ()) f
+
+let phases_and_names evs =
+  List.map
+    (fun e ->
+      ( (match e.Trace.ev_phase with Trace.B -> "B" | Trace.E -> "E" | Trace.I -> "i"),
+        e.Trace.ev_name ))
+    evs
+
+(* --- JSON emitter/parser --- *)
+
+let test_json_roundtrip () =
+  let samples =
+    [
+      Json.Null;
+      Json.Bool true;
+      Json.Int (-42);
+      Json.Int max_int;
+      Json.Float 1.5;
+      Json.Str "plain";
+      Json.Str "quo\"te back\\slash new\nline tab\t";
+      Json.Str "unicode: \xc3\xa9\xe2\x82\xac";
+      Json.List [ Json.Int 1; Json.Str "two"; Json.Null ];
+      Json.Obj [ ("a", Json.Int 1); ("nested", Json.Obj [ ("b", Json.List [] ) ]) ];
+    ]
+  in
+  List.iter
+    (fun j ->
+      let s = Json.to_string j in
+      Alcotest.(check bool) ("round-trips: " ^ s) true (Json.of_string s = j))
+    samples;
+  (* Malformed documents must raise, not mis-parse. *)
+  List.iter
+    (fun s ->
+      match Json.of_string s with
+      | exception Json.Parse_error _ -> ()
+      | v -> Alcotest.failf "parsed %S as %s" s (Json.to_string v))
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "1 2"; "\"unterminated" ]
+
+(* --- histogram buckets --- *)
+
+let test_histogram_buckets () =
+  List.iter
+    (fun (v, k) ->
+      Alcotest.(check int) (Printf.sprintf "bucket_index %d" v) k (Metrics.bucket_index v))
+    [ (min_int, 0); (-1, 0); (0, 0); (1, 1); (2, 2); (3, 2); (4, 3); (7, 3); (8, 4); (1023, 10) ];
+  (* bucket_bounds inverts bucket_index on the bucket edges. *)
+  for k = 1 to 20 do
+    let lo, hi = Metrics.bucket_bounds k in
+    Alcotest.(check int) (Printf.sprintf "lo of bucket %d" k) k (Metrics.bucket_index lo);
+    Alcotest.(check int) (Printf.sprintf "hi of bucket %d" k) k (Metrics.bucket_index hi)
+  done;
+  Alcotest.(check int) "bucket 0 upper bound" 0 (snd (Metrics.bucket_bounds 0));
+  (* observe routes samples into those buckets (only while collecting). *)
+  let h = Metrics.histogram "test.obs.hist" in
+  Metrics.observe h 5;
+  Alcotest.(check int) "observe off = no-op" 0 (Metrics.histogram_count h);
+  Metrics.set_collecting true;
+  Fun.protect
+    ~finally:(fun () -> Metrics.set_collecting false)
+    (fun () ->
+      List.iter (Metrics.observe h) [ 0; 1; 5; 6; 7 ];
+      Alcotest.(check int) "count" 5 (Metrics.histogram_count h);
+      Alcotest.(check int) "sum" 19 (Metrics.histogram_sum h);
+      Alcotest.(check int) "bucket 0" 1 (Metrics.histogram_bucket h 0);
+      Alcotest.(check int) "bucket 1" 1 (Metrics.histogram_bucket h 1);
+      Alcotest.(check int) "bucket 3" 3 (Metrics.histogram_bucket h 3))
+
+(* --- registry semantics --- *)
+
+let test_registry () =
+  let a = Metrics.counter "test.obs.dedup" in
+  let b = Metrics.counter "test.obs.dedup" in
+  Metrics.set_collecting true;
+  Fun.protect
+    ~finally:(fun () -> Metrics.set_collecting false)
+    (fun () ->
+      Metrics.tick a;
+      Alcotest.(check int) "find-or-create shares state" 1 (Metrics.value b);
+      Metrics.add b 4;
+      Alcotest.(check int) "add" 5 (Metrics.value a));
+  (match Metrics.gauge "test.obs.dedup" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "kind mismatch must raise");
+  (* The registry JSON export parses back and mentions the counter. *)
+  let j = Json.of_string (Json.to_string (Metrics.to_json ())) in
+  match Json.member "counters" j with
+  | Some (Json.Obj kvs) ->
+      Alcotest.(check bool) "counter exported" true (List.mem_assoc "test.obs.dedup" kvs)
+  | _ -> Alcotest.fail "no counters object in metrics JSON"
+
+(* --- span balance, including under exceptions --- *)
+
+let test_span_balance () =
+  with_clean_trace (fun () ->
+      Trace.install (Trace.memory_sink ());
+      (try
+         Trace.with_span "outer" (fun () ->
+             Trace.with_span "inner-ok" (fun () -> ());
+             Trace.with_span "inner-raise" (fun () -> raise Exit))
+       with Exit -> ());
+      Trace.instant "marker";
+      let evs = Trace.events () in
+      Alcotest.(check (list (pair string string)))
+        "events balanced under exceptions"
+        [
+          ("B", "outer");
+          ("B", "inner-ok");
+          ("E", "inner-ok");
+          ("B", "inner-raise");
+          ("E", "inner-raise");
+          ("E", "outer");
+          ("i", "marker");
+        ]
+        (phases_and_names evs);
+      (* Timestamps are monotone non-decreasing. *)
+      let rec mono = function
+        | a :: (b :: _ as rest) ->
+            Alcotest.(check bool) "monotone ts" true (a.Trace.ev_ts <= b.Trace.ev_ts);
+            mono rest
+        | _ -> ()
+      in
+      mono evs;
+      (* The summary pairs them up: each span appears once with one call. *)
+      let s = Trace.summary evs in
+      Alcotest.(check (list (pair string int)))
+        "summary calls"
+        [ ("inner-ok", 1); ("inner-raise", 1); ("outer", 1) ]
+        (List.sort compare (List.map (fun st -> (st.Trace.span_name, st.Trace.calls)) s)))
+
+(* --- Chrome trace JSON well-formedness --- *)
+
+let test_chrome_json () =
+  with_clean_trace (fun () ->
+      Trace.install (Trace.memory_sink ());
+      Trace.with_span "tricky \"name\" with \\ and \n"
+        ~args:[ ("note", Trace.Str "arg with \"quotes\" and \xc3\xa9") ]
+        (fun () -> Trace.with_span "child" (fun () -> ()));
+      let doc = Trace.chrome_json (Trace.events ()) in
+      let parsed = Json.of_string (Json.to_string doc) in
+      let events =
+        match Json.member "traceEvents" parsed with
+        | Some (Json.List l) -> l
+        | _ -> Alcotest.fail "no traceEvents"
+      in
+      Alcotest.(check int) "event count" 4 (List.length events);
+      (* Replay the B/E stack from the parsed document. *)
+      let stack = ref [] in
+      List.iter
+        (fun e ->
+          let name =
+            match Json.member "name" e with Some (Json.Str s) -> s | _ -> Alcotest.fail "no name"
+          in
+          match Json.member "ph" e with
+          | Some (Json.Str "B") -> stack := name :: !stack
+          | Some (Json.Str "E") -> (
+              match !stack with
+              | top :: rest ->
+                  Alcotest.(check string) "E matches B" top name;
+                  stack := rest
+              | [] -> Alcotest.fail "E without B")
+          | _ -> Alcotest.fail "bad ph")
+        events;
+      Alcotest.(check int) "stack drained" 0 (List.length !stack))
+
+(* --- span-attributed I/O sums to the pager totals --- *)
+
+let arg_int name args =
+  match List.assoc_opt name args with Some (Trace.Int n) -> n | _ -> 0
+
+let test_span_io_attribution () =
+  with_clean_trace (fun () ->
+      Trace.install (Trace.memory_sink ());
+      let sp = Trace.span_begin "root" in
+      let pool = Helpers.small_pool () in
+      let pager = Buffer_pool.pager pool in
+      let entries = Helpers.random_entries ~n:400 ~seed:7 in
+      let tree = Prt_prtree.Prtree.load pool entries in
+      Buffer_pool.flush pool;
+      ignore (Rtree.query_count tree (Prt_geom.Rect.make ~xmin:0.0 ~ymin:0.0 ~xmax:1.0 ~ymax:1.0));
+      let stats = Pager.snapshot pager in
+      Trace.span_end sp;
+      let root_end =
+        List.find
+          (fun e -> e.Trace.ev_phase = Trace.E && e.Trace.ev_name = "root")
+          (Trace.events ())
+      in
+      (* The root span wraps the pool's whole life, so its counter deltas
+         must equal the pager's own statistics exactly. *)
+      Alcotest.(check int) "span reads = pager reads" stats.Pager.s_reads
+        (arg_int "pager.reads" root_end.Trace.ev_args);
+      Alcotest.(check int) "span writes = pager writes" stats.Pager.s_writes
+        (arg_int "pager.writes" root_end.Trace.ev_args);
+      Alcotest.(check int) "span allocs = pager allocs" stats.Pager.s_allocs
+        (arg_int "pager.allocs" root_end.Trace.ev_args))
+
+(* --- the zero-overhead-off property --- *)
+
+(* One deterministic workload: external PR-tree build + a query batch.
+   Returns every observable the paper's accounting cares about. *)
+let run_workload () =
+  let pool = Helpers.small_pool () in
+  let pager = Buffer_pool.pager pool in
+  let entries = Helpers.random_entries ~n:600 ~seed:11 in
+  let file = Prt_rtree.Entry.File.of_array pager entries in
+  let tree = Prt_prtree.Ext_build.load ~mem_records:(16 * 14) pool file in
+  Buffer_pool.flush pool;
+  let queries = Helpers.random_queries ~n:20 ~seed:12 in
+  let results =
+    Array.to_list queries
+    |> List.concat_map (fun q -> Helpers.ids_of (fst (Rtree.query_list tree q)))
+  in
+  let s = Pager.snapshot pager in
+  ((s.Pager.s_reads, s.Pager.s_writes, s.Pager.s_allocs), Buffer_pool.hits pool,
+   Buffer_pool.misses pool, results)
+
+let test_zero_overhead_off () =
+  with_clean_trace (fun () ->
+      (* Baseline: no sink was ever installed in this run of the workload. *)
+      Trace.uninstall ();
+      let base = run_workload () in
+      (* Explicit null sink. *)
+      Trace.install Trace.null_sink;
+      let with_null = run_workload () in
+      (* Full tracing into a memory sink. *)
+      Trace.install (Trace.memory_sink ());
+      let with_mem = run_workload () in
+      Trace.uninstall ();
+      let io (x, _, _, _) = x and res (_, _, _, r) = r in
+      let hits (_, h, _, _) = h and misses (_, _, m, _) = m in
+      Alcotest.(check (triple int int int)) "null sink: pager identical" (io base) (io with_null);
+      Alcotest.(check (triple int int int)) "memory sink: pager identical" (io base) (io with_mem);
+      Alcotest.(check int) "null sink: hits identical" (hits base) (hits with_null);
+      Alcotest.(check int) "memory sink: hits identical" (hits base) (hits with_mem);
+      Alcotest.(check int) "null sink: misses identical" (misses base) (misses with_null);
+      Alcotest.(check int) "memory sink: misses identical" (misses base) (misses with_mem);
+      Alcotest.(check (list int)) "null sink: results identical" (res base) (res with_null);
+      Alcotest.(check (list int)) "memory sink: results identical" (res base) (res with_mem))
+
+(* --- query_profile agrees with query --- *)
+
+let test_query_profile () =
+  let pool = Helpers.small_pool () in
+  let entries = Helpers.random_entries ~n:300 ~seed:21 in
+  let tree = Prt_prtree.Prtree.load pool entries in
+  let q = Prt_geom.Rect.make ~xmin:0.2 ~ymin:0.2 ~xmax:0.6 ~ymax:0.6 in
+  let plain = Rtree.query_count tree q in
+  let acc = ref [] in
+  let p = Rtree.query_profile tree q ~f:(fun e -> acc := Prt_rtree.Entry.id e :: !acc) in
+  Alcotest.(check int) "matched agrees" plain.Rtree.matched p.Rtree.pf_matched;
+  Alcotest.(check int) "leaves agree" plain.Rtree.leaf_visited p.Rtree.pf_leaves;
+  Alcotest.(check int) "internal agree" plain.Rtree.internal_visited p.Rtree.pf_internal;
+  Alcotest.(check int) "levels array spans the height" (Rtree.height tree)
+    (Array.length p.Rtree.pf_levels);
+  Alcotest.(check int) "per-level sum = nodes visited"
+    (plain.Rtree.leaf_visited + plain.Rtree.internal_visited)
+    (Array.fold_left ( + ) 0 p.Rtree.pf_levels);
+  Alcotest.(check int) "root level holds one node" 1 p.Rtree.pf_levels.(0);
+  Alcotest.(check int) "callback saw every match" plain.Rtree.matched (List.length !acc)
+
+let suite =
+  [
+    Alcotest.test_case "json round-trip and strictness" `Quick test_json_roundtrip;
+    Alcotest.test_case "histogram bucket boundaries" `Quick test_histogram_buckets;
+    Alcotest.test_case "registry find-or-create and export" `Quick test_registry;
+    Alcotest.test_case "span balance under exceptions" `Quick test_span_balance;
+    Alcotest.test_case "chrome trace JSON well-formed" `Quick test_chrome_json;
+    Alcotest.test_case "span I/O deltas match pager totals" `Quick test_span_io_attribution;
+    Alcotest.test_case "zero overhead when off" `Quick test_zero_overhead_off;
+    Alcotest.test_case "query_profile agrees with query" `Quick test_query_profile;
+  ]
