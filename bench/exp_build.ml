@@ -150,3 +150,97 @@ let fig11 ~scale ~seed =
     rows;
   note "paper shape: TGS cost varies up to ~4x across distributions (4.6-16.4x";
   note "  PR's I/Os); PR's cost is essentially distribution-independent."
+
+(* Checksum overhead: format v2 stamps a CRC-32C trailer into every
+   page write and verifies it on every file-backend read.  This is not
+   a paper figure; it guards the robustness PR's budget — the trailer
+   must stay well under 10% of in-memory bulk-load time.  The CRC share
+   is measured directly: time [Page.crc32c] over exactly as many pages
+   as the build wrote (resp. the scan read) and compare. *)
+let checksum ~scale ~seed =
+  section "Page integrity trailer: CRC-32C overhead";
+  let module Page = Prt_storage.Page in
+  let module Index_file = Prt_rtree.Index_file in
+  let n = max 10_000 (int_of_float (167_000.0 *. scale)) in
+  let entries = Datasets.uniform_points ~n ~seed in
+  let crc_seconds pages =
+    let sample = Page.create page_size in
+    Page.set_f64 sample 8 3.25;
+    Page.stamp sample ~lsn:1;
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to pages do
+      ignore (Page.crc32c sample ~pos:0 ~len:(page_size - 4))
+    done;
+    Unix.gettimeofday () -. t0
+  in
+  (* In-memory bulk load: stamping is the only trailer cost (the memory
+     backend does not verify reads). *)
+  let pool = fresh_pool () in
+  let pager = Buffer_pool.pager pool in
+  let t0 = Unix.gettimeofday () in
+  let tree = build_mem PR pool entries in
+  Buffer_pool.flush pool;
+  let build_s = Unix.gettimeofday () -. t0 in
+  let writes = (Pager.snapshot pager).Pager.s_writes in
+  let crc_build_s = crc_seconds writes in
+  ignore (Rtree.count tree);
+  (* File-backed build + cold full scan: every page read back is
+     checksum-verified. *)
+  let path = Filename.temp_file "prt_bench_crc" ".idx" in
+  let scan_s, reads =
+    Fun.protect
+      ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+      (fun () ->
+        let idx =
+          Index_file.create ~page_size path ~build:(fun pool ->
+              Prt_prtree.Prtree.load pool entries)
+        in
+        Index_file.close idx;
+        let idx = Index_file.open_ ~page_size path in
+        let pager = Index_file.pager idx in
+        let before = Pager.snapshot pager in
+        let t0 = Unix.gettimeofday () in
+        ignore (Rtree.validate (Index_file.tree idx));
+        let s = Unix.gettimeofday () -. t0 in
+        let d = Pager.diff ~before ~after:(Pager.snapshot pager) in
+        Index_file.close idx;
+        (s, d.Pager.s_reads))
+  in
+  let crc_scan_s = crc_seconds reads in
+  let share part whole = 100.0 *. part /. whole in
+  Bench_json.(
+    row
+      [
+        ("kind", str "mem-build");
+        ("n", int n);
+        ("pages", int writes);
+        ("seconds", flt build_s);
+        ("crc_seconds", flt crc_build_s);
+        ("crc_pct", flt (share crc_build_s build_s));
+      ]);
+  Bench_json.(
+    row
+      [
+        ("kind", str "file-scan");
+        ("n", int n);
+        ("pages", int reads);
+        ("seconds", flt scan_s);
+        ("crc_seconds", flt crc_scan_s);
+        ("crc_pct", flt (share crc_scan_s scan_s));
+      ]);
+  let pct_s p = Printf.sprintf "%.1f%%" p in
+  Table.print
+    ~header:[ "phase"; "pages"; "seconds"; "CRC seconds"; "CRC share" ]
+    [
+      [
+        "in-memory PR build";
+        commas writes;
+        f2 build_s;
+        f2 crc_build_s;
+        pct_s (share crc_build_s build_s);
+      ];
+      [ "file cold scan"; commas reads; f2 scan_s; f2 crc_scan_s; pct_s (share crc_scan_s scan_s) ];
+    ];
+  note "budget: the trailer must stay under 10%% of in-memory bulk-load time.";
+  if share crc_build_s build_s >= 10.0 then
+    note "WARNING: CRC share of the build exceeded the 10%% budget!"

@@ -53,6 +53,7 @@ let experiments =
     ("fig9", "Bulk-loading I/Os and seconds on TIGER-like data (Figure 9)", Exp_build.fig9);
     ("fig10", "Bulk-loading I/Os vs dataset size (Figure 10)", Exp_build.fig10);
     ("fig11", "TGS bulk-loading cost across distributions (Figure 11)", Exp_build.fig11);
+    ("build", "Page-trailer (CRC-32C) overhead on bulk loads", Exp_build.checksum);
     ("fig12", "Query cost vs query size, Western (Figure 12)", Exp_query.fig12);
     ("fig13", "Query cost vs query size, Eastern (Figure 13)", Exp_query.fig13);
     ("fig14", "Query cost vs dataset size (Figure 14)", Exp_query.fig14);

@@ -8,8 +8,10 @@
      prt audit -i roads.idx
 
    Data files are flat pages of 36-byte entry records with a one-page
-   header; index files are pager images whose page 0 holds the R-tree
-   metadata. *)
+   header; index files are crash-consistent {!Prt.Index_file} devices:
+   pages 0/1 hold a shadow superblock pair carrying the R-tree metadata,
+   every page ends in a checksummed trailer, and mutations commit
+   atomically (see `prt fsck` for analysis and repair). *)
 
 open Prt
 open Cmdliner
@@ -38,7 +40,7 @@ let read_data path =
       if Page.get_i32 header 0 <> data_magic then
         failwith (path ^ ": not a prt dataset file");
       let count = Page.get_i32 header 4 in
-      let per_page = Pager.page_size pager / Entry.size in
+      let per_page = Pager.payload_size pager / Entry.size in
       let out = ref [] in
       let remaining = ref count and page = ref 1 in
       while !remaining > 0 do
@@ -85,23 +87,28 @@ let build_index ~variant ~input ~output =
     | None -> failwith ("unknown variant: " ^ variant ^ " (pr|h|h4|tgs|str)")
   in
   let entries = read_data input in
-  let pool = file_pool output in
-  let meta_page = Buffer_pool.alloc pool in
-  if meta_page <> 0 then failwith "internal: metadata page must be page 0";
   let t0 = Unix.gettimeofday () in
-  let tree = load pool entries in
-  Rtree.save_meta tree ~meta_page;
-  Buffer_pool.flush pool;
+  let idx = Index_file.create output ~build:(fun pool -> load pool entries) in
+  let tree = Index_file.tree idx in
   Printf.printf "built %s index over %d rectangles in %.2fs: height %d, %d pages\n" variant
     (Rtree.count tree) (Unix.gettimeofday () -. t0) (Rtree.height tree)
-    (Pager.num_pages (Rtree.pager tree));
-  Pager.close (Rtree.pager tree)
+    (Pager.num_pages (Index_file.pager idx));
+  Index_file.close idx
+
+(* Report what superblock/journal recovery did on open (silent when the
+   previous shutdown was clean). *)
+let report_recovery r =
+  if r.Superblock.rec_journal_pages > 0 then
+    Printf.eprintf "recovery: rolled back %d journaled page(s)\n" r.Superblock.rec_journal_pages;
+  if r.Superblock.rec_truncated_pages > 0 then
+    Printf.eprintf "recovery: truncated %d uncommitted page(s)\n" r.Superblock.rec_truncated_pages;
+  if r.Superblock.rec_slot_repaired then
+    Printf.eprintf "recovery: repaired damaged superblock slot\n"
 
 let with_index path f =
-  let pool = Buffer_pool.create (Pager.open_file path) in
-  Fun.protect
-    ~finally:(fun () -> Pager.close (Buffer_pool.pager pool))
-    (fun () -> f (Rtree.load_meta pool ~meta_page:0))
+  let idx = Index_file.open_ path in
+  report_recovery (Index_file.recovery idx);
+  Fun.protect ~finally:(fun () -> Pager.close (Index_file.pager idx)) (fun () -> f idx)
 
 (* --- commands --- *)
 
@@ -178,7 +185,8 @@ let query_cmd =
     Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Print only the count and I/O statistics.")
   in
   let run index window quiet =
-    with_index index (fun tree ->
+    with_index index (fun idx ->
+        let tree = Index_file.tree idx in
         let hits, stats = Rtree.query_list tree window in
         if not quiet then
           List.iter
@@ -195,17 +203,10 @@ let query_cmd =
     (Cmd.info "query" ~doc:"Run a window query against an index file.")
     Term.(const run $ index $ window $ quiet)
 
-(* Open an index read-write, run [f], persist the (possibly moved)
-   metadata. *)
+(* Open an index read-write and run the mutation [f] as one atomic
+   transaction: a crash mid-operation reopens to the pre-op tree. *)
 let with_index_rw path f =
-  let pool = Buffer_pool.create (Pager.open_file path) in
-  Fun.protect
-    ~finally:(fun () -> Pager.close (Buffer_pool.pager pool))
-    (fun () ->
-      let tree = Rtree.load_meta pool ~meta_page:0 in
-      f tree;
-      Rtree.save_meta tree ~meta_page:0;
-      Buffer_pool.flush pool)
+  with_index path (fun idx -> Index_file.update idx f)
 
 let insert_cmd =
   let index =
@@ -299,7 +300,8 @@ let knn_cmd =
   in
   let k = Arg.(value & opt int 5 & info [ "k" ] ~docv:"K" ~doc:"Number of neighbours.") in
   let run index (x, y) k =
-    with_index index (fun tree ->
+    with_index index (fun idx ->
+        let tree = Index_file.tree idx in
         let results, stats = Knn.nearest tree ~x ~y ~k in
         List.iter
           (fun (e, d) ->
@@ -319,7 +321,8 @@ let stats_cmd =
     Arg.(required & opt (some string) None & info [ "i"; "index" ] ~docv:"FILE" ~doc:"Index file.")
   in
   let run index =
-    with_index index (fun tree ->
+    with_index index (fun idx ->
+        let tree = Index_file.tree idx in
         let s = Rtree.validate tree in
         let m = Metrics.analyze tree in
         Printf.printf "height %d, %d entries, fanout %d\n" (Rtree.height tree) (Rtree.count tree)
@@ -329,9 +332,13 @@ let stats_cmd =
           (100.0 *. s.Rtree.utilization) s.Rtree.min_leaf_fill s.Rtree.min_internal_fanout;
         (* Storage-side statistics accumulated while computing the above
            (validate + analyze read every node once, modulo caching). *)
-        let pool = Rtree.pool tree in
+        let pool = Index_file.pool idx in
+        let pager = Index_file.pager idx in
+        Printf.printf "superblock: commit %d\n"
+          (Superblock.commit_count (Index_file.superblock idx));
         Printf.printf "pager: %s\n"
-          (Format.asprintf "%a" Pager.pp_snapshot (Pager.snapshot (Rtree.pager tree)));
+          (Format.asprintf "%a" Pager.pp_snapshot (Pager.snapshot pager));
+        Printf.printf "checksum failures: %d corrupt page read(s)\n" (Pager.corrupt_reads pager);
         Printf.printf "pool: hits=%d misses=%d evictions=%d\n" (Buffer_pool.hits pool)
           (Buffer_pool.misses pool) (Buffer_pool.evictions pool);
         Printf.printf "degraded: %s\n"
@@ -364,7 +371,8 @@ let profile_cmd =
           ~doc:"Also record a Chrome trace-event JSON file (load it in Perfetto or about:tracing).")
   in
   let run index window repeat trace =
-    with_index index (fun tree ->
+    with_index index (fun idx ->
+        let tree = Index_file.tree idx in
         if trace <> None then Obs.Trace.install (Obs.Trace.memory_sink ());
         Fun.protect
           ~finally:(fun () ->
@@ -411,7 +419,8 @@ let validate_cmd =
     Arg.(required & opt (some string) None & info [ "i"; "index" ] ~docv:"FILE" ~doc:"Index file.")
   in
   let run index =
-    with_index index (fun tree ->
+    with_index index (fun idx ->
+        let tree = Index_file.tree idx in
         let s = Rtree.validate tree in
         Printf.printf
           "valid: %d entries in %d leaves / %d nodes, height %d, utilization %.1f%%\n"
@@ -432,10 +441,12 @@ let audit_cmd =
       & info [ "no-leak-check" ] ~doc:"Skip the page-leak sweep (for indexes sharing their file).")
   in
   let run index no_leaks =
-    with_index index (fun tree ->
-        (* Page 0 holds the index metadata; it is reachable by contract. *)
+    with_index index (fun idx ->
+        let tree = Index_file.tree idx in
+        (* Pages 0/1 hold the shadow superblock pair; they are reachable
+           by contract. *)
         let report =
-          Audit.check ~check_leaks:(not no_leaks) ~reachable:[ 0 ] tree
+          Audit.check ~check_leaks:(not no_leaks) ~reachable:[ 0; 1 ] tree
         in
         Printf.printf "%s\n" (Format.asprintf "%a" Audit.pp_report report);
         if not (Audit.ok report) then exit 1)
@@ -446,6 +457,36 @@ let audit_cmd =
          "Run the full invariant audit on an index file: MBR containment and tightness, uniform \
           leaf depth, fill bounds, entry counts, and page leaks. Exits 1 on any violation.")
     Term.(const run $ index $ no_leaks)
+
+let fsck_cmd =
+  let index =
+    Arg.(required & opt (some string) None & info [ "i"; "index" ] ~docv:"FILE" ~doc:"Index file.")
+  in
+  let rebuild =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "rebuild" ] ~docv:"FILE"
+          ~doc:
+            "Salvage every checksummed-valid entry from the file and bulk-load them into a fresh \
+             PR-tree index at $(docv) — the last resort when no valid superblock survives.")
+  in
+  let run index rebuild =
+    let rebuild =
+      Option.map (fun out -> (out, fun pool entries -> Prtree.load pool entries)) rebuild
+    in
+    let report = Index_file.fsck ?rebuild index in
+    Printf.printf "%s\n" (Format.asprintf "%a" Index_file.pp_fsck report);
+    if not (Index_file.fsck_clean report) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "fsck"
+       ~doc:
+         "Check and repair an index file: tolerate a torn final write, pick the newest valid \
+          superblock, roll back an interrupted transaction from the pre-image journal, repair a \
+          damaged superblock slot, verify every page checksum, and optionally salvage-rebuild. \
+          Exits 1 if any issue was found.")
+    Term.(const run $ index $ rebuild)
 
 let () =
   let doc = "Priority R-tree spatial index tooling" in
@@ -466,4 +507,5 @@ let () =
             stats_cmd;
             validate_cmd;
             audit_cmd;
+            fsck_cmd;
           ]))

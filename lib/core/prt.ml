@@ -18,6 +18,8 @@ module Pager = Prt_storage.Pager
 module Buffer_pool = Prt_storage.Buffer_pool
 module Lru = Prt_storage.Lru
 module Failpoint = Prt_storage.Failpoint
+module Superblock = Prt_storage.Superblock
+module Scrub = Prt_storage.Scrub
 
 (* Hilbert curves. *)
 module Hilbert2d = Prt_hilbert.Hilbert2d
@@ -50,6 +52,10 @@ module Metrics = Prt_rtree.Metrics
 (* The unified invariant audit (MBR tightness, leaf depth, fill bounds,
    page leaks, pseudo-node degree, priority-leaf extremeness). *)
 module Audit = Prt_rtree.Audit
+
+(* Crash-consistent persistent index files (shadow superblock commit +
+   pre-image journal) and their fsck. *)
+module Index_file = Prt_rtree.Index_file
 
 (* The fully dynamic Hilbert R-tree (the paper's reference [16]). *)
 module Hilbert_rtree = Prt_rtree.Hilbert_rtree

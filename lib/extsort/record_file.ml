@@ -60,7 +60,7 @@ module Make (R : RECORD) = struct
   }
 
   let per_page pager =
-    let n = Pager.page_size pager / R.size in
+    let n = Pager.payload_size pager / R.size in
     if n < 1 then invalid_arg "Record_file: record larger than a page";
     n
 

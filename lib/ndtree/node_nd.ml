@@ -11,7 +11,7 @@ type t = { kind : kind; entries : Entry_nd.t array }
 
 let header_size = 3
 
-let capacity ~page_size ~dims = (page_size - header_size) / Entry_nd.size ~dims
+let capacity ~page_size ~dims = (Page.payload_size page_size - header_size) / Entry_nd.size ~dims
 
 let make kind entries = { kind; entries }
 let kind t = t.kind

@@ -42,7 +42,7 @@ type node = { kind : kind; entries : hentry array }
 
 let header_size = 3
 let entry_size = 48
-let capacity ~page_size = (page_size - header_size) / entry_size
+let capacity ~page_size = (Page.payload_size page_size - header_size) / entry_size
 
 let write_entry buf off e =
   Page.set_f64 buf off (Rect.xmin e.rect);

@@ -1,0 +1,278 @@
+(* Crash-consistent persistent index files.
+
+   An index file is a paged device managed by {!Prt_storage.Superblock}:
+   pages 0/1 hold the shadow superblock pair, and the R-tree's root /
+   height / count live in the superblock metadata blob, so publishing a
+   new tree state is a single atomic page flip.  Mutations run inside a
+   superblock transaction: the pager journals the pre-image of every
+   committed page before its first in-place overwrite, frees are
+   deferred to the commit point, and a crash at any page-write boundary
+   reopens to either the pre-operation or the post-operation tree.
+
+   This module is the glue used by the CLI (`prt build/insert/delete`)
+   and by the crash-matrix harness; the tree algorithms themselves are
+   untouched by crash consistency.  [fsck] is the analysis/repair
+   entry point behind `prt fsck`. *)
+
+module Pager = Prt_storage.Pager
+module Page = Prt_storage.Page
+module Buffer_pool = Prt_storage.Buffer_pool
+module Superblock = Prt_storage.Superblock
+module Scrub = Prt_storage.Scrub
+module Failpoint = Prt_storage.Failpoint
+
+type t = {
+  pool : Buffer_pool.t;
+  sb : Superblock.t;
+  mutable tree : Rtree.t;
+  recovery : Superblock.recovery;
+}
+
+let default_cache_pages = 4096
+
+(* Tree metadata blob stored in the superblock: magic "PRTR", then
+   root / height / count. *)
+let meta_magic = 0x50525452
+let meta_len = 16
+
+let encode_meta tree =
+  let b = Bytes.create meta_len in
+  Bytes.set_int32_le b 0 (Int32.of_int meta_magic);
+  Bytes.set_int32_le b 4 (Int32.of_int (Rtree.root tree));
+  Bytes.set_int32_le b 8 (Int32.of_int (Rtree.height tree));
+  Bytes.set_int32_le b 12 (Int32.of_int (Rtree.count tree));
+  b
+
+let decode_meta pool meta =
+  if Bytes.length meta <> meta_len || Int32.to_int (Bytes.get_int32_le meta 0) <> meta_magic
+  then invalid_arg "Index_file: superblock does not carry R-tree metadata";
+  Rtree.of_root ~pool
+    ~root:(Int32.to_int (Bytes.get_int32_le meta 4))
+    ~height:(Int32.to_int (Bytes.get_int32_le meta 8))
+    ~count:(Int32.to_int (Bytes.get_int32_le meta 12))
+
+let tree t = t.tree
+let pool t = t.pool
+let pager t = Buffer_pool.pager t.pool
+let superblock t = t.sb
+let recovery t = t.recovery
+
+(* If anything interrupts construction — including a simulated crash —
+   close the pager so kill-point sweeps do not leak descriptors. *)
+let guarding pager f =
+  match f () with
+  | v -> v
+  | exception e ->
+      (try Pager.close pager with _ -> ());
+      raise e
+
+let create ?(page_size = Pager.default_page_size) ?(cache_pages = default_cache_pages) ?crash
+    path ~build =
+  let pager = Pager.create_file ~page_size path in
+  guarding pager (fun () ->
+      (match crash with Some fp -> Pager.arm_crash pager fp | None -> ());
+      let sb = Superblock.format pager ~meta:Bytes.empty in
+      let pool = Buffer_pool.create ~capacity:cache_pages pager in
+      Superblock.begin_txn sb;
+      let tree = build pool in
+      Buffer_pool.flush pool;
+      Superblock.commit_txn sb ~meta:(encode_meta tree);
+      { pool; sb; tree; recovery = Superblock.no_recovery })
+
+let open_ ?(page_size = Pager.default_page_size) ?(cache_pages = default_cache_pages) ?crash
+    path =
+  let pager = Pager.open_file ~page_size path in
+  guarding pager (fun () ->
+      let sb, recovery = Superblock.open_ pager in
+      (* Arm crash injection only after recovery, so a harness sweeping
+         kill points of the *next* operation does not kill recovery
+         itself. *)
+      (match crash with Some fp -> Pager.arm_crash pager fp | None -> ());
+      let pool = Buffer_pool.create ~capacity:cache_pages pager in
+      let tree = decode_meta pool (Superblock.meta sb) in
+      { pool; sb; tree; recovery })
+
+(* Run a mutation inside a transaction.  If [f] raises (including a
+   {!Failpoint.Simulated_crash}), the transaction is left uncommitted
+   and the handle is closed: the on-disk journal makes the next [open_]
+   roll back to the pre-operation tree. *)
+let update t f =
+  guarding (pager t) (fun () ->
+      Superblock.begin_txn t.sb;
+      let v = f t.tree in
+      Buffer_pool.flush t.pool;
+      Superblock.commit_txn t.sb ~meta:(encode_meta t.tree);
+      v)
+
+let close t =
+  Buffer_pool.flush t.pool;
+  Pager.close (pager t)
+
+(* --- fsck --- *)
+
+type fsck_report = {
+  fsck_tail_bytes : int;  (* torn trailing partial page dropped on open *)
+  fsck_slots : string array;  (* human description of both superblock slots *)
+  fsck_recovery : Superblock.recovery option;  (* None: file unopenable *)
+  fsck_commit : int option;
+  fsck_error : string option;  (* why the file could not be opened *)
+  fsck_tree_ok : bool;
+  fsck_tree_error : string option;
+  fsck_entries : int option;  (* entries reachable from the root *)
+  fsck_scrub : Scrub.report option;
+  fsck_salvaged : (int * string) option;  (* entries salvaged, output path *)
+}
+
+let describe_slot = function
+  | Superblock.Slot_valid st -> Printf.sprintf "valid (commit %d)" st.Superblock.commit
+  | Superblock.Slot_empty -> "empty (never flipped)"
+  | Superblock.Slot_bad msg -> "bad: " ^ msg
+
+(* Salvage every checksummed-valid leaf entry from the device, skipping
+   the superblock pair and free pages.  Pre-image journal copies can
+   duplicate a live leaf, so entries are deduplicated by (id, rect);
+   note that salvage can resurrect entries whose delete was the very
+   operation that crashed — it is a disaster-recovery sweep, not a
+   transaction log. *)
+let salvage_entries pager =
+  let page_size = Pager.page_size pager in
+  let cap = Node.capacity ~page_size in
+  let seen = Hashtbl.create 1024 in
+  let out = ref [] in
+  let n = ref 0 in
+  for id = Superblock.pages to Pager.num_pages pager - 1 do
+    if not (Pager.is_free pager id) then begin
+      let buf = Pager.read_raw pager id in
+      match Page.check buf with
+      | Page.Valid _ when Page.get_u8 buf 0 = 0 && Page.get_u16 buf 1 <= cap -> (
+          match Node.decode buf with
+          | node when Node.kind node = Node.Leaf ->
+              Array.iter
+                (fun e ->
+                  let r = Entry.rect e in
+                  let key =
+                    ( Entry.id e,
+                      Prt_geom.Rect.xmin r,
+                      Prt_geom.Rect.ymin r,
+                      Prt_geom.Rect.xmax r,
+                      Prt_geom.Rect.ymax r )
+                  in
+                  if not (Hashtbl.mem seen key) then begin
+                    Hashtbl.replace seen key ();
+                    out := e :: !out;
+                    incr n
+                  end)
+                (Node.entries node)
+          | _ -> ()
+          | exception Invalid_argument _ -> ())
+      | _ -> ()
+    end
+  done;
+  Array.of_list (List.rev !out)
+
+let fsck ?(page_size = Pager.default_page_size) ?rebuild path =
+  let file_bytes = (Unix.stat path).Unix.st_size in
+  let fsck_tail_bytes = file_bytes mod page_size in
+  let pager = Pager.open_file ~page_size ~partial_tail:`Truncate path in
+  Fun.protect
+    ~finally:(fun () -> Pager.close pager)
+    (fun () ->
+      let fsck_slots = Array.map describe_slot (Superblock.inspect pager) in
+      let opened =
+        match Superblock.open_ pager with
+        | sb, recovery -> Ok (sb, recovery)
+        | exception (Failure msg | Invalid_argument msg) -> Error msg
+        | exception Pager.Corrupt_page msg -> Error ("corrupt page during recovery: " ^ msg)
+      in
+      let fsck_recovery, fsck_commit, fsck_error, tree_state =
+        match opened with
+        | Error msg -> (None, None, Some msg, Error msg)
+        | Ok (sb, recovery) -> (
+            ( Some recovery,
+              Some (Superblock.commit_count sb),
+              None,
+              let pool = Buffer_pool.create ~capacity:default_cache_pages (Superblock.pager sb) in
+              match decode_meta pool (Superblock.meta sb) with
+              | tree -> Ok tree
+              | exception Invalid_argument msg -> Error msg ))
+      in
+      (* Walk the tree to count entries and collect the reachable page
+         set; damage encountered on the walk marks the tree bad instead
+         of aborting the whole fsck. *)
+      let fsck_tree_ok, fsck_tree_error, fsck_entries, reachable =
+        match tree_state with
+        | Error msg -> (false, Some msg, None, None)
+        | Ok tree -> (
+            let pages = Hashtbl.create 256 in
+            Hashtbl.replace pages 0 ();
+            Hashtbl.replace pages 1 ();
+            let entries = ref 0 in
+            match
+              Rtree.iter_nodes tree ~f:(fun ~depth:_ ~id node ->
+                  Hashtbl.replace pages id ();
+                  if Node.kind node = Node.Leaf then entries := !entries + Node.length node)
+            with
+            | () -> (true, None, Some !entries, Some (fun id -> Hashtbl.mem pages id))
+            | exception Pager.Corrupt_page msg -> (false, Some msg, None, None)
+            | exception Invalid_argument msg -> (false, Some msg, None, None)
+            | exception Pager.Io_error msg -> (false, Some msg, None, None))
+      in
+      let fsck_scrub =
+        match opened with
+        | Error _ -> Some (Scrub.run pager)
+        | Ok _ -> Some (Scrub.run ~free:(fun id -> Pager.is_free pager id) ?reachable pager)
+      in
+      let fsck_salvaged =
+        match rebuild with
+        | None -> None
+        | Some (output, load) ->
+            let entries = salvage_entries pager in
+            let rebuilt =
+              create ~page_size output ~build:(fun pool -> load pool entries)
+            in
+            close rebuilt;
+            Some (Array.length entries, output)
+      in
+      {
+        fsck_tail_bytes;
+        fsck_slots;
+        fsck_recovery;
+        fsck_commit;
+        fsck_error;
+        fsck_tree_ok;
+        fsck_tree_error;
+        fsck_entries;
+        fsck_scrub;
+        fsck_salvaged;
+      })
+
+let fsck_clean r =
+  r.fsck_tail_bytes = 0 && r.fsck_error = None && r.fsck_tree_ok
+  && (match r.fsck_scrub with Some s -> Scrub.clean s | None -> true)
+
+let pp_fsck ppf r =
+  Fmt.pf ppf "@[<v>";
+  if r.fsck_tail_bytes > 0 then
+    Fmt.pf ppf "torn final write: dropped %d trailing bytes@ " r.fsck_tail_bytes;
+  Array.iteri (fun i d -> Fmt.pf ppf "superblock slot %d: %s@ " i d) r.fsck_slots;
+  (match r.fsck_error with
+  | Some msg -> Fmt.pf ppf "open failed: %s@ " msg
+  | None -> ());
+  (match r.fsck_recovery with
+  | Some rec_ ->
+      if rec_.Superblock.rec_journal_pages > 0 then
+        Fmt.pf ppf "journal rollback: restored %d page(s)@ " rec_.Superblock.rec_journal_pages;
+      if rec_.Superblock.rec_truncated_pages > 0 then
+        Fmt.pf ppf "truncated %d uncommitted page(s)@ " rec_.Superblock.rec_truncated_pages;
+      if rec_.Superblock.rec_slot_repaired then Fmt.pf ppf "repaired damaged superblock slot@ "
+  | None -> ());
+  (match r.fsck_commit with Some c -> Fmt.pf ppf "committed state: commit %d@ " c | None -> ());
+  (match (r.fsck_tree_ok, r.fsck_tree_error) with
+  | true, _ -> Fmt.pf ppf "tree: ok (%d entries)@ " (Option.value ~default:0 r.fsck_entries)
+  | false, Some msg -> Fmt.pf ppf "tree: BAD (%s)@ " msg
+  | false, None -> Fmt.pf ppf "tree: BAD@ ");
+  (match r.fsck_scrub with Some s -> Fmt.pf ppf "scrub: %a@ " Scrub.pp_report s | None -> ());
+  (match r.fsck_salvaged with
+  | Some (n, out) -> Fmt.pf ppf "salvage: rebuilt %d entries into %s@ " n out
+  | None -> ());
+  Fmt.pf ppf "verdict: %s@]" (if fsck_clean r then "clean" else "issues found")

@@ -1,0 +1,91 @@
+(** Crash-consistent persistent index files.
+
+    A paged device whose pages 0/1 hold a shadow superblock pair
+    ({!Prt_storage.Superblock}); the R-tree root/height/count live in
+    the superblock metadata blob.  Mutations run inside a transaction
+    backed by the pager's pre-image journal and deferred frees, so a
+    crash at any page-write boundary reopens to either the pre-operation
+    or the post-operation tree — never a hybrid.  [fsck] analyses,
+    repairs and (optionally) salvage-rebuilds damaged files. *)
+
+module Buffer_pool = Prt_storage.Buffer_pool
+module Superblock = Prt_storage.Superblock
+module Scrub = Prt_storage.Scrub
+
+type t
+
+val create :
+  ?page_size:int ->
+  ?cache_pages:int ->
+  ?crash:Prt_storage.Failpoint.t ->
+  string ->
+  build:(Buffer_pool.t -> Rtree.t) ->
+  t
+(** [create path ~build] formats a fresh index file and commits the tree
+    produced by [build] (typically a bulk loader) as its first
+    transaction.  [crash] arms a crash budget before the build, for
+    kill-point harnesses. *)
+
+val open_ :
+  ?page_size:int -> ?cache_pages:int -> ?crash:Prt_storage.Failpoint.t -> string -> t
+(** Open an existing index file, running superblock/journal recovery as
+    needed ({!recovery} reports what was done).  [crash] is armed after
+    recovery, so it sweeps kill points of the next operation only.
+    Raises [Failure] when no valid superblock survives (see [fsck]). *)
+
+val tree : t -> Rtree.t
+val pool : t -> Buffer_pool.t
+val pager : t -> Prt_storage.Pager.t
+val superblock : t -> Superblock.t
+
+val recovery : t -> Superblock.recovery
+(** What recovery did when this handle was opened
+    ([Superblock.no_recovery] for freshly created files). *)
+
+val update : t -> (Rtree.t -> 'a) -> 'a
+(** [update t f] runs the mutation [f] (inserts/deletes on [tree t])
+    inside a transaction: begin, mutate, flush, atomic commit.  If [f]
+    raises — including a simulated crash — nothing is committed and the
+    handle is closed; the next {!open_} rolls the file back to the
+    pre-operation tree. *)
+
+val close : t -> unit
+
+val encode_meta : Rtree.t -> bytes
+(** The 16-byte superblock metadata blob (magic, root, height, count). *)
+
+val decode_meta : Buffer_pool.t -> bytes -> Rtree.t
+(** Rebuild a tree handle from a metadata blob.  Raises
+    [Invalid_argument] on a foreign blob. *)
+
+(** {1 fsck} *)
+
+type fsck_report = {
+  fsck_tail_bytes : int;  (** torn trailing partial page dropped on open *)
+  fsck_slots : string array;  (** description of both superblock slots *)
+  fsck_recovery : Superblock.recovery option;  (** [None]: file unopenable *)
+  fsck_commit : int option;
+  fsck_error : string option;  (** why the file could not be opened *)
+  fsck_tree_ok : bool;
+  fsck_tree_error : string option;
+  fsck_entries : int option;  (** entries reachable from the root *)
+  fsck_scrub : Scrub.report option;
+  fsck_salvaged : (int * string) option;  (** entries salvaged, output path *)
+}
+
+val fsck :
+  ?page_size:int ->
+  ?rebuild:string * (Buffer_pool.t -> Entry.t array -> Rtree.t) ->
+  string ->
+  fsck_report
+(** Check an index file: tolerate and report a torn trailing partial
+    page, classify both superblock slots, run recovery (journal
+    rollback, truncation, twin-slot repair), walk the tree, and scrub
+    every page.  With [rebuild = (output, loader)], additionally salvage
+    every checksummed-valid leaf entry (deduplicated; skipping free
+    pages and the superblock pair) and bulk-load them into a fresh index
+    at [output] — the last resort when no valid superblock survives.
+    The original file is never modified beyond recovery/repair. *)
+
+val fsck_clean : fsck_report -> bool
+val pp_fsck : Format.formatter -> fsck_report -> unit

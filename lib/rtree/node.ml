@@ -1,8 +1,10 @@
 (* On-page R-tree node format.
 
    Layout: byte 0 the node kind, bytes 1-2 the entry count (LE), then
-   [count] packed 36-byte entries.  With the default 4 KB page this
-   leaves room for (4096 - 3) / 36 = 113 entries — the paper's fanout. *)
+   [count] packed 36-byte entries, all within the page payload (the
+   storage layer reserves a 16-byte integrity trailer at the end of
+   every page).  With the default 4 KB page this leaves room for
+   (4096 - 16 - 3) / 36 = 113 entries — the paper's fanout. *)
 
 module Rect = Prt_geom.Rect
 module Page = Prt_storage.Page
@@ -13,7 +15,7 @@ type t = { kind : kind; entries : Entry.t array }
 
 let header_size = 3
 
-let capacity ~page_size = (page_size - header_size) / Entry.size
+let capacity ~page_size = (Page.payload_size page_size - header_size) / Entry.size
 
 let kind t = t.kind
 let entries t = t.entries

@@ -6,9 +6,23 @@
    The [max_consecutive] cap is what separates "transient" from
    "permanent": with the default cap of 3, any retry loop making at
    least 4 attempts is guaranteed to complete, which is the contract
-   {!Buffer_pool}'s retry policy relies on. *)
+   {!Buffer_pool}'s retry policy relies on.
+
+   Crash injection is a separate, non-random mechanism: a write budget.
+   [crash_after_writes = n] lets exactly [n] physical page writes
+   persist and makes the next one raise {!Simulated_crash} with nothing
+   persisted — the moral equivalent of SIGKILL between two blocks
+   reaching the platter.  Sweeping [n] over [0 .. total writes] visits
+   every kill point of an operation deterministically. *)
 
 module Rng = Prt_util.Rng
+
+exception Simulated_crash of string
+
+let () =
+  Printexc.register_printer (function
+    | Simulated_crash msg -> Some ("Failpoint.Simulated_crash: " ^ msg)
+    | _ -> None)
 
 type config = {
   seed : int;
@@ -20,6 +34,7 @@ type config = {
   read_latency : int;
   write_latency : int;
   max_consecutive : int;
+  crash_after_writes : int;
 }
 
 let default =
@@ -33,6 +48,7 @@ let default =
     read_latency = 0;
     write_latency = 0;
     max_consecutive = 3;
+    crash_after_writes = -1;
   }
 
 let uniform ?(seed = 0) ?(max_consecutive = 3) rate =
@@ -49,12 +65,17 @@ let uniform ?(seed = 0) ?(max_consecutive = 3) rate =
     max_consecutive;
   }
 
+let crash_after ?(seed = 0) n =
+  if n < 0 then invalid_arg "Failpoint.crash_after: budget must be >= 0";
+  { default with seed; crash_after_writes = n }
+
 type injected = {
   read_errors : int;
   short_reads : int;
   write_errors : int;
   torn_writes : int;
   alloc_errors : int;
+  crashes : int;
   latency : int;
 }
 
@@ -66,12 +87,16 @@ type t = {
   mutable write_errors : int;
   mutable torn_writes : int;
   mutable alloc_errors : int;
+  mutable crashes : int;
   mutable latency : int;
   (* Back-to-back injected faults per operation class, for the
      [max_consecutive] guarantee. *)
   mutable read_streak : int;
   mutable write_streak : int;
   mutable alloc_streak : int;
+  (* Physical writes still allowed to persist before the crash fires;
+     negative means crash injection is off. *)
+  mutable write_budget : int;
 }
 
 let create cfg =
@@ -84,10 +109,12 @@ let create cfg =
     write_errors = 0;
     torn_writes = 0;
     alloc_errors = 0;
+    crashes = 0;
     latency = 0;
     read_streak = 0;
     write_streak = 0;
     alloc_streak = 0;
+    write_budget = cfg.crash_after_writes;
   }
 
 let config t = t.cfg
@@ -153,6 +180,18 @@ let on_alloc t =
     false
   end
 
+let crash_enabled t = t.cfg.crash_after_writes >= 0
+
+let on_phys_write t =
+  if t.write_budget = 0 then begin
+    t.crashes <- t.crashes + 1;
+    raise
+      (Simulated_crash
+         (Printf.sprintf "process killed after %d persisted page writes"
+            t.cfg.crash_after_writes))
+  end
+  else if t.write_budget > 0 then t.write_budget <- t.write_budget - 1
+
 let injected t =
   {
     read_errors = t.read_errors;
@@ -160,11 +199,12 @@ let injected t =
     write_errors = t.write_errors;
     torn_writes = t.torn_writes;
     alloc_errors = t.alloc_errors;
+    crashes = t.crashes;
     latency = t.latency;
   }
 
 let total_faults (i : injected) =
-  i.read_errors + i.short_reads + i.write_errors + i.torn_writes + i.alloc_errors
+  i.read_errors + i.short_reads + i.write_errors + i.torn_writes + i.alloc_errors + i.crashes
 
 let reset t =
   t.read_errors <- 0;
@@ -172,8 +212,10 @@ let reset t =
   t.write_errors <- 0;
   t.torn_writes <- 0;
   t.alloc_errors <- 0;
+  t.crashes <- 0;
   t.latency <- 0
 
 let pp_injected ppf (i : injected) =
-  Fmt.pf ppf "read-errors=%d short-reads=%d write-errors=%d torn-writes=%d alloc-errors=%d latency=%d"
-    i.read_errors i.short_reads i.write_errors i.torn_writes i.alloc_errors i.latency
+  Fmt.pf ppf
+    "read-errors=%d short-reads=%d write-errors=%d torn-writes=%d alloc-errors=%d crashes=%d latency=%d"
+    i.read_errors i.short_reads i.write_errors i.torn_writes i.alloc_errors i.crashes i.latency

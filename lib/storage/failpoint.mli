@@ -12,7 +12,20 @@
     injects more than [max_consecutive] faults in a row per operation
     class — a retry loop with more attempts than that is guaranteed to
     make progress.  Set [max_consecutive] very high to model a
-    permanently broken device. *)
+    permanently broken device.
+
+    Orthogonally, a failpoint can carry a deterministic {e crash
+    budget}: [crash_after_writes = n] lets exactly [n] physical page
+    writes persist, then raises {!Simulated_crash} on the next one with
+    nothing persisted — modelling a process kill between two sector
+    writes.  Unlike {!Io_error}-flavoured faults it is not absorbed by
+    retry loops; harnesses catch it at the top, reopen the file, and
+    check recovery. *)
+
+exception Simulated_crash of string
+(** The crash budget was exhausted mid-operation.  Deliberately distinct
+    from [Pager.Io_error]: retrying cannot help, and {!Buffer_pool}'s
+    retry loop lets it propagate. *)
 
 type config = {
   seed : int;  (** RNG seed: the whole schedule is a function of it. *)
@@ -24,17 +37,24 @@ type config = {
   read_latency : int;  (** Simulated latency units charged per completed read. *)
   write_latency : int;  (** Simulated latency units charged per completed write. *)
   max_consecutive : int;  (** Cap on back-to-back faults per operation class. *)
+  crash_after_writes : int;
+      (** Crash budget: [n >= 0] lets [n] physical page writes persist
+          and crashes on the next; negative disables crash injection. *)
 }
 
 val default : config
-(** All rates zero, no latency: a wrapped pager behaves exactly like the
-    underlying one. *)
+(** All rates zero, no latency, no crash budget: a wrapped pager behaves
+    exactly like the underlying one. *)
 
 val uniform : ?seed:int -> ?max_consecutive:int -> float -> config
 (** [uniform rate] makes every operation class fail with probability
     [rate], split evenly between the two flavours of each class (error /
     short read, error / torn write).  [rate] must be in [0, 1).
     Default [seed] 0, [max_consecutive] 3. *)
+
+val crash_after : ?seed:int -> int -> config
+(** [crash_after n] is {!default} with [crash_after_writes = n]: no
+    random faults, a deterministic crash at physical write [n+1]. *)
 
 type t
 (** Mutable failpoint state: RNG position plus injection counters. *)
@@ -56,6 +76,16 @@ val on_write : t -> verdict
 val on_alloc : t -> bool
 (** [true] means the allocation must fail. *)
 
+val crash_enabled : t -> bool
+(** Whether this failpoint carries a crash budget. *)
+
+val on_phys_write : t -> unit
+(** Consult the crash budget before a physical page write persists:
+    decrements the budget, or raises {!Simulated_crash} once it is
+    exhausted (counting the crash).  A no-op when crash injection is
+    disabled.  Called by the pager on the physical write path, so
+    internal writes (journal, superblock) are kill points too. *)
+
 (** Counters of what was actually injected, for assertions and degraded-mode
     reporting. *)
 type injected = {
@@ -64,12 +94,14 @@ type injected = {
   write_errors : int;
   torn_writes : int;
   alloc_errors : int;
+  crashes : int;  (** {!Simulated_crash}es raised by the crash budget. *)
   latency : int;  (** Total simulated latency units charged. *)
 }
 
 val injected : t -> injected
 val total_faults : injected -> int
 val reset : t -> unit
-(** Reset the counters (the RNG position is kept). *)
+(** Reset the counters (the RNG position is kept; the crash budget is
+    not replenished). *)
 
 val pp_injected : Format.formatter -> injected -> unit

@@ -1,7 +1,21 @@
 (* Fixed-size page buffers and the little-endian field codecs used by
    every on-page format in the repository (R-tree nodes, sorted-run
    records).  Keeping the codec in one place makes the 36-byte record
-   layout of the paper's experiments (4 x float64 + int32) auditable. *)
+   layout of the paper's experiments (4 x float64 + int32) auditable.
+
+   Format v2 additionally reserves a 16-byte trailer at the end of every
+   page:
+
+     [page_size-16 .. page_size-9]   page LSN (int64 LE, monotonic per device)
+     [page_size-8  .. page_size-7]   format epoch (u16 LE; 2 = this format)
+     [page_size-6  .. page_size-5]   reserved (zero)
+     [page_size-4  .. page_size-1]   CRC-32C over bytes [0, page_size-4)
+
+   The trailer is owned by the storage layer: {!Pager.write} stamps it
+   and {!Pager.read} verifies it, while node and record codecs confine
+   themselves to the first [payload_size] bytes.  An epoch of zero marks
+   a page that was never stamped; such a page is only legitimate when it
+   is all zeros (a freshly allocated page). *)
 
 type t = bytes
 
@@ -30,3 +44,74 @@ let set_u8 page off v =
   Bytes.set_uint8 page off v
 
 let get_u8 page off = Bytes.get_uint8 page off
+
+(* --- the v2 integrity trailer --- *)
+
+let trailer_size = 16
+let format_epoch = 2
+
+let payload_size page_size =
+  if page_size <= trailer_size then
+    invalid_arg "Page.payload_size: page smaller than the integrity trailer";
+  page_size - trailer_size
+
+(* CRC-32C (Castagnoli), table-driven, reflected polynomial 0x82F63B78 —
+   the checksum used by iSCSI and ext4 metadata.  Plain OCaml ints hold
+   the 32-bit state on 64-bit platforms. *)
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0x82F63B78 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32c buf ~pos ~len =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFF in
+  for i = pos to pos + len - 1 do
+    c := Array.unsafe_get table ((!c lxor Char.code (Bytes.unsafe_get buf i)) land 0xFF)
+         lxor (!c lsr 8)
+  done;
+  !c lxor 0xFFFFFFFF
+
+let set_crc page off v = Bytes.set_int32_le page off (Int32.of_int (v land 0xFFFFFFFF))
+let get_crc page off = Int32.to_int (Bytes.get_int32_le page off) land 0xFFFFFFFF
+
+let stamp page ~lsn =
+  let size = Bytes.length page in
+  let off = size - trailer_size in
+  Bytes.set_int64_le page off (Int64.of_int lsn);
+  set_u16 page (off + 8) format_epoch;
+  set_u16 page (off + 10) 0;
+  set_crc page (size - 4) (crc32c page ~pos:0 ~len:(size - 4))
+
+let lsn page = Int64.to_int (Bytes.get_int64_le page (Bytes.length page - trailer_size))
+
+type integrity =
+  | Fresh
+  | Valid of { epoch : int; lsn : int }
+  | Torn
+  | Stale_epoch of int
+
+let all_zero page =
+  let n = Bytes.length page in
+  let rec go i = i = n || (Bytes.unsafe_get page i = '\000' && go (i + 1)) in
+  go 0
+
+let check page =
+  let size = Bytes.length page in
+  if size <= trailer_size then invalid_arg "Page.check: page smaller than the trailer";
+  let off = size - trailer_size in
+  let epoch = get_u16 page (off + 8) in
+  if epoch = 0 then if all_zero page then Fresh else Torn
+  else if get_crc page (size - 4) <> crc32c page ~pos:0 ~len:(size - 4) then Torn
+  else if epoch <> format_epoch then Stale_epoch epoch
+  else Valid { epoch; lsn = lsn page }
+
+let pp_integrity ppf = function
+  | Fresh -> Fmt.string ppf "fresh"
+  | Valid { epoch; lsn } -> Fmt.pf ppf "valid(epoch=%d lsn=%d)" epoch lsn
+  | Torn -> Fmt.string ppf "torn"
+  | Stale_epoch e -> Fmt.pf ppf "stale-epoch(%d)" e

@@ -1,7 +1,14 @@
 (** Fixed-size page buffers with little-endian field codecs.
 
     All on-disk structures (R-tree nodes, external-sort runs) are encoded
-    through this module so the byte layout is defined in one place. *)
+    through this module so the byte layout is defined in one place.
+
+    Format v2 reserves a {!trailer_size}-byte integrity trailer at the
+    end of every page: a page LSN (int64), a format epoch (u16) and a
+    CRC-32C over everything before the checksum field.  The trailer is
+    stamped by [Pager.write] and verified by [Pager.read] on the file
+    backend; codecs must confine themselves to the first
+    [payload_size page_size] bytes. *)
 
 type t = bytes
 
@@ -23,3 +30,40 @@ val get_u16 : t -> int -> int
 
 val set_u8 : t -> int -> int -> unit
 val get_u8 : t -> int -> int
+
+(** {1 Integrity trailer (format v2)} *)
+
+val trailer_size : int
+(** 16 bytes: LSN (8) + epoch (2) + reserved (2) + CRC-32C (4). *)
+
+val format_epoch : int
+(** The epoch stamped into freshly written pages; 2 for this format. *)
+
+val payload_size : int -> int
+(** [payload_size page_size] is the number of bytes available to codecs:
+    [page_size - trailer_size].  Raises [Invalid_argument] if the page
+    is not strictly larger than the trailer. *)
+
+val crc32c : bytes -> pos:int -> len:int -> int
+(** CRC-32C (Castagnoli polynomial, reflected 0x82F63B78) of the byte
+    range, as a non-negative int below [2^32]. *)
+
+val stamp : t -> lsn:int -> unit
+(** Fill in the trailer: record [lsn] and {!format_epoch}, zero the
+    reserved field, then checksum the page. *)
+
+val lsn : t -> int
+(** The LSN recorded in the trailer (garbage on unstamped pages). *)
+
+type integrity =
+  | Fresh  (** all-zero page that was never stamped (epoch 0) *)
+  | Valid of { epoch : int; lsn : int }  (** checksum and epoch both good *)
+  | Torn  (** checksum mismatch, or nonzero bytes with a zero epoch *)
+  | Stale_epoch of int  (** checksum good but written by another format *)
+
+val check : t -> integrity
+(** Classify a page read back from a device.  A page passes as [Fresh]
+    only if every byte is zero; any other unstamped or
+    checksum-mismatching content is [Torn]. *)
+
+val pp_integrity : Format.formatter -> integrity -> unit

@@ -14,13 +14,32 @@
    [Io_error]s, torn writes that persist only a prefix of the new page,
    short reads that clobber only a prefix of the buffer.  The wrapper
    shares the inner pager's counters, so with an all-zero policy it is
-   observationally identical to the pager it wraps. *)
+   observationally identical to the pager it wraps.
+
+   Format v2 integrity: every page written through the public [write]
+   path is stamped with the {!Page} trailer (monotonic device LSN,
+   format epoch, CRC-32C), and [read] on the file backend verifies the
+   trailer, raising {!Corrupt_page} on mismatch.  The stamping/verifying
+   public path is deliberately separate from the raw [phys_*] helpers:
+   the fault wrapper's torn-write merge goes through the raw path, so a
+   torn page is persisted with its (now wrong) old checksum intact —
+   exactly how a real torn sector defeats its own CRC.
+
+   Crash consistency support (used by {!Superblock}): [arm_crash]
+   attaches a failpoint whose write budget is consulted before every
+   physical page write persists; [free] can be deferred so pages freed
+   mid-transaction are not recycled until the commit point; and a
+   pre-image journal snapshots the old contents of any committed page
+   before its first in-place overwrite, into a chained, checksummed
+   directory that [recover_journal] replays after a crash. *)
 
 exception Io_error of string
+exception Corrupt_page of string
 
 let () =
   Printexc.register_printer (function
     | Io_error msg -> Some ("Pager.Io_error: " ^ msg)
+    | Corrupt_page msg -> Some ("Pager.Corrupt_page: " ^ msg)
     | _ -> None)
 
 type stats = { mutable reads : int; mutable writes : int; mutable allocs : int }
@@ -36,6 +55,7 @@ let m_reads = Prt_obs.Metrics.counter "pager.reads"
 let m_writes = Prt_obs.Metrics.counter "pager.writes"
 let m_allocs = Prt_obs.Metrics.counter "pager.allocs"
 let m_frees = Prt_obs.Metrics.counter "pager.frees"
+let m_corrupt = Prt_obs.Metrics.counter "pager.corrupt_pages"
 
 type backend =
   | Memory of { mutable pages : bytes array; mutable used : int }
@@ -49,86 +69,208 @@ and t = {
   mutable free_list : int list;
   free_set : (int, unit) Hashtbl.t;
   mutable closed : bool;
+  (* --- base-pager state below (unused on the Faulty wrapper; all
+     operations recurse to the base first) --- *)
+  mutable lsn : int;  (* monotonic stamp counter for written pages *)
+  mutable corrupt_reads : int;  (* reads that failed trailer verification *)
+  mutable crash : Failpoint.t option;  (* armed crash budget, if any *)
+  mutable defer_frees : bool;
+  mutable pending : int list;  (* frees awaiting promotion *)
+  mutable journal : journal option;
+}
+
+and journal = {
+  j_base_used : int;  (* pages committed before the transaction *)
+  j_committed_free : (int, unit) Hashtbl.t;  (* free set at txn start *)
+  j_map : (int, int) Hashtbl.t;  (* original page -> pre-image copy *)
+  j_own : (int, unit) Hashtbl.t;  (* directory + copy pages (never journaled) *)
+  j_exempt : (int, unit) Hashtbl.t;  (* e.g. superblock pages *)
+  mutable j_pages : int list;  (* everything to free at commit *)
+  j_head : int;
+  mutable j_tail : int;
+  mutable j_tail_entries : (int * int) list;  (* newest first *)
 }
 
 let default_page_size = 4096
 
-let create_memory ?(page_size = default_page_size) () =
-  if page_size <= 0 then invalid_arg "Pager.create_memory: page_size must be positive";
+let check_page_size ctx page_size =
+  if page_size <= Page.trailer_size then
+    invalid_arg
+      (Printf.sprintf "Pager.%s: page_size %d does not fit the %d-byte integrity trailer" ctx
+         page_size Page.trailer_size)
+
+let mk ~page_size ~backend ~stats ~free_set =
   {
     page_size;
-    backend = Memory { pages = Array.make 64 Bytes.empty; used = 0 };
-    stats = { reads = 0; writes = 0; allocs = 0 };
+    backend;
+    stats;
     free_list = [];
-    free_set = Hashtbl.create 16;
+    free_set;
     closed = false;
+    lsn = 0;
+    corrupt_reads = 0;
+    crash = None;
+    defer_frees = false;
+    pending = [];
+    journal = None;
   }
+
+let create_memory ?(page_size = default_page_size) () =
+  check_page_size "create_memory" page_size;
+  mk ~page_size
+    ~backend:(Memory { pages = Array.make 64 Bytes.empty; used = 0 })
+    ~stats:{ reads = 0; writes = 0; allocs = 0 }
+    ~free_set:(Hashtbl.create 16)
 
 let create_file ?(page_size = default_page_size) path =
-  if page_size <= 0 then invalid_arg "Pager.create_file: page_size must be positive";
+  check_page_size "create_file" page_size;
   let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
-  {
-    page_size;
-    backend = File { fd; used = 0 };
-    stats = { reads = 0; writes = 0; allocs = 0 };
-    free_list = [];
-    free_set = Hashtbl.create 16;
-    closed = false;
-  }
+  mk ~page_size ~backend:(File { fd; used = 0 })
+    ~stats:{ reads = 0; writes = 0; allocs = 0 }
+    ~free_set:(Hashtbl.create 16)
 
-let open_file ?(page_size = default_page_size) path =
-  if page_size <= 0 then invalid_arg "Pager.open_file: page_size must be positive";
+let open_file ?(page_size = default_page_size) ?(partial_tail = `Reject) path =
+  check_page_size "open_file" page_size;
   let fd = Unix.openfile path [ Unix.O_RDWR ] 0o644 in
   (* Anything that fails between here and a fully constructed pager must
      not leak the descriptor. *)
   let used =
     match
       let bytes = (Unix.fstat fd).Unix.st_size in
-      if bytes mod page_size <> 0 then
-        invalid_arg
-          (Printf.sprintf "Pager.open_file: %s size %d is not a multiple of the page size %d"
-             path bytes page_size);
-      bytes / page_size
+      if bytes mod page_size = 0 then bytes / page_size
+      else
+        match partial_tail with
+        | `Reject ->
+            invalid_arg
+              (Printf.sprintf
+                 "Pager.open_file: %s size %d is not a multiple of the page size %d" path bytes
+                 page_size)
+        | `Truncate ->
+            (* A trailing partial page is a torn final write: drop it so
+               the rest of the device is addressable (fsck reports the
+               number of bytes removed). *)
+            let used = bytes / page_size in
+            Unix.ftruncate fd (used * page_size);
+            used
     with
     | used -> used
     | exception e ->
         Unix.close fd;
         raise e
   in
-  {
-    page_size;
-    backend = File { fd; used };
-    stats = { reads = 0; writes = 0; allocs = 0 };
-    free_list = [];
-    free_set = Hashtbl.create 16;
-    closed = false;
-  }
+  mk ~page_size ~backend:(File { fd; used })
+    ~stats:{ reads = 0; writes = 0; allocs = 0 }
+    ~free_set:(Hashtbl.create 16)
+
+let rec base t = match t.backend with Faulty f -> base f.inner | Memory _ | File _ -> t
 
 (* The wrapper aliases the inner pager's [stats] record, so I/O
    accounting is identical whether callers observe the wrapper or the
    wrapped pager. *)
 let wrap_faulty inner fp =
-  {
-    page_size = inner.page_size;
-    backend = Faulty { inner; fp };
-    stats = inner.stats;
-    free_list = [];
-    free_set = Hashtbl.create 1;
-    closed = false;
-  }
+  if Failpoint.crash_enabled fp then (base inner).crash <- Some fp;
+  mk ~page_size:inner.page_size ~backend:(Faulty { inner; fp }) ~stats:inner.stats
+    ~free_set:(Hashtbl.create 1)
+
+let arm_crash t fp = (base t).crash <- Some fp
 
 let failpoint t = match t.backend with Faulty f -> Some f.fp | Memory _ | File _ -> None
 
 let page_size t = t.page_size
 
+let payload_size t = Page.payload_size t.page_size
+
 let rec num_pages t =
   match t.backend with Memory m -> m.used | File f -> f.used | Faulty f -> num_pages f.inner
+
+let corrupt_reads t = (base t).corrupt_reads
 
 let check_open t op = if t.closed then invalid_arg ("Pager." ^ op ^ ": pager is closed")
 
 let check_id t op id =
   if id < 0 || id >= num_pages t then
     invalid_arg (Printf.sprintf "Pager.%s: page %d out of range (0..%d)" op id (num_pages t - 1))
+
+(* --- raw physical page I/O on a base pager: counted, but no trailer
+   stamping or verification.  [phys_write] is the single choke point at
+   which an armed crash budget can kill the "process". --- *)
+
+let phys_read_into t id buf =
+  match t.backend with
+  | Faulty _ -> assert false
+  | Memory m ->
+      t.stats.reads <- t.stats.reads + 1;
+      Prt_obs.Metrics.tick m_reads;
+      Bytes.blit m.pages.(id) 0 buf 0 t.page_size
+  | File f ->
+      t.stats.reads <- t.stats.reads + 1;
+      Prt_obs.Metrics.tick m_reads;
+      ignore (Unix.lseek f.fd (id * t.page_size) Unix.SEEK_SET);
+      let rec fill off =
+        if off < t.page_size then begin
+          let n = Unix.read f.fd buf off (t.page_size - off) in
+          if n = 0 then failwith "Pager.read: unexpected end of file";
+          fill (off + n)
+        end
+      in
+      fill 0
+
+let phys_write t id buf =
+  (match t.crash with Some fp -> Failpoint.on_phys_write fp | None -> ());
+  match t.backend with
+  | Faulty _ -> assert false
+  | Memory m ->
+      t.stats.writes <- t.stats.writes + 1;
+      Prt_obs.Metrics.tick m_writes;
+      Bytes.blit buf 0 m.pages.(id) 0 t.page_size
+  | File f ->
+      t.stats.writes <- t.stats.writes + 1;
+      Prt_obs.Metrics.tick m_writes;
+      ignore (Unix.lseek f.fd (id * t.page_size) Unix.SEEK_SET);
+      let n = Unix.write f.fd buf 0 t.page_size in
+      if n <> t.page_size then failwith "Pager.write: short write"
+
+(* Uncounted zero-fill, used when recycling a freed page and when
+   extending the file. *)
+let zero_page t id =
+  match t.backend with
+  | Faulty _ -> assert false
+  | Memory m -> Bytes.fill m.pages.(id) 0 t.page_size '\000'
+  | File f ->
+      ignore (Unix.lseek f.fd (id * t.page_size) Unix.SEEK_SET);
+      let zeros = Bytes.make t.page_size '\000' in
+      let n = Unix.write f.fd zeros 0 t.page_size in
+      if n <> t.page_size then failwith "Pager.alloc: short write"
+
+let alloc_base t =
+  t.stats.allocs <- t.stats.allocs + 1;
+  Prt_obs.Metrics.tick m_allocs;
+  match t.free_list with
+  | id :: rest ->
+      t.free_list <- rest;
+      Hashtbl.remove t.free_set id;
+      (* Zero-fill on recycle: scrub and salvage must never mistake a
+         freed node's stale bytes for live data. *)
+      zero_page t id;
+      id
+  | [] -> (
+      match t.backend with
+      | Faulty _ -> assert false
+      | Memory m ->
+          if m.used = Array.length m.pages then begin
+            let pages = Array.make (2 * Array.length m.pages) Bytes.empty in
+            Array.blit m.pages 0 pages 0 m.used;
+            m.pages <- pages
+          end;
+          m.pages.(m.used) <- Bytes.make t.page_size '\000';
+          m.used <- m.used + 1;
+          m.used - 1
+      | File f ->
+          (* Extend the file by one zero page. *)
+          let id = f.used in
+          f.used <- f.used + 1;
+          zero_page t id;
+          id)
 
 let rec alloc t =
   check_open t "alloc";
@@ -137,36 +279,7 @@ let rec alloc t =
       if Failpoint.on_alloc fp then
         raise (Io_error "alloc: injected allocation failure (out of space)");
       alloc inner
-  | Memory _ | File _ -> (
-      t.stats.allocs <- t.stats.allocs + 1;
-      Prt_obs.Metrics.tick m_allocs;
-      match t.free_list with
-      | id :: rest ->
-          t.free_list <- rest;
-          Hashtbl.remove t.free_set id;
-          id
-      | [] -> (
-          match t.backend with
-          | Faulty _ -> assert false
-          | Memory m ->
-              if m.used = Array.length m.pages then begin
-                let pages = Array.make (2 * Array.length m.pages) Bytes.empty in
-                Array.blit m.pages 0 pages 0 m.used;
-                m.pages <- pages
-              end;
-              m.pages.(m.used) <- Bytes.make t.page_size '\000';
-              m.used <- m.used + 1;
-              m.used - 1
-          | File f ->
-              (* Extend the file by one zero page. *)
-              let id = f.used in
-              let off = id * t.page_size in
-              ignore (Unix.lseek f.fd off Unix.SEEK_SET);
-              let zeros = Bytes.make t.page_size '\000' in
-              let n = Unix.write f.fd zeros 0 t.page_size in
-              if n <> t.page_size then failwith "Pager.alloc: short write";
-              f.used <- f.used + 1;
-              id))
+  | Memory _ | File _ -> alloc_base t
 
 let rec free t id =
   check_open t "free";
@@ -177,18 +290,74 @@ let rec free t id =
       if Hashtbl.mem t.free_set id then invalid_arg "Pager.free: double free";
       Prt_obs.Metrics.tick m_frees;
       Hashtbl.replace t.free_set id ();
-      t.free_list <- id :: t.free_list
+      if t.defer_frees then t.pending <- id :: t.pending
+      else t.free_list <- id :: t.free_list
 
 let rec is_free t id =
   match t.backend with
   | Faulty { inner; _ } -> is_free inner id
   | Memory _ | File _ -> Hashtbl.mem t.free_set id
 
+let free_pages t =
+  let b = base t in
+  b.pending @ b.free_list
+
+let promote_frees t =
+  let b = base t in
+  b.free_list <- b.pending @ b.free_list;
+  b.pending <- []
+
+let set_defer_frees t on =
+  let b = base t in
+  if not on then promote_frees b;
+  b.defer_frees <- on
+
+let set_free_list t ids =
+  let b = base t in
+  let n = num_pages b in
+  let ids = List.filter (fun id -> id >= 0 && id < n) ids in
+  Hashtbl.reset b.free_set;
+  List.iter (fun id -> Hashtbl.replace b.free_set id ()) ids;
+  b.free_list <- ids;
+  b.pending <- []
+
+let truncate t ~used =
+  let b = base t in
+  check_open b "truncate";
+  if used < 0 || used > num_pages b then invalid_arg "Pager.truncate: bad page count";
+  (match b.backend with
+  | Faulty _ -> assert false
+  | Memory m -> m.used <- used
+  | File f ->
+      Unix.ftruncate f.fd (used * b.page_size);
+      f.used <- used);
+  let keep id = id < used in
+  b.free_list <- List.filter keep b.free_list;
+  b.pending <- List.filter keep b.pending;
+  Hashtbl.iter (fun id () -> if not (keep id) then Hashtbl.remove b.free_set id) (Hashtbl.copy b.free_set)
+
 (* Fraction -> byte prefix that survives a torn write / short read:
    always at least one byte, never the full page. *)
 let partial_len page_size frac =
   let k = int_of_float (frac *. float_of_int page_size) in
   max 1 (min (page_size - 1) k)
+
+let stamp_page b buf =
+  b.lsn <- b.lsn + 1;
+  Page.stamp buf ~lsn:b.lsn
+
+let verify_read b id buf =
+  match b.backend with
+  | Memory _ | Faulty _ -> ()
+  | File _ -> (
+      match Page.check buf with
+      | Page.Fresh | Page.Valid _ -> ()
+      | Page.Torn | Page.Stale_epoch _ as bad ->
+          b.corrupt_reads <- b.corrupt_reads + 1;
+          Prt_obs.Metrics.tick m_corrupt;
+          raise
+            (Corrupt_page
+               (Fmt.str "page %d failed trailer verification: %a" id Page.pp_integrity bad)))
 
 let rec read_into t id buf =
   check_open t "read";
@@ -210,27 +379,63 @@ let rec read_into t id buf =
             (Io_error
                (Printf.sprintf "read: injected short read (%d of %d bytes) on page %d" keep
                   t.page_size id)))
-  | Memory m ->
-      t.stats.reads <- t.stats.reads + 1;
-      Prt_obs.Metrics.tick m_reads;
-      Bytes.blit m.pages.(id) 0 buf 0 t.page_size
-  | File f ->
-      t.stats.reads <- t.stats.reads + 1;
-      Prt_obs.Metrics.tick m_reads;
-      ignore (Unix.lseek f.fd (id * t.page_size) Unix.SEEK_SET);
-      let rec fill off =
-        if off < t.page_size then begin
-          let n = Unix.read f.fd buf off (t.page_size - off) in
-          if n = 0 then failwith "Pager.read: unexpected end of file";
-          fill (off + n)
-        end
-      in
-      fill 0
+  | Memory _ | File _ ->
+      phys_read_into t id buf;
+      verify_read t id buf
 
 let read t id =
   let buf = Bytes.create t.page_size in
   read_into t id buf;
   buf
+
+(* Unverified read, for scrub/salvage tools that classify damage rather
+   than trip over it.  Bypasses fault injection: recovery tooling is
+   modelled as running against a quiesced device. *)
+let read_raw t id =
+  let b = base t in
+  check_open b "read_raw";
+  check_id b "read_raw" id;
+  let buf = Bytes.create b.page_size in
+  phys_read_into b id buf;
+  buf
+
+(* --- pre-image journal ---
+
+   Directory page payload layout (chained single pages):
+     [0..3]   magic "PRJD"
+     [4..7]   entry count on this page
+     [8..11]  next directory page id, or -1
+     [12..]   (original page id, copy page id) int32 pairs
+
+   The first overwrite of each committed page during a transaction first
+   copies its current image to a freshly allocated page and records the
+   pair in the directory *before* the overwrite lands, so recovery can
+   always restore the pre-transaction image. *)
+
+let dir_magic = 0x50524A44 (* "PRJD" *)
+
+let dir_capacity t = (Page.payload_size t.page_size - 12) / 8
+
+let write_dir b ~write ~dir ~next entries_rev =
+  let n = List.length entries_rev in
+  let page = Page.create b.page_size in
+  Page.set_i32 page 0 dir_magic;
+  Page.set_i32 page 4 n;
+  Page.set_i32 page 8 next;
+  List.iteri
+    (fun k (orig, copy) ->
+      let i = n - 1 - k in
+      Page.set_i32 page (12 + (8 * i)) orig;
+      Page.set_i32 page (12 + (8 * i) + 4) copy)
+    entries_rev;
+  write b dir page
+
+let journal_eligible j id =
+  id < j.j_base_used
+  && (not (Hashtbl.mem j.j_committed_free id))
+  && (not (Hashtbl.mem j.j_map id))
+  && (not (Hashtbl.mem j.j_own id))
+  && not (Hashtbl.mem j.j_exempt id)
 
 let rec write t id buf =
   check_open t "write";
@@ -244,26 +449,120 @@ let rec write t id buf =
           raise (Io_error (Printf.sprintf "write: injected transient error on page %d" id))
       | Failpoint.Partial frac ->
           (* Torn write: the device persisted only a prefix of the new
-             page; the tail keeps its previous contents. *)
+             page; the tail keeps its previous contents.  The merge goes
+             through the raw physical path so the torn page is NOT
+             re-stamped — its checksum no longer matches, exactly as a
+             real torn sector defeats its own CRC. *)
+          let b = base inner in
+          stamp_page b buf;
           let keep = partial_len t.page_size frac in
           let cur = Bytes.create t.page_size in
-          read_into inner id cur;
+          phys_read_into b id cur;
           Bytes.blit buf 0 cur 0 keep;
-          write inner id cur;
+          phys_write b id cur;
           raise
             (Io_error
                (Printf.sprintf "write: injected torn write (%d of %d bytes) on page %d" keep
                   t.page_size id)))
-  | Memory m ->
-      t.stats.writes <- t.stats.writes + 1;
-      Prt_obs.Metrics.tick m_writes;
-      Bytes.blit buf 0 m.pages.(id) 0 t.page_size
-  | File f ->
-      t.stats.writes <- t.stats.writes + 1;
-      Prt_obs.Metrics.tick m_writes;
-      ignore (Unix.lseek f.fd (id * t.page_size) Unix.SEEK_SET);
-      let n = Unix.write f.fd buf 0 t.page_size in
-      if n <> t.page_size then failwith "Pager.write: short write"
+  | Memory _ | File _ ->
+      (match t.journal with
+      | Some j when journal_eligible j id -> journal_copy t j id
+      | Some _ | None -> ());
+      stamp_page t buf;
+      phys_write t id buf
+
+and journal_copy b j id =
+  let pre = Bytes.create b.page_size in
+  phys_read_into b id pre;
+  let cid = alloc_base b in
+  Hashtbl.replace j.j_own cid ();
+  j.j_pages <- cid :: j.j_pages;
+  Hashtbl.replace j.j_map id cid;
+  (* Copy first, then publish it in the directory: a crash between the
+     two leaves the entry unrecorded, but the original page has not been
+     overwritten yet, so recovery without it is still exact. *)
+  write b cid pre;
+  if List.length j.j_tail_entries >= dir_capacity b then begin
+    let d = alloc_base b in
+    Hashtbl.replace j.j_own d ();
+    j.j_pages <- d :: j.j_pages;
+    (* New tail (already holding the entry) becomes reachable only once
+       the old tail's next pointer lands. *)
+    write_dir b ~write ~dir:d ~next:(-1) [ (id, cid) ];
+    write_dir b ~write ~dir:j.j_tail ~next:d j.j_tail_entries;
+    j.j_tail <- d;
+    j.j_tail_entries <- [ (id, cid) ]
+  end
+  else begin
+    j.j_tail_entries <- (id, cid) :: j.j_tail_entries;
+    write_dir b ~write ~dir:j.j_tail ~next:(-1) j.j_tail_entries
+  end
+
+let begin_journal t ~exempt =
+  let b = base t in
+  check_open b "begin_journal";
+  if b.journal <> None then invalid_arg "Pager.begin_journal: journal already active";
+  if b.pending <> [] then invalid_arg "Pager.begin_journal: unpromoted deferred frees";
+  let j_base_used = num_pages b in
+  let j_committed_free = Hashtbl.copy b.free_set in
+  let head = alloc_base b in
+  let j =
+    {
+      j_base_used;
+      j_committed_free;
+      j_map = Hashtbl.create 32;
+      j_own = Hashtbl.create 8;
+      j_exempt = Hashtbl.create 4;
+      j_pages = [ head ];
+      j_head = head;
+      j_tail = head;
+      j_tail_entries = [];
+    }
+  in
+  List.iter (fun id -> Hashtbl.replace j.j_exempt id ()) exempt;
+  Hashtbl.replace j.j_own head ();
+  b.journal <- Some j;
+  write_dir b ~write ~dir:head ~next:(-1) [];
+  head
+
+let journal_head t = match (base t).journal with Some j -> Some j.j_head | None -> None
+
+let end_journal t =
+  let b = base t in
+  match b.journal with
+  | None -> invalid_arg "Pager.end_journal: no journal active"
+  | Some j ->
+      b.journal <- None;
+      j.j_pages
+
+let recover_journal t ~head =
+  let b = base t in
+  check_open b "recover_journal";
+  if b.journal <> None then invalid_arg "Pager.recover_journal: journal active";
+  let restored = ref 0 in
+  let rec walk dir =
+    if dir >= 0 && dir < num_pages b then begin
+      let page = read b dir in
+      if Page.get_i32 page 0 <> dir_magic then
+        raise (Corrupt_page (Printf.sprintf "page %d: bad journal directory magic" dir));
+      let n = Page.get_i32 page 4 in
+      let next = Page.get_i32 page 8 in
+      if n < 0 || n > dir_capacity b then
+        raise (Corrupt_page (Printf.sprintf "page %d: bad journal entry count %d" dir n));
+      for i = 0 to n - 1 do
+        let orig = Page.get_i32 page (12 + (8 * i)) in
+        let copy = Page.get_i32 page (12 + (8 * i) + 4) in
+        if orig >= 0 && orig < num_pages b && copy >= 0 && copy < num_pages b then begin
+          let img = read b copy in
+          write b orig img;
+          incr restored
+        end
+      done;
+      walk next
+    end
+  in
+  walk head;
+  !restored
 
 let stats t = t.stats
 

@@ -1,0 +1,127 @@
+(* Device scrub: walk every page with unverified reads and classify it
+   by its integrity trailer, optionally cross-referenced against the
+   caller's notion of which pages are free or reachable.  This is the
+   read-only analysis half of `prt fsck`; it never modifies the device.
+
+   Classification:
+     - [Valid]       checksum and epoch good
+     - [Fresh]       all-zero, never written (allocated but unused)
+     - [Torn]        checksum mismatch — a torn or interrupted write
+     - [Stale_epoch] checksummed by an older/newer format
+   and, refining [Valid] when the caller supplies predicates:
+     - [free]        pages on the free list (stale content is expected;
+                     with zero-fill-on-recycle they are usually Fresh)
+     - [orphaned]    valid pages neither reachable from the live tree
+                     nor free — space leaked by a crashed transaction. *)
+
+type page_class = Valid | Fresh | Torn | Stale | Free_page | Orphaned
+
+type report = {
+  scanned : int;
+  valid : int;
+  fresh : int;
+  torn : int;
+  stale : int;
+  free : int;
+  orphaned : int;
+  bad_pages : (int * page_class) list;  (* torn/stale ids, capped *)
+  orphan_pages : int list;  (* capped *)
+}
+
+let max_listed = 64
+
+let m_scanned = Prt_obs.Metrics.counter "scrub.scanned"
+let m_torn = Prt_obs.Metrics.counter "scrub.torn"
+let m_stale = Prt_obs.Metrics.counter "scrub.stale"
+let m_orphaned = Prt_obs.Metrics.counter "scrub.orphaned"
+
+let classify ?free ?reachable pager id =
+  let page = Pager.read_raw pager id in
+  match Page.check page with
+  | Page.Torn -> Torn
+  | Page.Stale_epoch _ -> Stale
+  | Page.Fresh -> (
+      match free with Some is_free when is_free id -> Free_page | _ -> Fresh)
+  | Page.Valid _ -> (
+      match free with
+      | Some is_free when is_free id -> Free_page
+      | _ -> (
+          match reachable with
+          | Some is_reachable when not (is_reachable id) -> Orphaned
+          | _ -> Valid))
+
+let run ?free ?reachable pager =
+  Prt_obs.Trace.with_span "scrub" (fun () ->
+      let n = Pager.num_pages pager in
+      let r =
+        ref
+          {
+            scanned = n;
+            valid = 0;
+            fresh = 0;
+            torn = 0;
+            stale = 0;
+            free = 0;
+            orphaned = 0;
+            bad_pages = [];
+            orphan_pages = [];
+          }
+      in
+      for id = 0 to n - 1 do
+        Prt_obs.Metrics.tick m_scanned;
+        let c = classify ?free ?reachable pager id in
+        let cur = !r in
+        r :=
+          (match c with
+          | Valid -> { cur with valid = cur.valid + 1 }
+          | Fresh -> { cur with fresh = cur.fresh + 1 }
+          | Torn ->
+              Prt_obs.Metrics.tick m_torn;
+              {
+                cur with
+                torn = cur.torn + 1;
+                bad_pages =
+                  (if List.length cur.bad_pages < max_listed then cur.bad_pages @ [ (id, Torn) ]
+                   else cur.bad_pages);
+              }
+          | Stale ->
+              Prt_obs.Metrics.tick m_stale;
+              {
+                cur with
+                stale = cur.stale + 1;
+                bad_pages =
+                  (if List.length cur.bad_pages < max_listed then cur.bad_pages @ [ (id, Stale) ]
+                   else cur.bad_pages);
+              }
+          | Free_page -> { cur with free = cur.free + 1 }
+          | Orphaned ->
+              Prt_obs.Metrics.tick m_orphaned;
+              {
+                cur with
+                orphaned = cur.orphaned + 1;
+                orphan_pages =
+                  (if List.length cur.orphan_pages < max_listed then cur.orphan_pages @ [ id ]
+                   else cur.orphan_pages);
+              })
+      done;
+      !r)
+
+let clean r = r.torn = 0 && r.stale = 0
+
+let pp_class ppf = function
+  | Valid -> Fmt.string ppf "valid"
+  | Fresh -> Fmt.string ppf "fresh"
+  | Torn -> Fmt.string ppf "torn"
+  | Stale -> Fmt.string ppf "stale-epoch"
+  | Free_page -> Fmt.string ppf "free"
+  | Orphaned -> Fmt.string ppf "orphaned"
+
+let pp_report ppf r =
+  Fmt.pf ppf "scanned=%d valid=%d fresh=%d free=%d torn=%d stale=%d orphaned=%d" r.scanned
+    r.valid r.fresh r.free r.torn r.stale r.orphaned;
+  if r.bad_pages <> [] then
+    Fmt.pf ppf "@ bad pages: %a"
+      (Fmt.list ~sep:Fmt.comma (fun ppf (id, c) -> Fmt.pf ppf "%d(%a)" id pp_class c))
+      r.bad_pages;
+  if r.orphan_pages <> [] then
+    Fmt.pf ppf "@ orphaned pages: %a" (Fmt.list ~sep:Fmt.comma Fmt.int) r.orphan_pages

@@ -1,0 +1,40 @@
+(** Read-only device scrub: classify every page by its integrity
+    trailer, cross-referenced against the caller's free list and
+    reachability predicate.  The analysis half of [prt fsck]; never
+    modifies the device.  Progress and damage counts flow through
+    [Prt_obs] metrics ([scrub.scanned], [scrub.torn], [scrub.stale],
+    [scrub.orphaned]). *)
+
+type page_class =
+  | Valid  (** checksum and epoch good, reachable (or no predicate) *)
+  | Fresh  (** all-zero, never written *)
+  | Torn  (** checksum mismatch: torn or interrupted write *)
+  | Stale  (** checksummed by another format epoch *)
+  | Free_page  (** on the free list *)
+  | Orphaned  (** valid but neither reachable nor free: leaked space *)
+
+type report = {
+  scanned : int;
+  valid : int;
+  fresh : int;
+  torn : int;
+  stale : int;
+  free : int;
+  orphaned : int;
+  bad_pages : (int * page_class) list;  (** torn/stale ids (first 64) *)
+  orphan_pages : int list;  (** first 64 *)
+}
+
+val classify : ?free:(int -> bool) -> ?reachable:(int -> bool) -> Pager.t -> int -> page_class
+(** Classify one page (one unverified read). *)
+
+val run : ?free:(int -> bool) -> ?reachable:(int -> bool) -> Pager.t -> report
+(** Scan the whole device.  [free] marks free-list pages; [reachable]
+    marks pages the live tree (or superblock) uses — valid pages that
+    are neither are reported as orphaned. *)
+
+val clean : report -> bool
+(** No torn and no stale pages. *)
+
+val pp_class : Format.formatter -> page_class -> unit
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,141 @@
+(* Bounded crash-matrix smoke: `dune build @crash-smoke`.
+
+   Sweeps every physical page-write kill point of an index build, an
+   insert and a delete (each operation killed at write 0, 1, 2, ... until
+   it survives), reopening and fsck-ing the file after every simulated
+   crash.  The invariant checked at every kill point is the PR's
+   headline guarantee: the reopened index is exactly the pre-operation
+   or the post-operation tree — never a hybrid, never a silent wrong
+   answer.  Exits non-zero on any violation. *)
+
+module Rect = Prt_geom.Rect
+module Pager = Prt_storage.Pager
+module Failpoint = Prt_storage.Failpoint
+module Entry = Prt_rtree.Entry
+module Rtree = Prt_rtree.Rtree
+module Dynamic = Prt_rtree.Dynamic
+module Index_file = Prt_rtree.Index_file
+module Prtree = Prt_prtree.Prtree
+module Rng = Prt_util.Rng
+
+let page_size = 512
+let n = 400
+
+let entries =
+  let rng = Rng.create 2024 in
+  Array.init n (fun i ->
+      let x = Rng.float rng 1.0 and y = Rng.float rng 1.0 in
+      Entry.make
+        (Rect.make ~xmin:x ~ymin:y
+           ~xmax:(Float.min 1.0 (x +. 0.02))
+           ~ymax:(Float.min 1.0 (y +. 0.02)))
+        i)
+
+let everything = Rect.make ~xmin:(-1e9) ~ymin:(-1e9) ~xmax:1e9 ~ymax:1e9
+
+let ids tree =
+  let out = ref [] in
+  ignore (Rtree.query tree everything ~f:(fun e -> out := Entry.id e :: !out));
+  List.sort Int.compare !out
+
+let copy_file src dst =
+  let ic = open_in_bin src in
+  let data = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let oc = open_out_bin dst in
+  output_string oc data;
+  close_out oc
+
+let violations = ref 0
+
+let fail fmt =
+  Printf.ksprintf
+    (fun msg ->
+      incr violations;
+      Printf.printf "VIOLATION: %s\n%!" msg)
+    fmt
+
+(* Sweep the build: a crashed build must never open to a tree. *)
+let sweep_build path =
+  let kill_points = ref 0 in
+  let k = ref 0 in
+  let finished = ref false in
+  while not !finished do
+    (try Sys.remove path with Sys_error _ -> ());
+    let fp = Failpoint.create (Failpoint.crash_after !k) in
+    (match
+       Index_file.create ~page_size ~crash:fp path ~build:(fun pool -> Prtree.load pool entries)
+     with
+    | idx ->
+        Index_file.close idx;
+        finished := true
+    | exception Failpoint.Simulated_crash _ -> (
+        incr kill_points;
+        match Index_file.open_ ~page_size path with
+        | idx ->
+            fail "build killed at write %d opened to a %d-entry tree" !k
+              (Rtree.count (Index_file.tree idx));
+            Index_file.close idx
+        | exception (Failure _ | Invalid_argument _) -> ()));
+    incr k
+  done;
+  Printf.printf "build:  %3d kill points, all recognized as 'no index yet'\n%!" !kill_points
+
+(* Sweep one mutation over a pristine copy per kill point. *)
+let sweep_mutation ~name ~mutate ~pre ~post pristine work =
+  let kill_points = ref 0 and rolled_back = ref 0 and committed = ref 0 in
+  let fsck_sound = ref 0 in
+  let k = ref 0 in
+  let finished = ref false in
+  while not !finished do
+    copy_file pristine work;
+    let fp = Failpoint.create (Failpoint.crash_after !k) in
+    let idx = Index_file.open_ ~page_size ~crash:fp work in
+    (match Index_file.update idx mutate with
+    | _ ->
+        Index_file.close idx;
+        finished := true
+    | exception Failpoint.Simulated_crash _ ->
+        incr kill_points;
+        let report = Index_file.fsck ~page_size work in
+        if report.Index_file.fsck_tree_ok then incr fsck_sound
+        else
+          fail "%s killed at write %d: fsck found no sound tree (%s)" name !k
+            (Option.value ~default:"?" report.Index_file.fsck_tree_error);
+        let idx = Index_file.open_ ~page_size work in
+        let got = ids (Index_file.tree idx) in
+        Index_file.close idx;
+        if got = pre then incr rolled_back
+        else if got = post then incr committed
+        else fail "%s killed at write %d: hybrid state with %d entries" name !k (List.length got));
+    incr k
+  done;
+  Printf.printf "%s: %3d kill points (%d rolled back / %d committed), fsck sound at %d\n%!" name
+    !kill_points !rolled_back !committed !fsck_sound
+
+let () =
+  let tmp suffix = Filename.temp_file "prt_crash_smoke" suffix in
+  let pristine = tmp ".idx" and work = tmp ".idx" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) [ pristine; work ])
+    (fun () ->
+      sweep_build pristine;
+      (* [pristine] now holds the completed build. *)
+      let pre = List.init n Fun.id in
+      let fresh = Entry.make (Rect.make ~xmin:0.5 ~ymin:0.5 ~xmax:0.52 ~ymax:0.52) 1_000_000 in
+      sweep_mutation ~name:"insert"
+        ~mutate:(fun tree -> Dynamic.insert tree fresh)
+        ~pre
+        ~post:(List.sort Int.compare (1_000_000 :: pre))
+        pristine work;
+      sweep_mutation ~name:"delete"
+        ~mutate:(fun tree -> ignore (Dynamic.delete tree entries.(n / 2)))
+        ~pre
+        ~post:(List.filter (fun i -> i <> n / 2) pre)
+        pristine work;
+      if !violations > 0 then begin
+        Printf.printf "crash smoke FAILED: %d violation(s)\n" !violations;
+        exit 1
+      end;
+      print_endline "crash smoke OK: every kill point recovered to pre-op or post-op")

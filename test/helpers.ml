@@ -11,8 +11,9 @@ module Failpoint = Prt_storage.Failpoint
 module Entry = Prt_rtree.Entry
 module Rtree = Prt_rtree.Rtree
 
-(* 512-byte pages -> capacity (512-3)/36 = 14: multi-level trees appear
-   at a few dozen entries already. *)
+(* 512-byte pages -> capacity (512-16-3)/36 = 13 (16 bytes go to the
+   page integrity trailer): multi-level trees appear at a few dozen
+   entries already. *)
 let small_page_size = 512
 
 let small_pool () = Buffer_pool.create ~capacity:4096 (Pager.create_memory ~page_size:small_page_size ())

@@ -79,8 +79,10 @@ let test_empty_tree_audits_clean () =
 
 let test_fill_factor_floors () =
   (* STR packs leaves to capacity (last one exempt as the recursion's
-     tail): a minimum fill of 2 must hold on a 300-entry build. *)
-  let entries = Helpers.random_entries ~n:300 ~seed:7 in
+     tail): a minimum fill of 2 must hold when the entry count tiles the
+     slice grid exactly (25 full leaves in a 5x5 slicing). *)
+  let cap = Prt_rtree.Node.capacity ~page_size:Helpers.small_page_size in
+  let entries = Helpers.random_entries ~n:(25 * cap) ~seed:7 in
   let tree = Prt_rtree.Bulk_str.load (Helpers.small_pool ()) entries in
   let r = Audit.check ~min_leaf_fill:2 ~min_fanout:2 tree in
   if not (Audit.ok r) then Alcotest.failf "fill-floor audit failed: %a" Audit.pp_report r

@@ -11,7 +11,7 @@ module Rtree = Prt_rtree.Rtree
 module Ext_load = Prt_rtree.Ext_load
 module Ext_build = Prt_prtree.Ext_build
 
-let cap = Prt_rtree.Node.capacity ~page_size:Helpers.small_page_size (* 14 *)
+let cap = Prt_rtree.Node.capacity ~page_size:Helpers.small_page_size (* 13 *)
 
 (* A fresh pool plus the input entries written to a record file in it. *)
 let setup entries =

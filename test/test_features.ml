@@ -317,13 +317,14 @@ let test_rstar_reinsert_mixed_ops () =
 (* --- priority-size ablation knob --- *)
 
 let test_priority_size_variants_all_correct () =
+  let b = Prt_rtree.Node.capacity ~page_size:Helpers.small_page_size in
   let entries = Helpers.random_entries ~n:400 ~seed:29 in
   List.iter
     (fun priority_size ->
       let tree = Prt_prtree.Prtree.load ~priority_size (Helpers.small_pool ()) entries in
       ignore (Helpers.check_structure tree);
       Helpers.check_tree_queries ~seed:30 tree entries)
-    [ 0; 1; 7; 14 ]
+    [ 0; 1; b / 2; b ]
 
 let test_priority_size_rejected () =
   Alcotest.(check bool) "raises" true
@@ -341,7 +342,8 @@ let test_flagpoles_separation () =
     let tree = Prt_prtree.Prtree.load ~priority_size (Helpers.small_pool ()) entries in
     Array.fold_left (fun acc q -> acc + (Rtree.query_count tree q).Rtree.leaf_visited) 0 queries
   in
-  let full = cost 14 and none = cost 0 in
+  let b = Prt_rtree.Node.capacity ~page_size:Helpers.small_page_size in
+  let full = cost b and none = cost 0 in
   Alcotest.(check bool) (Printf.sprintf "full %d < plain-kd %d" full none) true (full < none)
 
 let suite =

@@ -22,6 +22,7 @@ let () =
       ("adversarial", Test_adversarial.suite);
       ("differential", Test_differential.suite);
       ("faults", Test_faults.suite);
+      ("crash", Test_crash.suite);
       ("audit", Test_audit.suite);
       ("obs", Test_obs.suite);
       ("paper-scale", Test_paper_scale.suite);

@@ -22,7 +22,7 @@ let test_counts_match_validate () =
 let test_disjoint_tiling_zero_overlap () =
   (* A perfect grid of disjoint tiles packed in row-major order: leaves
      are contiguous runs, so sibling overlap is 0 at the leaf level. *)
-  let side = 14 in
+  let side = Prt_rtree.Node.capacity ~page_size:Helpers.small_page_size in
   let entries =
     Array.init (side * side) (fun i ->
         let x = float_of_int (i mod side) and y = float_of_int (i / side) in

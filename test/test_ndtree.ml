@@ -43,7 +43,7 @@ let test_entry_codec () =
 let test_entry_size_matches_2d () =
   Alcotest.(check int) "d=2 record is the paper's 36 bytes" 36 (Entry_nd.size ~dims:2);
   (* And the 4 KB fanout for 3-D. *)
-  Alcotest.(check int) "3-D fanout" ((4096 - 3) / 52) (Node_nd.capacity ~page_size:4096 ~dims:3)
+  Alcotest.(check int) "3-D fanout" ((4096 - 16 - 3) / 52) (Node_nd.capacity ~page_size:4096 ~dims:3)
 
 let test_node_codec () =
   let dims = 3 in

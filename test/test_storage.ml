@@ -212,6 +212,10 @@ let test_pool_read_through () =
   Alcotest.(check int) "hits" 2 (Buffer_pool.hits pool);
   Alcotest.(check int) "misses" 1 (Buffer_pool.misses pool)
 
+(* Pages come back with the integrity trailer stamped by the storage
+   layer; only the payload prefix carries caller data. *)
+let payload buf = Bytes.sub buf 0 (Page.payload_size (Bytes.length buf))
+
 let test_pool_write_back_on_evict () =
   let pager = Pager.create_memory ~page_size:64 () in
   let pool = Buffer_pool.create ~capacity:1 pager in
@@ -219,7 +223,9 @@ let test_pool_write_back_on_evict () =
   Buffer_pool.write pool a (Bytes.make 64 'a');
   (* Writing b evicts a, which must be flushed to the pager. *)
   Buffer_pool.write pool b (Bytes.make 64 'b');
-  Alcotest.(check bytes) "a persisted on eviction" (Bytes.make 64 'a') (Pager.read pager a)
+  Alcotest.(check bytes) "a persisted on eviction"
+    (payload (Bytes.make 64 'a'))
+    (payload (Pager.read pager a))
 
 let test_pool_flush () =
   let pager = Pager.create_memory ~page_size:64 () in
@@ -228,7 +234,7 @@ let test_pool_flush () =
   Buffer_pool.write pool a (Bytes.make 64 'q');
   Alcotest.(check bytes) "not yet written" (Bytes.make 64 '\000') (Pager.read pager a);
   Buffer_pool.flush pool;
-  Alcotest.(check bytes) "flushed" (Bytes.make 64 'q') (Pager.read pager a)
+  Alcotest.(check bytes) "flushed" (payload (Bytes.make 64 'q')) (payload (Pager.read pager a))
 
 let test_pool_read_after_write_cached () =
   let pager = Pager.create_memory ~page_size:64 () in
