@@ -1,0 +1,111 @@
+(* Batched query throughput: single-thread QPS vs the multicore batched
+   executor (Qexec) at increasing domain counts.
+
+   A PR-tree over uniform points is queried with a fixed batch of square
+   windows (1% of the world each).  The sequential baseline is the plain
+   [Rtree.query] loop; each executor row reports queries per second,
+   speedup over the baseline, and scaling efficiency (speedup / domains).
+
+   Domains beyond the machine's core count cannot help — on a
+   single-core host every speedup is ~1.0 by construction (the executor
+   then only proves its overhead is small); the scaling claim needs a
+   multicore host, so the detected core count is recorded in every
+   row. *)
+
+module Rect = Prt_geom.Rect
+module Pager = Prt_storage.Pager
+module Buffer_pool = Prt_storage.Buffer_pool
+module Rtree = Prt_rtree.Rtree
+module Qexec = Prt_rtree.Qexec
+module Prtree = Prt_prtree.Prtree
+module Datasets = Prt_workloads.Datasets
+module Queries = Prt_workloads.Queries
+module Table = Prt_util.Table
+
+let job_counts = [ 1; 2; 4; 8 ]
+
+let throughput ~scale ~seed =
+  let n = max 1_000 (int_of_float (200_000.0 *. scale)) in
+  let batch = max 64 (int_of_float (2_000.0 *. scale)) in
+  Printf.printf "== batched query throughput: %d queries over %d rectangles ==\n%!" batch n;
+  let entries = Datasets.uniform_points ~n ~seed in
+  (* A bare in-memory pager: [Pager.read_shared] (the executor's leaf
+     path) has no fault-absorbing retry loop, so the degraded-mode
+     PRT_FAULT_RATE wrapper does not apply here. *)
+  let pool = Buffer_pool.create ~capacity:8192 (Pager.create_memory ~page_size:Common.page_size ()) in
+  let tree = Prtree.load pool entries in
+  let world = Queries.world_of entries in
+  let queries = Queries.squares ~count:batch ~area_fraction:0.01 ~world ~seed:(seed + 1) in
+  let cores = Domain.recommended_domain_count () in
+  (* Warm the buffer pool (decodes aside, the dataset fits in cache). *)
+  ignore (Rtree.query_count tree world);
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let v = f () in
+    (v, Unix.gettimeofday () -. t0)
+  in
+  (* Sequential baseline: the plain query loop, summed match count as a
+     cross-check against the executor rows. *)
+  let baseline_matched, baseline_s =
+    time (fun () ->
+        Array.fold_left
+          (fun acc w -> acc + (Rtree.query_count tree w).Rtree.matched)
+          0 queries)
+  in
+  let baseline_qps = float_of_int batch /. baseline_s in
+  Bench_json.(
+    row
+      [
+        ("mode", str "sequential");
+        ("jobs", int 1);
+        ("cores", int cores);
+        ("queries", int batch);
+        ("entries", int n);
+        ("matched", int baseline_matched);
+        ("seconds", flt baseline_s);
+        ("qps", flt baseline_qps);
+        ("speedup", flt 1.0);
+        ("efficiency", flt 1.0);
+      ]);
+  let rows = ref [ [ "sequential"; "-"; Printf.sprintf "%.0f" baseline_qps; "1.00"; "-" ] ] in
+  List.iter
+    (fun jobs ->
+      let exec = Qexec.create tree in
+      (* Populate the shard cache outside the timed region, like the
+         buffer-pool warmup above. *)
+      ignore (Qexec.run ~jobs exec queries);
+      let results, seconds = time (fun () -> Qexec.run ~jobs exec queries) in
+      let matched = (Qexec.total_stats results).Rtree.matched in
+      if matched <> baseline_matched then
+        failwith
+          (Printf.sprintf "qexec(jobs=%d) matched %d, sequential matched %d" jobs matched
+             baseline_matched);
+      let qps = float_of_int batch /. seconds in
+      let speedup = qps /. baseline_qps in
+      let efficiency = speedup /. float_of_int jobs in
+      Bench_json.(
+        row
+          [
+            ("mode", str "qexec");
+            ("jobs", int jobs);
+            ("cores", int cores);
+            ("queries", int batch);
+            ("entries", int n);
+            ("matched", int matched);
+            ("seconds", flt seconds);
+            ("qps", flt qps);
+            ("speedup", flt speedup);
+            ("efficiency", flt efficiency);
+          ]);
+      rows :=
+        [
+          "qexec";
+          string_of_int jobs;
+          Printf.sprintf "%.0f" qps;
+          Printf.sprintf "%.2f" speedup;
+          Printf.sprintf "%.2f" efficiency;
+        ]
+        :: !rows)
+    job_counts;
+  Printf.printf "(detected cores: %d)\n" cores;
+  Table.print ~header:[ "mode"; "jobs"; "QPS"; "speedup"; "efficiency" ] (List.rev !rows)

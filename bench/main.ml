@@ -66,6 +66,9 @@ let experiments =
     ("degrade", "Query degradation under heuristic updates", Exp_dynamic.degrade);
     ("join", "Spatial join across index variants", Exp_ablate.join);
     ("ablate", "Ablations: priority-leaf size, memory, cache, Hilbert order", Exp_ablate.ablate);
+    ( "throughput",
+      "Batched multicore query throughput: QPS, speedup, scaling efficiency",
+      Exp_throughput.throughput );
     ("micro", "Bechamel wall-clock micro-benchmarks", Micro.run);
   ]
 

@@ -184,10 +184,23 @@ let query_cmd =
   let quiet =
     Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Print only the count and I/O statistics.")
   in
-  let run index window quiet =
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Run the query through the batched multicore executor on N domains (identical \
+             results; exercises the sharded node cache).")
+  in
+  let run index window quiet jobs =
     with_index index (fun idx ->
         let tree = Index_file.tree idx in
-        let hits, stats = Rtree.query_list tree window in
+        let hits, stats =
+          match jobs with
+          | None -> Rtree.query_list tree window
+          | Some j -> (Qexec.run ~jobs:j (Index_file.executor idx) [| window |]).(0)
+        in
         if not quiet then
           List.iter
             (fun e ->
@@ -201,7 +214,7 @@ let query_cmd =
   in
   Cmd.v
     (Cmd.info "query" ~doc:"Run a window query against an index file.")
-    Term.(const run $ index $ window $ quiet)
+    Term.(const run $ index $ window $ quiet $ jobs)
 
 (* Open an index read-write and run the mutation [f] as one atomic
    transaction: a crash mid-operation reopens to the pre-op tree. *)
@@ -339,8 +352,21 @@ let stats_cmd =
         Printf.printf "pager: %s\n"
           (Format.asprintf "%a" Pager.pp_snapshot (Pager.snapshot pager));
         Printf.printf "checksum failures: %d corrupt page read(s)\n" (Pager.corrupt_reads pager);
-        Printf.printf "pool: hits=%d misses=%d evictions=%d\n" (Buffer_pool.hits pool)
-          (Buffer_pool.misses pool) (Buffer_pool.evictions pool);
+        let pct r = if Float.is_nan r then "n/a" else Printf.sprintf "%.1f%%" (100.0 *. r) in
+        Printf.printf "pool: hits=%d misses=%d evictions=%d hit-ratio=%s\n"
+          (Buffer_pool.hits pool) (Buffer_pool.misses pool) (Buffer_pool.evictions pool)
+          (pct (Buffer_pool.hit_ratio pool));
+        (* Exercise the batched executor's shard cache with a repeated
+           whole-tree batch: the first query decodes every internal node
+           into the cache, the second is served from it. *)
+        let exec = Index_file.executor idx in
+        (match Rtree.mbr tree with
+        | Some box -> ignore (Qexec.run ~jobs:1 exec [| box; box |])
+        | None -> ());
+        let cs = Qexec.cache_stats exec in
+        Printf.printf "shard-cache: hits=%d misses=%d invalidations=%d hit-ratio=%s\n"
+          cs.Shard_cache.st_hits cs.Shard_cache.st_misses cs.Shard_cache.st_invalidations
+          (pct (Qexec.cache_hit_ratio exec));
         Printf.printf "degraded: %s\n"
           (Format.asprintf "%a" Buffer_pool.pp_degraded (Buffer_pool.degraded pool)))
   in

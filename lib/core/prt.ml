@@ -20,6 +20,7 @@ module Lru = Prt_storage.Lru
 module Failpoint = Prt_storage.Failpoint
 module Superblock = Prt_storage.Superblock
 module Scrub = Prt_storage.Scrub
+module Shard_cache = Prt_storage.Shard_cache
 
 (* Hilbert curves. *)
 module Hilbert2d = Prt_hilbert.Hilbert2d
@@ -34,6 +35,11 @@ module Dynamic = Prt_rtree.Dynamic
 module Knn = Prt_rtree.Knn
 module Join = Prt_rtree.Join
 module Query = Prt_rtree.Query
+
+(* Batched multicore query execution (domain-sharded node cache +
+   zero-copy leaf scans). *)
+module Qexec = Prt_rtree.Qexec
+module Parallel = Prt_util.Parallel
 
 (* Bulk loaders: the paper's baselines plus STR, in-memory and external
    (I/O-counted) variants. *)

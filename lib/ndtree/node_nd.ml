@@ -45,3 +45,47 @@ let decode ~dims buf =
     Array.init count (fun i -> Entry_nd.read ~dims buf (header_size + (i * Entry_nd.size ~dims)))
   in
   { kind; entries }
+
+(* --- zero-copy cursors, mirroring the 2-D {!Prt_rtree.Node} ones:
+   the window test runs directly on the packed coordinates (lows then
+   highs per entry) and entries are materialized only on a hit. *)
+
+let page_kind buf =
+  match Page.get_u8 buf 0 with
+  | 0 -> Leaf
+  | 1 -> Internal
+  | k -> invalid_arg (Printf.sprintf "Node_nd.page_kind: bad node kind %d" k)
+
+let page_length buf = Page.get_u16 buf 1
+
+(* Does the entry at [off] intersect [window] in every dimension?
+   Identical comparisons to [Hyperrect.intersects] on the decoded box. *)
+let entry_intersects ~dims buf off window =
+  let rec go i =
+    i = dims
+    || (Page.get_f64 buf (off + (8 * i)) <= Hyperrect.hi window i
+        && Hyperrect.lo window i <= Page.get_f64 buf (off + (8 * (dims + i)))
+        && go (i + 1))
+  in
+  go 0
+
+let iter_rects ~dims buf window ~f =
+  let n = page_length buf in
+  let size = Entry_nd.size ~dims in
+  let hits = ref 0 in
+  for i = 0 to n - 1 do
+    let off = header_size + (i * size) in
+    if entry_intersects ~dims buf off window then begin
+      incr hits;
+      f (Entry_nd.read ~dims buf off)
+    end
+  done;
+  !hits
+
+let iter_children ~dims buf window ~f =
+  let n = page_length buf in
+  let size = Entry_nd.size ~dims in
+  for i = 0 to n - 1 do
+    let off = header_size + (i * size) in
+    if entry_intersects ~dims buf off window then f (Page.get_i32 buf (off + (16 * dims)))
+  done

@@ -15,3 +15,27 @@ val mbr : t -> Prt_geom.Hyperrect.t
 
 val encode : page_size:int -> dims:int -> t -> bytes
 val decode : dims:int -> bytes -> t
+
+(** {1 Zero-copy cursors}
+
+    Read-only iteration over an {e encoded} node page, mirroring the 2-D
+    {!Prt_rtree.Node} cursors: the window test runs per dimension
+    directly on the packed coordinate bytes with early exit, and heap
+    values are materialized only for hits. *)
+
+val page_kind : bytes -> kind
+(** Kind tag of an encoded page. Raises [Invalid_argument] like
+    {!decode} on a corrupt tag. *)
+
+val page_length : bytes -> int
+(** Entry count of an encoded page. *)
+
+val iter_rects :
+  dims:int -> bytes -> Prt_geom.Hyperrect.t -> f:(Entry_nd.t -> unit) -> int
+(** Call [f] on each entry whose box intersects the window, in page
+    order, materializing the {!Entry_nd.t} only on a hit; returns the
+    hit count. *)
+
+val iter_children : dims:int -> bytes -> Prt_geom.Hyperrect.t -> f:(int -> unit) -> unit
+(** Call [f] on the child page id of each intersecting entry — the
+    internal descent step, allocation-free. *)

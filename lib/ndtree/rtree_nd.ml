@@ -52,26 +52,22 @@ let create_empty ~dims pool =
 
 let of_root ~pool ~dims ~root ~height ~count = { pool; dims; root; height; count }
 
+(* Zero-copy descent, like the 2-D [Rtree.query]: pages are scanned in
+   place through the {!Node_nd} cursors, so entries failing the window
+   test allocate nothing. *)
 let query t window ~f =
   if Hyperrect.dims window <> t.dims then invalid_arg "Rtree_nd.query: dimension mismatch";
   let stats = { internal_visited = 0; leaf_visited = 0; matched = 0 } in
+  let dims = t.dims in
   let rec visit id =
-    let node = read_node t id in
-    match Node_nd.kind node with
+    let buf = Buffer_pool.read t.pool id in
+    match Node_nd.page_kind buf with
     | Node_nd.Leaf ->
         stats.leaf_visited <- stats.leaf_visited + 1;
-        Array.iter
-          (fun e ->
-            if Hyperrect.intersects (Entry_nd.box e) window then begin
-              stats.matched <- stats.matched + 1;
-              f e
-            end)
-          (Node_nd.entries node)
+        stats.matched <- stats.matched + Node_nd.iter_rects ~dims buf window ~f
     | Node_nd.Internal ->
         stats.internal_visited <- stats.internal_visited + 1;
-        Array.iter
-          (fun e -> if Hyperrect.intersects (Entry_nd.box e) window then visit (Entry_nd.id e))
-          (Node_nd.entries node)
+        Node_nd.iter_children ~dims buf window ~f:visit
   in
   visit t.root;
   stats

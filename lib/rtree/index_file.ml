@@ -104,6 +104,14 @@ let update t f =
       Superblock.commit_txn t.sb ~meta:(encode_meta t.tree);
       v)
 
+(* A batched executor whose cache epoch is the superblock commit
+   counter: every committed [update] bumps it, so nodes cached before
+   the transaction are re-decoded on the next batch. *)
+let executor ?shards ?capacity t =
+  Qexec.create ?shards ?capacity
+    ~epoch:(fun () -> Superblock.commit_count t.sb)
+    t.tree
+
 let close t =
   Buffer_pool.flush t.pool;
   Pager.close (pager t)

@@ -49,6 +49,12 @@ val update : t -> (Rtree.t -> 'a) -> 'a
     handle is closed; the next {!open_} rolls the file back to the
     pre-operation tree. *)
 
+val executor : ?shards:int -> ?capacity:int -> t -> Qexec.t
+(** A batched query executor over this file's tree whose shard-cache
+    epoch is the superblock commit counter — a committed {!update}
+    invalidates every node cached before it, so batches run between
+    transactions always see the current tree. *)
+
 val close : t -> unit
 
 val encode_meta : Rtree.t -> bytes

@@ -47,3 +47,67 @@ let decode buf =
   let count = Page.get_u16 buf 1 in
   let entries = Array.init count (fun i -> Entry.read buf (header_size + (i * Entry.size))) in
   { kind; entries }
+
+(* --- zero-copy cursors ---
+
+   The query hot loop used to [decode] a full [Entry.t array] on every
+   node visit; these cursors instead test the window against the packed
+   coordinates in the page bytes and materialize heap values only for
+   what survives the test.  The float comparisons are bit-identical to
+   [Rect.intersects] on the decoded rectangle (both read the same
+   little-endian float64 fields), so results and visit counts are
+   unchanged — only the allocations go away. *)
+
+let page_kind buf =
+  match Page.get_u8 buf 0 with
+  | 0 -> Leaf
+  | 1 -> Internal
+  | k -> invalid_arg (Printf.sprintf "Node.page_kind: bad node kind %d" k)
+
+let page_length buf = Page.get_u16 buf 1
+
+let iter_rects buf window ~f =
+  let wxmin = Rect.xmin window and wymin = Rect.ymin window in
+  let wxmax = Rect.xmax window and wymax = Rect.ymax window in
+  let n = page_length buf in
+  let hits = ref 0 in
+  for i = 0 to n - 1 do
+    let off = header_size + (i * Entry.size) in
+    let exmin = Page.get_f64 buf off in
+    let exmax = Page.get_f64 buf (off + 16) in
+    if exmin <= wxmax && wxmin <= exmax then begin
+      let eymin = Page.get_f64 buf (off + 8) in
+      let eymax = Page.get_f64 buf (off + 24) in
+      if eymin <= wymax && wymin <= eymax then begin
+        incr hits;
+        f (Entry.read buf off)
+      end
+    end
+  done;
+  !hits
+
+let iter_children buf window ~f =
+  let wxmin = Rect.xmin window and wymin = Rect.ymin window in
+  let wxmax = Rect.xmax window and wymax = Rect.ymax window in
+  let n = page_length buf in
+  for i = 0 to n - 1 do
+    let off = header_size + (i * Entry.size) in
+    let exmin = Page.get_f64 buf off in
+    let exmax = Page.get_f64 buf (off + 16) in
+    if exmin <= wxmax && wxmin <= exmax then begin
+      let eymin = Page.get_f64 buf (off + 8) in
+      let eymax = Page.get_f64 buf (off + 24) in
+      if eymin <= wymax && wymin <= eymax then f (Page.get_i32 buf (off + 32))
+    end
+  done
+
+let iter_entry_rects buf ~f =
+  let n = page_length buf in
+  for i = 0 to n - 1 do
+    let off = header_size + (i * Entry.size) in
+    let xmin = Page.get_f64 buf off in
+    let ymin = Page.get_f64 buf (off + 8) in
+    let xmax = Page.get_f64 buf (off + 16) in
+    let ymax = Page.get_f64 buf (off + 24) in
+    f (Rect.make ~xmin ~ymin ~xmax ~ymax) (Page.get_i32 buf (off + 32))
+  done

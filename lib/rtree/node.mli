@@ -26,3 +26,35 @@ val encode : page_size:int -> t -> bytes
 
 val decode : bytes -> t
 (** Raises [Invalid_argument] on a corrupt kind tag. *)
+
+(** {1 Zero-copy cursors}
+
+    Read-only iteration over an {e encoded} node page, testing the
+    window directly against the packed coordinate bytes and
+    materializing heap values only on a hit — the query hot loop uses
+    these instead of {!decode} so a node visit allocates nothing for
+    entries that fail the window test.  The float comparisons match
+    [Rect.intersects] on the decoded rectangle exactly. *)
+
+val page_kind : bytes -> kind
+(** Kind tag of an encoded page. Raises [Invalid_argument] like
+    {!decode} on a corrupt tag. *)
+
+val page_length : bytes -> int
+(** Entry count of an encoded page. *)
+
+val iter_rects : bytes -> Prt_geom.Rect.t -> f:(Entry.t -> unit) -> int
+(** [iter_rects buf window ~f] calls [f] on each entry of the page whose
+    rectangle intersects [window], materializing the {!Entry.t} only for
+    hits, and returns the number of hits.  Entries are visited in page
+    order (the same order {!decode} yields). *)
+
+val iter_children : bytes -> Prt_geom.Rect.t -> f:(int -> unit) -> unit
+(** [iter_children buf window ~f] calls [f] on the child page id of each
+    entry whose rectangle intersects [window] — the internal-node
+    descent step, with no allocation at all. *)
+
+val iter_entry_rects : bytes -> f:(Prt_geom.Rect.t -> int -> unit) -> unit
+(** Visit every packed entry as a rectangle and payload id without
+    building the entry array — the generic-predicate descent used by
+    {!Query.search}. *)

@@ -1,0 +1,136 @@
+(* Batched multicore query executor.
+
+   Runs an array of window queries across OCaml 5 domains.  Workers pull
+   contiguous chunks of the query array off a shared atomic counter
+   (chunked work-stealing: cheap when queries are uniform, self-balancing
+   when they are not) and write each query's result into its own slot of
+   a preallocated array, so the output is deterministic and ordered by
+   query index regardless of scheduling.
+
+   Per-query descent is the domain-safe twin of [Rtree.query]:
+
+   - internal nodes come from a {!Prt_storage.Shard_cache} of *decoded*
+     nodes, keyed by page id and validated against the batch's epoch
+     (the index file's commit counter), so the hot upper levels are
+     decoded once per epoch and then shared read-only by every domain;
+   - leaf pages are read through [Pager.read_shared] — which bypasses
+     the single-domain buffer pool — and scanned in place with the
+     zero-copy [Node.iter_rects] cursor, so a leaf visit allocates only
+     the matching entries.
+
+   Leaf vs internal is decided by depth against the tree height captured
+   at batch start, so no kind byte needs inspecting before the page is
+   read.  The buffer pool is flushed at batch start to publish any dirty
+   pages to the pager; the tree must then stay read-only for the
+   duration of the batch (the same contract as the zero-copy cursors).
+
+   The observability registry is not domain-safe, so workers never touch
+   it: the coordinator mirrors batch totals into [Prt_obs] counters
+   after the domains join. *)
+
+module Rect = Prt_geom.Rect
+module Pager = Prt_storage.Pager
+module Buffer_pool = Prt_storage.Buffer_pool
+module Shard_cache = Prt_storage.Shard_cache
+module Parallel = Prt_util.Parallel
+
+type t = {
+  tree : Rtree.t;
+  cache : Node.t Shard_cache.t;
+  epoch : unit -> int;  (* read at each batch start *)
+}
+
+let m_batches = lazy (Prt_obs.Metrics.counter "qexec.batches")
+let m_queries = lazy (Prt_obs.Metrics.counter "qexec.queries")
+let m_cache_hits = lazy (Prt_obs.Metrics.counter "qexec.cache_hits")
+let m_cache_misses = lazy (Prt_obs.Metrics.counter "qexec.cache_misses")
+let m_cache_invalidations = lazy (Prt_obs.Metrics.counter "qexec.cache_invalidations")
+
+let create ?shards ?capacity ?(epoch = fun () -> 0) tree =
+  { tree; cache = Shard_cache.create ?shards ?capacity (); epoch }
+
+let tree t = t.tree
+let cache_stats t = Shard_cache.stats t.cache
+let cache_hit_ratio t = Shard_cache.hit_ratio (Shard_cache.stats t.cache)
+
+(* One query, one domain.  [epoch]/[root]/[height] are the values
+   captured at batch start so every worker descends the same tree. *)
+let run_query t ~epoch ~root ~height window =
+  let pgr = Rtree.pager t.tree in
+  let stats = Rtree.fresh_stats () in
+  let acc = ref [] in
+  let rec visit id depth =
+    if depth = height then begin
+      stats.Rtree.leaf_visited <- stats.Rtree.leaf_visited + 1;
+      let buf = Pager.read_shared pgr id in
+      stats.Rtree.matched <-
+        stats.Rtree.matched + Node.iter_rects buf window ~f:(fun e -> acc := e :: !acc)
+    end
+    else begin
+      stats.Rtree.internal_visited <- stats.Rtree.internal_visited + 1;
+      let node =
+        Shard_cache.find_or_add t.cache ~epoch id (fun () ->
+            Node.decode (Pager.read_shared pgr id))
+      in
+      Array.iter
+        (fun e -> if Rect.intersects (Entry.rect e) window then visit (Entry.id e) (depth + 1))
+        (Node.entries node)
+    end
+  in
+  visit root 1;
+  (List.rev !acc, stats)
+
+let run ?jobs t queries =
+  let n = Array.length queries in
+  let jobs =
+    match jobs with Some j -> max 1 j | None -> Parallel.default_domains ()
+  in
+  Prt_obs.Trace.with_span "qexec.batch" (fun () ->
+      (* Publish dirty pages so [Pager.read_shared] sees the current tree. *)
+      Buffer_pool.flush (Rtree.pool t.tree);
+      let epoch = t.epoch () in
+      let root = Rtree.root t.tree and height = Rtree.height t.tree in
+      let results = Array.make n ([], Rtree.fresh_stats ()) in
+      let before = Shard_cache.stats t.cache in
+      let next = Atomic.make 0 in
+      let chunk = max 1 (n / (jobs * 8)) in
+      let worker () =
+        let rec loop () =
+          let start = Atomic.fetch_and_add next chunk in
+          if start < n then begin
+            for i = start to min n (start + chunk) - 1 do
+              results.(i) <- run_query t ~epoch ~root ~height queries.(i)
+            done;
+            loop ()
+          end
+        in
+        loop ()
+      in
+      if jobs = 1 || n <= 1 then worker ()
+      else begin
+        let spawned = Array.init (min jobs n - 1) (fun _ -> Domain.spawn worker) in
+        worker ();
+        Array.iter Domain.join spawned
+      end;
+      (* Coordinator-only mirroring: the metrics registry is not
+         domain-safe, so batch totals land here, after the join. *)
+      let after = Shard_cache.stats t.cache in
+      Prt_obs.Metrics.tick (Lazy.force m_batches);
+      Prt_obs.Metrics.add (Lazy.force m_queries) n;
+      Prt_obs.Metrics.add (Lazy.force m_cache_hits)
+        (after.Shard_cache.st_hits - before.Shard_cache.st_hits);
+      Prt_obs.Metrics.add (Lazy.force m_cache_misses)
+        (after.Shard_cache.st_misses - before.Shard_cache.st_misses);
+      Prt_obs.Metrics.add (Lazy.force m_cache_invalidations)
+        (after.Shard_cache.st_invalidations - before.Shard_cache.st_invalidations);
+      results)
+
+let total_stats results =
+  let t = Rtree.fresh_stats () in
+  Array.iter
+    (fun (_, s) ->
+      t.Rtree.internal_visited <- t.Rtree.internal_visited + s.Rtree.internal_visited;
+      t.Rtree.leaf_visited <- t.Rtree.leaf_visited + s.Rtree.leaf_visited;
+      t.Rtree.matched <- t.Rtree.matched + s.Rtree.matched)
+    results;
+  t

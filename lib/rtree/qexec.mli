@@ -1,0 +1,39 @@
+(** Batched multicore query executor.
+
+    Runs an array of window queries across OCaml 5 domains with chunked
+    work-stealing.  Results are deterministic: slot [i] of the output is
+    exactly what [Rtree.query_list tree queries.(i)] returns, whatever
+    the domain count or scheduling.
+
+    Domain safety: internal nodes are served decoded from a
+    {!Prt_storage.Shard_cache} validated against the executor's epoch
+    (an index file's commit counter); leaf pages are read through
+    [Pager.read_shared] and scanned in place with the zero-copy
+    [Node.iter_rects] cursor.  The single-domain buffer pool is only
+    touched by the coordinator (one flush at batch start).  The tree
+    must not be written during a batch; a write between batches is fine
+    provided the epoch changes (which {!Index_file.executor} guarantees). *)
+
+type t
+
+val create : ?shards:int -> ?capacity:int -> ?epoch:(unit -> int) -> Rtree.t -> t
+(** [epoch] is sampled at each batch start; cached nodes from older
+    epochs are re-decoded. Defaults to a constant, for trees that are
+    never modified. [shards]/[capacity] are passed to
+    {!Prt_storage.Shard_cache.create}. *)
+
+val tree : t -> Rtree.t
+
+val run :
+  ?jobs:int -> t -> Prt_geom.Rect.t array -> (Entry.t list * Rtree.query_stats) array
+(** Execute the batch on [jobs] domains (default
+    [Parallel.default_domains ()]; the coordinating domain is one of
+    them). Emits a ["qexec.batch"] span and mirrors batch totals into
+    the [qexec.*] metrics from the coordinator. *)
+
+val total_stats : (Entry.t list * Rtree.query_stats) array -> Rtree.query_stats
+(** Sum the per-query visit counts of a batch result. *)
+
+val cache_stats : t -> Prt_storage.Shard_cache.stats
+val cache_hit_ratio : t -> float
+(** See {!Prt_storage.Shard_cache.hit_ratio}; [nan] before any lookup. *)

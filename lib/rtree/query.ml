@@ -6,24 +6,25 @@
 module Rect = Prt_geom.Rect
 
 (* Generic filtered descent: visit children passing [down], report
-   entries passing [hit]. *)
+   entries passing [hit].  Pages are scanned in place via the zero-copy
+   {!Node} cursor — each packed entry is materialized as a rectangle for
+   the predicate, but the per-visit entry array is never built and an
+   [Entry.t] is only allocated for reported hits. *)
 let search tree ~down ~hit ~f =
   let stats = Rtree.fresh_stats () in
   let rec visit id =
-    let node = Rtree.read_node tree id in
-    match Node.kind node with
+    let buf = Rtree.read_page tree id in
+    match Node.page_kind buf with
     | Node.Leaf ->
         stats.Rtree.leaf_visited <- stats.Rtree.leaf_visited + 1;
-        Array.iter
-          (fun e ->
-            if hit (Entry.rect e) then begin
+        Node.iter_entry_rects buf ~f:(fun r eid ->
+            if hit r then begin
               stats.Rtree.matched <- stats.Rtree.matched + 1;
-              f e
+              f (Entry.make r eid)
             end)
-          (Node.entries node)
     | Node.Internal ->
         stats.Rtree.internal_visited <- stats.Rtree.internal_visited + 1;
-        Array.iter (fun e -> if down (Entry.rect e) then visit (Entry.id e)) (Node.entries node)
+        Node.iter_entry_rects buf ~f:(fun r cid -> if down r then visit cid)
   in
   visit (Rtree.root tree);
   stats

@@ -45,6 +45,13 @@ let set_count t count = t.count <- count
 
 let read_node t id = Node.decode (Buffer_pool.read t.pool id)
 
+(* The encoded page straight from the buffer pool — the zero-copy query
+   paths scan it in place.  The buffer is the pool's cached copy: safe
+   to hold across further *reads* (eviction never mutates an evicted
+   buffer), but not across writes to the same page, so the cursor-based
+   traversals require a read-only tree for their duration. *)
+let read_page t id = Buffer_pool.read t.pool id
+
 let free_node t id = Buffer_pool.free t.pool id
 
 let write_node t id node =
@@ -65,28 +72,22 @@ let of_root ~pool ~root ~height ~count = { pool; root; height; count }
 
 (* Window query: recursively visit every node whose bounding box (as
    recorded in its parent) intersects the query.  The root is always
-   visited. *)
+   visited.  The descent is zero-copy: each page is scanned in place
+   through the {!Node} cursors, so only matching entries are
+   materialized and no per-visit entry array is built. *)
 let query t window ~f =
   let stats = fresh_stats () in
-  let rec visit id depth =
-    let node = read_node t id in
-    match Node.kind node with
+  let rec visit id =
+    let buf = read_page t id in
+    match Node.page_kind buf with
     | Node.Leaf ->
         stats.leaf_visited <- stats.leaf_visited + 1;
-        Array.iter
-          (fun e ->
-            if Rect.intersects (Entry.rect e) window then begin
-              stats.matched <- stats.matched + 1;
-              f e
-            end)
-          (Node.entries node)
+        stats.matched <- stats.matched + Node.iter_rects buf window ~f
     | Node.Internal ->
         stats.internal_visited <- stats.internal_visited + 1;
-        Array.iter
-          (fun e -> if Rect.intersects (Entry.rect e) window then visit (Entry.id e) (depth + 1))
-          (Node.entries node)
+        Node.iter_children buf window ~f:visit
   in
-  visit t.root 1;
+  visit t.root;
   stats
 
 let query_list t window =

@@ -36,6 +36,13 @@ val capacity : t -> int
 (** Node capacity [B] implied by the page size (113 at 4 KB). *)
 
 val read_node : t -> int -> Node.t
+
+val read_page : t -> int -> bytes
+(** The encoded node page straight from the buffer pool, for the
+    zero-copy {!Node} cursors.  The buffer is the pool's cached copy:
+    treat it as read-only, and do not write to the tree while scanning
+    it. *)
+
 val write_node : t -> int -> Node.t -> unit
 val alloc_node : t -> Node.t -> int
 val free_node : t -> int -> unit

@@ -68,6 +68,10 @@ let misses t = t.misses
 let evictions t = t.evictions
 let degraded t = t.degraded
 
+let hit_ratio t =
+  let total = t.hits + t.misses in
+  if total = 0 then Float.nan else float_of_int t.hits /. float_of_int total
+
 (* Run one pager operation under the retry policy.  Each failed attempt
    charges exponentially growing (simulated) backoff; when the budget is
    exhausted the last [Io_error] is re-raised with the operation name, so
@@ -112,9 +116,15 @@ let read t id =
       Prt_obs.Metrics.tick m_hits;
       c.data
   | None ->
+      (* Fetch first, count after: a miss is recorded once per *logical*
+         read that completes.  Counting before the retry loop would
+         charge one miss per caller-level retry of a read whose fault
+         budget was exhausted — the same logical read, counted again on
+         every attempt — which skews the hit ratio under fault
+         injection. *)
+      let data = with_retry t "read" (fun () -> Pager.read t.pager id) in
       t.misses <- t.misses + 1;
       Prt_obs.Metrics.tick m_misses;
-      let data = with_retry t "read" (fun () -> Pager.read t.pager id) in
       evicted t (Lru.add t.cache id { data; dirty = false });
       data
 

@@ -61,7 +61,15 @@ val drop_clean : t -> unit
 (** Flush, then empty the cache entirely. *)
 
 val hits : t -> int
+
 val misses : t -> int
+(** Reads that had to go to the pager.  A miss is counted once per
+    logical read that completes — a read that faults and is retried by
+    the pool's own retry policy still counts one miss, and a read whose
+    attempt budget is exhausted counts none (it served nothing). *)
+
+val hit_ratio : t -> float
+(** [hits / (hits + misses)]; [nan] before any read. *)
 
 val evictions : t -> int
 (** Cached pages pushed out by capacity pressure (each one a write-back

@@ -69,6 +69,7 @@ and t = {
   mutable free_list : int list;
   free_set : (int, unit) Hashtbl.t;
   mutable closed : bool;
+  shared_lock : Mutex.t;  (* serializes [read_shared] on the file backend *)
   (* --- base-pager state below (unused on the Faulty wrapper; all
      operations recurse to the base first) --- *)
   mutable lsn : int;  (* monotonic stamp counter for written pages *)
@@ -107,6 +108,7 @@ let mk ~page_size ~backend ~stats ~free_set =
     free_list = [];
     free_set;
     closed = false;
+    shared_lock = Mutex.create ();
     lsn = 0;
     corrupt_reads = 0;
     crash = None;
@@ -398,6 +400,37 @@ let read_raw t id =
   let buf = Bytes.create b.page_size in
   phys_read_into b id buf;
   buf
+
+(* Domain-safe read-only page fetch for the query serving layer
+   ({!Prt_rtree.Qexec}).  On the in-memory backend this returns the live
+   page buffer itself — a true zero-copy read, safe because an array
+   read is atomic in OCaml 5 and the serving contract forbids concurrent
+   mutation of the device.  On the file backend the shared fd offset
+   forces serialization: the read runs under a per-pager mutex and
+   returns a fresh verified buffer.  Reads through this path bypass
+   fault injection and are not counted in the pager statistics (they
+   would race; serving throughput is measured by the executor instead). *)
+let read_shared t id =
+  let b = base t in
+  check_open b "read_shared";
+  check_id b "read_shared" id;
+  match b.backend with
+  | Faulty _ -> assert false
+  | Memory m -> m.pages.(id)
+  | File f ->
+      Mutex.protect b.shared_lock (fun () ->
+          let buf = Bytes.create b.page_size in
+          ignore (Unix.lseek f.fd (id * b.page_size) Unix.SEEK_SET);
+          let rec fill off =
+            if off < b.page_size then begin
+              let n = Unix.read f.fd buf off (b.page_size - off) in
+              if n = 0 then failwith "Pager.read_shared: unexpected end of file";
+              fill (off + n)
+            end
+          in
+          fill 0;
+          verify_read b id buf;
+          buf)
 
 (* --- pre-image journal ---
 

@@ -140,6 +140,16 @@ val read_raw : t -> int -> bytes
     scrub/salvage tools that classify damage instead of tripping over
     it.  Counts one read. *)
 
+val read_shared : t -> int -> bytes
+(** Domain-safe read-only page fetch for the query serving layer.  On
+    the in-memory backend, returns the live page buffer itself (zero
+    copy); callers must treat it as immutable and must not mutate the
+    device while shared readers are active.  On the file backend, reads
+    under an internal per-pager lock into a fresh buffer and verifies
+    the trailer ({!Corrupt_page} on damage).  Bypasses fault injection
+    and is not counted in {!stats} — the batched executor accounts for
+    serving reads itself. *)
+
 val write : t -> int -> bytes -> unit
 (** Write a full page.  Counts one write.  Stamps the integrity trailer
     into [buf] (mutating its last [Page.trailer_size] bytes) before the

@@ -1,0 +1,168 @@
+(* Domain-safe sharded cache of decoded pages, the read-side companion
+   of the (single-domain) write-back {!Buffer_pool}.
+
+   The buffer pool caches raw page bytes and is deliberately not safe to
+   share across domains; the query serving layer instead keeps *decoded*
+   values (e.g. R-tree nodes) in this cache, so the hot internal levels
+   of an index are decoded once per epoch instead of once per visit, and
+   any number of domains can probe concurrently.  Keys are page ids,
+   spread over N shards by a multiplicative hash; each shard is a small
+   hash table plus FIFO eviction queue guarded by its own mutex, so
+   contention is 1/N of a single-lock design.
+
+   Epoch invalidation: every cached value is tagged with the epoch it
+   was decoded under (callers use the index file's format-v2 superblock
+   commit counter).  A probe under a newer epoch treats the entry as
+   absent, drops it, and counts an [invalidation] — committing a
+   transaction implicitly invalidates the whole cache without touching
+   it.  Entries are decoded while holding the shard lock, so a page is
+   decoded exactly once per epoch no matter how many domains race for
+   it (this also makes the miss count deterministic for a quiesced
+   tree: one miss per distinct page reached, per epoch).
+
+   Counters live per shard (guarded by the shard lock) and are summed on
+   demand; this module never touches the {!Prt_obs} registry — the
+   executor mirrors the deltas from its coordinating domain, keeping the
+   (single-domain) registry out of parallel code. *)
+
+type 'v slot = { epoch : int; value : 'v }
+
+type 'v shard = {
+  lock : Mutex.t;
+  tbl : (int, 'v slot) Hashtbl.t;
+  order : int Queue.t; (* insertion order, for FIFO eviction *)
+  capacity : int; (* per shard *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable invalidations : int;
+  mutable evictions : int;
+}
+
+type 'v t = { shards : 'v shard array }
+
+type stats = {
+  st_hits : int;
+  st_misses : int;
+  st_invalidations : int;
+  st_evictions : int;
+  st_entries : int;
+}
+
+let default_shards = 64
+let default_capacity = 65536
+
+(* Round up to a power of two so shard selection is a mask. *)
+let pow2_at_least n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 1
+
+let create ?(shards = default_shards) ?(capacity = default_capacity) () =
+  if shards < 1 then invalid_arg "Shard_cache.create: shards must be >= 1";
+  if capacity < shards then invalid_arg "Shard_cache.create: capacity below one entry per shard";
+  let shards = pow2_at_least shards in
+  let per_shard = max 1 (capacity / shards) in
+  {
+    shards =
+      Array.init shards (fun _ ->
+          {
+            lock = Mutex.create ();
+            tbl = Hashtbl.create 64;
+            order = Queue.create ();
+            capacity = per_shard;
+            hits = 0;
+            misses = 0;
+            invalidations = 0;
+            evictions = 0;
+          });
+  }
+
+(* Fibonacci-hash the page id so sequentially allocated pages spread
+   evenly over the shards instead of striping. *)
+let shard_of t id =
+  let h = (id * 0x9E3779B1) lsr 16 in
+  t.shards.(h land (Array.length t.shards - 1))
+
+(* The FIFO queue may hold ids whose binding was already replaced by an
+   epoch invalidation; skip those rather than evicting a live page. *)
+let evict_one s =
+  let rec go () =
+    match Queue.take_opt s.order with
+    | None -> ()
+    | Some id ->
+        if Hashtbl.mem s.tbl id then begin
+          Hashtbl.remove s.tbl id;
+          s.evictions <- s.evictions + 1
+        end
+        else go ()
+  in
+  go ()
+
+let find_or_add t ~epoch id decode =
+  let s = shard_of t id in
+  Mutex.protect s.lock (fun () ->
+      match Hashtbl.find_opt s.tbl id with
+      | Some slot when slot.epoch = epoch ->
+          s.hits <- s.hits + 1;
+          slot.value
+      | stale ->
+          if stale <> None then begin
+            s.invalidations <- s.invalidations + 1;
+            Hashtbl.remove s.tbl id
+          end;
+          s.misses <- s.misses + 1;
+          let value = decode () in
+          if Hashtbl.length s.tbl >= s.capacity then evict_one s;
+          Hashtbl.replace s.tbl id { epoch; value };
+          Queue.add id s.order;
+          value)
+
+let find t ~epoch id =
+  let s = shard_of t id in
+  Mutex.protect s.lock (fun () ->
+      match Hashtbl.find_opt s.tbl id with
+      | Some slot when slot.epoch = epoch ->
+          s.hits <- s.hits + 1;
+          Some slot.value
+      | _ -> None)
+
+let clear t =
+  Array.iter
+    (fun s ->
+      Mutex.protect s.lock (fun () ->
+          Hashtbl.reset s.tbl;
+          Queue.clear s.order))
+    t.shards
+
+let stats t =
+  Array.fold_left
+    (fun acc s ->
+      Mutex.protect s.lock (fun () ->
+          {
+            st_hits = acc.st_hits + s.hits;
+            st_misses = acc.st_misses + s.misses;
+            st_invalidations = acc.st_invalidations + s.invalidations;
+            st_evictions = acc.st_evictions + s.evictions;
+            st_entries = acc.st_entries + Hashtbl.length s.tbl;
+          }))
+    { st_hits = 0; st_misses = 0; st_invalidations = 0; st_evictions = 0; st_entries = 0 }
+    t.shards
+
+let reset_counters t =
+  Array.iter
+    (fun s ->
+      Mutex.protect s.lock (fun () ->
+          s.hits <- 0;
+          s.misses <- 0;
+          s.invalidations <- 0;
+          s.evictions <- 0))
+    t.shards
+
+let hit_ratio st =
+  let total = st.st_hits + st.st_misses in
+  if total = 0 then Float.nan else float_of_int st.st_hits /. float_of_int total
+
+let pp_stats ppf st =
+  let ratio = hit_ratio st in
+  Fmt.pf ppf "hits=%d misses=%d invalidated=%d evicted=%d entries=%d hit_ratio=%s" st.st_hits
+    st.st_misses st.st_invalidations st.st_evictions st.st_entries
+    (if Float.is_nan ratio then "n/a" else Printf.sprintf "%.1f%%" (100.0 *. ratio))

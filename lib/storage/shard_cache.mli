@@ -1,0 +1,52 @@
+(** Domain-safe sharded cache of decoded pages, keyed by page id.
+
+    N mutex-guarded shards (hash table + FIFO queue each), holding
+    decoded values tagged with the epoch they were decoded under.  A
+    probe under a different epoch treats the entry as stale: it is
+    dropped, counted as an invalidation, and re-decoded — so bumping the
+    epoch (the index file's superblock commit counter) invalidates the
+    whole cache in O(1) without touching it.
+
+    Decoding runs under the shard lock, so each page is decoded at most
+    once per epoch regardless of how many domains race for it.  All
+    operations are safe to call from any domain.  This module never
+    touches the {!Prt_obs} registry (which is single-domain); callers
+    mirror {!stats} deltas from one domain if they want them exported. *)
+
+type 'v t
+
+val create : ?shards:int -> ?capacity:int -> unit -> 'v t
+(** [create ()] makes an empty cache with [shards] mutex-guarded shards
+    (rounded up to a power of two, default 64) holding at most
+    [capacity] entries in total (default 65536).  Raises
+    [Invalid_argument] if [shards < 1] or [capacity < shards]. *)
+
+val find_or_add : 'v t -> epoch:int -> int -> (unit -> 'v) -> 'v
+(** [find_or_add t ~epoch id decode] returns the cached value for [id]
+    if present and decoded under [epoch]; otherwise calls [decode]
+    (under the shard lock) and caches the result for [epoch].  A cached
+    value from another epoch is invalidated and replaced. *)
+
+val find : 'v t -> epoch:int -> int -> 'v option
+(** Probe without decoding; stale-epoch entries answer [None]. *)
+
+val clear : 'v t -> unit
+(** Drop every cached entry (counters are kept). *)
+
+type stats = {
+  st_hits : int;
+  st_misses : int;
+  st_invalidations : int;  (** stale-epoch entries dropped on probe *)
+  st_evictions : int;  (** capacity evictions (FIFO per shard) *)
+  st_entries : int;  (** live cached entries right now *)
+}
+
+val stats : 'v t -> stats
+(** Counters summed across shards (each shard read under its lock). *)
+
+val reset_counters : 'v t -> unit
+
+val hit_ratio : stats -> float
+(** [hits / (hits + misses)]; [nan] before any probe. *)
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -27,4 +27,5 @@ let () =
       ("obs", Test_obs.suite);
       ("paper-scale", Test_paper_scale.suite);
       ("workloads", Test_workloads.suite);
+      ("qexec", Test_qexec.suite);
     ]

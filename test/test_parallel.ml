@@ -68,9 +68,33 @@ let test_parallel_prtree_queries () =
   let par = Prt_prtree.Prtree.load ~domains:(Parallel.default_domains ()) (Helpers.small_pool ()) entries in
   Helpers.check_tree_queries ~nqueries:20 ~seed:6 par entries
 
+(* Random sizes straddling the sequential cutoff (4096): below it
+   [Parallel.sort] is [Array.sort]; above it the merge path must agree
+   element-for-element (int arrays, so ties cannot distinguish runs). *)
+let qcheck_sort_agrees =
+  let gen_size =
+    QCheck.Gen.(
+      oneof [ int_range 0 12_288; map (fun d -> 4096 + d) (int_range (-64) 64) ])
+  in
+  QCheck.Test.make ~name:"Parallel.sort agrees with Array.sort around the 4096 cutoff" ~count:40
+    (QCheck.make
+       ~print:(fun (n, seed, domains) -> Printf.sprintf "n=%d seed=%d domains=%d" n seed domains)
+       QCheck.Gen.(
+         gen_size >>= fun n ->
+         int_range 0 1_000_000 >>= fun seed ->
+         oneofl [ 1; 2; 4 ] >>= fun domains -> return (n, seed, domains)))
+    (fun (n, seed, domains) ->
+      let rng = Rng.create seed in
+      let arr = Array.init n (fun _ -> Rng.int rng 10_000) in
+      let seq = Array.copy arr and par = Array.copy arr in
+      Array.sort Int.compare seq;
+      Parallel.sort ~domains ~cmp:Int.compare par;
+      seq = par)
+
 let suite =
   [
     Alcotest.test_case "parallel sort matches Array.sort" `Quick test_parallel_sort_matches;
+    Helpers.qcheck_case qcheck_sort_agrees;
     Alcotest.test_case "parallel sort deterministic" `Quick
       test_parallel_sort_total_order_determinism;
     Alcotest.test_case "both: results and exceptions" `Quick test_both_runs_and_propagates;
