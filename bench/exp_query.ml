@@ -155,3 +155,143 @@ let fig15 ~scale ~seed =
   relative_table skew_results;
   note "paper shape: PR is unaffected by the skew (it only compares coordinates";
   note "  within a dimension); H, H4 and TGS degrade as c grows."
+
+(* Resilience: query cost and answer coverage when the disk misbehaves
+   and when queries carry a deadline.
+
+   For each fault rate, a PR-tree is built on a fault-injecting pager
+   (the build's default retry policy absorbs the transient faults), then
+   queried through a single-attempt buffer pool so every injected fault
+   surfaces to the resilient query path: the failing subtree is
+   quarantined and skipped, the query completes and is labelled Partial.
+   Coverage is the fraction of the clean-run output still returned;
+   degraded results are asserted to be a subset of the clean oracle.
+   PRT_FAULT_RATE overrides the swept rates with a single row. *)
+let resilience ~scale ~seed =
+  section "Resilience: degraded queries over an unreliable simulated disk";
+  let module Quarantine = Prt_storage.Quarantine in
+  let module Deadline = Prt_util.Deadline in
+  let module Failpoint = Prt_storage.Failpoint in
+  let module Pager = Prt_storage.Pager in
+  let module Buffer_pool = Prt_storage.Buffer_pool in
+  let module Entry = Prt_rtree.Entry in
+  let entries = Tiger.western ~scale ~seed in
+  let world = Queries.world_of entries in
+  let queries =
+    Queries.squares ~count:query_count ~area_fraction:0.01 ~world ~seed:(seed + 13)
+  in
+  let n = Array.length queries in
+  let clean_pool = fresh_pool () in
+  let clean_tree = build_mem PR clean_pool entries in
+  let oracle =
+    Array.map
+      (fun q ->
+        List.sort_uniq Int.compare
+          (List.map Entry.id (fst (Rtree.query_list clean_tree q))))
+      queries
+  in
+  let clean = measure_queries clean_tree queries in
+  note "%s rectangles; %d 1%% queries; clean run: %.1f leaves/query, %.1f hits/query"
+    (commas (Array.length entries)) n clean.mean_leaves clean.mean_output;
+  let rates = if fault_rate > 0.0 then [ fault_rate ] else [ 0.01; 0.05; 0.2 ] in
+  let fault_rows =
+    List.map
+      (fun rate ->
+        let fp = Failpoint.create (Failpoint.uniform ~seed:fault_seed rate) in
+        let pager = Pager.wrap_faulty (Pager.create_memory ~page_size ()) fp in
+        let build_pool = Buffer_pool.create ~capacity:4096 pager in
+        let tree = build_mem PR build_pool entries in
+        Buffer_pool.flush build_pool;
+        (* Single-attempt pool: injected faults reach the query path
+           instead of being absorbed by retries. *)
+        let qpool =
+          Buffer_pool.create ~capacity:4096
+            ~retry:{ Buffer_pool.attempts = 1; backoff_base = 1 }
+            pager
+        in
+        let qtree =
+          Rtree.of_root ~pool:qpool ~root:(Rtree.root tree) ~height:(Rtree.height tree)
+            ~count:(Rtree.count tree)
+        in
+        let quarantine = Quarantine.create () in
+        let degraded = ref 0 and leaves = ref 0 and matched = ref 0 in
+        Array.iteri
+          (fun i q ->
+            let hits, s = Rtree.query_list ~quarantine qtree q in
+            leaves := !leaves + s.Rtree.leaf_visited;
+            matched := !matched + s.Rtree.matched;
+            if not (Rtree.complete s) then incr degraded;
+            List.iter
+              (fun e ->
+                if not (List.mem (Entry.id e) oracle.(i)) then
+                  failwith "resilience: degraded result outside the clean oracle")
+              hits)
+          queries;
+        let coverage =
+          if clean.matched_total = 0 then 1.0
+          else float_of_int !matched /. float_of_int clean.matched_total
+        in
+        Bench_json.(
+          row
+            [
+              ("kind", str "faults");
+              ("rate", flt rate);
+              ("queries", int n);
+              ("degraded", int !degraded);
+              ("quarantined", int (Quarantine.count quarantine));
+              ("coverage", flt coverage);
+              ("mean_leaves", flt (float_of_int !leaves /. float_of_int n));
+              ("mean_leaves_clean", flt clean.mean_leaves);
+              ("subset_ok", int 1);
+            ]);
+        [
+          Printf.sprintf "%.1f%%" (100.0 *. rate);
+          string_of_int !degraded;
+          string_of_int (Quarantine.count quarantine);
+          pct coverage;
+          f1 (float_of_int !leaves /. float_of_int n);
+        ])
+      rates
+  in
+  Table.print
+    ~header:[ "fault rate"; "degraded"; "quarantined"; "coverage"; "leaves/query" ]
+    fault_rows;
+  note "every degraded answer verified to be a subset of the clean oracle;";
+  note "  no query raised — damage costs coverage, never availability.";
+  section "Resilience: deadline cutoffs (clean device)";
+  let deadline_rows =
+    List.map
+      (fun budget_ms ->
+        let timed_out = ref 0 and matched = ref 0 in
+        Array.iter
+          (fun q ->
+            let deadline =
+              if budget_ms <= 0.0 then Deadline.at 0.0 else Deadline.after_ms budget_ms
+            in
+            let _, s = Rtree.query_list ~deadline clean_tree q in
+            if s.Rtree.timed_out then incr timed_out;
+            matched := !matched + s.Rtree.matched)
+          queries;
+        let coverage =
+          if clean.matched_total = 0 then 1.0
+          else float_of_int !matched /. float_of_int clean.matched_total
+        in
+        Bench_json.(
+          row
+            [
+              ("kind", str "deadline");
+              ("deadline_ms", flt budget_ms);
+              ("queries", int n);
+              ("timed_out", int !timed_out);
+              ("coverage", flt coverage);
+            ]);
+        [
+          (if budget_ms <= 0.0 then "expired" else Printf.sprintf "%.1f ms" budget_ms);
+          string_of_int !timed_out;
+          pct coverage;
+        ])
+      [ 0.0; 5.0 ]
+  in
+  Table.print ~header:[ "deadline"; "timed out"; "coverage" ] deadline_rows;
+  note "an already-expired deadline times every query out with zero I/O;";
+  note "  a generous one completes them all — partiality is always labelled."

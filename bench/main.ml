@@ -69,6 +69,9 @@ let experiments =
     ( "throughput",
       "Batched multicore query throughput: QPS, speedup, scaling efficiency",
       Exp_throughput.throughput );
+    ( "resilience",
+      "Degraded-query coverage and deadline cutoffs on an unreliable disk",
+      Exp_query.resilience );
     ("micro", "Bechamel wall-clock micro-benchmarks", Micro.run);
   ]
 

@@ -80,7 +80,7 @@ let variant_loaders =
     ("str", Bulk.Str.load);
   ]
 
-let build_index ~variant ~input ~output =
+let build_index ~variant ~input ~output ~shadow =
   let load =
     match List.assoc_opt variant variant_loaders with
     | Some f -> f
@@ -88,11 +88,13 @@ let build_index ~variant ~input ~output =
   in
   let entries = read_data input in
   let t0 = Unix.gettimeofday () in
-  let idx = Index_file.create output ~build:(fun pool -> load pool entries) in
+  let idx = Index_file.create ~shadow output ~build:(fun pool -> load pool entries) in
   let tree = Index_file.tree idx in
-  Printf.printf "built %s index over %d rectangles in %.2fs: height %d, %d pages\n" variant
+  Printf.printf "built %s index over %d rectangles in %.2fs: height %d, %d pages%s\n" variant
     (Rtree.count tree) (Unix.gettimeofday () -. t0) (Rtree.height tree)
-    (Pager.num_pages (Index_file.pager idx));
+    (Pager.num_pages (Index_file.pager idx))
+    (if shadow then Printf.sprintf " (%d shadow)" (List.length (Index_file.shadow_pages idx))
+     else "");
   Index_file.close idx
 
 (* Report what superblock/journal recovery did on open (silent when the
@@ -155,10 +157,18 @@ let build_cmd =
   let output =
     Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Index file.")
   in
-  let run variant input output = build_index ~variant ~input ~output in
+  let shadow =
+    Arg.(
+      value & flag
+      & info [ "shadow" ]
+          ~doc:
+            "Also write post-image shadow copies of every committed page: the repair source for \
+             $(b,prt scrub --online), at the cost of roughly doubled file size.")
+  in
+  let run variant input output shadow = build_index ~variant ~input ~output ~shadow in
   Cmd.v
     (Cmd.info "build" ~doc:"Bulk-load a persistent index from a dataset file.")
-    Term.(const run $ variant $ input $ output)
+    Term.(const run $ variant $ input $ output $ shadow)
 
 let window_conv =
   let parse s =
@@ -193,13 +203,27 @@ let query_cmd =
             "Run the query through the batched multicore executor on N domains (identical \
              results; exercises the sharded node cache).")
   in
-  let run index window quiet jobs =
+  let deadline_ms =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "Time budget for the query: expiry is checked at every node visit and the results \
+             matched before the cutoff are returned, labelled $(b,timed out).")
+  in
+  let run index window quiet jobs deadline_ms =
     with_index index (fun idx ->
         let tree = Index_file.tree idx in
+        let deadline = Option.map Deadline.after_ms deadline_ms in
+        (* Resilient path: device damage degrades the affected subtrees
+           (quarantining their pages) instead of aborting, and the
+           status line below says whether anything was skipped. *)
         let hits, stats =
           match jobs with
-          | None -> Rtree.query_list tree window
-          | Some j -> (Qexec.run ~jobs:j (Index_file.executor idx) [| window |]).(0)
+          | None ->
+              Rtree.query_list ~quarantine:(Index_file.quarantine idx) ?deadline tree window
+          | Some j -> (Qexec.run ~jobs:j ?deadline (Index_file.executor idx) [| window |]).(0)
         in
         if not quiet then
           List.iter
@@ -210,11 +234,17 @@ let query_cmd =
                 (Rect.ymax (Entry.rect e)))
             hits;
         Printf.printf "%d hits; %d leaf and %d internal nodes visited\n" stats.Rtree.matched
-          stats.Rtree.leaf_visited stats.Rtree.internal_visited)
+          stats.Rtree.leaf_visited stats.Rtree.internal_visited;
+        Printf.printf "status: %s\n"
+          (Format.asprintf "%a" Rtree.pp_completeness (Rtree.completeness stats));
+        if not (Rtree.complete stats) then exit 3)
   in
   Cmd.v
-    (Cmd.info "query" ~doc:"Run a window query against an index file.")
-    Term.(const run $ index $ window $ quiet $ jobs)
+    (Cmd.info "query"
+       ~doc:
+         "Run a window query against an index file. Damaged pages degrade the query instead of \
+          failing it; any partiality is reported on the status line and through exit code 3.")
+    Term.(const run $ index $ window $ quiet $ jobs $ deadline_ms)
 
 (* Open an index read-write and run the mutation [f] as one atomic
    transaction: a crash mid-operation reopens to the pre-op tree. *)
@@ -469,10 +499,13 @@ let audit_cmd =
   let run index no_leaks =
     with_index index (fun idx ->
         let tree = Index_file.tree idx in
-        (* Pages 0/1 hold the shadow superblock pair; they are reachable
-           by contract. *)
+        (* Pages 0/1 hold the shadow superblock pair, and a shadow chain
+           (when the file carries one) owns its directory and copy
+           pages; all of them are reachable by contract. *)
         let report =
-          Audit.check ~check_leaks:(not no_leaks) ~reachable:[ 0; 1 ] tree
+          Audit.check ~check_leaks:(not no_leaks)
+            ~reachable:(0 :: 1 :: Index_file.shadow_pages idx)
+            tree
         in
         Printf.printf "%s\n" (Format.asprintf "%a" Audit.pp_report report);
         if not (Audit.ok report) then exit 1)
@@ -483,6 +516,63 @@ let audit_cmd =
          "Run the full invariant audit on an index file: MBR containment and tightness, uniform \
           leaf depth, fill bounds, entry counts, and page leaks. Exits 1 on any violation.")
     Term.(const run $ index $ no_leaks)
+
+let scrub_cmd =
+  let index =
+    Arg.(required & opt (some string) None & info [ "i"; "index" ] ~docv:"FILE" ~doc:"Index file.")
+  in
+  let online =
+    Arg.(
+      value & flag
+      & info [ "online" ]
+          ~doc:
+            "Run the incremental self-healing pass: verify pages, heal damage from the shadow \
+             chain (indexes built with $(b,prt build --shadow)), quarantine what cannot be \
+             proven. Without this flag only a read-only verification sweep runs.")
+  in
+  let pages =
+    Arg.(
+      value & opt int 64
+      & info [ "pages" ] ~docv:"N" ~doc:"Page budget per scrub increment (online mode).")
+  in
+  let run index online pages =
+    with_index index (fun idx ->
+        if online then begin
+          (* Drive increments until the cursor wraps: one full pass over
+             the file, in deadline-friendly slices. *)
+          let scanned = ref 0 and damaged = ref 0 and healed = ref 0 in
+          let quarantined = ref 0 and cleared = ref 0 in
+          let wrapped = ref false in
+          while not !wrapped do
+            let r = Index_file.scrub_online ~pages idx in
+            scanned := !scanned + r.Scrub.on_scanned;
+            damaged := !damaged + r.Scrub.on_damaged;
+            healed := !healed + r.Scrub.on_healed;
+            quarantined := !quarantined + r.Scrub.on_quarantined;
+            cleared := !cleared + r.Scrub.on_cleared;
+            wrapped := r.Scrub.on_wrapped || r.Scrub.on_scanned = 0
+          done;
+          Printf.printf
+            "online scrub: %d pages scanned, %d damaged, %d healed, %d quarantined, %d cleared\n"
+            !scanned !damaged !healed !quarantined !cleared;
+          Printf.printf "quarantine now holds %d page(s)\n"
+            (Quarantine.count (Index_file.quarantine idx));
+          if !damaged > !healed then exit 1
+        end
+        else begin
+          let pager = Index_file.pager idx in
+          let report = Scrub.run ~free:(fun id -> Pager.is_free pager id) pager in
+          Printf.printf "%s\n" (Format.asprintf "%a" Scrub.pp_report report);
+          if not (Scrub.clean report) then exit 1
+        end)
+  in
+  Cmd.v
+    (Cmd.info "scrub"
+       ~doc:
+         "Verify every page checksum of an index file. With $(b,--online), additionally heal \
+          damaged pages in place from the post-image shadow chain and maintain the quarantine — \
+          the live self-healing pass. Exits 1 when unrepaired damage remains.")
+    Term.(const run $ index $ online $ pages)
 
 let fsck_cmd =
   let index =
@@ -533,5 +623,6 @@ let () =
             stats_cmd;
             validate_cmd;
             audit_cmd;
+            scrub_cmd;
             fsck_cmd;
           ]))

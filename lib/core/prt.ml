@@ -22,6 +22,12 @@ module Superblock = Prt_storage.Superblock
 module Scrub = Prt_storage.Scrub
 module Shard_cache = Prt_storage.Shard_cache
 
+(* Online resilience: retry/backoff with a circuit breaker, the shared
+   poisoned-page registry, and cooperative query deadlines. *)
+module Retry = Prt_storage.Retry
+module Quarantine = Prt_storage.Quarantine
+module Deadline = Prt_util.Deadline
+
 (* Hilbert curves. *)
 module Hilbert2d = Prt_hilbert.Hilbert2d
 module Hilbert_nd = Prt_hilbert.Hilbert_nd

@@ -26,19 +26,16 @@ let h_run_len = Metrics.histogram "extsort.run_records"
 
 (* Record files stream straight through the pager (deliberately: a
    sequential scan must not evict the buffer pool's cache), so they
-   absorb transient device faults themselves.  Same bound as
-   [Buffer_pool.default_retry]: enough attempts to outlast any failpoint
-   with the default max_consecutive cap; a permanent fault still
-   surfaces as [Pager.Io_error].  Retrying is safe because every
-   operation here is a full-page read or a full-page (re-)write. *)
-let io_attempts = 5
+   absorb transient device faults themselves through the shared
+   {!Prt_storage.Retry} engine.  The default policy's 5 attempts
+   outlast any failpoint with the default max_consecutive cap; a
+   permanent fault still surfaces as [Pager.Io_error].  Retrying is
+   safe because every operation here is a full-page read or a
+   full-page (re-)write. *)
+module Retry = Prt_storage.Retry
 
-let with_retry f =
-  let rec go attempt =
-    try f ()
-    with Pager.Io_error _ when attempt < io_attempts -> go (attempt + 1)
-  in
-  go 1
+let retry_engine = Retry.create ()
+let with_retry f = Retry.run retry_engine ~op:"record_file" f
 
 module type RECORD = sig
   type t

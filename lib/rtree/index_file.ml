@@ -20,54 +20,219 @@ module Buffer_pool = Prt_storage.Buffer_pool
 module Superblock = Prt_storage.Superblock
 module Scrub = Prt_storage.Scrub
 module Failpoint = Prt_storage.Failpoint
+module Quarantine = Prt_storage.Quarantine
 
 type t = {
   pool : Buffer_pool.t;
   sb : Superblock.t;
   mutable tree : Rtree.t;
   recovery : Superblock.recovery;
+  quarantine : Quarantine.t;
+  shadow : bool;  (* snapshot post-images of every committed txn *)
+  mutable shadow_head : int;  (* committed shadow directory head, -1 = none *)
+  scrub_cursor : Scrub.cursor;
 }
 
 let default_cache_pages = 4096
 
 (* Tree metadata blob stored in the superblock: magic "PRTR", then
-   root / height / count. *)
+   root / height / count, and (format extension, PR 5) the head of the
+   post-image shadow chain.  The 16-byte form without the shadow word is
+   still decoded, so files written before the extension open cleanly. *)
 let meta_magic = 0x50525452
 let meta_len = 16
+let meta_len_shadow = 20
 
-let encode_meta tree =
-  let b = Bytes.create meta_len in
+let encode_meta_ext ~shadow_head tree =
+  let b = Bytes.create meta_len_shadow in
   Bytes.set_int32_le b 0 (Int32.of_int meta_magic);
   Bytes.set_int32_le b 4 (Int32.of_int (Rtree.root tree));
   Bytes.set_int32_le b 8 (Int32.of_int (Rtree.height tree));
   Bytes.set_int32_le b 12 (Int32.of_int (Rtree.count tree));
+  Bytes.set_int32_le b 16 (Int32.of_int shadow_head);
   b
 
+let encode_meta tree = encode_meta_ext ~shadow_head:(-1) tree
+
+let meta_ok meta =
+  (Bytes.length meta = meta_len || Bytes.length meta = meta_len_shadow)
+  && Int32.to_int (Bytes.get_int32_le meta 0) = meta_magic
+
 let decode_meta pool meta =
-  if Bytes.length meta <> meta_len || Int32.to_int (Bytes.get_int32_le meta 0) <> meta_magic
-  then invalid_arg "Index_file: superblock does not carry R-tree metadata";
+  if not (meta_ok meta) then
+    invalid_arg "Index_file: superblock does not carry R-tree metadata";
   Rtree.of_root ~pool
     ~root:(Int32.to_int (Bytes.get_int32_le meta 4))
     ~height:(Int32.to_int (Bytes.get_int32_le meta 8))
     ~count:(Int32.to_int (Bytes.get_int32_le meta 12))
+
+let decode_shadow_head meta =
+  if Bytes.length meta >= meta_len_shadow && meta_ok meta then
+    Int32.to_int (Bytes.get_int32_le meta 16)
+  else -1
 
 let tree t = t.tree
 let pool t = t.pool
 let pager t = Buffer_pool.pager t.pool
 let superblock t = t.sb
 let recovery t = t.recovery
+let quarantine t = t.quarantine
+let shadowed t = t.shadow
 
 (* If anything interrupts construction — including a simulated crash —
-   close the pager so kill-point sweeps do not leak descriptors. *)
+   close the pager so kill-point sweeps do not leak descriptors.  The
+   cleanup close swallows only OS-level errors: a [Corrupt_page] or any
+   logic exception must never be eaten here (bugfix sweep, PR 5). *)
 let guarding pager f =
   match f () with
   | v -> v
   | exception e ->
-      (try Pager.close pager with _ -> ());
+      (try Pager.close pager with Unix.Unix_error _ -> ());
       raise e
 
+(* --- post-image shadow chain ---
+
+   Directory page payload layout (chained single pages, same shape as
+   the pager's pre-image journal but a distinct magic):
+     [0..3]   magic "PRSH"
+     [4..7]   entry count on this page
+     [8..11]  next directory page id, or -1
+     [12..]   (original page id, copy page id) int32 pairs
+
+   Written *inside* the transaction, after the buffer pool flush and
+   just before commit: every page the transaction modified is copied —
+   post-image, i.e. exactly the content being committed — to freshly
+   allocated pages, and the chain head rides in the committed metadata.
+   The pre-image journal is useless as a repair source for committed
+   state (its copies predate the commit, and its pages are freed at the
+   commit anyway); these post-images are what {!Scrub.online} heals
+   from.  A crash before the commit discards the new chain with the
+   rest of the transaction; the previous chain's pages are freed
+   (deferred) in the same transaction, so they stay intact if it never
+   commits. *)
+
+let shadow_magic = 0x50525348 (* "PRSH" *)
+
+let shadow_dir_capacity pgr = (Pager.payload_size pgr - 12) / 8
+
+(* Walk a committed shadow chain.  Damage to the chain itself is
+   tolerated: the walk stops and reports what it reached (the chain is
+   a repair aid, never required for correctness). *)
+let shadow_iter pgr ~head ~f =
+  let rec walk dir =
+    if dir >= 0 && dir < Pager.num_pages pgr then begin
+      match Pager.read pgr dir with
+      | exception (Pager.Corrupt_page _ | Pager.Io_error _) -> ()
+      | page ->
+          if Page.get_i32 page 0 = shadow_magic then begin
+            let n = Page.get_i32 page 4 in
+            let next = Page.get_i32 page 8 in
+            if n >= 0 && n <= shadow_dir_capacity pgr then begin
+              for i = 0 to n - 1 do
+                f ~dir
+                  ~orig:(Page.get_i32 page (12 + (8 * i)))
+                  ~copy:(Page.get_i32 page (12 + (8 * i) + 4))
+              done;
+              walk next
+            end
+          end
+    end
+  in
+  walk head
+
+let shadow_chain_pages pgr ~head =
+  let acc = ref [] in
+  let dirs = Hashtbl.create 8 in
+  shadow_iter pgr ~head ~f:(fun ~dir ~orig:_ ~copy ->
+      if not (Hashtbl.mem dirs dir) then begin
+        Hashtbl.replace dirs dir ();
+        acc := dir :: !acc
+      end;
+      acc := copy :: !acc);
+  (* A chain whose head page holds zero entries still owns the head. *)
+  if head >= 0 && head < Pager.num_pages pgr && not (Hashtbl.mem dirs head) then
+    (match Pager.read pgr head with
+    | page when Page.get_i32 page 0 = shadow_magic -> acc := head :: !acc
+    | _ | (exception (Pager.Corrupt_page _ | Pager.Io_error _)) -> ());
+  List.sort_uniq Int.compare !acc
+
+let shadow_pages t = shadow_chain_pages (pager t) ~head:t.shadow_head
+
+let shadow_lookup t id =
+  if t.shadow_head < 0 then None
+  else begin
+    let found = ref None in
+    shadow_iter (pager t) ~head:t.shadow_head ~f:(fun ~dir:_ ~orig ~copy ->
+        if orig = id && !found = None then found := Some copy);
+    match !found with
+    | None -> None
+    | Some copy -> (
+        (* The copy must itself verify — a damaged shadow cannot heal. *)
+        match Pager.read (pager t) copy with
+        | img -> Some img
+        | exception (Pager.Corrupt_page _ | Pager.Io_error _) -> None)
+  end
+
+(* Inside the transaction, after the flush: drop the previous chain
+   (deferred frees — intact if this txn never commits), snapshot the
+   post-image of every modified page, and return the new chain head to
+   ride in the committed metadata. *)
+let write_shadow t =
+  let pgr = pager t in
+  List.iter (fun id -> Buffer_pool.free t.pool id) (shadow_pages t);
+  let modified = Pager.txn_modified_pages pgr in
+  if modified = [] then -1
+  else begin
+    let pairs =
+      List.map
+        (fun id ->
+          let img = Pager.read pgr id in
+          let cid = Buffer_pool.alloc t.pool in
+          Pager.write pgr cid img;
+          (id, cid))
+        modified
+    in
+    let cap = shadow_dir_capacity pgr in
+    let rec chunk = function
+      | [] -> []
+      | l ->
+          let rec take k acc = function
+            | x :: rest when k > 0 -> take (k - 1) (x :: acc) rest
+            | rest -> (List.rev acc, rest)
+          in
+          let page, rest = take cap [] l in
+          page :: chunk rest
+    in
+    (* Write the chain back to front so each directory page already
+       knows its successor. *)
+    List.fold_left
+      (fun next entries ->
+        let dir = Buffer_pool.alloc t.pool in
+        let page = Page.create (Pager.page_size pgr) in
+        Page.set_i32 page 0 shadow_magic;
+        Page.set_i32 page 4 (List.length entries);
+        Page.set_i32 page 8 next;
+        List.iteri
+          (fun i (orig, copy) ->
+            Page.set_i32 page (12 + (8 * i)) orig;
+            Page.set_i32 page (12 + (8 * i) + 4) copy)
+          entries;
+        Pager.write pgr dir page;
+        dir)
+      (-1)
+      (List.rev (chunk pairs))
+  end
+
+let commit_meta t =
+  if t.shadow then begin
+    let head = write_shadow t in
+    t.shadow_head <- head;
+    encode_meta_ext ~shadow_head:head t.tree
+  end
+  else encode_meta t.tree
+
 let create ?(page_size = Pager.default_page_size) ?(cache_pages = default_cache_pages) ?crash
-    path ~build =
+    ?(shadow = false) path ~build =
   let pager = Pager.create_file ~page_size path in
   guarding pager (fun () ->
       (match crash with Some fp -> Pager.arm_crash pager fp | None -> ());
@@ -76,11 +241,23 @@ let create ?(page_size = Pager.default_page_size) ?(cache_pages = default_cache_
       Superblock.begin_txn sb;
       let tree = build pool in
       Buffer_pool.flush pool;
-      Superblock.commit_txn sb ~meta:(encode_meta tree);
-      { pool; sb; tree; recovery = Superblock.no_recovery })
+      let t =
+        {
+          pool;
+          sb;
+          tree;
+          recovery = Superblock.no_recovery;
+          quarantine = Quarantine.create ();
+          shadow;
+          shadow_head = -1;
+          scrub_cursor = Scrub.cursor ();
+        }
+      in
+      Superblock.commit_txn sb ~meta:(commit_meta t);
+      t)
 
 let open_ ?(page_size = Pager.default_page_size) ?(cache_pages = default_cache_pages) ?crash
-    path =
+    ?shadow path =
   let pager = Pager.open_file ~page_size path in
   guarding pager (fun () ->
       let sb, recovery = Superblock.open_ pager in
@@ -89,8 +266,22 @@ let open_ ?(page_size = Pager.default_page_size) ?(cache_pages = default_cache_p
          itself. *)
       (match crash with Some fp -> Pager.arm_crash pager fp | None -> ());
       let pool = Buffer_pool.create ~capacity:cache_pages pager in
-      let tree = decode_meta pool (Superblock.meta sb) in
-      { pool; sb; tree; recovery })
+      let meta = Superblock.meta sb in
+      let tree = decode_meta pool meta in
+      let shadow_head = decode_shadow_head meta in
+      (* Shadowing is sticky: a file that carries a chain keeps writing
+         one, and [?shadow:true] turns it on for the next commit. *)
+      let shadow = shadow_head >= 0 || Option.value shadow ~default:false in
+      {
+        pool;
+        sb;
+        tree;
+        recovery;
+        quarantine = Quarantine.create ();
+        shadow;
+        shadow_head;
+        scrub_cursor = Scrub.cursor ();
+      })
 
 (* Run a mutation inside a transaction.  If [f] raises (including a
    {!Failpoint.Simulated_crash}), the transaction is left uncommitted
@@ -101,16 +292,31 @@ let update t f =
       Superblock.begin_txn t.sb;
       let v = f t.tree in
       Buffer_pool.flush t.pool;
-      Superblock.commit_txn t.sb ~meta:(encode_meta t.tree);
+      Superblock.commit_txn t.sb ~meta:(commit_meta t);
       v)
 
 (* A batched executor whose cache epoch is the superblock commit
    counter: every committed [update] bumps it, so nodes cached before
-   the transaction are re-decoded on the next batch. *)
-let executor ?shards ?capacity t =
-  Qexec.create ?shards ?capacity
+   the transaction are re-decoded on the next batch.  The executor
+   shares the file's quarantine, so damage found by single-domain
+   queries, batches, and the scrub all land in one registry. *)
+let executor ?shards ?capacity ?max_in_flight t =
+  Qexec.create ?shards ?capacity ?max_in_flight ~quarantine:t.quarantine
     ~epoch:(fun () -> Superblock.commit_count t.sb)
     t.tree
+
+(* One increment of the self-healing pass, between transactions/batches:
+   verify the next [pages] pages, heal what the shadow chain can prove,
+   quarantine the rest.  Healing writes run outside a transaction —
+   they restore committed content byte-for-byte, so a crash mid-heal
+   just leaves the page damaged for the next pass. *)
+let scrub_online ?(pages = 64) t =
+  Buffer_pool.flush t.pool;
+  let pgr = pager t in
+  let skip id = id < Superblock.pages || Pager.is_free pgr id in
+  Scrub.online ~skip
+    ~repair:(fun id -> shadow_lookup t id)
+    ~quarantine:t.quarantine ~cursor:t.scrub_cursor ~pages pgr
 
 let close t =
   Buffer_pool.flush t.pool;
@@ -206,7 +412,14 @@ let fsck ?(page_size = Pager.default_page_size) ?rebuild path =
       in
       (* Walk the tree to count entries and collect the reachable page
          set; damage encountered on the walk marks the tree bad instead
-         of aborting the whole fsck. *)
+         of aborting the whole fsck.  The post-image shadow chain (if the
+         file carries one) is reachable too — directory and copy pages
+         alike — so the orphan check does not flag it. *)
+      let shadow_head =
+        match opened with
+        | Ok (sb, _) -> decode_shadow_head (Superblock.meta sb)
+        | Error _ -> -1
+      in
       let fsck_tree_ok, fsck_tree_error, fsck_entries, reachable =
         match tree_state with
         | Error msg -> (false, Some msg, None, None)
@@ -214,6 +427,9 @@ let fsck ?(page_size = Pager.default_page_size) ?rebuild path =
             let pages = Hashtbl.create 256 in
             Hashtbl.replace pages 0 ();
             Hashtbl.replace pages 1 ();
+            List.iter
+              (fun id -> Hashtbl.replace pages id ())
+              (shadow_chain_pages pager ~head:shadow_head);
             let entries = ref 0 in
             match
               Rtree.iter_nodes tree ~f:(fun ~depth:_ ~id node ->

@@ -18,20 +18,31 @@ val create :
   ?page_size:int ->
   ?cache_pages:int ->
   ?crash:Prt_storage.Failpoint.t ->
+  ?shadow:bool ->
   string ->
   build:(Buffer_pool.t -> Rtree.t) ->
   t
 (** [create path ~build] formats a fresh index file and commits the tree
     produced by [build] (typically a bulk loader) as its first
     transaction.  [crash] arms a crash budget before the build, for
-    kill-point harnesses. *)
+    kill-point harnesses.  [shadow] (default false) makes every commit
+    also write post-image shadow copies of the pages it modified — the
+    repair source for {!scrub_online} — at the cost of extra space. *)
 
 val open_ :
-  ?page_size:int -> ?cache_pages:int -> ?crash:Prt_storage.Failpoint.t -> string -> t
+  ?page_size:int ->
+  ?cache_pages:int ->
+  ?crash:Prt_storage.Failpoint.t ->
+  ?shadow:bool ->
+  string ->
+  t
 (** Open an existing index file, running superblock/journal recovery as
     needed ({!recovery} reports what was done).  [crash] is armed after
     recovery, so it sweeps kill points of the next operation only.
-    Raises [Failure] when no valid superblock survives (see [fsck]). *)
+    Shadowing is sticky: a file already carrying a shadow chain keeps
+    writing one regardless of [shadow]; pass [~shadow:true] to turn it
+    on from the next commit.  Raises [Failure] when no valid superblock
+    survives (see [fsck]). *)
 
 val tree : t -> Rtree.t
 val pool : t -> Buffer_pool.t
@@ -42,6 +53,15 @@ val recovery : t -> Superblock.recovery
 (** What recovery did when this handle was opened
     ([Superblock.no_recovery] for freshly created files). *)
 
+val quarantine : t -> Prt_storage.Quarantine.t
+(** The file's damage registry, shared by resilient queries
+    ([Rtree.query ~quarantine]), the {!executor}'s batches and
+    {!scrub_online} — one place where every layer reports and checks
+    poisoned pages. *)
+
+val shadowed : t -> bool
+(** Whether commits on this handle write post-image shadow copies. *)
+
 val update : t -> (Rtree.t -> 'a) -> 'a
 (** [update t f] runs the mutation [f] (inserts/deletes on [tree t])
     inside a transaction: begin, mutate, flush, atomic commit.  If [f]
@@ -49,20 +69,46 @@ val update : t -> (Rtree.t -> 'a) -> 'a
     handle is closed; the next {!open_} rolls the file back to the
     pre-operation tree. *)
 
-val executor : ?shards:int -> ?capacity:int -> t -> Qexec.t
+val executor : ?shards:int -> ?capacity:int -> ?max_in_flight:int -> t -> Qexec.t
 (** A batched query executor over this file's tree whose shard-cache
     epoch is the superblock commit counter — a committed {!update}
     invalidates every node cached before it, so batches run between
-    transactions always see the current tree. *)
+    transactions always see the current tree.  Shares the file's
+    {!quarantine}; [max_in_flight] enables admission control
+    (see {!Qexec.Overloaded}). *)
+
+val scrub_online : ?pages:int -> t -> Scrub.online_report
+(** One increment of the live self-healing pass: verify the next [pages]
+    (default 64) in-use pages past a persistent cursor, heal damaged
+    pages whose post-image survives in the shadow chain by rewriting
+    them in place, quarantine those it cannot prove, and clear
+    quarantine entries that verify again.  Call it between transactions
+    or batches — never concurrently with one.  Healing writes restore
+    committed bytes outside any transaction, so a crash mid-heal just
+    leaves the page damaged for the next pass.  Without {!shadowed},
+    it still detects, quarantines and un-quarantines — it just cannot
+    repair. *)
+
+val shadow_pages : t -> int list
+(** Page ids owned by the current shadow chain (directory pages and
+    post-image copies), sorted.  Empty when the file carries none.
+    These are live committed pages: reachability checks must treat them
+    as such. *)
+
+val shadow_lookup : t -> int -> bytes option
+(** The committed post-image of a page, if the shadow chain holds one
+    that still verifies. *)
 
 val close : t -> unit
 
 val encode_meta : Rtree.t -> bytes
-(** The 16-byte superblock metadata blob (magic, root, height, count). *)
+(** The superblock metadata blob (magic, root, height, count, shadow
+    chain head — [-1] here; commits write the live head). *)
 
 val decode_meta : Buffer_pool.t -> bytes -> Rtree.t
-(** Rebuild a tree handle from a metadata blob.  Raises
-    [Invalid_argument] on a foreign blob. *)
+(** Rebuild a tree handle from a metadata blob (either the legacy
+    16-byte form or the current one).  Raises [Invalid_argument] on a
+    foreign blob. *)
 
 (** {1 fsck} *)
 

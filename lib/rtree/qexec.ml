@@ -32,13 +32,26 @@ module Rect = Prt_geom.Rect
 module Pager = Prt_storage.Pager
 module Buffer_pool = Prt_storage.Buffer_pool
 module Shard_cache = Prt_storage.Shard_cache
+module Quarantine = Prt_storage.Quarantine
 module Parallel = Prt_util.Parallel
+module Deadline = Prt_util.Deadline
 
 type t = {
   tree : Rtree.t;
   cache : Node.t Shard_cache.t;
   epoch : unit -> int;  (* read at each batch start *)
+  quarantine : Quarantine.t;
+  max_in_flight : int option;  (* admission-control bound, if any *)
+  in_flight : int Atomic.t;  (* queries admitted and not yet finished *)
 }
+
+exception Overloaded of { in_flight : int; limit : int }
+
+let () =
+  Printexc.register_printer (function
+    | Overloaded { in_flight; limit } ->
+        Some (Printf.sprintf "Qexec.Overloaded: %d queries in flight, limit %d" in_flight limit)
+    | _ -> None)
 
 let m_batches = lazy (Prt_obs.Metrics.counter "qexec.batches")
 let m_queries = lazy (Prt_obs.Metrics.counter "qexec.queries")
@@ -46,42 +59,109 @@ let m_cache_hits = lazy (Prt_obs.Metrics.counter "qexec.cache_hits")
 let m_cache_misses = lazy (Prt_obs.Metrics.counter "qexec.cache_misses")
 let m_cache_invalidations = lazy (Prt_obs.Metrics.counter "qexec.cache_invalidations")
 
-let create ?shards ?capacity ?(epoch = fun () -> 0) tree =
-  { tree; cache = Shard_cache.create ?shards ?capacity (); epoch }
+(* Resilience counters share names with [Rtree]'s single-domain path
+   (the registry resolves by name), mirrored coordinator-side only. *)
+let m_degraded = lazy (Prt_obs.Metrics.counter "resilience.queries_degraded")
+let m_timed_out = lazy (Prt_obs.Metrics.counter "resilience.queries_timed_out")
+let m_quarantined = lazy (Prt_obs.Metrics.counter "resilience.pages_quarantined")
+let m_rejected = lazy (Prt_obs.Metrics.counter "resilience.batches_rejected")
+
+let create ?shards ?capacity ?(epoch = fun () -> 0) ?quarantine ?max_in_flight tree =
+  (match max_in_flight with
+  | Some l when l < 1 -> invalid_arg "Qexec.create: max_in_flight must be >= 1"
+  | _ -> ());
+  {
+    tree;
+    cache = Shard_cache.create ?shards ?capacity ();
+    epoch;
+    quarantine = (match quarantine with Some q -> q | None -> Quarantine.create ());
+    max_in_flight;
+    in_flight = Atomic.make 0;
+  }
 
 let tree t = t.tree
+let quarantine t = t.quarantine
 let cache_stats t = Shard_cache.stats t.cache
 let cache_hit_ratio t = Shard_cache.hit_ratio (Shard_cache.stats t.cache)
 
+exception Deadline_exceeded
+
 (* One query, one domain.  [epoch]/[root]/[height] are the values
-   captured at batch start so every worker descends the same tree. *)
-let run_query t ~epoch ~root ~height window =
+   captured at batch start so every worker descends the same tree.
+
+   Degradation is per subtree, exactly as in [Rtree.query]: the typed
+   catch is scoped to the page read/decode alone, so a failure deeper in
+   the recursion is handled at its own level and a poisoned page can
+   never fail more than its own subtree — let alone the batch.  Workers
+   run on other domains, so nothing here touches the metrics registry;
+   the quarantine itself is mutex-guarded and safe to share. *)
+let run_query t ~epoch ~root ~height ~deadline window =
   let pgr = Rtree.pager t.tree in
   let stats = Rtree.fresh_stats () in
   let acc = ref [] in
+  let skip id =
+    stats.Rtree.skipped_subtrees <- stats.Rtree.skipped_subtrees + 1;
+    if not (List.mem id stats.Rtree.skipped_pages) then
+      stats.Rtree.skipped_pages <- id :: stats.Rtree.skipped_pages
+  in
+  let poison id reason =
+    Quarantine.add t.quarantine id reason;
+    skip id
+  in
   let rec visit id depth =
-    if depth = height then begin
-      stats.Rtree.leaf_visited <- stats.Rtree.leaf_visited + 1;
-      let buf = Pager.read_shared pgr id in
-      stats.Rtree.matched <-
-        stats.Rtree.matched + Node.iter_rects buf window ~f:(fun e -> acc := e :: !acc)
+    if Deadline.expired deadline then begin
+      stats.Rtree.timed_out <- true;
+      raise_notrace Deadline_exceeded
+    end;
+    if Quarantine.mem t.quarantine id then skip id
+    else if depth = height then begin
+      match Pager.read_shared pgr id with
+      | exception Pager.Corrupt_page _ -> poison id Quarantine.Corrupt
+      | exception Pager.Io_error _ -> poison id Quarantine.Io_failed
+      | buf ->
+          stats.Rtree.leaf_visited <- stats.Rtree.leaf_visited + 1;
+          stats.Rtree.matched <-
+            stats.Rtree.matched + Node.iter_rects buf window ~f:(fun e -> acc := e :: !acc)
     end
-    else begin
-      stats.Rtree.internal_visited <- stats.Rtree.internal_visited + 1;
-      let node =
+    else
+      match
         Shard_cache.find_or_add t.cache ~epoch id (fun () ->
             Node.decode (Pager.read_shared pgr id))
-      in
-      Array.iter
-        (fun e -> if Rect.intersects (Entry.rect e) window then visit (Entry.id e) (depth + 1))
-        (Node.entries node)
-    end
+      with
+      | exception Pager.Corrupt_page _ -> poison id Quarantine.Corrupt
+      | exception Pager.Io_error _ -> poison id Quarantine.Io_failed
+      | node ->
+          stats.Rtree.internal_visited <- stats.Rtree.internal_visited + 1;
+          Array.iter
+            (fun e ->
+              if Rect.intersects (Entry.rect e) window then visit (Entry.id e) (depth + 1))
+            (Node.entries node)
   in
-  visit root 1;
+  (try visit root 1 with Deadline_exceeded -> ());
   (List.rev !acc, stats)
 
-let run ?jobs t queries =
+let run ?jobs ?(deadline = Deadline.none) t queries =
   let n = Array.length queries in
+  (* Admission control: shed the whole batch up front rather than queue
+     unboundedly — the caller gets a typed [Overloaded] (with the load
+     that triggered it) instead of latency collapse.  The counter is
+     atomic because concurrent callers from other systhreads are the
+     reason a bound exists at all. *)
+  (match t.max_in_flight with
+  | Some limit ->
+      let before = Atomic.fetch_and_add t.in_flight n in
+      if before + n > limit then begin
+        ignore (Atomic.fetch_and_add t.in_flight (-n));
+        Prt_obs.Metrics.tick (Lazy.force m_rejected);
+        raise (Overloaded { in_flight = before; limit })
+      end
+  | None -> ());
+  let release () =
+    match t.max_in_flight with
+    | Some _ -> ignore (Atomic.fetch_and_add t.in_flight (-n))
+    | None -> ()
+  in
+  Fun.protect ~finally:release @@ fun () ->
   let jobs =
     match jobs with Some j -> max 1 j | None -> Parallel.default_domains ()
   in
@@ -92,6 +172,7 @@ let run ?jobs t queries =
       let root = Rtree.root t.tree and height = Rtree.height t.tree in
       let results = Array.make n ([], Rtree.fresh_stats ()) in
       let before = Shard_cache.stats t.cache in
+      let quarantined_before = Quarantine.added_total t.quarantine in
       let next = Atomic.make 0 in
       let chunk = max 1 (n / (jobs * 8)) in
       let worker () =
@@ -99,7 +180,7 @@ let run ?jobs t queries =
           let start = Atomic.fetch_and_add next chunk in
           if start < n then begin
             for i = start to min n (start + chunk) - 1 do
-              results.(i) <- run_query t ~epoch ~root ~height queries.(i)
+              results.(i) <- run_query t ~epoch ~root ~height ~deadline queries.(i)
             done;
             loop ()
           end
@@ -123,6 +204,16 @@ let run ?jobs t queries =
         (after.Shard_cache.st_misses - before.Shard_cache.st_misses);
       Prt_obs.Metrics.add (Lazy.force m_cache_invalidations)
         (after.Shard_cache.st_invalidations - before.Shard_cache.st_invalidations);
+      let degraded = ref 0 and timed_out = ref 0 in
+      Array.iter
+        (fun (_, s) ->
+          if s.Rtree.timed_out then incr timed_out;
+          if s.Rtree.timed_out || s.Rtree.skipped_subtrees > 0 then incr degraded)
+        results;
+      if !degraded > 0 then Prt_obs.Metrics.add (Lazy.force m_degraded) !degraded;
+      if !timed_out > 0 then Prt_obs.Metrics.add (Lazy.force m_timed_out) !timed_out;
+      let dq = Quarantine.added_total t.quarantine - quarantined_before in
+      if dq > 0 then Prt_obs.Metrics.add (Lazy.force m_quarantined) dq;
       results)
 
 let total_stats results =
@@ -131,6 +222,12 @@ let total_stats results =
     (fun (_, s) ->
       t.Rtree.internal_visited <- t.Rtree.internal_visited + s.Rtree.internal_visited;
       t.Rtree.leaf_visited <- t.Rtree.leaf_visited + s.Rtree.leaf_visited;
-      t.Rtree.matched <- t.Rtree.matched + s.Rtree.matched)
+      t.Rtree.matched <- t.Rtree.matched + s.Rtree.matched;
+      t.Rtree.skipped_subtrees <- t.Rtree.skipped_subtrees + s.Rtree.skipped_subtrees;
+      t.Rtree.skipped_pages <-
+        List.fold_left
+          (fun acc id -> if List.mem id acc then acc else id :: acc)
+          t.Rtree.skipped_pages s.Rtree.skipped_pages;
+      t.Rtree.timed_out <- t.Rtree.timed_out || s.Rtree.timed_out)
     results;
   t

@@ -16,20 +16,53 @@
 
 type t
 
-val create : ?shards:int -> ?capacity:int -> ?epoch:(unit -> int) -> Rtree.t -> t
+exception Overloaded of { in_flight : int; limit : int }
+(** Raised by {!run} when admission control rejects a batch: admitting
+    it would push the executor past [max_in_flight] queries.  Shedding
+    load beats queueing it unboundedly — the caller knows immediately
+    and can back off. *)
+
+val create :
+  ?shards:int ->
+  ?capacity:int ->
+  ?epoch:(unit -> int) ->
+  ?quarantine:Prt_storage.Quarantine.t ->
+  ?max_in_flight:int ->
+  Rtree.t ->
+  t
 (** [epoch] is sampled at each batch start; cached nodes from older
     epochs are re-decoded. Defaults to a constant, for trees that are
     never modified. [shards]/[capacity] are passed to
-    {!Prt_storage.Shard_cache.create}. *)
+    {!Prt_storage.Shard_cache.create}.  [quarantine] shares a damage
+    registry with the rest of the serving stack (an {!Index_file} passes
+    its own); a private one is created otherwise.  [max_in_flight]
+    bounds the queries admitted concurrently across {!run} calls
+    (default unbounded); see {!Overloaded}. *)
 
 val tree : t -> Rtree.t
 
+val quarantine : t -> Prt_storage.Quarantine.t
+(** The executor's damage registry (shared or private). *)
+
 val run :
-  ?jobs:int -> t -> Prt_geom.Rect.t array -> (Entry.t list * Rtree.query_stats) array
+  ?jobs:int ->
+  ?deadline:Prt_util.Deadline.t ->
+  t ->
+  Prt_geom.Rect.t array ->
+  (Entry.t list * Rtree.query_stats) array
 (** Execute the batch on [jobs] domains (default
     [Parallel.default_domains ()]; the coordinating domain is one of
     them). Emits a ["qexec.batch"] span and mirrors batch totals into
-    the [qexec.*] metrics from the coordinator. *)
+    the [qexec.*] and [resilience.*] metrics from the coordinator.
+
+    Resilience contract: a poisoned page degrades only the subtrees that
+    reach it — never a whole query, never the batch.  Each slot's
+    [query_stats] carries its own completeness ({!Rtree.completeness});
+    quarantined ids are skipped without touching the device.  [deadline]
+    applies to the batch: each query checks it per node visit and
+    returns [Timed_out] partial results past expiry (queries scheduled
+    after expiry return empty [Timed_out] results).  Raises only
+    {!Overloaded} (admission) — device damage never escapes. *)
 
 val total_stats : (Entry.t list * Rtree.query_stats) array -> Rtree.query_stats
 (** Sum the per-query visit counts of a batch result. *)

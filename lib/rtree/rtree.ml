@@ -11,6 +11,8 @@ module Rect = Prt_geom.Rect
 module Pager = Prt_storage.Pager
 module Page = Prt_storage.Page
 module Buffer_pool = Prt_storage.Buffer_pool
+module Quarantine = Prt_storage.Quarantine
+module Deadline = Prt_util.Deadline
 
 type t = {
   pool : Buffer_pool.t;
@@ -23,11 +25,53 @@ type query_stats = {
   mutable internal_visited : int;
   mutable leaf_visited : int;
   mutable matched : int;
+  mutable skipped_subtrees : int;
+  mutable skipped_pages : int list;
+  mutable timed_out : bool;
 }
 
-let fresh_stats () = { internal_visited = 0; leaf_visited = 0; matched = 0 }
+let fresh_stats () =
+  {
+    internal_visited = 0;
+    leaf_visited = 0;
+    matched = 0;
+    skipped_subtrees = 0;
+    skipped_pages = [];
+    timed_out = false;
+  }
 
 let nodes_visited s = s.internal_visited + s.leaf_visited
+
+(* The completeness contract: partiality is never silent.  A query that
+   skipped anything (quarantined page, fresh damage, deadline) says so
+   here, and the skipped page ids say exactly where the hole is. *)
+type completeness =
+  | Complete
+  | Partial of { skipped_pages : int list; skipped_subtrees : int }
+  | Timed_out of { skipped_pages : int list; skipped_subtrees : int }
+
+let completeness s =
+  let skipped_pages = List.sort_uniq Int.compare s.skipped_pages in
+  if s.timed_out then Timed_out { skipped_pages; skipped_subtrees = s.skipped_subtrees }
+  else if s.skipped_subtrees > 0 then
+    Partial { skipped_pages; skipped_subtrees = s.skipped_subtrees }
+  else Complete
+
+let complete s = completeness s = Complete
+
+let pp_completeness ppf = function
+  | Complete -> Fmt.string ppf "complete"
+  | Partial { skipped_pages; skipped_subtrees } ->
+      Fmt.pf ppf "partial (%d subtree%s skipped; pages %a)" skipped_subtrees
+        (if skipped_subtrees = 1 then "" else "s")
+        (Fmt.list ~sep:Fmt.comma Fmt.int) skipped_pages
+  | Timed_out { skipped_pages; skipped_subtrees } ->
+      Fmt.pf ppf "timed-out (%d subtree%s skipped%a)" skipped_subtrees
+        (if skipped_subtrees = 1 then "" else "s")
+        (fun ppf -> function
+          | [] -> ()
+          | ps -> Fmt.pf ppf "; pages %a" (Fmt.list ~sep:Fmt.comma Fmt.int) ps)
+        skipped_pages
 
 let pool t = t.pool
 let pager t = Buffer_pool.pager t.pool
@@ -70,32 +114,97 @@ let create_empty pool =
 
 let of_root ~pool ~root ~height ~count = { pool; root; height; count }
 
+(* Resilience metrics (ticked on the single-domain query path only; the
+   multicore executor mirrors its own totals after workers join). *)
+let m_degraded = Prt_obs.Metrics.counter "resilience.queries_degraded"
+let m_timed_out = Prt_obs.Metrics.counter "resilience.queries_timed_out"
+let m_quarantined = Prt_obs.Metrics.counter "resilience.pages_quarantined"
+
+exception Deadline_exceeded
+(* Local unwind for deadline expiry: the partial accumulator built so
+   far is kept (results land through [f] as they match). *)
+
 (* Window query: recursively visit every node whose bounding box (as
    recorded in its parent) intersects the query.  The root is always
    visited.  The descent is zero-copy: each page is scanned in place
    through the {!Node} cursors, so only matching entries are
-   materialized and no per-visit entry array is built. *)
-let query t window ~f =
-  let stats = fresh_stats () in
-  let rec visit id =
-    let buf = read_page t id in
-    match Node.page_kind buf with
-    | Node.Leaf ->
-        stats.leaf_visited <- stats.leaf_visited + 1;
-        stats.matched <- stats.matched + Node.iter_rects buf window ~f
-    | Node.Internal ->
-        stats.internal_visited <- stats.internal_visited + 1;
-        Node.iter_children buf window ~f:visit
-  in
-  visit t.root;
-  stats
+   materialized and no per-visit entry array is built.
 
-let query_list t window =
+   Without [quarantine]/[deadline] the historical fail-stop contract
+   holds: a [Corrupt_page] propagates (no silent wrong answers).  With a
+   [quarantine], damage degrades instead: the failing subtree is skipped
+   and recorded, its page id quarantined so later queries do not
+   re-touch the device, and the result is tagged via {!completeness}.
+   The per-subtree catch is scoped to the page read alone — a failure
+   deeper in the recursion is handled at its own level, never absorbed
+   by an ancestor. *)
+let query ?quarantine ?deadline t window ~f =
+  let stats = fresh_stats () in
+  match (quarantine, deadline) with
+  | None, None ->
+      let rec visit id =
+        let buf = read_page t id in
+        match Node.page_kind buf with
+        | Node.Leaf ->
+            stats.leaf_visited <- stats.leaf_visited + 1;
+            stats.matched <- stats.matched + Node.iter_rects buf window ~f
+        | Node.Internal ->
+            stats.internal_visited <- stats.internal_visited + 1;
+            Node.iter_children buf window ~f:visit
+      in
+      visit t.root;
+      stats
+  | _ ->
+      let dl = Option.value deadline ~default:Deadline.none in
+      let quarantined_before =
+        match quarantine with Some q -> Quarantine.added_total q | None -> 0
+      in
+      let skip_subtree id =
+        stats.skipped_subtrees <- stats.skipped_subtrees + 1;
+        if not (List.mem id stats.skipped_pages) then
+          stats.skipped_pages <- id :: stats.skipped_pages
+      in
+      let poison id reason =
+        (match quarantine with Some q -> Quarantine.add q id reason | None -> ());
+        skip_subtree id
+      in
+      let rec visit id =
+        if Deadline.expired dl then begin
+          stats.timed_out <- true;
+          raise_notrace Deadline_exceeded
+        end;
+        if (match quarantine with Some q -> Quarantine.mem q id | None -> false) then
+          skip_subtree id
+        else
+          match read_page t id with
+          | exception Pager.Corrupt_page _ -> poison id Quarantine.Corrupt
+          | exception Pager.Io_error _ -> poison id Quarantine.Io_failed
+          | buf -> (
+              match Node.page_kind buf with
+              | Node.Leaf ->
+                  stats.leaf_visited <- stats.leaf_visited + 1;
+                  stats.matched <- stats.matched + Node.iter_rects buf window ~f
+              | Node.Internal ->
+                  stats.internal_visited <- stats.internal_visited + 1;
+                  Node.iter_children buf window ~f:visit)
+      in
+      (try visit t.root with Deadline_exceeded -> ());
+      if stats.timed_out then Prt_obs.Metrics.tick m_timed_out;
+      if stats.skipped_subtrees > 0 || stats.timed_out then Prt_obs.Metrics.tick m_degraded;
+      (match quarantine with
+      | Some q ->
+          let d = Quarantine.added_total q - quarantined_before in
+          if d > 0 then Prt_obs.Metrics.add m_quarantined d
+      | None -> ());
+      stats
+
+let query_list ?quarantine ?deadline t window =
   let acc = ref [] in
-  let stats = query t window ~f:(fun e -> acc := e :: !acc) in
+  let stats = query ?quarantine ?deadline t window ~f:(fun e -> acc := e :: !acc) in
   (List.rev !acc, stats)
 
-let query_count t window = query t window ~f:(fun _ -> ())
+let query_count ?quarantine ?deadline t window =
+  query ?quarantine ?deadline t window ~f:(fun _ -> ())
 
 (* Profiled window query: same traversal as [query], but additionally
    records how many nodes were visited on each level and what the

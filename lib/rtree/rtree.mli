@@ -12,10 +12,29 @@ type query_stats = {
   mutable internal_visited : int;
   mutable leaf_visited : int;
   mutable matched : int;
+  mutable skipped_subtrees : int;  (** subtrees routed around (quarantine/damage) *)
+  mutable skipped_pages : int list;  (** distinct page ids behind the holes *)
+  mutable timed_out : bool;  (** the deadline fired mid-descent *)
 }
 
 val fresh_stats : unit -> query_stats
 val nodes_visited : query_stats -> int
+
+(** Completeness of a query's result — partiality is never silent. *)
+type completeness =
+  | Complete
+  | Partial of { skipped_pages : int list; skipped_subtrees : int }
+      (** Some subtrees were skipped (quarantined or freshly damaged
+          pages); the reported entries are a subset of the true answer. *)
+  | Timed_out of { skipped_pages : int list; skipped_subtrees : int }
+      (** The deadline fired mid-descent; entries matched before the
+          cutoff were delivered.  Takes precedence over [Partial]. *)
+
+val completeness : query_stats -> completeness
+(** [skipped_pages] come out sorted and de-duplicated. *)
+
+val complete : query_stats -> bool
+val pp_completeness : Format.formatter -> completeness -> unit
 
 val create_empty : Prt_storage.Buffer_pool.t -> t
 (** A tree with a single empty leaf. *)
@@ -52,12 +71,41 @@ val set_root : t -> root:int -> height:int -> unit
 
 val set_count : t -> int -> unit
 
-val query : t -> Prt_geom.Rect.t -> f:(Entry.t -> unit) -> query_stats
+val query :
+  ?quarantine:Prt_storage.Quarantine.t ->
+  ?deadline:Prt_util.Deadline.t ->
+  t ->
+  Prt_geom.Rect.t ->
+  f:(Entry.t -> unit) ->
+  query_stats
 (** Window query: [f] is called on every stored entry whose rectangle
-    intersects the window (closed-boundary semantics). *)
+    intersects the window (closed-boundary semantics).
 
-val query_list : t -> Prt_geom.Rect.t -> Entry.t list * query_stats
-val query_count : t -> Prt_geom.Rect.t -> query_stats
+    Without the optional arguments the query is fail-stop: a
+    {!Prt_storage.Pager.Corrupt_page} propagates.  With a [quarantine]
+    it degrades gracefully instead — quarantined page ids are skipped
+    without touching the device, a fresh [Corrupt_page]/[Io_error] on a
+    page read quarantines that id and skips its subtree, and the result
+    is tagged through {!completeness} (reported entries are then a
+    subset of the true answer, never a superset).  With a [deadline],
+    expiry is checked once per node visit and unwinds into a
+    [Timed_out] tag, keeping everything matched before the cutoff.
+    Never raises to the caller for device damage when a quarantine is
+    supplied. *)
+
+val query_list :
+  ?quarantine:Prt_storage.Quarantine.t ->
+  ?deadline:Prt_util.Deadline.t ->
+  t ->
+  Prt_geom.Rect.t ->
+  Entry.t list * query_stats
+
+val query_count :
+  ?quarantine:Prt_storage.Quarantine.t ->
+  ?deadline:Prt_util.Deadline.t ->
+  t ->
+  Prt_geom.Rect.t ->
+  query_stats
 
 (** Per-query I/O profile, collected by {!query_profile}: the node count
     per level (root = index 0), the classic visit/match counts, the

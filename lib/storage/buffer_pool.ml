@@ -19,12 +19,14 @@ type retry = { attempts : int; backoff_base : int }
 
 let default_retry = { attempts = 5; backoff_base = 1 }
 
-type degraded = {
+type degraded = Retry.stats = {
   mutable faults : int;
   mutable retries : int;
   mutable backoff : int;
   mutable failures : int;
   mutable last_error : string option;
+  mutable rejected : int;
+  mutable trips : int;
 }
 
 type cached = { data : bytes; mutable dirty : bool }
@@ -32,8 +34,7 @@ type cached = { data : bytes; mutable dirty : bool }
 type t = {
   pager : Pager.t;
   cache : (int, cached) Lru.t;
-  retry : retry;
-  degraded : degraded;
+  engine : Retry.t;
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
@@ -48,15 +49,32 @@ let m_evictions = Prt_obs.Metrics.counter "pool.evictions"
 let m_faults = Prt_obs.Metrics.counter "pool.faults"
 let m_retries = Prt_obs.Metrics.counter "pool.retries"
 let m_failures = Prt_obs.Metrics.counter "pool.failures"
+let m_rejected = Prt_obs.Metrics.counter "pool.rejected"
+let m_trips = Prt_obs.Metrics.counter "retry.circuit_trips"
 
-let create ?(capacity = 1024) ?(retry = default_retry) pager =
+let observe = function
+  | Retry.Fault -> Prt_obs.Metrics.tick m_faults
+  | Retry.Retried -> Prt_obs.Metrics.tick m_retries
+  | Retry.Failed -> Prt_obs.Metrics.tick m_failures
+  | Retry.Rejected -> Prt_obs.Metrics.tick m_rejected
+  | Retry.Tripped -> Prt_obs.Metrics.tick m_trips
+
+let create ?(capacity = 1024) ?(retry = default_retry) ?breaker pager =
   if retry.attempts < 1 then invalid_arg "Buffer_pool.create: retry attempts must be >= 1";
   if retry.backoff_base < 0 then invalid_arg "Buffer_pool.create: backoff must be non-negative";
+  let policy =
+    let base =
+      { Retry.default_policy with attempts = retry.attempts; backoff_base = retry.backoff_base }
+    in
+    match breaker with
+    | None -> base
+    | Some (threshold, cooldown) ->
+        { base with breaker_threshold = threshold; breaker_cooldown = cooldown }
+  in
   {
     pager;
     cache = Lru.create capacity;
-    retry;
-    degraded = { faults = 0; retries = 0; backoff = 0; failures = 0; last_error = None };
+    engine = Retry.create ~policy ~observe ();
     hits = 0;
     misses = 0;
     evictions = 0;
@@ -66,38 +84,18 @@ let pager t = t.pager
 let hits t = t.hits
 let misses t = t.misses
 let evictions t = t.evictions
-let degraded t = t.degraded
+let degraded t = Retry.stats t.engine
+let retry_engine t = t.engine
 
 let hit_ratio t =
   let total = t.hits + t.misses in
   if total = 0 then Float.nan else float_of_int t.hits /. float_of_int total
 
-(* Run one pager operation under the retry policy.  Each failed attempt
-   charges exponentially growing (simulated) backoff; when the budget is
-   exhausted the last [Io_error] is re-raised with the operation name, so
-   permanent faults surface cleanly instead of corrupting state. *)
-let with_retry t op f =
-  let r = t.retry in
-  let rec go attempt =
-    try f ()
-    with Pager.Io_error msg ->
-      t.degraded.faults <- t.degraded.faults + 1;
-      Prt_obs.Metrics.tick m_faults;
-      if attempt < r.attempts then begin
-        t.degraded.retries <- t.degraded.retries + 1;
-        Prt_obs.Metrics.tick m_retries;
-        t.degraded.backoff <- t.degraded.backoff + (r.backoff_base lsl (attempt - 1));
-        go (attempt + 1)
-      end
-      else begin
-        t.degraded.failures <- t.degraded.failures + 1;
-        Prt_obs.Metrics.tick m_failures;
-        t.degraded.last_error <- Some (op ^ ": " ^ msg);
-        raise
-          (Pager.Io_error (Printf.sprintf "%s: giving up after %d attempts: %s" op r.attempts msg))
-      end
-  in
-  go 1
+(* One pager operation under the shared retry engine (see {!Retry}):
+   transient [Io_error]s are retried with jittered exponential backoff;
+   exhaustion re-raises with the operation name, so permanent faults
+   surface cleanly instead of corrupting state. *)
+let with_retry t op f = Retry.run t.engine ~op f
 
 let write_back t id (c : cached) =
   if c.dirty then with_retry t "write_back" (fun () -> Pager.write t.pager id c.data)
@@ -158,14 +156,6 @@ let reset_counters t =
   t.hits <- 0;
   t.misses <- 0;
   t.evictions <- 0;
-  t.degraded.faults <- 0;
-  t.degraded.retries <- 0;
-  t.degraded.backoff <- 0;
-  t.degraded.failures <- 0;
-  t.degraded.last_error <- None
+  Retry.reset t.engine
 
-let pp_degraded ppf d =
-  Fmt.pf ppf "faults=%d retries=%d backoff=%d failures=%d%a" d.faults d.retries d.backoff
-    d.failures
-    (fun ppf -> function None -> () | Some e -> Fmt.pf ppf " last=%S" e)
-    d.last_error
+let pp_degraded = Retry.pp_stats

@@ -22,21 +22,26 @@ val default_retry : retry
 (** 5 attempts, backoff base 1 — enough to outlast any failpoint with
     the default [max_consecutive = 3] cap. *)
 
-(** Degraded-mode statistics: what the retry layer observed. *)
-type degraded = {
+(** Degraded-mode statistics: what the shared {!Retry} engine observed
+    (this is an alias of [Retry.stats]). *)
+type degraded = Retry.stats = {
   mutable faults : int;  (** [Io_error]s seen from the pager. *)
   mutable retries : int;  (** Re-attempts made after a fault. *)
   mutable backoff : int;  (** Total simulated backoff units charged. *)
   mutable failures : int;  (** Operations that exhausted their attempts. *)
   mutable last_error : string option;
+  mutable rejected : int;  (** Operations failed fast by an open breaker. *)
+  mutable trips : int;  (** Circuit-breaker trips. *)
 }
 
 type t
 
-val create : ?capacity:int -> ?retry:retry -> Pager.t -> t
+val create : ?capacity:int -> ?retry:retry -> ?breaker:int * int -> Pager.t -> t
 (** [create ~capacity ~retry pager]: pool holding at most [capacity]
     pages (default 1024), retrying faulted pager operations per [retry]
-    (default {!default_retry}). *)
+    (default {!default_retry}) through a shared {!Retry} engine.
+    [breaker = (threshold, cooldown)] arms the engine's circuit breaker
+    (disabled by default). *)
 
 val pager : t -> Pager.t
 
@@ -77,6 +82,10 @@ val evictions : t -> int
 
 val degraded : t -> degraded
 (** The live degraded-mode counters (reset by {!reset_counters}). *)
+
+val retry_engine : t -> Retry.t
+(** The pool's fault-absorption engine, exposed for breaker-state
+    inspection ([Retry.breaker_state]) and tests. *)
 
 val reset_counters : t -> unit
 val pp_degraded : Format.formatter -> degraded -> unit

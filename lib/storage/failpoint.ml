@@ -33,6 +33,8 @@ type config = {
   alloc_error : float;
   read_latency : int;
   write_latency : int;
+  read_delay_ms : float;
+  write_delay_ms : float;
   max_consecutive : int;
   crash_after_writes : int;
 }
@@ -47,6 +49,8 @@ let default =
     alloc_error = 0.0;
     read_latency = 0;
     write_latency = 0;
+    read_delay_ms = 0.0;
+    write_delay_ms = 0.0;
     max_consecutive = 3;
     crash_after_writes = -1;
   }
@@ -68,6 +72,10 @@ let uniform ?(seed = 0) ?(max_consecutive = 3) rate =
 let crash_after ?(seed = 0) n =
   if n < 0 then invalid_arg "Failpoint.crash_after: budget must be >= 0";
   { default with seed; crash_after_writes = n }
+
+let slow ?(seed = 0) ?(read_ms = 0.0) ?(write_ms = 0.0) () =
+  if read_ms < 0.0 || write_ms < 0.0 then invalid_arg "Failpoint.slow: negative delay";
+  { default with seed; read_delay_ms = read_ms; write_delay_ms = write_ms }
 
 type injected = {
   read_errors : int;
@@ -133,6 +141,10 @@ let decide t ~p_error ~p_partial ~streak =
   else Ok
 
 let on_read t =
+  (* Slow-I/O injection: the attempt consumes simulated time whether or
+     not it also faults, so retry loops visibly burn deadline budget.
+     [advance_ms] is a no-op unless the virtual clock is installed. *)
+  if t.cfg.read_delay_ms > 0.0 then Prt_util.Deadline.advance_ms t.cfg.read_delay_ms;
   let v =
     decide t ~p_error:t.cfg.read_error ~p_partial:t.cfg.short_read ~streak:t.read_streak
   in
@@ -149,6 +161,7 @@ let on_read t =
   v
 
 let on_write t =
+  if t.cfg.write_delay_ms > 0.0 then Prt_util.Deadline.advance_ms t.cfg.write_delay_ms;
   let v =
     decide t ~p_error:t.cfg.write_error ~p_partial:t.cfg.torn_write ~streak:t.write_streak
   in

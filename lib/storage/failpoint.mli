@@ -36,6 +36,12 @@ type config = {
   alloc_error : float;  (** Probability an allocation fails (out of space). *)
   read_latency : int;  (** Simulated latency units charged per completed read. *)
   write_latency : int;  (** Simulated latency units charged per completed write. *)
+  read_delay_ms : float;
+      (** Slow-I/O injection: virtual milliseconds charged per read
+          {e attempt} (faulted or not) via [Prt_util.Deadline.advance_ms]
+          — a no-op unless the virtual clock is installed, so production
+          runs never sleep. *)
+  write_delay_ms : float;  (** Same, per write attempt. *)
   max_consecutive : int;  (** Cap on back-to-back faults per operation class. *)
   crash_after_writes : int;
       (** Crash budget: [n >= 0] lets [n] physical page writes persist
@@ -55,6 +61,12 @@ val uniform : ?seed:int -> ?max_consecutive:int -> float -> config
 val crash_after : ?seed:int -> int -> config
 (** [crash_after n] is {!default} with [crash_after_writes = n]: no
     random faults, a deterministic crash at physical write [n+1]. *)
+
+val slow : ?seed:int -> ?read_ms:float -> ?write_ms:float -> unit -> config
+(** A device that is merely slow: no faults, every read / write attempt
+    charges the given virtual milliseconds (visible only under
+    [Prt_util.Deadline.install_virtual] — deterministic deadline tests
+    without real sleeps). *)
 
 type t
 (** Mutable failpoint state: RNG position plus injection counters. *)

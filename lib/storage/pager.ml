@@ -86,6 +86,7 @@ and journal = {
   j_map : (int, int) Hashtbl.t;  (* original page -> pre-image copy *)
   j_own : (int, unit) Hashtbl.t;  (* directory + copy pages (never journaled) *)
   j_exempt : (int, unit) Hashtbl.t;  (* e.g. superblock pages *)
+  j_new : (int, unit) Hashtbl.t;  (* pages allocated during the transaction *)
   mutable j_pages : int list;  (* everything to free at commit *)
   j_head : int;
   mutable j_tail : int;
@@ -247,32 +248,36 @@ let zero_page t id =
 let alloc_base t =
   t.stats.allocs <- t.stats.allocs + 1;
   Prt_obs.Metrics.tick m_allocs;
-  match t.free_list with
-  | id :: rest ->
-      t.free_list <- rest;
-      Hashtbl.remove t.free_set id;
-      (* Zero-fill on recycle: scrub and salvage must never mistake a
-         freed node's stale bytes for live data. *)
-      zero_page t id;
-      id
-  | [] -> (
-      match t.backend with
-      | Faulty _ -> assert false
-      | Memory m ->
-          if m.used = Array.length m.pages then begin
-            let pages = Array.make (2 * Array.length m.pages) Bytes.empty in
-            Array.blit m.pages 0 pages 0 m.used;
-            m.pages <- pages
-          end;
-          m.pages.(m.used) <- Bytes.make t.page_size '\000';
-          m.used <- m.used + 1;
-          m.used - 1
-      | File f ->
-          (* Extend the file by one zero page. *)
-          let id = f.used in
-          f.used <- f.used + 1;
-          zero_page t id;
-          id)
+  let id =
+    match t.free_list with
+    | id :: rest ->
+        t.free_list <- rest;
+        Hashtbl.remove t.free_set id;
+        (* Zero-fill on recycle: scrub and salvage must never mistake a
+           freed node's stale bytes for live data. *)
+        zero_page t id;
+        id
+    | [] -> (
+        match t.backend with
+        | Faulty _ -> assert false
+        | Memory m ->
+            if m.used = Array.length m.pages then begin
+              let pages = Array.make (2 * Array.length m.pages) Bytes.empty in
+              Array.blit m.pages 0 pages 0 m.used;
+              m.pages <- pages
+            end;
+            m.pages.(m.used) <- Bytes.make t.page_size '\000';
+            m.used <- m.used + 1;
+            m.used - 1
+        | File f ->
+            (* Extend the file by one zero page. *)
+            let id = f.used in
+            f.used <- f.used + 1;
+            zero_page t id;
+            id)
+  in
+  (match t.journal with Some j -> Hashtbl.replace j.j_new id () | None -> ());
+  id
 
 let rec alloc t =
   check_open t "alloc";
@@ -546,6 +551,7 @@ let begin_journal t ~exempt =
       j_map = Hashtbl.create 32;
       j_own = Hashtbl.create 8;
       j_exempt = Hashtbl.create 4;
+      j_new = Hashtbl.create 16;
       j_pages = [ head ];
       j_head = head;
       j_tail = head;
@@ -559,6 +565,29 @@ let begin_journal t ~exempt =
   head
 
 let journal_head t = match (base t).journal with Some j -> Some j.j_head | None -> None
+
+(* The set of pages this transaction will have modified if it commits:
+   committed pages it overwrote (journalled) plus pages it allocated,
+   minus the journal's own bookkeeping pages, exempt pages (superblock
+   slots), and anything freed again before commit.  This is what the
+   shadow-copy layer snapshots *post-image* right before commit, so the
+   online scrub can later repair exactly the pages whose committed
+   content is known. *)
+let txn_modified_pages t =
+  let b = base t in
+  match b.journal with
+  | None -> []
+  | Some j ->
+      let acc = Hashtbl.create 64 in
+      Hashtbl.iter (fun id _ -> Hashtbl.replace acc id ()) j.j_map;
+      Hashtbl.iter (fun id () -> Hashtbl.replace acc id ()) j.j_new;
+      Hashtbl.fold
+        (fun id () out ->
+          if Hashtbl.mem j.j_own id || Hashtbl.mem j.j_exempt id || Hashtbl.mem b.free_set id
+          then out
+          else id :: out)
+        acc []
+      |> List.sort Int.compare
 
 let end_journal t =
   let b = base t in

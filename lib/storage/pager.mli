@@ -175,6 +175,15 @@ val begin_journal : t -> exempt:int list -> int
 
 val journal_head : t -> int option
 
+val txn_modified_pages : t -> int list
+(** While a journal is active: the ids this transaction will have
+    modified if it commits — committed pages it overwrote plus pages it
+    allocated, minus journal bookkeeping, exempt pages, and pages freed
+    again before commit — in increasing order.  The shadow-copy layer
+    snapshots exactly these post-images just before commit, giving the
+    online scrub a repair source whose content equals committed state.
+    [[]] when no journal is active. *)
+
 val end_journal : t -> int list
 (** Stop journalling and return every journal-owned page (directory
     chain + copies) so the committer can free them. *)

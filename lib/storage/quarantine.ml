@@ -1,0 +1,53 @@
+(* Shared registry of page ids known (or strongly suspected) to be
+   damaged.  The read path consults it to skip poisoned subtrees without
+   re-touching the device, and the online scrub both feeds it (trailer
+   verification failed) and drains it (page healed or re-verified).
+
+   Guarded by a mutex because `Qexec` workers on other domains add to it
+   mid-batch.  Deliberately free of observability hooks: the metrics
+   registry is not domain-safe, so callers on the coordinator domain
+   mirror [added_total] deltas into counters instead. *)
+
+type reason = Corrupt | Io_failed
+
+type t = {
+  mu : Mutex.t;
+  pages : (int, reason) Hashtbl.t;
+  mutable added_total : int;  (* monotonic: every add of a new id *)
+}
+
+let create () = { mu = Mutex.create (); pages = Hashtbl.create 16; added_total = 0 }
+
+let with_lock t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let add t id reason =
+  with_lock t (fun () ->
+      if not (Hashtbl.mem t.pages id) then begin
+        Hashtbl.replace t.pages id reason;
+        t.added_total <- t.added_total + 1
+      end)
+
+let mem t id = with_lock t (fun () -> Hashtbl.mem t.pages id)
+let find t id = with_lock t (fun () -> Hashtbl.find_opt t.pages id)
+let remove t id = with_lock t (fun () -> Hashtbl.remove t.pages id)
+let count t = with_lock t (fun () -> Hashtbl.length t.pages)
+let added_total t = with_lock t (fun () -> t.added_total)
+
+let pages t =
+  with_lock t (fun () -> Hashtbl.fold (fun id _ acc -> id :: acc) t.pages [])
+  |> List.sort Int.compare
+
+let clear t = with_lock t (fun () -> Hashtbl.reset t.pages)
+
+let reason_to_string = function Corrupt -> "corrupt" | Io_failed -> "io-failed"
+
+let pp ppf t =
+  let entries =
+    with_lock t (fun () -> Hashtbl.fold (fun id r acc -> (id, r) :: acc) t.pages [])
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  in
+  Fmt.pf ppf "quarantine{%a}"
+    (Fmt.list ~sep:Fmt.comma (fun ppf (id, r) -> Fmt.pf ppf "%d:%s" id (reason_to_string r)))
+    entries

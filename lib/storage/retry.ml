@@ -1,0 +1,184 @@
+(* Shared retry engine for transient storage faults.
+
+   One policy object replaces the hand-rolled bounded-retry loops that
+   used to live in {!Buffer_pool} and [Record_file]: bounded attempts,
+   deterministic jittered exponential backoff (the jitter draws from a
+   seeded xoshiro stream, so a failing run replays bit-for-bit), and an
+   optional per-device circuit breaker.
+
+   Only {!Pager.Io_error} is ever caught: it is the one exception the
+   storage stack defines as *transient*.  {!Pager.Corrupt_page} means
+   the damage is on the platter — retrying cannot help and hides the
+   page from the scrub — so it always propagates untouched, as does
+   {!Failpoint.Simulated_crash}.
+
+   The breaker counts consecutive *operations* that exhausted their
+   whole attempt budget (not individual faulted attempts): under the
+   default policy (5 attempts vs the failpoint's max_consecutive = 3)
+   operations always eventually succeed, so the breaker never trips on
+   merely lossy devices — it reacts to devices that are actually down.
+   While open it fails fast ([Io_error], counted as [rejected]) for
+   [breaker_cooldown] operations, then half-opens: the next operation
+   runs as a probe, closing the breaker on success and re-opening it on
+   failure.
+
+   Backoff is simulated (counted in units, never slept) and advances the
+   virtual clock of {!Prt_util.Deadline} when one is installed, so
+   deadline tests can observe retry storms consuming their budget. *)
+
+module Rng = Prt_util.Rng
+module Deadline = Prt_util.Deadline
+
+type policy = {
+  attempts : int;
+  backoff_base : int;
+  max_backoff : int;
+  jitter : float;
+  breaker_threshold : int;
+  breaker_cooldown : int;
+  seed : int;
+}
+
+let default_policy =
+  {
+    attempts = 5;
+    backoff_base = 1;
+    max_backoff = 1 lsl 16;
+    jitter = 0.25;
+    breaker_threshold = 0;
+    breaker_cooldown = 32;
+    seed = 0;
+  }
+
+type stats = {
+  mutable faults : int;
+  mutable retries : int;
+  mutable backoff : int;
+  mutable failures : int;
+  mutable last_error : string option;
+  mutable rejected : int;
+  mutable trips : int;
+}
+
+type event = Fault | Retried | Failed | Rejected | Tripped
+
+type breaker = Closed | Open of int  (* fail-fast ops left in cooldown *) | Half_open
+
+type t = {
+  policy : policy;
+  rng : Rng.t;
+  stats : stats;
+  observe : event -> unit;
+  mutable breaker : breaker;
+  mutable consecutive_failures : int;
+}
+
+let fresh_stats () =
+  { faults = 0; retries = 0; backoff = 0; failures = 0; last_error = None; rejected = 0; trips = 0 }
+
+let create ?(policy = default_policy) ?(observe = fun (_ : event) -> ()) () =
+  if policy.attempts < 1 then invalid_arg "Retry.create: attempts must be >= 1";
+  if policy.backoff_base < 0 then invalid_arg "Retry.create: backoff must be non-negative";
+  if policy.jitter < 0.0 || policy.jitter > 1.0 then
+    invalid_arg "Retry.create: jitter outside [0, 1]";
+  if policy.breaker_cooldown < 1 then invalid_arg "Retry.create: breaker_cooldown must be >= 1";
+  {
+    policy;
+    rng = Rng.create policy.seed;
+    stats = fresh_stats ();
+    observe;
+    breaker = Closed;
+    consecutive_failures = 0;
+  }
+
+let stats t = t.stats
+let policy t = t.policy
+
+let breaker_state t =
+  match t.breaker with Closed -> `Closed | Open _ -> `Open | Half_open -> `Half_open
+
+let reset t =
+  let s = t.stats in
+  s.faults <- 0;
+  s.retries <- 0;
+  s.backoff <- 0;
+  s.failures <- 0;
+  s.last_error <- None;
+  s.rejected <- 0;
+  s.trips <- 0;
+  t.breaker <- Closed;
+  t.consecutive_failures <- 0
+
+(* Backoff units charged before attempt [k+1]: exponential in the retry
+   count, capped, plus up to [jitter] extra drawn from the seeded stream
+   (decorrelates retry storms across devices sharing a schedule).  The
+   RNG advances only on actual retries, so a fault-free run consumes no
+   randomness and stays schedule-identical to one without a policy. *)
+let backoff_units t ~attempt =
+  let p = t.policy in
+  let base = min p.max_backoff (p.backoff_base lsl (attempt - 1)) in
+  if base <= 0 || p.jitter = 0.0 then base
+  else
+    let spread = int_of_float (ceil (float_of_int base *. p.jitter)) in
+    base + Rng.int t.rng (spread + 1)
+
+let trip t =
+  t.breaker <- Open t.policy.breaker_cooldown;
+  t.stats.trips <- t.stats.trips + 1;
+  t.observe Tripped
+
+let record_failure t ~op msg =
+  t.stats.failures <- t.stats.failures + 1;
+  t.stats.last_error <- Some (op ^ ": " ^ msg);
+  t.observe Failed;
+  t.consecutive_failures <- t.consecutive_failures + 1;
+  (match t.breaker with
+  | Half_open -> trip t (* the probe failed: straight back to open *)
+  | Closed when t.policy.breaker_threshold > 0
+                && t.consecutive_failures >= t.policy.breaker_threshold ->
+      trip t
+  | Closed | Open _ -> ())
+
+let run t ~op f =
+  (match t.breaker with
+  | Open n when n > 0 ->
+      t.breaker <- Open (n - 1);
+      t.stats.rejected <- t.stats.rejected + 1;
+      t.observe Rejected;
+      raise
+        (Pager.Io_error
+           (Printf.sprintf "%s: circuit breaker open (%d rejections until probe)" op (n - 1)))
+  | Open _ -> t.breaker <- Half_open (* cooldown served: this op is the probe *)
+  | Closed | Half_open -> ());
+  let r = t.policy in
+  let rec go attempt =
+    match f () with
+    | v ->
+        if t.breaker = Half_open then t.breaker <- Closed;
+        t.consecutive_failures <- 0;
+        v
+    | exception Pager.Io_error msg ->
+        t.stats.faults <- t.stats.faults + 1;
+        t.observe Fault;
+        if attempt < r.attempts then begin
+          t.stats.retries <- t.stats.retries + 1;
+          t.observe Retried;
+          let units = backoff_units t ~attempt in
+          t.stats.backoff <- t.stats.backoff + units;
+          Deadline.advance_ms (float_of_int units);
+          go (attempt + 1)
+        end
+        else begin
+          record_failure t ~op msg;
+          raise
+            (Pager.Io_error
+               (Printf.sprintf "%s: giving up after %d attempts: %s" op r.attempts msg))
+        end
+  in
+  go 1
+
+let pp_stats ppf (s : stats) =
+  Fmt.pf ppf "faults=%d retries=%d backoff=%d failures=%d rejected=%d trips=%d%a" s.faults
+    s.retries s.backoff s.failures s.rejected s.trips
+    (fun ppf -> function None -> () | Some e -> Fmt.pf ppf " last=%S" e)
+    s.last_error

@@ -1,0 +1,78 @@
+(** Shared retry policy for transient storage faults: bounded attempts,
+    deterministic jittered exponential backoff, and an optional
+    per-device circuit breaker.
+
+    This is the single fault-absorption engine behind
+    {!Buffer_pool} and [Record_file].  {!run} catches {e only}
+    {!Pager.Io_error} — the storage stack's one transient exception.
+    {!Pager.Corrupt_page} (platter damage: retrying is useless and hides
+    the page from the scrub) and [Failpoint.Simulated_crash] always
+    propagate untouched.
+
+    Backoff is simulated, never slept: units accumulate in {!stats} and
+    advance {!Prt_util.Deadline}'s virtual clock when one is installed,
+    so retry storms visibly consume deadline budget under test.
+
+    The circuit breaker counts consecutive {e operations} that exhausted
+    their whole attempt budget — not individual faulted attempts — so a
+    merely lossy device (faults absorbed within the budget) never trips
+    it.  Tripped, it fails fast with [Io_error] for [breaker_cooldown]
+    operations (counted as [rejected]), then half-opens: the next
+    operation is a probe that closes the breaker on success or re-trips
+    it on failure. *)
+
+type policy = {
+  attempts : int;  (** Total attempts per operation (>= 1). *)
+  backoff_base : int;
+      (** Base of the exponential backoff: retry [k] charges
+          [backoff_base * 2^(k-1)] units (plus jitter), capped at
+          [max_backoff]. *)
+  max_backoff : int;  (** Cap on the un-jittered per-retry charge. *)
+  jitter : float;
+      (** Extra backoff fraction in [0, 1], drawn from the seeded stream:
+          retry [k] charges up to [jitter * base] additional units. *)
+  breaker_threshold : int;
+      (** Consecutive exhausted operations before the breaker trips;
+          [0] disables the breaker. *)
+  breaker_cooldown : int;  (** Operations failed fast while open (>= 1). *)
+  seed : int;  (** Jitter stream seed. *)
+}
+
+val default_policy : policy
+(** 5 attempts, base 1, 25% jitter, breaker disabled — mirrors the
+    historical [Buffer_pool.default_retry] behaviour. *)
+
+(** Live counters (shared with [Buffer_pool.degraded]). *)
+type stats = {
+  mutable faults : int;  (** [Io_error]s seen from the device. *)
+  mutable retries : int;  (** Re-attempts made after a fault. *)
+  mutable backoff : int;  (** Total simulated backoff units charged. *)
+  mutable failures : int;  (** Operations that exhausted their attempts. *)
+  mutable last_error : string option;
+  mutable rejected : int;  (** Operations failed fast by the open breaker. *)
+  mutable trips : int;  (** Closed/half-open → open transitions. *)
+}
+
+type event = Fault | Retried | Failed | Rejected | Tripped
+
+type t
+
+val create : ?policy:policy -> ?observe:(event -> unit) -> unit -> t
+(** [observe] is called synchronously on each event — the hook callers
+    use to mirror into their own metrics (the engine itself touches no
+    registry). *)
+
+val run : t -> op:string -> (unit -> 'a) -> 'a
+(** Run [f] under the policy.  Re-raises [Pager.Io_error] tagged with
+    [op] once the budget is exhausted or the breaker rejects. *)
+
+val stats : t -> stats
+val policy : t -> policy
+val breaker_state : t -> [ `Closed | `Open | `Half_open ]
+
+val reset : t -> unit
+(** Zero the counters and close the breaker (the jitter stream position
+    is kept). *)
+
+val fresh_stats : unit -> stats
+val pp_stats : Format.formatter -> stats -> unit

@@ -108,6 +108,101 @@ let run ?free ?reachable pager =
 
 let clean r = r.torn = 0 && r.stale = 0
 
+(* --- incremental online scrub ---
+
+   The self-healing half: a bounded slice of the device is verified per
+   call (between query batches, or driven by `prt scrub --online`), so
+   repair amortizes instead of taking the index down.  Damaged pages
+   either heal in place — when [repair] can produce the committed image
+   (the index file's post-image shadow chain) — or land in the
+   quarantine for the read path to route around.  Healthy pages found
+   quarantined (healed earlier, or a transient misdiagnosis) are
+   released.  The cursor wraps at the end of the device, so repeated
+   calls converge on a full pass regardless of slice size. *)
+
+type cursor = { mutable pos : int }
+
+let cursor () = { pos = 0 }
+
+type online_report = {
+  on_scanned : int;
+  on_damaged : int;
+  on_healed : int;
+  on_quarantined : int;
+  on_cleared : int;
+  on_wrapped : bool;
+}
+
+let m_online_scanned = Prt_obs.Metrics.counter "scrub.online_scanned"
+let m_healed = Prt_obs.Metrics.counter "resilience.pages_healed"
+let m_online_quarantined = Prt_obs.Metrics.counter "scrub.online_quarantined"
+
+let online ?(skip = fun _ -> false) ?(repair = fun _ -> None) ~quarantine ~cursor ~pages pager =
+  if pages < 1 then invalid_arg "Scrub.online: pages must be >= 1";
+  Prt_obs.Trace.with_span "scrub.online" (fun () ->
+      let n = Pager.num_pages pager in
+      let scanned = ref 0
+      and damaged = ref 0
+      and healed = ref 0
+      and quarantined = ref 0
+      and cleared = ref 0
+      and wrapped = ref false in
+      let budget = min pages n in
+      while !scanned < budget do
+        if cursor.pos >= n then begin
+          cursor.pos <- 0;
+          wrapped := true
+        end;
+        let id = cursor.pos in
+        cursor.pos <- cursor.pos + 1;
+        incr scanned;
+        Prt_obs.Metrics.tick m_online_scanned;
+        if not (skip id) then begin
+          let page = Pager.read_raw pager id in
+          match Page.check page with
+          | Page.Valid _ | Page.Fresh ->
+              if Quarantine.mem quarantine id then begin
+                Quarantine.remove quarantine id;
+                incr cleared
+              end
+          | Page.Torn | Page.Stale_epoch _ -> (
+              incr damaged;
+              match repair id with
+              | Some img ->
+                  (* Restoring the committed image through the public
+                     write path re-stamps the trailer, so the heal is
+                     itself crash-safe: a torn heal is just more damage
+                     for the next pass.  Content-wise it is idempotent —
+                     the image equals committed state. *)
+                  Pager.write pager id img;
+                  Prt_obs.Metrics.tick m_healed;
+                  incr healed;
+                  if Quarantine.mem quarantine id then begin
+                    Quarantine.remove quarantine id;
+                    incr cleared
+                  end
+              | None ->
+                  if not (Quarantine.mem quarantine id) then begin
+                    Quarantine.add quarantine id Quarantine.Corrupt;
+                    Prt_obs.Metrics.tick m_online_quarantined;
+                    incr quarantined
+                  end)
+        end
+      done;
+      {
+        on_scanned = !scanned;
+        on_damaged = !damaged;
+        on_healed = !healed;
+        on_quarantined = !quarantined;
+        on_cleared = !cleared;
+        on_wrapped = !wrapped;
+      })
+
+let pp_online ppf r =
+  Fmt.pf ppf "scanned=%d damaged=%d healed=%d quarantined=%d cleared=%d%s" r.on_scanned
+    r.on_damaged r.on_healed r.on_quarantined r.on_cleared
+    (if r.on_wrapped then " (wrapped)" else "")
+
 let pp_class ppf = function
   | Valid -> Fmt.string ppf "valid"
   | Fresh -> Fmt.string ppf "fresh"

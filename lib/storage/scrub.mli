@@ -38,3 +38,43 @@ val clean : report -> bool
 
 val pp_class : Format.formatter -> page_class -> unit
 val pp_report : Format.formatter -> report -> unit
+
+(** {1 Incremental online scrub}
+
+    The self-healing half of the resilience layer: verify a bounded
+    slice of the device per call (between query batches), heal damaged
+    pages in place when [repair] can produce their committed image (the
+    index file's post-image shadow chain), and feed the rest into the
+    {!Quarantine} so the read path degrades around them.  Healthy pages
+    found quarantined are released.  Single-domain, like all device
+    mutation. *)
+
+type cursor = { mutable pos : int }
+(** Persistent scan position; wraps at the end of the device. *)
+
+val cursor : unit -> cursor
+
+type online_report = {
+  on_scanned : int;  (** Pages examined this call (= min pages device-size). *)
+  on_damaged : int;  (** Torn/stale pages found this call. *)
+  on_healed : int;  (** Damaged pages repaired in place via [repair]. *)
+  on_quarantined : int;  (** Damaged pages newly quarantined (no repair image). *)
+  on_cleared : int;  (** Quarantined pages released (healed or re-verified). *)
+  on_wrapped : bool;  (** The cursor passed the end of the device. *)
+}
+
+val online :
+  ?skip:(int -> bool) ->
+  ?repair:(int -> bytes option) ->
+  quarantine:Quarantine.t ->
+  cursor:cursor ->
+  pages:int ->
+  Pager.t ->
+  online_report
+(** [online ~quarantine ~cursor ~pages pager] scans the next [pages]
+    pages from the cursor.  [skip] excludes pages whose trailer is not
+    expected to verify (free pages, the superblock pair).  [repair id]
+    returns the committed image to restore, if one is known.  Raises
+    [Invalid_argument] when [pages < 1]. *)
+
+val pp_online : Format.formatter -> online_report -> unit

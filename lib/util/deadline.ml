@@ -1,0 +1,59 @@
+(* Cooperative deadlines over a swappable clock.
+
+   A deadline is a point on a monotonically advancing clock; work that
+   honours one polls [expired] at natural cancellation points (node
+   visits, retry backoffs) rather than being preempted.  The clock
+   itself is indirected through a process-global function so tests can
+   install a *virtual* clock and advance it deterministically from
+   fault-injection hooks — deadline and circuit-breaker paths then
+   exercise without real sleeps.
+
+   The virtual clock is installed and advanced from a single domain
+   (test setup / the fault-injection hooks of a single-domain pager);
+   concurrent query workers only ever read it, so a plain ref is
+   enough. *)
+
+type t = Never | At of float  (* absolute seconds on the current clock *)
+
+(* The swappable clock.  [Unix.gettimeofday] stands in for a monotonic
+   clock: the process never moves the wall clock during a query, and the
+   virtual clock replaces it wherever determinism matters. *)
+let real_clock () = Unix.gettimeofday ()
+let virtual_now = ref 0.0
+let virtual_installed = ref false
+let clock = ref real_clock
+
+let now () = !clock ()
+
+let install_virtual ?(at = 0.0) () =
+  virtual_now := at;
+  virtual_installed := true;
+  clock := fun () -> !virtual_now
+
+let uninstall_virtual () =
+  virtual_installed := false;
+  clock := real_clock
+
+let virtual_active () = !virtual_installed
+
+(* Advance the virtual clock by [ms]; a no-op on the real clock so
+   production code can call it unconditionally from simulated-latency
+   hooks. *)
+let advance_ms ms = if !virtual_installed then virtual_now := !virtual_now +. (ms /. 1000.0)
+
+let none = Never
+
+let after_ms ms =
+  if ms < 0.0 then invalid_arg "Deadline.after_ms: negative budget";
+  At (now () +. (ms /. 1000.0))
+
+let at t = At t
+let expired = function Never -> false | At t -> now () >= t
+
+let remaining_ms = function
+  | Never -> infinity
+  | At t -> Float.max 0.0 ((t -. now ()) *. 1000.0)
+
+let pp ppf = function
+  | Never -> Fmt.string ppf "never"
+  | At _ as d -> Fmt.pf ppf "%.1fms left" (remaining_ms d)

@@ -1,0 +1,49 @@
+(** Cooperative deadlines over a swappable (virtualisable) clock.
+
+    A deadline is an absolute point on the clock; cancellation is
+    cooperative — long-running work polls {!expired} at natural
+    checkpoints (one R-tree node visit, one retry backoff) and unwinds
+    with whatever partial answer it has.  Nothing here sleeps or
+    preempts.
+
+    For deterministic tests the process clock can be replaced by a
+    {e virtual} one: {!install_virtual} freezes time under test control
+    and {!advance_ms} moves it forward — fault-injection latency hooks
+    ({!Prt_storage.Failpoint} delays, retry backoff) call {!advance_ms}
+    unconditionally, so with the virtual clock installed simulated slow
+    I/O really does consume deadline budget, and without it the calls
+    are no-ops. *)
+
+type t
+
+val none : t
+(** Never expires; {!expired} is [false] forever. *)
+
+val after_ms : float -> t
+(** [after_ms b] expires [b] milliseconds from now on the current clock.
+    Raises [Invalid_argument] on a negative budget. *)
+
+val at : float -> t
+(** A deadline at an absolute clock reading (seconds). *)
+
+val expired : t -> bool
+val remaining_ms : t -> float
+(** [infinity] for {!none}, else milliseconds left (clamped at 0). *)
+
+val now : unit -> float
+(** Current clock reading in seconds (virtual if installed). *)
+
+val install_virtual : ?at:float -> unit -> unit
+(** Replace the process clock with a virtual one starting at [at]
+    (default 0) seconds.  Deadlines taken before the switch are
+    meaningless across it — take them after. *)
+
+val uninstall_virtual : unit -> unit
+val virtual_active : unit -> bool
+
+val advance_ms : float -> unit
+(** Advance the virtual clock by the given milliseconds; a no-op when
+    the real clock is active, so simulated-latency hooks may call it
+    unconditionally. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,252 @@
+(* The resilience smoke matrix (`dune build @resilience-smoke`): a
+   fault-rate sweep crossed with a deadline matrix, over both the
+   single-domain and the batched query paths, with the invariants the
+   online-resilience layer guarantees checked at every cell:
+
+     - no uncaught exception ever escapes a resilient query;
+     - every answer is a subset of the clean oracle (never invented);
+     - partiality is never silent: an answer smaller than the oracle
+       must carry a Partial/Timed_out label, and an unlabelled answer
+       must equal the oracle exactly;
+     - after `scrub --online` heals a damaged shadowed file, the same
+       queries return Complete with the full oracle answer.
+
+   Exits non-zero on any violation, printing one line per offence. *)
+
+module Rect = Prt_geom.Rect
+module Rng = Prt_util.Rng
+module Deadline = Prt_util.Deadline
+module Pager = Prt_storage.Pager
+module Buffer_pool = Prt_storage.Buffer_pool
+module Failpoint = Prt_storage.Failpoint
+module Quarantine = Prt_storage.Quarantine
+module Scrub = Prt_storage.Scrub
+module Entry = Prt_rtree.Entry
+module Rtree = Prt_rtree.Rtree
+module Qexec = Prt_rtree.Qexec
+module Index_file = Prt_rtree.Index_file
+module Prtree = Prt_prtree.Prtree
+
+let violations = ref 0
+
+let fail fmt =
+  Printf.ksprintf
+    (fun s ->
+      incr violations;
+      Printf.printf "VIOLATION: %s\n%!" s)
+    fmt
+
+let page_size = 512
+let unit_square = Rect.make ~xmin:0.0 ~ymin:0.0 ~xmax:1.0 ~ymax:1.0
+
+let random_rect rng =
+  let x0 = Rng.float rng 1.0 and y0 = Rng.float rng 1.0 in
+  let w = Rng.float rng 0.2 and h = Rng.float rng 0.2 in
+  Rect.make ~xmin:x0 ~ymin:y0 ~xmax:(Float.min 1.0 (x0 +. w)) ~ymax:(Float.min 1.0 (y0 +. h))
+
+let entries = Array.init 500 (fun i -> Entry.make (random_rect (Rng.create (1000 + i))) i)
+
+let queries =
+  let rng = Rng.create 77 in
+  Array.init 25 (fun _ -> random_rect rng)
+
+let oracle w =
+  Array.to_list entries
+  |> List.filter (fun e -> Rect.intersects (Entry.rect e) w)
+  |> List.map Entry.id
+  |> List.sort Int.compare
+
+let ids_of hits = List.sort Int.compare (List.map Entry.id hits)
+
+(* One matrix cell: a query ran and returned [hits]/[stats] — check the
+   no-silent-partiality contract against the oracle. *)
+let check_cell ~ctx w hits stats =
+  let ids = ids_of hits in
+  let truth = oracle w in
+  if not (List.for_all (fun id -> List.mem id truth) ids) then
+    fail "%s: answer not a subset of the oracle" ctx;
+  let labelled = not (Rtree.complete stats) in
+  if ids <> truth && not labelled then fail "%s: silent partiality (%d of %d ids)" ctx (List.length ids) (List.length truth);
+  if labelled && Rtree.complete stats then fail "%s: contradictory label" ctx
+
+(* --- the fault-rate x deadline matrix, single-domain path --- *)
+
+let build_tree () =
+  let base = Pager.create_memory ~page_size () in
+  let pool = Buffer_pool.create ~capacity:4096 base in
+  let tree = Prtree.load pool entries in
+  Buffer_pool.flush pool;
+  (base, tree)
+
+let deadline_of = function
+  | `None -> None
+  | `Expired -> Some (Deadline.at 0.0)
+  | `Generous -> Some (Deadline.after_ms 60_000.0)
+
+let deadline_name = function
+  | `None -> "no-deadline"
+  | `Expired -> "expired"
+  | `Generous -> "generous"
+
+let run_matrix () =
+  let rates = [ 0.0; 0.05; 0.2; 0.5 ] in
+  let budgets = [ `None; `Expired; `Generous ] in
+  List.iter
+    (fun rate ->
+      List.iter
+        (fun budget ->
+          let ctx = Printf.sprintf "rate=%.2f %s" rate (deadline_name budget) in
+          let base, tree = build_tree () in
+          let view =
+            if rate > 0.0 then
+              Pager.wrap_faulty base (Failpoint.create (Failpoint.uniform ~seed:4242 rate))
+            else base
+          in
+          let qpool =
+            Buffer_pool.create ~capacity:4096
+              ~retry:{ Buffer_pool.attempts = 1; backoff_base = 1 }
+              view
+          in
+          let qtree =
+            Rtree.of_root ~pool:qpool ~root:(Rtree.root tree) ~height:(Rtree.height tree)
+              ~count:(Rtree.count tree)
+          in
+          let quarantine = Quarantine.create () in
+          Array.iter
+            (fun w ->
+              match
+                Rtree.query_list ~quarantine ?deadline:(deadline_of budget) qtree w
+              with
+              | hits, stats ->
+                  check_cell ~ctx w hits stats;
+                  (match budget with
+                  | `Expired when not stats.Rtree.timed_out ->
+                      fail "%s: expired deadline not labelled timed-out" ctx
+                  | `None when stats.Rtree.timed_out ->
+                      fail "%s: timed out without a deadline" ctx
+                  | _ -> ());
+                  if rate = 0.0 && budget <> `Expired && not (Rtree.complete stats) then
+                    fail "%s: degraded on a healthy device" ctx
+              | exception e ->
+                  fail "%s: uncaught exception %s" ctx (Printexc.to_string e))
+            queries;
+          if rate >= 0.2 && budget <> `Expired && Quarantine.count quarantine = 0 then
+            fail "%s: high fault rate quarantined nothing" ctx)
+        budgets)
+    rates;
+  Printf.printf "matrix: %d cells x %d queries checked\n%!"
+    (List.length rates * List.length budgets)
+    (Array.length queries)
+
+(* --- the same matrix through the batched executor --- *)
+
+let run_batched () =
+  List.iter
+    (fun rate ->
+      let ctx = Printf.sprintf "qexec rate=%.2f" rate in
+      let base, tree = build_tree () in
+      let view =
+        if rate > 0.0 then
+          Pager.wrap_faulty base (Failpoint.create (Failpoint.uniform ~seed:7 rate))
+        else base
+      in
+      (* read_shared on the batch path bypasses fault injection by
+         design, so poison pages up front through the single-domain path
+         and check the batch degrades around the quarantine. *)
+      let qpool =
+        Buffer_pool.create ~capacity:4096 ~retry:{ Buffer_pool.attempts = 1; backoff_base = 1 }
+          view
+      in
+      let qtree =
+        Rtree.of_root ~pool:qpool ~root:(Rtree.root tree) ~height:(Rtree.height tree)
+          ~count:(Rtree.count tree)
+      in
+      let quarantine = Quarantine.create () in
+      Array.iter (fun w -> ignore (Rtree.query_list ~quarantine qtree w)) queries;
+      let exec = Qexec.create ~quarantine tree in
+      (match Qexec.run ~jobs:2 exec queries with
+      | results ->
+          Array.iteri (fun i (hits, stats) -> check_cell ~ctx queries.(i) hits stats) results;
+          (* Whatever the single-domain pass poisoned, the batch must
+             route around: a full-window slot is degraded, not failed. *)
+          if Quarantine.count quarantine > 0 then begin
+            let _, s = (Qexec.run ~jobs:2 exec [| unit_square |]).(0) in
+            if Rtree.complete s then fail "%s: batch ignored the shared quarantine" ctx
+          end
+      | exception e -> fail "%s: batch raised %s" ctx (Printexc.to_string e));
+      (* An expired batch deadline labels every slot and raises nothing. *)
+      match Qexec.run ~jobs:2 ~deadline:(Deadline.at 0.0) exec queries with
+      | results ->
+          Array.iter
+            (fun (hits, stats) ->
+              if not stats.Rtree.timed_out then fail "%s: expired batch slot unlabelled" ctx;
+              if hits <> [] then fail "%s: expired batch slot returned entries" ctx)
+            results
+      | exception e -> fail "%s: expired batch raised %s" ctx (Printexc.to_string e))
+    [ 0.0; 0.3 ];
+  Printf.printf "batched path checked at 2 rates\n%!"
+
+(* --- corrupt -> degrade -> heal -> complete, on disk --- *)
+
+let run_lifecycle () =
+  let path = Filename.temp_file "prt_resilience_smoke" ".idx" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let idx = Index_file.create ~shadow:true path ~build:(fun pool -> Prtree.load pool entries) in
+      let leaves = ref [] in
+      let tree = Index_file.tree idx in
+      Rtree.iter_nodes tree ~f:(fun ~depth ~id _ ->
+          if depth = Rtree.height tree then leaves := id :: !leaves);
+      let victims = List.filteri (fun i _ -> i < 3) !leaves in
+      let psize = Pager.page_size (Index_file.pager idx) in
+      Index_file.close idx;
+      let fd = Unix.openfile path [ Unix.O_WRONLY ] 0 in
+      List.iter
+        (fun id ->
+          ignore (Unix.lseek fd ((id * psize) + 100) Unix.SEEK_SET);
+          ignore (Unix.write fd (Bytes.make 8 'X') 0 8))
+        victims;
+      Unix.close fd;
+      let idx = Index_file.open_ path in
+      let q = Index_file.quarantine idx in
+      (* degraded serve *)
+      Array.iter
+        (fun w ->
+          match Rtree.query_list ~quarantine:q (Index_file.tree idx) w with
+          | hits, stats -> check_cell ~ctx:"lifecycle/degraded" w hits stats
+          | exception e -> fail "lifecycle: degraded query raised %s" (Printexc.to_string e))
+        queries;
+      let _, stats = Rtree.query_list ~quarantine:q (Index_file.tree idx) unit_square in
+      if Rtree.complete stats then fail "lifecycle: corruption went unnoticed";
+      (* heal *)
+      let healed = ref 0 and wrapped = ref false in
+      while not !wrapped do
+        let r = Index_file.scrub_online ~pages:32 idx in
+        healed := !healed + r.Scrub.on_healed;
+        wrapped := r.Scrub.on_wrapped || r.Scrub.on_scanned = 0
+      done;
+      if !healed <> List.length victims then
+        fail "lifecycle: healed %d of %d victims" !healed (List.length victims);
+      if Quarantine.count q <> 0 then fail "lifecycle: quarantine not drained after heal";
+      (* complete again *)
+      Array.iter
+        (fun w ->
+          match Rtree.query_list ~quarantine:q (Index_file.tree idx) w with
+          | hits, stats ->
+              if not (Rtree.complete stats) then fail "lifecycle: still degraded after heal";
+              if ids_of hits <> oracle w then fail "lifecycle: healed answer differs from oracle"
+          | exception e -> fail "lifecycle: post-heal query raised %s" (Printexc.to_string e))
+        queries;
+      Index_file.close idx;
+      Printf.printf "lifecycle: %d victims healed, answers restored\n%!" !healed)
+
+let () =
+  run_matrix ();
+  run_batched ();
+  run_lifecycle ();
+  if !violations > 0 then begin
+    Printf.printf "resilience smoke: %d violation(s)\n%!" !violations;
+    exit 1
+  end;
+  Printf.printf "resilience smoke: all invariants held\n%!"

@@ -28,4 +28,5 @@ let () =
       ("paper-scale", Test_paper_scale.suite);
       ("workloads", Test_workloads.suite);
       ("qexec", Test_qexec.suite);
+      ("resilience", Test_resilience.suite);
     ]
