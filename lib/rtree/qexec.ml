@@ -10,19 +10,24 @@
    Per-query descent is the domain-safe twin of [Rtree.query]:
 
    - internal nodes come from a {!Prt_storage.Shard_cache} of *decoded*
-     nodes, keyed by page id and validated against the batch's epoch
-     (the index file's commit counter), so the hot upper levels are
-     decoded once per epoch and then shared read-only by every domain;
-   - leaf pages are read through [Pager.read_shared] — which bypasses
-     the single-domain buffer pool — and scanned in place with the
+     nodes, keyed by (page id, generation), so the hot upper levels are
+     decoded once per generation and then shared read-only by every
+     domain;
+   - leaf pages are read through [Pager.read_shared ~gen] — which
+     bypasses the single-domain buffer pool and serves retained
+     pre-images for pinned generations — and scanned in place with the
      zero-copy [Node.iter_rects] cursor, so a leaf visit allocates only
      the matching entries.
 
-   Leaf vs internal is decided by depth against the tree height captured
-   at batch start, so no kind byte needs inspecting before the page is
-   read.  The buffer pool is flushed at batch start to publish any dirty
-   pages to the pager; the tree must then stay read-only for the
-   duration of the batch (the same contract as the zero-copy cursors).
+   Leaf vs internal is decided by depth against the snapshot's tree
+   height, so no kind byte needs inspecting before the page is read.
+   Each batch runs against a snapshot acquired at batch start (for an
+   index file: a pinned superblock generation, making the batch immune
+   to concurrent commits; the default provider reads the live tree and
+   requires it to stay read-only for the duration of the batch, the
+   same contract as the zero-copy cursors).  The snapshot is released
+   when the batch ends, and cached nodes below the new pin floor are
+   pruned.
 
    The observability registry is not domain-safe, so workers never touch
    it: the coordinator mirrors batch totals into [Prt_obs] counters
@@ -36,13 +41,25 @@ module Quarantine = Prt_storage.Quarantine
 module Parallel = Prt_util.Parallel
 module Deadline = Prt_util.Deadline
 
+(* A pinned snapshot for one batch: the committed generation to read at
+   plus the root/height of that generation's tree.  [snap_release] drops
+   the pin (idempotent) and returns the new pin floor, which drives
+   cache pruning. *)
+type snap = {
+  snap_gen : int;
+  snap_root : int;
+  snap_height : int;
+  snap_release : unit -> int;
+}
+
 type t = {
   tree : Rtree.t;
   cache : Node.t Shard_cache.t;
-  epoch : unit -> int;  (* read at each batch start *)
+  snapshot : unit -> snap;  (* acquired at each batch start *)
   quarantine : Quarantine.t;
   max_in_flight : int option;  (* admission-control bound, if any *)
   in_flight : int Atomic.t;  (* queries admitted and not yet finished *)
+  pruned_below : int Atomic.t;  (* highest pin floor the cache was pruned to *)
 }
 
 exception Overloaded of { in_flight : int; limit : int }
@@ -66,17 +83,34 @@ let m_timed_out = lazy (Prt_obs.Metrics.counter "resilience.queries_timed_out")
 let m_quarantined = lazy (Prt_obs.Metrics.counter "resilience.pages_quarantined")
 let m_rejected = lazy (Prt_obs.Metrics.counter "resilience.batches_rejected")
 
-let create ?shards ?capacity ?(epoch = fun () -> 0) ?quarantine ?max_in_flight tree =
+let create ?shards ?capacity ?snapshot ?quarantine ?max_in_flight tree =
   (match max_in_flight with
   | Some l when l < 1 -> invalid_arg "Qexec.create: max_in_flight must be >= 1"
   | _ -> ());
+  (* Default snapshot provider, for trees that are never modified while
+     the executor is in use: flush the pool so [read_shared] sees the
+     current pages, then read live (generation 0 = no pin, no MVCC). *)
+  let snapshot =
+    match snapshot with
+    | Some f -> f
+    | None ->
+        fun () ->
+          Buffer_pool.flush (Rtree.pool tree);
+          {
+            snap_gen = 0;
+            snap_root = Rtree.root tree;
+            snap_height = Rtree.height tree;
+            snap_release = (fun () -> 0);
+          }
+  in
   {
     tree;
     cache = Shard_cache.create ?shards ?capacity ();
-    epoch;
+    snapshot;
     quarantine = (match quarantine with Some q -> q | None -> Quarantine.create ());
     max_in_flight;
     in_flight = Atomic.make 0;
+    pruned_below = Atomic.make 0;
   }
 
 let tree t = t.tree
@@ -86,8 +120,8 @@ let cache_hit_ratio t = Shard_cache.hit_ratio (Shard_cache.stats t.cache)
 
 exception Deadline_exceeded
 
-(* One query, one domain.  [epoch]/[root]/[height] are the values
-   captured at batch start so every worker descends the same tree.
+(* One query, one domain.  [gen]/[root]/[height] come from the snapshot
+   pinned at batch start so every worker descends the same tree.
 
    Degradation is per subtree, exactly as in [Rtree.query]: the typed
    catch is scoped to the page read/decode alone, so a failure deeper in
@@ -95,7 +129,7 @@ exception Deadline_exceeded
    never fail more than its own subtree — let alone the batch.  Workers
    run on other domains, so nothing here touches the metrics registry;
    the quarantine itself is mutex-guarded and safe to share. *)
-let run_query t ~epoch ~root ~height ~deadline window =
+let run_query t ~gen ~root ~height ~deadline window =
   let pgr = Rtree.pager t.tree in
   let stats = Rtree.fresh_stats () in
   let acc = ref [] in
@@ -115,7 +149,7 @@ let run_query t ~epoch ~root ~height ~deadline window =
     end;
     if Quarantine.mem t.quarantine id then skip id
     else if depth = height then begin
-      match Pager.read_shared pgr id with
+      match Pager.read_shared ~gen pgr id with
       | exception Pager.Corrupt_page _ -> poison id Quarantine.Corrupt
       | exception Pager.Io_error _ -> poison id Quarantine.Io_failed
       | buf ->
@@ -125,8 +159,8 @@ let run_query t ~epoch ~root ~height ~deadline window =
     end
     else
       match
-        Shard_cache.find_or_add t.cache ~epoch id (fun () ->
-            Node.decode (Pager.read_shared pgr id))
+        Shard_cache.find_or_add t.cache ~gen id (fun () ->
+            Node.decode (Pager.read_shared ~gen pgr id))
       with
       | exception Pager.Corrupt_page _ -> poison id Quarantine.Corrupt
       | exception Pager.Io_error _ -> poison id Quarantine.Io_failed
@@ -165,11 +199,26 @@ let run ?jobs ?(deadline = Deadline.none) t queries =
   let jobs =
     match jobs with Some j -> max 1 j | None -> Parallel.default_domains ()
   in
+  let snap = t.snapshot () in
+  (* Drop the pin whatever happens, then prune cached nodes below the
+     new pin floor.  The floor only rises, and the CAS makes exactly one
+     releasing batch prune to any given floor — concurrent batches
+     racing on release never double-count invalidations. *)
+  let release_snap () =
+    let floor = snap.snap_release () in
+    let rec prune_to () =
+      let cur = Atomic.get t.pruned_below in
+      if floor > cur then
+        if Atomic.compare_and_set t.pruned_below cur floor then
+          ignore (Shard_cache.prune t.cache ~older_than:floor)
+        else prune_to ()
+    in
+    prune_to ()
+  in
+  Fun.protect ~finally:release_snap @@ fun () ->
   Prt_obs.Trace.with_span "qexec.batch" (fun () ->
-      (* Publish dirty pages so [Pager.read_shared] sees the current tree. *)
-      Buffer_pool.flush (Rtree.pool t.tree);
-      let epoch = t.epoch () in
-      let root = Rtree.root t.tree and height = Rtree.height t.tree in
+      let gen = snap.snap_gen in
+      let root = snap.snap_root and height = snap.snap_height in
       let results = Array.make n ([], Rtree.fresh_stats ()) in
       let before = Shard_cache.stats t.cache in
       let quarantined_before = Quarantine.added_total t.quarantine in
@@ -180,7 +229,7 @@ let run ?jobs ?(deadline = Deadline.none) t queries =
           let start = Atomic.fetch_and_add next chunk in
           if start < n then begin
             for i = start to min n (start + chunk) - 1 do
-              results.(i) <- run_query t ~epoch ~root ~height ~deadline queries.(i)
+              results.(i) <- run_query t ~gen ~root ~height ~deadline queries.(i)
             done;
             loop ()
           end

@@ -5,16 +5,31 @@
     exactly what [Rtree.query_list tree queries.(i)] returns, whatever
     the domain count or scheduling.
 
-    Domain safety: internal nodes are served decoded from a
-    {!Prt_storage.Shard_cache} validated against the executor's epoch
-    (an index file's commit counter); leaf pages are read through
-    [Pager.read_shared] and scanned in place with the zero-copy
+    Domain safety and snapshot isolation: each batch runs against a
+    {!snap} acquired from the executor's snapshot provider at batch
+    start.  For an index file the provider pins the current committed
+    superblock generation ({!Index_file.executor}), so the whole batch
+    descends that generation's page images even while a writer commits
+    new ones — writers never block readers.  Internal nodes are served
+    decoded from a {!Prt_storage.Shard_cache} keyed by
+    (page id, generation); leaf pages are read through
+    [Pager.read_shared ~gen] and scanned in place with the zero-copy
     [Node.iter_rects] cursor.  The single-domain buffer pool is only
-    touched by the coordinator (one flush at batch start).  The tree
-    must not be written during a batch; a write between batches is fine
-    provided the epoch changes (which {!Index_file.executor} guarantees). *)
+    touched by the default (live-tree) provider, which requires the
+    tree to stay unmodified for the duration of the batch. *)
 
 type t
+
+type snap = {
+  snap_gen : int;  (** generation to read at; 0 = live, no pin *)
+  snap_root : int;  (** root page of that generation's tree *)
+  snap_height : int;
+  snap_release : unit -> int;
+      (** drop the pin (idempotent); returns the new pin floor, below
+          which cached nodes are pruned *)
+}
+(** One batch's pinned view of the tree, produced by the snapshot
+    provider passed to {!create}. *)
 
 exception Overloaded of { in_flight : int; limit : int }
 (** Raised by {!run} when admission control rejects a batch: admitting
@@ -25,14 +40,17 @@ exception Overloaded of { in_flight : int; limit : int }
 val create :
   ?shards:int ->
   ?capacity:int ->
-  ?epoch:(unit -> int) ->
+  ?snapshot:(unit -> snap) ->
   ?quarantine:Prt_storage.Quarantine.t ->
   ?max_in_flight:int ->
   Rtree.t ->
   t
-(** [epoch] is sampled at each batch start; cached nodes from older
-    epochs are re-decoded. Defaults to a constant, for trees that are
-    never modified. [shards]/[capacity] are passed to
+(** [snapshot] is called at each batch start and its release hook when
+    the batch ends (even on exceptions).  The default provider flushes
+    the tree's buffer pool and reads the live tree unpinned (generation
+    0) — correct only for trees not modified during a batch; executors
+    over an {!Index_file} get a pinning provider instead.
+    [shards]/[capacity] are passed to
     {!Prt_storage.Shard_cache.create}.  [quarantine] shares a damage
     registry with the rest of the serving stack (an {!Index_file} passes
     its own); a private one is created otherwise.  [max_in_flight]

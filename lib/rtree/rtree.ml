@@ -124,6 +124,57 @@ exception Deadline_exceeded
 (* Local unwind for deadline expiry: the partial accumulator built so
    far is kept (results land through [f] as they match). *)
 
+(* A pinned generation's tree, as produced by [Index_file.snapshot_view]:
+   which committed generation to read pages at, and the root/height of
+   that generation's tree (the live [t.root]/[t.height] may already
+   belong to a newer commit). *)
+type snapshot_view = { sv_gen : int; sv_root : int; sv_height : int }
+
+(* Snapshot descent: committed page images of generation [sv_gen] via
+   [Pager.read_shared ~gen], bypassing the single-domain buffer pool —
+   safe on reader domains while a writer mutates the live tree through
+   the pool.  Leaf vs internal is decided by depth against the
+   snapshot's height (the page's kind byte would describe the *live*
+   page, which may have been reallocated into another role).  No
+   [Prt_obs] metrics are ticked here: the registry is single-domain and
+   this path is exactly the one meant to run on other domains. *)
+let query_snapshot ?quarantine ?deadline sv t window ~f =
+  let pgr = pager t in
+  let stats = fresh_stats () in
+  let dl = Option.value deadline ~default:Deadline.none in
+  let skip_subtree id =
+    stats.skipped_subtrees <- stats.skipped_subtrees + 1;
+    if not (List.mem id stats.skipped_pages) then
+      stats.skipped_pages <- id :: stats.skipped_pages
+  in
+  let poison id reason =
+    (match quarantine with Some q -> Quarantine.add q id reason | None -> ());
+    skip_subtree id
+  in
+  let rec visit id depth =
+    if Deadline.expired dl then begin
+      stats.timed_out <- true;
+      raise_notrace Deadline_exceeded
+    end;
+    if (match quarantine with Some q -> Quarantine.mem q id | None -> false) then
+      skip_subtree id
+    else
+      match Pager.read_shared ~gen:sv.sv_gen pgr id with
+      | exception Pager.Corrupt_page _ when quarantine <> None -> poison id Quarantine.Corrupt
+      | exception Pager.Io_error _ when quarantine <> None -> poison id Quarantine.Io_failed
+      | buf ->
+          if depth = sv.sv_height then begin
+            stats.leaf_visited <- stats.leaf_visited + 1;
+            stats.matched <- stats.matched + Node.iter_rects buf window ~f
+          end
+          else begin
+            stats.internal_visited <- stats.internal_visited + 1;
+            Node.iter_children buf window ~f:(fun cid -> visit cid (depth + 1))
+          end
+  in
+  (try visit sv.sv_root 1 with Deadline_exceeded -> ());
+  stats
+
 (* Window query: recursively visit every node whose bounding box (as
    recorded in its parent) intersects the query.  The root is always
    visited.  The descent is zero-copy: each page is scanned in place
@@ -138,7 +189,10 @@ exception Deadline_exceeded
    The per-subtree catch is scoped to the page read alone — a failure
    deeper in the recursion is handled at its own level, never absorbed
    by an ancestor. *)
-let query ?quarantine ?deadline t window ~f =
+let query ?quarantine ?deadline ?snapshot t window ~f =
+  match snapshot with
+  | Some sv -> query_snapshot ?quarantine ?deadline sv t window ~f
+  | None ->
   let stats = fresh_stats () in
   match (quarantine, deadline) with
   | None, None ->
@@ -198,13 +252,13 @@ let query ?quarantine ?deadline t window ~f =
       | None -> ());
       stats
 
-let query_list ?quarantine ?deadline t window =
+let query_list ?quarantine ?deadline ?snapshot t window =
   let acc = ref [] in
-  let stats = query ?quarantine ?deadline t window ~f:(fun e -> acc := e :: !acc) in
+  let stats = query ?quarantine ?deadline ?snapshot t window ~f:(fun e -> acc := e :: !acc) in
   (List.rev !acc, stats)
 
-let query_count ?quarantine ?deadline t window =
-  query ?quarantine ?deadline t window ~f:(fun _ -> ())
+let query_count ?quarantine ?deadline ?snapshot t window =
+  query ?quarantine ?deadline ?snapshot t window ~f:(fun _ -> ())
 
 (* Profiled window query: same traversal as [query], but additionally
    records how many nodes were visited on each level and what the

@@ -71,9 +71,16 @@ val set_root : t -> root:int -> height:int -> unit
 
 val set_count : t -> int -> unit
 
+type snapshot_view = { sv_gen : int; sv_root : int; sv_height : int }
+(** A pinned generation's tree, produced by [Index_file.snapshot_view]:
+    the committed generation to read pages at plus the root and height
+    of {e that} generation's tree (the live handle may already point at
+    a newer commit).  Passed to {!query} as [~snapshot]. *)
+
 val query :
   ?quarantine:Prt_storage.Quarantine.t ->
   ?deadline:Prt_util.Deadline.t ->
+  ?snapshot:snapshot_view ->
   t ->
   Prt_geom.Rect.t ->
   f:(Entry.t -> unit) ->
@@ -91,11 +98,19 @@ val query :
     expiry is checked once per node visit and unwinds into a
     [Timed_out] tag, keeping everything matched before the cutoff.
     Never raises to the caller for device damage when a quarantine is
-    supplied. *)
+    supplied.
+
+    With [~snapshot] the descent reads the committed page images of the
+    pinned generation ([Pager.read_shared ~gen]), bypassing the buffer
+    pool entirely: safe to run from any domain while a writer mutates
+    the live tree, and the result is exactly the pinned commit's answer.
+    The snapshot path composes with [quarantine]/[deadline] but never
+    ticks [Prt_obs] metrics (the registry is single-domain). *)
 
 val query_list :
   ?quarantine:Prt_storage.Quarantine.t ->
   ?deadline:Prt_util.Deadline.t ->
+  ?snapshot:snapshot_view ->
   t ->
   Prt_geom.Rect.t ->
   Entry.t list * query_stats
@@ -103,6 +118,7 @@ val query_list :
 val query_count :
   ?quarantine:Prt_storage.Quarantine.t ->
   ?deadline:Prt_util.Deadline.t ->
+  ?snapshot:snapshot_view ->
   t ->
   Prt_geom.Rect.t ->
   query_stats

@@ -37,6 +37,7 @@ type config = {
   write_delay_ms : float;
   max_consecutive : int;
   crash_after_writes : int;
+  phys_write_hook : (int -> unit) option;
 }
 
 let default =
@@ -53,6 +54,7 @@ let default =
     write_delay_ms = 0.0;
     max_consecutive = 3;
     crash_after_writes = -1;
+    phys_write_hook = None;
   }
 
 let uniform ?(seed = 0) ?(max_consecutive = 3) rate =
@@ -105,6 +107,7 @@ type t = {
   (* Physical writes still allowed to persist before the crash fires;
      negative means crash injection is off. *)
   mutable write_budget : int;
+  mutable phys_writes : int;  (* physical page writes persisted so far *)
 }
 
 let create cfg =
@@ -123,6 +126,7 @@ let create cfg =
     write_streak = 0;
     alloc_streak = 0;
     write_budget = cfg.crash_after_writes;
+    phys_writes = 0;
   }
 
 let config t = t.cfg
@@ -193,9 +197,16 @@ let on_alloc t =
     false
   end
 
-let crash_enabled t = t.cfg.crash_after_writes >= 0
+let crash_enabled t = t.cfg.crash_after_writes >= 0 || t.cfg.phys_write_hook <> None
 
+(* The hook fires before the budget check and before the write persists,
+   with the count of writes already durable: at kill point [k]
+   ([crash_after k]) the hook observes ordinal [k] and then the crash
+   fires — the harness's window for probing the exact boundary state.
+   The hook must not itself write through the pager (it would recurse);
+   snapshot reads via [Pager.read_shared] are the intended use. *)
 let on_phys_write t =
+  (match t.cfg.phys_write_hook with Some f -> f t.phys_writes | None -> ());
   if t.write_budget = 0 then begin
     t.crashes <- t.crashes + 1;
     raise
@@ -203,7 +214,12 @@ let on_phys_write t =
          (Printf.sprintf "process killed after %d persisted page writes"
             t.cfg.crash_after_writes))
   end
-  else if t.write_budget > 0 then t.write_budget <- t.write_budget - 1
+  else begin
+    if t.write_budget > 0 then t.write_budget <- t.write_budget - 1;
+    t.phys_writes <- t.phys_writes + 1
+  end
+
+let phys_writes t = t.phys_writes
 
 let injected t =
   {

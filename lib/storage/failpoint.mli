@@ -46,6 +46,16 @@ type config = {
   crash_after_writes : int;
       (** Crash budget: [n >= 0] lets [n] physical page writes persist
           and crashes on the next; negative disables crash injection. *)
+  phys_write_hook : (int -> unit) option;
+      (** Deterministic interleaving hook: called by {!on_phys_write}
+          before each physical page write persists (and before the crash
+          budget is consulted), with the number of writes already
+          persisted.  At kill point [k] of a [crash_after k] budget the
+          hook therefore observes ordinal [k] and then the crash fires.
+          The hook runs on the writing domain with no pager lock held,
+          so it may perform snapshot reads ([Pager.read_shared]) — e.g.
+          run a whole pinned query between two page writes — but must
+          never write through the pager (it would recurse). *)
 }
 
 val default : config
@@ -89,7 +99,12 @@ val on_alloc : t -> bool
 (** [true] means the allocation must fail. *)
 
 val crash_enabled : t -> bool
-(** Whether this failpoint carries a crash budget. *)
+(** Whether this failpoint must be consulted on physical writes: it
+    carries a crash budget and/or a [phys_write_hook]. *)
+
+val phys_writes : t -> int
+(** Physical page writes that persisted through {!on_phys_write} so far
+    — the ordinal the next hook call will observe. *)
 
 val on_phys_write : t -> unit
 (** Consult the crash budget before a physical page write persists:

@@ -78,7 +78,17 @@ and t = {
   mutable defer_frees : bool;
   mutable pending : int list;  (* frees awaiting promotion *)
   mutable journal : journal option;
+  (* --- MVCC generation snapshots (see read_shared) --- *)
+  mvcc_lock : Mutex.t;  (* guards versions + gc_frees, never held across I/O *)
+  versions : (int, version list) Hashtbl.t;  (* per page, newest first *)
+  mutable retain_gen : int;  (* generation the running txn will commit; -1 = off *)
+  mutable gc_frees : (int * int list) list;  (* commit generation -> parked frees *)
 }
+
+(* A retained pre-image: [v_img] was the committed content of its page
+   for every generation < [v_gen_end] (the page's first overwrite by the
+   transaction committing at [v_gen_end] retained it). *)
+and version = { v_gen_end : int; v_img : bytes }
 
 and journal = {
   j_base_used : int;  (* pages committed before the transaction *)
@@ -116,6 +126,10 @@ let mk ~page_size ~backend ~stats ~free_set =
     defer_frees = false;
     pending = [];
     journal = None;
+    mvcc_lock = Mutex.create ();
+    versions = Hashtbl.create 64;
+    retain_gen = -1;
+    gc_frees = [];
   }
 
 let create_memory ?(page_size = default_page_size) () =
@@ -198,6 +212,29 @@ let check_id t op id =
    stamping or verification.  [phys_write] is the single choke point at
    which an armed crash budget can kill the "process". --- *)
 
+(* All file-descriptor I/O (the lseek + read/write pairs) runs under
+   [shared_lock]: concurrent snapshot readers share the fd offset with
+   the writing domain, so an unserialized seek would land a read at the
+   writer's offset (or vice versa).  The lock is only ever held for one
+   page transfer and never nested. *)
+let locked_file_read t fd id buf =
+  Mutex.protect t.shared_lock (fun () ->
+      ignore (Unix.lseek fd (id * t.page_size) Unix.SEEK_SET);
+      let rec fill off =
+        if off < t.page_size then begin
+          let n = Unix.read fd buf off (t.page_size - off) in
+          if n = 0 then failwith "Pager.read: unexpected end of file";
+          fill (off + n)
+        end
+      in
+      fill 0)
+
+let locked_file_write t fd id buf =
+  Mutex.protect t.shared_lock (fun () ->
+      ignore (Unix.lseek fd (id * t.page_size) Unix.SEEK_SET);
+      let n = Unix.write fd buf 0 t.page_size in
+      if n <> t.page_size then failwith "Pager.write: short write")
+
 let phys_read_into t id buf =
   match t.backend with
   | Faulty _ -> assert false
@@ -208,15 +245,7 @@ let phys_read_into t id buf =
   | File f ->
       t.stats.reads <- t.stats.reads + 1;
       Prt_obs.Metrics.tick m_reads;
-      ignore (Unix.lseek f.fd (id * t.page_size) Unix.SEEK_SET);
-      let rec fill off =
-        if off < t.page_size then begin
-          let n = Unix.read f.fd buf off (t.page_size - off) in
-          if n = 0 then failwith "Pager.read: unexpected end of file";
-          fill (off + n)
-        end
-      in
-      fill 0
+      locked_file_read t f.fd id buf
 
 let phys_write t id buf =
   (match t.crash with Some fp -> Failpoint.on_phys_write fp | None -> ());
@@ -225,25 +254,26 @@ let phys_write t id buf =
   | Memory m ->
       t.stats.writes <- t.stats.writes + 1;
       Prt_obs.Metrics.tick m_writes;
-      Bytes.blit buf 0 m.pages.(id) 0 t.page_size
+      (* Install a fresh buffer instead of blitting in place: a snapshot
+         reader holding the previous buffer (from [read_shared]) keeps a
+         consistent image — the array-slot store is atomic in OCaml 5,
+         so a concurrent reader sees either the old page or the new one,
+         never a torn mix. *)
+      m.pages.(id) <- Bytes.copy buf
   | File f ->
       t.stats.writes <- t.stats.writes + 1;
       Prt_obs.Metrics.tick m_writes;
-      ignore (Unix.lseek f.fd (id * t.page_size) Unix.SEEK_SET);
-      let n = Unix.write f.fd buf 0 t.page_size in
-      if n <> t.page_size then failwith "Pager.write: short write"
+      locked_file_write t f.fd id buf
 
 (* Uncounted zero-fill, used when recycling a freed page and when
-   extending the file. *)
+   extending the file.  Same copy-on-write discipline as [phys_write]:
+   the Memory backend installs a fresh buffer rather than clearing the
+   one a shared reader may still hold. *)
 let zero_page t id =
   match t.backend with
   | Faulty _ -> assert false
-  | Memory m -> Bytes.fill m.pages.(id) 0 t.page_size '\000'
-  | File f ->
-      ignore (Unix.lseek f.fd (id * t.page_size) Unix.SEEK_SET);
-      let zeros = Bytes.make t.page_size '\000' in
-      let n = Unix.write f.fd zeros 0 t.page_size in
-      if n <> t.page_size then failwith "Pager.alloc: short write"
+  | Memory m -> m.pages.(id) <- Bytes.make t.page_size '\000'
+  | File f -> locked_file_write t f.fd id (Bytes.make t.page_size '\000')
 
 let alloc_base t =
   t.stats.allocs <- t.stats.allocs + 1;
@@ -305,9 +335,15 @@ let rec is_free t id =
   | Faulty { inner; _ } -> is_free inner id
   | Memory _ | File _ -> Hashtbl.mem t.free_set id
 
+let parked_frees_locked b = List.concat_map snd b.gc_frees
+
+(* All free pages — pending, generation-parked, and reusable alike: the
+   free-list snapshot the superblock persists.  On reopen no pin can
+   exist, so parked pages are plainly free. *)
 let free_pages t =
   let b = base t in
-  b.pending @ b.free_list
+  let parked = Mutex.protect b.mvcc_lock (fun () -> parked_frees_locked b) in
+  b.pending @ parked @ b.free_list
 
 let promote_frees t =
   let b = base t in
@@ -319,6 +355,69 @@ let set_defer_frees t on =
   if not on then promote_frees b;
   b.defer_frees <- on
 
+(* --- MVCC: generation-scoped deferred frees and version GC ---
+
+   [park_frees] moves a committed transaction's deferred frees onto a
+   per-generation parking list: pages freed by the commit at generation
+   [gen] were part of every tree older than [gen], so they must not be
+   recycled (and zero-filled) while any reader still pins an older
+   generation.  [reclaim ~upto:floor] — called only from the writing
+   domain, because [free_list] is its unshared state — promotes parked
+   groups with generation <= floor and drops superseded versions.
+   [collect] is the reader-side half: it only drops versions, so a
+   reader releasing the last pin of an old generation never touches the
+   writer's free list (the next begin/commit picks the frees up). *)
+
+let set_retain_gen t gen = (base t).retain_gen <- gen
+
+let park_frees t ~gen =
+  let b = base t in
+  if b.pending <> [] then begin
+    let ids = b.pending in
+    b.pending <- [];
+    Mutex.protect b.mvcc_lock (fun () -> b.gc_frees <- (gen, ids) :: b.gc_frees)
+  end
+
+let drop_versions_locked b ~upto =
+  let stale =
+    Hashtbl.fold
+      (fun id vs acc ->
+        if List.exists (fun v -> v.v_gen_end <= upto) vs then (id, vs) :: acc else acc)
+      b.versions []
+  in
+  List.iter
+    (fun (id, vs) ->
+      match List.filter (fun v -> v.v_gen_end > upto) vs with
+      | [] -> Hashtbl.remove b.versions id
+      | vs' -> Hashtbl.replace b.versions id vs')
+    stale
+
+let collect t ~upto =
+  let b = base t in
+  Mutex.protect b.mvcc_lock (fun () -> drop_versions_locked b ~upto)
+
+let reclaim t ~upto =
+  let b = base t in
+  check_open b "reclaim";
+  let promoted =
+    Mutex.protect b.mvcc_lock (fun () ->
+        drop_versions_locked b ~upto;
+        let ready, parked = List.partition (fun (g, _) -> g <= upto) b.gc_frees in
+        b.gc_frees <- parked;
+        List.concat_map snd ready)
+  in
+  b.free_list <- promoted @ b.free_list
+
+type mvcc_stats = { live_versions : int; parked_pages : int }
+
+let mvcc_stats t =
+  let b = base t in
+  Mutex.protect b.mvcc_lock (fun () ->
+      {
+        live_versions = Hashtbl.fold (fun _ vs n -> n + List.length vs) b.versions 0;
+        parked_pages = List.length (parked_frees_locked b);
+      })
+
 let set_free_list t ids =
   let b = base t in
   let n = num_pages b in
@@ -326,7 +425,10 @@ let set_free_list t ids =
   Hashtbl.reset b.free_set;
   List.iter (fun id -> Hashtbl.replace b.free_set id ()) ids;
   b.free_list <- ids;
-  b.pending <- []
+  b.pending <- [];
+  Mutex.protect b.mvcc_lock (fun () ->
+      b.gc_frees <- [];
+      Hashtbl.reset b.versions)
 
 let truncate t ~used =
   let b = base t in
@@ -341,6 +443,15 @@ let truncate t ~used =
   let keep id = id < used in
   b.free_list <- List.filter keep b.free_list;
   b.pending <- List.filter keep b.pending;
+  Mutex.protect b.mvcc_lock (fun () ->
+      b.gc_frees <-
+        List.filter_map
+          (fun (g, ids) ->
+            match List.filter keep ids with [] -> None | ids -> Some (g, ids))
+          b.gc_frees;
+      Hashtbl.iter
+        (fun id _ -> if not (keep id) then Hashtbl.remove b.versions id)
+        (Hashtbl.copy b.versions));
   Hashtbl.iter (fun id () -> if not (keep id) then Hashtbl.remove b.free_set id) (Hashtbl.copy b.free_set)
 
 (* Fraction -> byte prefix that survives a torn write / short read:
@@ -415,27 +526,46 @@ let read_raw t id =
    returns a fresh verified buffer.  Reads through this path bypass
    fault injection and are not counted in the pager statistics (they
    would race; serving throughput is measured by the executor instead). *)
-let read_shared t id =
+(* The retained image serving generation [gen], if the page was
+   overwritten by any transaction committing after it.  The per-page
+   list is newest-first (descending [v_gen_end]); the right image is the
+   {e oldest} retained version whose overwrite postdates [gen]. *)
+let find_version b id ~gen =
+  match Hashtbl.find_opt b.versions id with
+  | None -> None
+  | Some vs ->
+      List.fold_left (fun acc v -> if v.v_gen_end > gen then Some v.v_img else acc) None vs
+
+let read_shared ?(gen = 0) t id =
   let b = base t in
   check_open b "read_shared";
   check_id b "read_shared" id;
-  match b.backend with
-  | Faulty _ -> assert false
-  | Memory m -> m.pages.(id)
-  | File f ->
-      Mutex.protect b.shared_lock (fun () ->
-          let buf = Bytes.create b.page_size in
-          ignore (Unix.lseek f.fd (id * b.page_size) Unix.SEEK_SET);
-          let rec fill off =
-            if off < b.page_size then begin
-              let n = Unix.read f.fd buf off (b.page_size - off) in
-              if n = 0 then failwith "Pager.read_shared: unexpected end of file";
-              fill (off + n)
-            end
-          in
-          fill 0;
-          verify_read b id buf;
-          buf)
+  let live () =
+    match b.backend with
+    | Faulty _ -> assert false
+    | Memory m -> m.pages.(id)
+    | File f ->
+        let buf = Bytes.create b.page_size in
+        locked_file_read b f.fd id buf;
+        verify_read b id buf;
+        buf
+  in
+  if gen <= 0 then live ()
+  else begin
+    (* Snapshot protocol: read the live page FIRST, then consult the
+       version store.  Retention always precedes the physical overwrite,
+       so a store miss proves the live read predates any overwrite of
+       this page by a newer generation — the race where the writer lands
+       between the two steps resolves to the retained image. *)
+    let live_page = match live () with buf -> Ok buf | exception e -> Error e in
+    match Mutex.protect b.mvcc_lock (fun () -> find_version b id ~gen) with
+    | Some img ->
+        (* Version images were captured raw; serve-time verification
+           mirrors the live read's contract on the file backend. *)
+        verify_read b id img;
+        img
+    | None -> ( match live_page with Ok buf -> buf | Error e -> raise e)
+  end
 
 (* --- pre-image journal ---
 
@@ -509,9 +639,29 @@ let rec write t id buf =
       stamp_page t buf;
       phys_write t id buf
 
+(* MVCC retention: the first overwrite of a committed page during a
+   transaction parks its pre-image in the version store, tagged with the
+   generation the transaction will commit, {e before} the overwrite
+   lands.  [journal_copy] is exactly that first-overwrite point (the
+   journal-eligibility test is the same question), so retention rides
+   the pre-image read it already performs. *)
+and retain_version b id img =
+  if b.retain_gen >= 0 then begin
+    let copy = Bytes.copy img in
+    Mutex.protect b.mvcc_lock (fun () ->
+        match Hashtbl.find_opt b.versions id with
+        | Some (v :: _) when v.v_gen_end >= b.retain_gen -> ()
+        | vs ->
+            Hashtbl.replace b.versions id
+              ({ v_gen_end = b.retain_gen; v_img = copy } :: Option.value vs ~default:[]))
+  end
+
 and journal_copy b j id =
   let pre = Bytes.create b.page_size in
   phys_read_into b id pre;
+  (* Retain before [write] below stamps [pre]'s trailer for the copy
+     page, and before the caller's overwrite of [id] can land. *)
+  retain_version b id pre;
   let cid = alloc_base b in
   Hashtbl.replace j.j_own cid ();
   j.j_pages <- cid :: j.j_pages;
@@ -650,6 +800,8 @@ let rec close t =
     t.closed <- true;
     match t.backend with Memory _ -> () | File f -> Unix.close f.fd | Faulty f -> close f.inner
   end
+
+let is_closed t = t.closed
 
 let pp_snapshot ppf s =
   Fmt.pf ppf "reads=%d writes=%d allocs=%d io=%d" s.s_reads s.s_writes s.s_allocs (total_io s)

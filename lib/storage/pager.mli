@@ -140,15 +140,62 @@ val read_raw : t -> int -> bytes
     scrub/salvage tools that classify damage instead of tripping over
     it.  Counts one read. *)
 
-val read_shared : t -> int -> bytes
+val read_shared : ?gen:int -> t -> int -> bytes
 (** Domain-safe read-only page fetch for the query serving layer.  On
-    the in-memory backend, returns the live page buffer itself (zero
-    copy); callers must treat it as immutable and must not mutate the
-    device while shared readers are active.  On the file backend, reads
-    under an internal per-pager lock into a fresh buffer and verifies
-    the trailer ({!Corrupt_page} on damage).  Bypasses fault injection
-    and is not counted in {!stats} — the batched executor accounts for
-    serving reads itself. *)
+    the in-memory backend, returns a committed page image without
+    copying (writers install fresh buffers rather than mutating in
+    place, so a held buffer stays internally consistent); callers must
+    treat it as immutable.  On the file backend, reads under an internal
+    per-pager lock into a fresh buffer and verifies the trailer
+    ({!Corrupt_page} on damage).  Bypasses fault injection and is not
+    counted in {!stats} — the batched executor accounts for serving
+    reads itself.
+
+    [~gen] requests the page image as of commit generation [gen]
+    (see {!set_retain_gen}): if the page has been overwritten by a
+    later transaction, the retained pre-image whose validity interval
+    covers [gen] is returned instead of the live page.  [gen <= 0]
+    (the default) reads the live page. *)
+
+(** {1 MVCC: generation snapshots}
+
+    Copy-on-write version retention for snapshot-isolated readers.
+    While [retain_gen >= 0] (set by {!Superblock.begin_txn}), the first
+    overwrite of each committed page also retains its pre-image in an
+    in-memory version store, tagged with the generation the transaction
+    will commit at: that image was the committed content for every
+    generation strictly below the tag.  Pages freed by a commit are
+    parked per-generation ({!park_frees}) and only promoted to the
+    reusable free list once no reader pins an older generation
+    ({!reclaim}).  Readers dropping the last pin of a generation call
+    {!collect} to drop superseded versions; free-list promotion stays
+    on the writing domain. *)
+
+val set_retain_gen : t -> int -> unit
+(** Set the generation tag for subsequently retained pre-images;
+    [-1] turns retention off. *)
+
+val park_frees : t -> gen:int -> unit
+(** Move pending deferred frees to the generation-parked list under
+    [gen] (the generation of the commit that freed them).  Parked pages
+    remain unallocatable until {!reclaim} promotes them. *)
+
+val collect : t -> upto:int -> unit
+(** Drop retained versions with tag [<= upto] (no snapshot at or above
+    the floor can need them).  Safe on a closed pager and from reader
+    domains: touches only the version store. *)
+
+val reclaim : t -> upto:int -> unit
+(** {!collect} plus promotion of parked free groups with generation
+    [<= upto] onto the reusable free list.  Must be called from the
+    writing domain (the free list is its unshared state). *)
+
+type mvcc_stats = { live_versions : int; parked_pages : int }
+
+val mvcc_stats : t -> mvcc_stats
+(** Size of the version store and the parked-free population — both
+    must return to zero once every pin is dropped (bounded-growth
+    assertions in the MVCC tests). *)
 
 val write : t -> int -> bytes -> unit
 (** Write a full page.  Counts one write.  Stamps the integrity trailer
@@ -208,6 +255,10 @@ val total_io : snapshot -> int
 
 val reset_stats : t -> unit
 val close : t -> unit
+
+val is_closed : t -> bool
+(** Whether {!close} has run (closing a faulty wrapper closes its base).
+    Lets owners of shared pagers make their own close paths idempotent. *)
 
 val pp_snapshot : Format.formatter -> snapshot -> unit
 (** ["reads=R writes=W allocs=A io=R+W"] — every field labelled, so the

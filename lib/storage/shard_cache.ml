@@ -4,33 +4,35 @@
    The buffer pool caches raw page bytes and is deliberately not safe to
    share across domains; the query serving layer instead keeps *decoded*
    values (e.g. R-tree nodes) in this cache, so the hot internal levels
-   of an index are decoded once per epoch instead of once per visit, and
-   any number of domains can probe concurrently.  Keys are page ids,
-   spread over N shards by a multiplicative hash; each shard is a small
-   hash table plus FIFO eviction queue guarded by its own mutex, so
-   contention is 1/N of a single-lock design.
+   of an index are decoded once per generation instead of once per
+   visit, and any number of domains can probe concurrently.  Keys are
+   (page id, generation) pairs, spread over N shards by a multiplicative
+   hash of the page id; each shard is a small hash table plus FIFO
+   eviction queue guarded by its own mutex, so contention is 1/N of a
+   single-lock design.
 
-   Epoch invalidation: every cached value is tagged with the epoch it
-   was decoded under (callers use the index file's format-v2 superblock
-   commit counter).  A probe under a newer epoch treats the entry as
-   absent, drops it, and counts an [invalidation] — committing a
-   transaction implicitly invalidates the whole cache without touching
-   it.  Entries are decoded while holding the shard lock, so a page is
-   decoded exactly once per epoch no matter how many domains race for
-   it (this also makes the miss count deterministic for a quiesced
-   tree: one miss per distinct page reached, per epoch).
+   Generation keying: every cached value is decoded under a commit
+   generation (the index file's superblock commit counter), and the
+   generation is part of the key — entries for several generations of
+   the same page coexist, so snapshot readers pinned to an old
+   generation keep their cache hits while a writer commits new ones.
+   Nothing is invalidated on probe; instead the executor calls {!prune}
+   with the oldest generation any live snapshot still pins, and entries
+   below that floor are dropped (counted as invalidations).  Entries are
+   decoded while holding the shard lock, so a page is decoded exactly
+   once per generation no matter how many domains race for it (this also
+   makes the miss count deterministic for a quiesced tree: one miss per
+   distinct page reached, per generation).
 
    Counters live per shard (guarded by the shard lock) and are summed on
    demand; this module never touches the {!Prt_obs} registry — the
    executor mirrors the deltas from its coordinating domain, keeping the
    (single-domain) registry out of parallel code. *)
 
-type 'v slot = { epoch : int; value : 'v }
-
 type 'v shard = {
   lock : Mutex.t;
-  tbl : (int, 'v slot) Hashtbl.t;
-  order : int Queue.t; (* insertion order, for FIFO eviction *)
+  tbl : (int * int, 'v) Hashtbl.t; (* (page id, generation) -> value *)
+  order : (int * int) Queue.t; (* insertion order, for FIFO eviction *)
   capacity : int; (* per shard *)
   mutable hits : int;
   mutable misses : int;
@@ -76,54 +78,67 @@ let create ?(shards = default_shards) ?(capacity = default_capacity) () =
           });
   }
 
-(* Fibonacci-hash the page id so sequentially allocated pages spread
+(* Fibonacci-hash the page id (generation excluded, so all generations
+   of a page share a shard) so sequentially allocated pages spread
    evenly over the shards instead of striping. *)
 let shard_of t id =
   let h = (id * 0x9E3779B1) lsr 16 in
   t.shards.(h land (Array.length t.shards - 1))
 
-(* The FIFO queue may hold ids whose binding was already replaced by an
-   epoch invalidation; skip those rather than evicting a live page. *)
+(* The FIFO queue may hold keys whose binding was already dropped by a
+   prune; skip those rather than evicting a live entry. *)
 let evict_one s =
   let rec go () =
     match Queue.take_opt s.order with
     | None -> ()
-    | Some id ->
-        if Hashtbl.mem s.tbl id then begin
-          Hashtbl.remove s.tbl id;
+    | Some key ->
+        if Hashtbl.mem s.tbl key then begin
+          Hashtbl.remove s.tbl key;
           s.evictions <- s.evictions + 1
         end
         else go ()
   in
   go ()
 
-let find_or_add t ~epoch id decode =
+let find_or_add t ~gen id decode =
   let s = shard_of t id in
+  let key = (id, gen) in
   Mutex.protect s.lock (fun () ->
-      match Hashtbl.find_opt s.tbl id with
-      | Some slot when slot.epoch = epoch ->
+      match Hashtbl.find_opt s.tbl key with
+      | Some value ->
           s.hits <- s.hits + 1;
-          slot.value
-      | stale ->
-          if stale <> None then begin
-            s.invalidations <- s.invalidations + 1;
-            Hashtbl.remove s.tbl id
-          end;
+          value
+      | None ->
           s.misses <- s.misses + 1;
           let value = decode () in
           if Hashtbl.length s.tbl >= s.capacity then evict_one s;
-          Hashtbl.replace s.tbl id { epoch; value };
-          Queue.add id s.order;
+          Hashtbl.replace s.tbl key value;
+          Queue.add key s.order;
           value)
 
-let find t ~epoch id =
+let find t ~gen id =
   let s = shard_of t id in
   Mutex.protect s.lock (fun () ->
-      match Hashtbl.find_opt s.tbl id with
-      | Some slot when slot.epoch = epoch ->
+      match Hashtbl.find_opt s.tbl (id, gen) with
+      | Some value ->
           s.hits <- s.hits + 1;
-          Some slot.value
-      | _ -> None)
+          Some value
+      | None -> None)
+
+let prune t ~older_than =
+  Array.fold_left
+    (fun total s ->
+      Mutex.protect s.lock (fun () ->
+          let stale =
+            Hashtbl.fold
+              (fun ((_, g) as key) _ acc -> if g < older_than then key :: acc else acc)
+              s.tbl []
+          in
+          List.iter (Hashtbl.remove s.tbl) stale;
+          let n = List.length stale in
+          s.invalidations <- s.invalidations + n;
+          total + n))
+    0 t.shards
 
 let clear t =
   Array.iter

@@ -1,15 +1,17 @@
-(** Domain-safe sharded cache of decoded pages, keyed by page id.
+(** Domain-safe sharded cache of decoded pages, keyed by
+    (page id, generation).
 
     N mutex-guarded shards (hash table + FIFO queue each), holding
-    decoded values tagged with the epoch they were decoded under.  A
-    probe under a different epoch treats the entry as stale: it is
-    dropped, counted as an invalidation, and re-decoded — so bumping the
-    epoch (the index file's superblock commit counter) invalidates the
-    whole cache in O(1) without touching it.
+    decoded values keyed by the page id {e and} the commit generation
+    they were decoded under.  Entries for several generations of the
+    same page coexist — snapshot readers pinned to an old generation
+    keep their hits while a writer commits new generations — and a
+    probe never invalidates anything.  Reclamation is explicit: call
+    {!prune} with the oldest generation any live snapshot still pins.
 
     Decoding runs under the shard lock, so each page is decoded at most
-    once per epoch regardless of how many domains race for it.  All
-    operations are safe to call from any domain.  This module never
+    once per generation regardless of how many domains race for it.
+    All operations are safe to call from any domain.  This module never
     touches the {!Prt_obs} registry (which is single-domain); callers
     mirror {!stats} deltas from one domain if they want them exported. *)
 
@@ -21,14 +23,19 @@ val create : ?shards:int -> ?capacity:int -> unit -> 'v t
     [capacity] entries in total (default 65536).  Raises
     [Invalid_argument] if [shards < 1] or [capacity < shards]. *)
 
-val find_or_add : 'v t -> epoch:int -> int -> (unit -> 'v) -> 'v
-(** [find_or_add t ~epoch id decode] returns the cached value for [id]
-    if present and decoded under [epoch]; otherwise calls [decode]
-    (under the shard lock) and caches the result for [epoch].  A cached
-    value from another epoch is invalidated and replaced. *)
+val find_or_add : 'v t -> gen:int -> int -> (unit -> 'v) -> 'v
+(** [find_or_add t ~gen id decode] returns the cached value for [id]
+    decoded under generation [gen] if present; otherwise calls [decode]
+    (under the shard lock) and caches the result under [(id, gen)].
+    Entries of other generations are left untouched. *)
 
-val find : 'v t -> epoch:int -> int -> 'v option
-(** Probe without decoding; stale-epoch entries answer [None]. *)
+val find : 'v t -> gen:int -> int -> 'v option
+(** Probe without decoding. *)
+
+val prune : 'v t -> older_than:int -> int
+(** Drop every entry whose generation is strictly below [older_than]
+    (the pin floor: no live snapshot can probe below it), counting each
+    as an invalidation.  Returns the number of entries dropped. *)
 
 val clear : 'v t -> unit
 (** Drop every cached entry (counters are kept). *)
@@ -36,7 +43,7 @@ val clear : 'v t -> unit
 type stats = {
   st_hits : int;
   st_misses : int;
-  st_invalidations : int;  (** stale-epoch entries dropped on probe *)
+  st_invalidations : int;  (** stale-generation entries dropped by {!prune} *)
   st_evictions : int;  (** capacity evictions (FIFO per shard) *)
   st_entries : int;  (** live cached entries right now *)
 }

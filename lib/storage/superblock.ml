@@ -65,7 +65,28 @@ type state = {
   free : int list;
 }
 
-type t = { pager : Pager.t; mutable last : state; mutable in_txn : bool }
+(* [gen] / [gen_meta] mirror [last.commit] / [last.meta] but are updated
+   only when a state becomes *committed* (format, open_, commit_txn) —
+   never at begin_txn, whose in-flight superblock flip must stay
+   invisible to readers.  Both are written under [pin_lock] so a reader
+   pinning concurrently with a commit gets a matching (gen, meta) pair.
+   [pins] maps generation -> number of live snapshots of it. *)
+type t = {
+  pager : Pager.t;
+  mutable last : state;
+  mutable in_txn : bool;
+  mutable gen : int;
+  mutable gen_meta : bytes;
+  pins : (int, int) Hashtbl.t;
+  pin_lock : Mutex.t;
+}
+
+type snap = {
+  snap_gen : int;
+  snap_meta : bytes;  (* metadata blob as of snap_gen (a private copy) *)
+  snap_sb : t;
+  mutable snap_released : bool;
+}
 
 type recovery = {
   rec_journal_pages : int;  (* pre-images restored from the journal *)
@@ -173,7 +194,15 @@ let format pager ~meta =
   in
   write_slot pager st;
   Pager.set_defer_frees pager true;
-  { pager; last = st; in_txn = false }
+  {
+    pager;
+    last = st;
+    in_txn = false;
+    gen = st.commit;
+    gen_meta = Bytes.copy meta;
+    pins = Hashtbl.create 8;
+    pin_lock = Mutex.create ();
+  }
 
 (* Open a formatted device: pick the newest valid slot, run journal
    recovery if the last transaction never committed, drop uncommitted
@@ -239,7 +268,17 @@ let open_ pager =
             true
         | Slot_valid _ | Slot_empty | Slot_bad _ -> false
       in
-      let t = { pager; last = st; in_txn = false } in
+      let t =
+        {
+          pager;
+          last = st;
+          in_txn = false;
+          gen = st.commit;
+          gen_meta = Bytes.copy st.meta;
+          pins = Hashtbl.create 8;
+          pin_lock = Mutex.create ();
+        }
+      in
       ( t,
         {
           rec_journal_pages = recovered;
@@ -253,8 +292,70 @@ let in_txn t = t.in_txn
 let pager t = t.pager
 let free_dropped t = t.last.free_total - List.length t.last.free
 
+(* --- Generation pins (snapshot isolation) ---
+
+   Lock discipline: everything below takes [pin_lock] for the registry
+   bookkeeping, drops it, and only then calls into the pager's version
+   store ([Pager.collect] takes the pager's own mvcc lock) — the two
+   locks are never held together. *)
+
+let generation t = t.gen
+
+let pinned_floor_locked t =
+  Hashtbl.fold (fun g _ acc -> min g acc) t.pins t.gen
+
+let pinned_floor t = Mutex.protect t.pin_lock (fun () -> pinned_floor_locked t)
+let pin_count t = Mutex.protect t.pin_lock (fun () -> Hashtbl.fold (fun _ n acc -> acc + n) t.pins 0)
+
+let pin t =
+  Mutex.protect t.pin_lock (fun () ->
+      let g = t.gen in
+      let n = Option.value (Hashtbl.find_opt t.pins g) ~default:0 in
+      Hashtbl.replace t.pins g (n + 1);
+      { snap_gen = g; snap_meta = Bytes.copy t.gen_meta; snap_sb = t; snap_released = false })
+
+let snap_gen s = s.snap_gen
+let snap_meta s = Bytes.copy s.snap_meta
+
+(* Releasing the last pin of a generation only drops superseded
+   *versions* (safe from any domain, even on a closed pager); parked
+   frees are promoted by the writing domain at its next begin/commit. *)
+let release s =
+  let t = s.snap_sb in
+  let dropped =
+    Mutex.protect t.pin_lock (fun () ->
+        if s.snap_released then None
+        else begin
+          s.snap_released <- true;
+          (match Hashtbl.find_opt t.pins s.snap_gen with
+          | Some n when n > 1 -> Hashtbl.replace t.pins s.snap_gen (n - 1)
+          | Some _ -> Hashtbl.remove t.pins s.snap_gen
+          | None -> ());
+          Some (pinned_floor_locked t)
+        end)
+  in
+  match dropped with
+  | Some floor ->
+      Pager.collect t.pager ~upto:floor;
+      floor
+  | None -> pinned_floor t
+
+let release_all_pins t =
+  let any = Mutex.protect t.pin_lock (fun () ->
+      let any = Hashtbl.length t.pins > 0 in
+      Hashtbl.reset t.pins;
+      any)
+  in
+  if any then Pager.collect t.pager ~upto:(pinned_floor t)
+
 let begin_txn t =
   if t.in_txn then invalid_arg "Superblock.begin_txn: transaction already open";
+  (* Writer-domain GC point: promote any parked frees no pin can still
+     need, then start retaining pre-images for the generation this
+     transaction will commit at (current + 2: the in-txn flip takes
+     current + 1). *)
+  Pager.reclaim t.pager ~upto:(pinned_floor t);
+  Pager.set_retain_gen t.pager (t.gen + 2);
   let used0 = t.last.used in
   let head = Pager.begin_journal t.pager ~exempt:[ 0; 1 ] in
   (* Free snapshot for the in-txn superblock: the committed free list,
@@ -295,6 +396,17 @@ let commit_txn t ~meta =
   in
   write_slot t.pager st;
   Prt_obs.Metrics.tick m_commits;
-  Pager.promote_frees t.pager;
+  (* The commit is durable; stop retention and park this transaction's
+     frees under the new generation — pages freed here were part of
+     every older tree, so they stay unallocatable until the last pin
+     below [st.commit] drops.  Publish the generation under [pin_lock]
+     (a concurrent [pin] gets either the old or the new (gen, meta)
+     pair, never a mix), then promote whatever the pin floor allows. *)
+  Pager.park_frees t.pager ~gen:st.commit;
+  Pager.set_retain_gen t.pager (-1);
+  Mutex.protect t.pin_lock (fun () ->
+      t.gen <- st.commit;
+      t.gen_meta <- Bytes.copy meta);
   t.last <- st;
-  t.in_txn <- false
+  t.in_txn <- false;
+  Pager.reclaim t.pager ~upto:(pinned_floor t)

@@ -58,6 +58,56 @@ val free_dropped : t -> int
 (** Free pages that did not fit in the last committed snapshot and were
     therefore leaked on reopen (0 in the common case). *)
 
+(** {1 Generation pins (snapshot isolation)}
+
+    Every committed state has a {e generation} — its commit counter.
+    A reader {!pin}s the current generation and gets a {!snap}: the
+    generation number plus the metadata blob as of that commit.  While
+    any snapshot of generation [g] is alive, the pager retains pre-images
+    of pages overwritten by later transactions (served transparently by
+    [Pager.read_shared ~gen:g]) and keeps pages freed by later commits
+    parked, so a descent from the snapshot's root always sees the exact
+    committed page images of generation [g] — writers never block
+    readers, and vice versa. *)
+
+type snap
+(** A pinned generation.  Hold it for the duration of a query batch and
+    {!release} it (idempotent) when done. *)
+
+val generation : t -> int
+(** The current committed generation.  Equals {!commit_count} except
+    while a transaction is open, when [commit_count] already reflects
+    the in-flight flip but [generation] still names the last committed
+    state. *)
+
+val pin : t -> snap
+(** Pin the current committed generation.  Domain-safe: may race
+    {!commit_txn}, in which case the snapshot is entirely the old or
+    entirely the new generation, never a mix. *)
+
+val snap_gen : snap -> int
+val snap_meta : snap -> bytes
+(** The metadata blob (tree root, height, count, ...) as of the pinned
+    generation (a copy). *)
+
+val release : snap -> int
+(** Drop the pin (idempotent; double release is a no-op).  Returns the
+    new pin floor — the oldest still-pinned generation, or the current
+    generation when none remain — after dropping retained page versions
+    no live snapshot can need.  Parked frees are promoted separately by
+    the writing domain at its next {!begin_txn} / {!commit_txn}. *)
+
+val release_all_pins : t -> unit
+(** Forget every outstanding pin (close path): outstanding [snap]
+    handles become inert and version memory below the current
+    generation is dropped. *)
+
+val pinned_floor : t -> int
+(** Oldest pinned generation, or the current generation if none. *)
+
+val pin_count : t -> int
+(** Number of live pins across all generations. *)
+
 val begin_txn : t -> unit
 (** Start a transaction: begins the pager's pre-image journal and
     publishes the journal pointer with the old metadata.  Raises

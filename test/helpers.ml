@@ -112,10 +112,42 @@ let check_audit ?check_leaks ?reachable tree =
     Alcotest.failf "audit failed: %s" (Format.asprintf "%a" Prt_rtree.Audit.pp_report report);
   report
 
-(* QCheck generator for an entry array of the given max size. *)
+(* --- seeded scenarios: every qcheck failure prints a one-line repro ---
+
+   A [scenario] is the (seed, size) pair a property derives all of its
+   randomness from.  The printer emits a `PRT_QCHECK_SEED=...` repro
+   line; setting that variable forces every generated scenario onto the
+   failing seed, so the case replays deterministically under plain
+   `dune runtest`.  Shrinking reduces only [size] (the seed is held
+   fixed), keeping shrunk counterexamples reproducible by that same
+   line. *)
+
+type scenario = { sc_seed : int; sc_size : int }
+
+let forced_seed = Option.bind (Sys.getenv_opt "PRT_QCHECK_SEED") int_of_string_opt
+
+let scenario_repro sc =
+  Printf.sprintf "seed=%d size=%d (repro: PRT_QCHECK_SEED=%d dune runtest)" sc.sc_seed sc.sc_size
+    sc.sc_seed
+
+let gen_seed =
+  match forced_seed with
+  | Some s -> QCheck.Gen.return s
+  | None -> QCheck.Gen.int_range 0 1_000_000
+
+let arbitrary_scenario ?(min_size = 0) ~max_size () =
+  QCheck.make ~print:scenario_repro
+    ~shrink:(fun sc yield ->
+      QCheck.Shrink.int sc.sc_size (fun s -> if s >= min_size then yield { sc with sc_size = s }))
+    QCheck.Gen.(
+      int_range min_size max_size >>= fun size ->
+      gen_seed >>= fun seed -> return { sc_seed = seed; sc_size = size })
+
+(* QCheck generator for an entry array of the given max size (the seed
+   honours PRT_QCHECK_SEED like every scenario). *)
 let arbitrary_entries max_n =
   QCheck.make
     ~print:(fun arr -> Printf.sprintf "<%d entries>" (Array.length arr))
     QCheck.Gen.(
       int_range 0 max_n >>= fun n ->
-      int_range 0 1_000_000 >>= fun seed -> return (random_entries ~n ~seed))
+      gen_seed >>= fun seed -> return (random_entries ~n ~seed))

@@ -1,0 +1,215 @@
+(* The MVCC smoke matrix (`dune build @mvcc-smoke`): a short
+   linearizability run plus the crash matrix's concurrent-reader
+   column, standalone so CI can run it without the full suite.
+
+     - linearizability: reader domains (1, 2 and 4 of them) pin
+       generation snapshots and query while the main domain commits a
+       stream of inserts and runs executor batches between commits;
+       every observation must equal the oracle of exactly one
+       committed generation — pre- or post-commit, never a mix;
+     - crash column: at every kill point of an insert and of a delete,
+       a reader pins and descends at the crashing write (via the
+       physical-write hook); the snapshot must be whole, fsck clean,
+       and the reopened file exactly pre-op or post-op;
+     - reclamation: after the pins drop, one more commit must leave no
+       retained versions and no parked frees.
+
+   Exits non-zero on any violation, printing one line per offence. *)
+
+module Rect = Prt_geom.Rect
+module Rng = Prt_util.Rng
+module Pager = Prt_storage.Pager
+module Failpoint = Prt_storage.Failpoint
+module Superblock = Prt_storage.Superblock
+module Entry = Prt_rtree.Entry
+module Rtree = Prt_rtree.Rtree
+module Dynamic = Prt_rtree.Dynamic
+module Index_file = Prt_rtree.Index_file
+module Qexec = Prt_rtree.Qexec
+module Prtree = Prt_prtree.Prtree
+
+let violations = ref 0
+
+let fail fmt =
+  Printf.ksprintf
+    (fun s ->
+      incr violations;
+      Printf.printf "VIOLATION: %s\n%!" s)
+    fmt
+
+let page_size = 512
+let everything = Rect.make ~xmin:(-1e9) ~ymin:(-1e9) ~xmax:1e9 ~ymax:1e9
+
+let random_rect rng =
+  let x0 = Rng.float rng 1.0 and y0 = Rng.float rng 1.0 in
+  let w = Rng.float rng 0.2 and h = Rng.float rng 0.2 in
+  Rect.make ~xmin:x0 ~ymin:y0 ~xmax:(Float.min 1.0 (x0 +. w)) ~ymax:(Float.min 1.0 (y0 +. h))
+
+let make_entries ~n ~seed =
+  let rng = Rng.create seed in
+  Array.init n (fun i -> Entry.make (random_rect rng) i)
+
+let extra_entry j =
+  let x = 0.05 +. (0.9 *. float_of_int (j mod 10) /. 10.0) in
+  Entry.make (Rect.make ~xmin:x ~ymin:x ~xmax:(x +. 0.01) ~ymax:(x +. 0.01)) (1_000_000 + j)
+
+let oracle entries =
+  Array.to_list entries
+  |> List.filter (fun e -> Rect.intersects (Entry.rect e) everything)
+  |> List.map Entry.id
+  |> List.sort Int.compare
+
+let ids_of hits = List.sort Int.compare (List.map Entry.id hits)
+
+let snapshot_ids idx sv =
+  ids_of (fst (Rtree.query_list ~snapshot:sv (Index_file.tree idx) everything))
+
+let with_temp f =
+  let path = Filename.temp_file "prt_mvcc_smoke" ".idx" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () -> f path)
+
+let copy_file src dst =
+  let ic = open_in_bin src in
+  let data = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let oc = open_out_bin dst in
+  output_string oc data;
+  close_out oc
+
+(* --- short linearizability run --- *)
+
+let linearizability_round ~readers ~seed =
+  with_temp @@ fun path ->
+  let entries = make_entries ~n:150 ~seed in
+  let idx = Index_file.create ~page_size path ~build:(fun pool -> Prtree.load pool entries) in
+  Fun.protect ~finally:(fun () -> Index_file.close idx) @@ fun () ->
+  let sb = Index_file.superblock idx in
+  let gen0 = Superblock.generation sb in
+  let updates = 8 in
+  let base = oracle entries in
+  let oracles =
+    Array.init (updates + 1) (fun j ->
+        let extras = List.init j (fun i -> 1_000_000 + i) in
+        (gen0 + (2 * j), List.sort Int.compare (extras @ base)))
+  in
+  let exec = Index_file.executor idx in
+  let stop = Atomic.make false in
+  let torn = Atomic.make 0 in
+  let observed = Atomic.make 0 in
+  let check gen got =
+    match Array.find_opt (fun (g, _) -> g = gen) oracles with
+    | Some (_, expect) when got = expect -> Atomic.incr observed
+    | _ -> Atomic.incr torn
+  in
+  let reader () =
+    while not (Atomic.get stop) do
+      Index_file.with_snapshot idx (fun sv -> check sv.Rtree.sv_gen (snapshot_ids idx sv))
+    done
+  in
+  let domains = List.init readers (fun _ -> Domain.spawn reader) in
+  for j = 1 to updates do
+    Index_file.update idx (fun tree -> Dynamic.insert tree (extra_entry (j - 1)));
+    let results = Qexec.run ~jobs:readers exec [| everything |] in
+    check (Superblock.generation sb) (ids_of (fst results.(0)))
+  done;
+  Atomic.set stop true;
+  List.iter Domain.join domains;
+  if Atomic.get torn > 0 then
+    fail "linearizability(readers=%d seed=%d): %d torn reads over %d observations" readers seed
+      (Atomic.get torn)
+      (Atomic.get observed + Atomic.get torn);
+  Index_file.update idx (fun tree -> Dynamic.insert tree (extra_entry updates));
+  let st = Pager.mvcc_stats (Index_file.pager idx) in
+  if st.Pager.live_versions <> 0 || st.Pager.parked_pages <> 0 then
+    fail "reclamation(readers=%d seed=%d): %d versions, %d parked pages left" readers seed
+      st.Pager.live_versions st.Pager.parked_pages;
+  Atomic.get observed
+
+(* --- crash matrix: concurrent-reader-during-commit column --- *)
+
+let crash_column ~name ~mutate ~pre ~post pristine =
+  with_temp @@ fun work ->
+  let k = ref 0 and finished = ref false and probed = ref 0 in
+  while not !finished do
+    if !k > 2000 then begin
+      fail "%s crash sweep did not terminate" name;
+      finished := true
+    end
+    else begin
+      copy_file pristine work;
+      let handle = ref None in
+      let hook ord =
+        if ord = !k then
+          match !handle with
+          | None -> ()
+          | Some idx ->
+              Index_file.with_snapshot idx (fun sv ->
+                  incr probed;
+                  if snapshot_ids idx sv <> pre then
+                    fail "%s k=%d: reader pinned at the crashing write saw a torn snapshot" name
+                      !k)
+      in
+      let fp = Failpoint.create { (Failpoint.crash_after !k) with phys_write_hook = Some hook } in
+      let idx = Index_file.open_ ~page_size ~crash:fp work in
+      handle := Some idx;
+      (match Index_file.update idx mutate with
+      | _ ->
+          Index_file.close idx;
+          finished := true
+      | exception Failpoint.Simulated_crash _ ->
+          handle := None;
+          let report = Index_file.fsck ~page_size work in
+          if not report.Index_file.fsck_tree_ok then
+            fail "%s k=%d: fsck found no sound tree after crashing under a pinned reader" name !k;
+          let idx = Index_file.open_ ~page_size work in
+          let got = ids_of (fst (Rtree.query_list (Index_file.tree idx) everything)) in
+          Index_file.close idx;
+          if got <> pre && got <> post then
+            fail "%s k=%d: crash under a pinned reader reopened to a hybrid (%d ids)" name !k
+              (List.length got));
+      incr k
+    end
+  done;
+  (!k, !probed)
+
+let crash_matrix () =
+  with_temp @@ fun pristine ->
+  let entries = make_entries ~n:120 ~seed:913 in
+  let idx = Index_file.create ~page_size pristine ~build:(fun pool -> Prtree.load pool entries) in
+  Index_file.close idx;
+  let pre = oracle entries in
+  let fresh = extra_entry 0 in
+  let post_insert = List.sort Int.compare (Entry.id fresh :: pre) in
+  let ik, ip =
+    crash_column ~name:"insert" ~mutate:(fun tree -> Dynamic.insert tree fresh) ~pre
+      ~post:post_insert pristine
+  in
+  Printf.printf "insert column: %d kill points, %d pinned-reader probes\n%!" ik ip;
+  (* Delete column: start from the post-insert image and remove the
+     fresh entry again. *)
+  with_temp @@ fun pristine2 ->
+  copy_file pristine pristine2;
+  let idx = Index_file.open_ ~page_size pristine2 in
+  Index_file.update idx (fun tree -> Dynamic.insert tree fresh);
+  Index_file.close idx;
+  let dk, dp =
+    crash_column ~name:"delete"
+      ~mutate:(fun tree -> ignore (Dynamic.delete tree fresh))
+      ~pre:post_insert ~post:pre pristine2
+  in
+  Printf.printf "delete column: %d kill points, %d pinned-reader probes\n%!" dk dp;
+  if ip = 0 || dp = 0 then fail "crash matrix never probed a pinned reader"
+
+let () =
+  Printf.printf "== mvcc smoke: linearizability x readers, crash-matrix reader column ==\n%!";
+  List.iter
+    (fun readers ->
+      let seen = linearizability_round ~readers ~seed:(2024 + readers) in
+      Printf.printf "linearizability readers=%d: %d consistent observations\n%!" readers seen)
+    [ 1; 2; 4 ];
+  crash_matrix ();
+  if !violations > 0 then begin
+    Printf.printf "mvcc smoke: %d violation(s)\n%!" !violations;
+    exit 1
+  end;
+  Printf.printf "mvcc smoke: all invariants held\n%!"

@@ -29,4 +29,5 @@ let () =
       ("workloads", Test_workloads.suite);
       ("qexec", Test_qexec.suite);
       ("resilience", Test_resilience.suite);
+      ("mvcc", Test_mvcc.suite);
     ]

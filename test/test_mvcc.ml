@@ -1,0 +1,321 @@
+(* MVCC snapshot isolation: writers never block readers, and every
+   reader observes exactly one committed generation.
+
+   The headline property is linearizability-style: reader domains pin
+   generation snapshots and query while the main domain commits a
+   stream of updates (and runs multicore executor batches between
+   commits).  Every query result must equal the oracle of the
+   generation it pinned — exactly the pre-commit or the post-commit
+   answer, never a mix.  A deterministic harness drives the same
+   assertion from [Failpoint]'s physical-write hook at every page-write
+   boundary inside a commit, and the crash matrix gains a
+   concurrent-reader column: crash the writer at each kill point while
+   a pinned reader is mid-descent, reopen, and the file must still be
+   exactly pre-op or post-op with a clean fsck.  All randomized cases
+   print a one-line `PRT_QCHECK_SEED=...` repro. *)
+
+module Rect = Prt_geom.Rect
+module Pager = Prt_storage.Pager
+module Failpoint = Prt_storage.Failpoint
+module Superblock = Prt_storage.Superblock
+module Entry = Prt_rtree.Entry
+module Rtree = Prt_rtree.Rtree
+module Dynamic = Prt_rtree.Dynamic
+module Index_file = Prt_rtree.Index_file
+module Qexec = Prt_rtree.Qexec
+module Prtree = Prt_prtree.Prtree
+
+let page_size = Helpers.small_page_size
+
+let with_temp f =
+  let path = Filename.temp_file "prt_mvcc" ".idx" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () -> f path)
+
+let with_temp2 f = with_temp (fun a -> with_temp (fun b -> f a b))
+
+let copy_file src dst =
+  let ic = open_in_bin src in
+  let data = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let oc = open_out_bin dst in
+  output_string oc data;
+  close_out oc
+
+let everything = Rect.make ~xmin:(-1e9) ~ymin:(-1e9) ~xmax:1e9 ~ymax:1e9
+
+let create_index path entries =
+  Index_file.create ~page_size path ~build:(fun pool -> Prtree.load pool entries)
+
+(* Update entries carry ids >= 1_000_000 so oracles never collide with
+   the bulk-loaded ids. *)
+let extra_entry j =
+  let x = 0.05 +. (0.9 *. float_of_int (j mod 10) /. 10.0) in
+  Entry.make (Rect.make ~xmin:x ~ymin:x ~xmax:(x +. 0.01) ~ymax:(x +. 0.01)) (1_000_000 + j)
+
+let snapshot_ids idx sv =
+  Helpers.ids_of (fst (Rtree.query_list ~snapshot:sv (Index_file.tree idx) everything))
+
+let live_ids idx = Helpers.ids_of (fst (Rtree.query_list (Index_file.tree idx) everything))
+
+(* --- basic snapshot semantics --- *)
+
+(* A pin held across several commits keeps answering the pinned tree:
+   the version store must serve images superseded more than once. *)
+let test_snapshot_pins_old_generation () =
+  with_temp @@ fun path ->
+  let entries = Helpers.random_entries ~n:90 ~seed:11 in
+  let idx = create_index path entries in
+  Fun.protect ~finally:(fun () -> Index_file.close idx) @@ fun () ->
+  let pre = Helpers.brute_force entries everything in
+  let s = Index_file.snapshot idx in
+  for j = 0 to 3 do
+    Index_file.update idx (fun tree -> Dynamic.insert tree (extra_entry j))
+  done;
+  Alcotest.(check (list int))
+    "pinned snapshot still answers the pre-update tree after 4 commits" pre
+    (snapshot_ids idx (Index_file.snapshot_view s));
+  let post = List.sort Int.compare (List.init 4 (fun j -> 1_000_000 + j) @ pre) in
+  Index_file.with_snapshot idx (fun sv ->
+      Alcotest.(check (list int)) "a fresh snapshot sees every commit" post (snapshot_ids idx sv));
+  Alcotest.(check (list int)) "the live tree agrees with the fresh snapshot" post (live_ids idx);
+  Index_file.release_snapshot s
+
+(* --- satellite: close is idempotent and releases held pins --- *)
+
+let test_close_idempotent_and_releases_pins () =
+  with_temp @@ fun path ->
+  let idx = create_index path (Helpers.random_entries ~n:60 ~seed:7) in
+  let sb = Index_file.superblock idx in
+  let s1 = Index_file.snapshot idx in
+  let s2 = Index_file.snapshot idx in
+  Alcotest.(check int) "two pins held" 2 (Superblock.pin_count sb);
+  Index_file.release_snapshot s1;
+  Index_file.release_snapshot s1;
+  Alcotest.(check int) "double release drops exactly one pin" 1 (Superblock.pin_count sb);
+  Index_file.close idx;
+  Alcotest.(check int) "close released the forgotten pin" 0 (Superblock.pin_count sb);
+  (* Second close is a no-op; releasing after close is harmless. *)
+  Index_file.close idx;
+  Index_file.release_snapshot s2;
+  Alcotest.(check int) "close and release stay idempotent" 0 (Superblock.pin_count sb)
+
+(* --- the linearizability property --- *)
+
+let lin_updates = 6
+
+(* Reader domains loop snapshot queries while the main domain commits
+   [lin_updates] inserts and runs a multicore executor batch after each
+   commit.  Every observation — raw snapshot descent or executor batch —
+   must equal the oracle of exactly one committed generation.  After the
+   readers drain, one more commit must reclaim every retained version
+   and parked free page. *)
+let qcheck_linearizable =
+  let count = if Helpers.long_run then 500 else 30 in
+  QCheck.Test.make ~count ~name:"mvcc: concurrent reads are pre- or post-commit, never a mix"
+    (QCheck.pair
+       (Helpers.arbitrary_scenario ~min_size:20 ~max_size:120 ())
+       (QCheck.oneofl ~print:string_of_int [ 1; 2; 4 ]))
+    (fun (sc, jobs) ->
+      with_temp @@ fun path ->
+      let entries = Helpers.random_entries ~n:sc.Helpers.sc_size ~seed:sc.Helpers.sc_seed in
+      let idx = create_index path entries in
+      Fun.protect ~finally:(fun () -> Index_file.close idx) @@ fun () ->
+      let sb = Index_file.superblock idx in
+      let gen0 = Superblock.generation sb in
+      (* Oracle: after j commits the generation is gen0 + 2j and the
+         tree holds the bulk entries plus the first j extras.  Computed
+         up front so reader domains share it read-only. *)
+      let base = Helpers.brute_force entries everything in
+      let oracles =
+        Array.init (lin_updates + 1) (fun j ->
+            let extras = List.init j (fun i -> 1_000_000 + i) in
+            (gen0 + (2 * j), List.sort Int.compare (extras @ base)))
+      in
+      let exec = Index_file.executor idx in
+      let stop = Atomic.make false in
+      let failure = Atomic.make None in
+      let fail msg = Atomic.compare_and_set failure None (Some msg) |> ignore in
+      let check_observation ~what gen got =
+        match Array.find_opt (fun (g, _) -> g = gen) oracles with
+        | None -> fail (Printf.sprintf "%s pinned unknown generation %d" what gen)
+        | Some (_, expect) ->
+            if got <> expect then
+              fail
+                (Printf.sprintf "%s at generation %d read %d ids where the oracle has %d: torn"
+                   what gen (List.length got) (List.length expect))
+      in
+      let reader () =
+        while not (Atomic.get stop) do
+          Index_file.with_snapshot idx (fun sv ->
+              check_observation ~what:"reader" sv.Rtree.sv_gen (snapshot_ids idx sv))
+        done
+      in
+      let readers = List.init jobs (fun _ -> Domain.spawn reader) in
+      for j = 1 to lin_updates do
+        Index_file.update idx (fun tree -> Dynamic.insert tree (extra_entry (j - 1)));
+        let gen = Superblock.generation sb in
+        if gen <> gen0 + (2 * j) then
+          fail (Printf.sprintf "commit %d advanced the generation to %d, expected %d" j gen
+                  (gen0 + (2 * j)));
+        (* An executor batch between commits pins the generation it
+           opened at; run is sequential on this domain, so it must see
+           exactly the j-commit oracle. *)
+        let results = Qexec.run ~jobs exec [| everything |] in
+        check_observation ~what:"executor batch" gen (Helpers.ids_of (fst results.(0)))
+      done;
+      Atomic.set stop true;
+      List.iter Domain.join readers;
+      (match Atomic.get failure with
+      | Some msg -> QCheck.Test.fail_report msg
+      | None -> ());
+      (* With every pin dropped, the next commit reclaims all deferred
+         state: no retained versions, no parked frees. *)
+      Index_file.update idx (fun tree -> Dynamic.insert tree (extra_entry lin_updates));
+      let st = Pager.mvcc_stats (Index_file.pager idx) in
+      if st.Pager.live_versions <> 0 || st.Pager.parked_pages <> 0 then
+        QCheck.Test.fail_report
+          (Printf.sprintf "deferred state leaked: %d versions, %d parked pages"
+             st.Pager.live_versions st.Pager.parked_pages);
+      true)
+
+(* --- deterministic interleaving: a reader at every write boundary --- *)
+
+(* [Failpoint]'s physical-write hook runs a full pinned snapshot query
+   at every page-write boundary inside one commit.  The generation only
+   publishes after the last write, so every probe must see exactly the
+   pre-commit tree — this sweeps all writer/reader interleavings of one
+   commit deterministically, with no domains and no timing. *)
+let test_hook_probes_every_write_boundary () =
+  with_temp @@ fun path ->
+  let entries = Helpers.random_entries ~n:120 ~seed:4242 in
+  let pre = Helpers.brute_force entries everything in
+  let idx0 = create_index path entries in
+  Index_file.close idx0;
+  let probes = ref 0 in
+  let handle = ref None in
+  let hook _ordinal =
+    match !handle with
+    | None -> ()
+    | Some idx ->
+        Index_file.with_snapshot idx (fun sv ->
+            incr probes;
+            let got = snapshot_ids idx sv in
+            if got <> pre then
+              Alcotest.failf "probe %d mid-commit saw a torn snapshot (%d ids, expected %d)"
+                !probes (List.length got) (List.length pre))
+  in
+  let fp = Failpoint.create { Failpoint.default with phys_write_hook = Some hook } in
+  let idx = Index_file.open_ ~page_size ~crash:fp path in
+  handle := Some idx;
+  Index_file.update idx (fun tree -> Dynamic.insert tree (extra_entry 0));
+  handle := None;
+  Alcotest.(check bool)
+    (Printf.sprintf "the commit exposed write boundaries to probe (%d)" !probes)
+    true (!probes > 0);
+  let post = List.sort Int.compare (1_000_000 :: pre) in
+  Index_file.with_snapshot idx (fun sv ->
+      Alcotest.(check (list int)) "after the commit a fresh snapshot is post-op" post
+        (snapshot_ids idx sv));
+  Index_file.close idx
+
+(* --- satellite: crash matrix, concurrent-reader-during-commit column --- *)
+
+(* At every kill point k: a reader pins and descends at exactly the
+   write the crash lands on (the hook fires, then the budget raises).
+   The snapshot must be whole, fsck must find a sound tree, and the
+   reopened file must be exactly pre-op or post-op. *)
+let test_crash_matrix_with_pinned_reader () =
+  with_temp2 @@ fun pristine work ->
+  let entries = Helpers.random_entries ~n:100 ~seed:913 in
+  let pre = Helpers.brute_force entries everything in
+  let post = List.sort Int.compare (1_000_000 :: pre) in
+  let idx0 = create_index pristine entries in
+  Index_file.close idx0;
+  let k = ref 0 and finished = ref false and probed = ref 0 in
+  while not !finished do
+    if !k > 2000 then Alcotest.fail "mvcc crash sweep did not terminate";
+    copy_file pristine work;
+    let handle = ref None in
+    let hook ord =
+      if ord = !k then
+        match !handle with
+        | None -> ()
+        | Some idx ->
+            Index_file.with_snapshot idx (fun sv ->
+                incr probed;
+                let got = snapshot_ids idx sv in
+                if got <> pre then
+                  Alcotest.failf "k=%d: reader pinned at the crashing write saw a torn snapshot"
+                    !k)
+    in
+    let fp = Failpoint.create { (Failpoint.crash_after !k) with phys_write_hook = Some hook } in
+    let idx = Index_file.open_ ~page_size ~crash:fp work in
+    handle := Some idx;
+    (match Index_file.update idx (fun tree -> Dynamic.insert tree (extra_entry 0)) with
+    | _ ->
+        Index_file.close idx;
+        finished := true
+    | exception Failpoint.Simulated_crash _ ->
+        handle := None;
+        let report = Index_file.fsck ~page_size work in
+        Alcotest.(check bool)
+          (Printf.sprintf "k=%d: fsck clean after crashing under a pinned reader" !k)
+          true report.Index_file.fsck_tree_ok;
+        let idx = Index_file.open_ ~page_size work in
+        let got = live_ids idx in
+        Index_file.close idx;
+        if got <> pre && got <> post then
+          Alcotest.failf "k=%d: crash under a pinned reader reopened to a hybrid (%d ids)" !k
+            (List.length got));
+    incr k
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "the sweep probed pinned readers at kill points (%d)" !probed)
+    true (!probed > 0)
+
+(* --- deferred frees are reclaimed: no unbounded growth --- *)
+
+let test_bounded_growth_100_cycles () =
+  with_temp @@ fun path ->
+  let idx = create_index path (Helpers.random_entries ~n:80 ~seed:31) in
+  Fun.protect ~finally:(fun () -> Index_file.close idx) @@ fun () ->
+  let pager = Index_file.pager idx in
+  let baseline = ref 0 in
+  for cycle = 1 to 100 do
+    (* Each cycle holds a pin across an insert+delete pair, so every
+       commit parks frees and retains versions; they must all drain
+       once the pin drops. *)
+    let s = Index_file.snapshot idx in
+    let e = extra_entry cycle in
+    Index_file.update idx (fun tree -> Dynamic.insert tree e);
+    Index_file.update idx (fun tree ->
+        if not (Dynamic.delete tree e) then Alcotest.failf "cycle %d: delete missed" cycle);
+    Index_file.release_snapshot s;
+    if cycle = 5 then baseline := Pager.num_pages pager
+  done;
+  Index_file.update idx (fun tree -> Dynamic.insert tree (extra_entry 0));
+  Index_file.update idx (fun tree -> ignore (Dynamic.delete tree (extra_entry 0)));
+  let st = Pager.mvcc_stats pager in
+  Alcotest.(check int) "no retained versions once every pin dropped" 0 st.Pager.live_versions;
+  Alcotest.(check int) "no parked frees after the next commits" 0 st.Pager.parked_pages;
+  let final = Pager.num_pages pager in
+  Alcotest.(check bool)
+    (Printf.sprintf "file growth bounded: %d pages at cycle 5, %d after 100 cycles" !baseline
+       final)
+    true
+    (final <= !baseline + 16)
+
+let suite =
+  [
+    Alcotest.test_case "snapshot pins survive multiple commits" `Quick
+      test_snapshot_pins_old_generation;
+    Alcotest.test_case "close: idempotent, releases pins" `Quick
+      test_close_idempotent_and_releases_pins;
+    Helpers.qcheck_case qcheck_linearizable;
+    Alcotest.test_case "deterministic probe at every write boundary" `Quick
+      test_hook_probes_every_write_boundary;
+    Alcotest.test_case "crash matrix: pinned reader during commit" `Quick
+      test_crash_matrix_with_pinned_reader;
+    Alcotest.test_case "100 update cycles: deferred frees reclaimed" `Slow
+      test_bounded_growth_100_cycles;
+  ]

@@ -1,5 +1,5 @@
 (* The batched multicore query executor and its supporting layers: the
-   sharded node cache (epoch invalidation, eviction, stats), the
+   sharded node cache (generation keying, pruning, eviction, stats), the
    zero-copy node cursors, executor-vs-sequential equivalence, and the
    buffer pool's one-miss-per-logical-read accounting. *)
 
@@ -25,42 +25,52 @@ let with_temp f =
 let test_cache_basics () =
   let c = Shard_cache.create ~shards:4 ~capacity:64 () in
   let decodes = ref 0 in
-  let get id = Shard_cache.find_or_add c ~epoch:0 id (fun () -> incr decodes; id * 10) in
+  let get id = Shard_cache.find_or_add c ~gen:0 id (fun () -> incr decodes; id * 10) in
   Alcotest.(check int) "decoded value" 70 (get 7);
   Alcotest.(check int) "cached value" 70 (get 7);
   Alcotest.(check int) "one decode" 1 !decodes;
-  Alcotest.(check (option int)) "find hit" (Some 70) (Shard_cache.find c ~epoch:0 7);
-  Alcotest.(check (option int)) "find newer epoch" None (Shard_cache.find c ~epoch:1 7);
+  Alcotest.(check (option int)) "find hit" (Some 70) (Shard_cache.find c ~gen:0 7);
+  Alcotest.(check (option int)) "find other generation" None (Shard_cache.find c ~gen:1 7);
   let s = Shard_cache.stats c in
   Alcotest.(check int) "hits" 2 s.Shard_cache.st_hits;
   Alcotest.(check int) "misses" 1 s.Shard_cache.st_misses;
   Alcotest.(check int) "entries" 1 s.Shard_cache.st_entries
 
-let test_cache_epoch_invalidation () =
+(* Generations coexist: a snapshot reader pinned to an old generation
+   keeps its entries while newer ones land beside them; reclamation is
+   explicit via [prune] with the pin floor. *)
+let test_cache_generation_coexistence_and_prune () =
   let c = Shard_cache.create ~shards:1 ~capacity:16 () in
-  let v1 = Shard_cache.find_or_add c ~epoch:1 3 (fun () -> "old") in
-  let v2 = Shard_cache.find_or_add c ~epoch:2 3 (fun () -> "new") in
-  let v3 = Shard_cache.find_or_add c ~epoch:2 3 (fun () -> "newer") in
-  Alcotest.(check string) "epoch 1 decode" "old" v1;
-  Alcotest.(check string) "epoch 2 re-decode" "new" v2;
-  Alcotest.(check string) "epoch 2 cached" "new" v3;
+  let v1 = Shard_cache.find_or_add c ~gen:1 3 (fun () -> "old") in
+  let v2 = Shard_cache.find_or_add c ~gen:2 3 (fun () -> "new") in
+  let v3 = Shard_cache.find_or_add c ~gen:2 3 (fun () -> "newer") in
+  Alcotest.(check string) "gen 1 decode" "old" v1;
+  Alcotest.(check string) "gen 2 decode" "new" v2;
+  Alcotest.(check string) "gen 2 cached" "new" v3;
+  Alcotest.(check (option string)) "gen 1 still served" (Some "old") (Shard_cache.find c ~gen:1 3);
+  Alcotest.(check int) "both generations live" 2 (Shard_cache.stats c).Shard_cache.st_entries;
+  (* Pin floor rises to 2: generation-1 entries are reclaimed. *)
+  Alcotest.(check int) "pruned" 1 (Shard_cache.prune c ~older_than:2);
+  Alcotest.(check (option string)) "gen 1 gone" None (Shard_cache.find c ~gen:1 3);
+  Alcotest.(check (option string)) "gen 2 kept" (Some "new") (Shard_cache.find c ~gen:2 3);
   let s = Shard_cache.stats c in
-  Alcotest.(check int) "one invalidation" 1 s.Shard_cache.st_invalidations;
-  Alcotest.(check int) "one live entry" 1 s.Shard_cache.st_entries
+  Alcotest.(check int) "prune counted as invalidation" 1 s.Shard_cache.st_invalidations;
+  Alcotest.(check int) "one live entry" 1 s.Shard_cache.st_entries;
+  Alcotest.(check int) "prune below floor is a no-op" 0 (Shard_cache.prune c ~older_than:2)
 
 let test_cache_eviction () =
   (* One shard of capacity 4: inserting more evicts FIFO, and the live
      entry count never exceeds the capacity. *)
   let c = Shard_cache.create ~shards:1 ~capacity:4 () in
   for id = 0 to 9 do
-    ignore (Shard_cache.find_or_add c ~epoch:0 id (fun () -> id))
+    ignore (Shard_cache.find_or_add c ~gen:0 id (fun () -> id))
   done;
   let s = Shard_cache.stats c in
   Alcotest.(check int) "entries bounded" 4 s.Shard_cache.st_entries;
   Alcotest.(check int) "evictions" 6 s.Shard_cache.st_evictions;
   (* The oldest ids are gone, the newest survive. *)
-  Alcotest.(check (option int)) "id 0 evicted" None (Shard_cache.find c ~epoch:0 0);
-  Alcotest.(check (option int)) "id 9 live" (Some 9) (Shard_cache.find c ~epoch:0 9)
+  Alcotest.(check (option int)) "id 0 evicted" None (Shard_cache.find c ~gen:0 0);
+  Alcotest.(check (option int)) "id 9 live" (Some 9) (Shard_cache.find c ~gen:0 9)
 
 (* Many domains hammering one cache: every id decodes exactly once
    (decode runs under the shard lock) and every probe sees the right
@@ -74,7 +84,7 @@ let test_cache_concurrent_decode_once () =
       ignore round;
       for id = 0 to ids - 1 do
         let v =
-          Shard_cache.find_or_add c ~epoch:0 id (fun () ->
+          Shard_cache.find_or_add c ~gen:0 id (fun () ->
               Atomic.incr decodes;
               id * 3)
         in
@@ -129,13 +139,11 @@ let batch_equal tree exec ~jobs queries =
 
 let qcheck_executor_matches_sequential =
   QCheck.Test.make ~name:"qexec batch identical to sequential query loop" ~count:25
-    (QCheck.make
-       ~print:(fun (n, seed, jobs) -> Printf.sprintf "n=%d seed=%d jobs=%d" n seed jobs)
-       QCheck.Gen.(
-         int_range 0 2_000 >>= fun n ->
-         int_range 0 1_000_000 >>= fun seed ->
-         oneofl [ 1; 2; 4 ] >>= fun jobs -> return (n, seed, jobs)))
-    (fun (n, seed, jobs) ->
+    (QCheck.pair
+       (Helpers.arbitrary_scenario ~max_size:2_000 ())
+       (QCheck.oneofl ~print:string_of_int [ 1; 2; 4 ]))
+    (fun (sc, jobs) ->
+      let n = sc.Helpers.sc_size and seed = sc.Helpers.sc_seed in
       let entries = Helpers.random_entries ~n ~seed in
       let tree = Prtree.load (Helpers.small_pool ()) entries in
       let queries = Helpers.random_queries ~n:20 ~seed:(seed + 1) in
@@ -158,10 +166,10 @@ let test_executor_deterministic_across_jobs () =
   in
   Alcotest.(check int) "total matched" seq_matched (Qexec.total_stats r1).Rtree.matched
 
-(* After a committed [Index_file.update], the executor's next batch runs
-   under a new epoch: stale cached nodes are invalidated, results
-   reflect the new tree, and they still agree with the sequential
-   query on the updated tree. *)
+(* After a committed [Index_file.update], the executor's next batch pins
+   the new generation: results reflect the new tree, nodes cached under
+   the old generation are pruned once its last pin drops, and batches
+   still agree with the sequential query on the updated tree. *)
 let test_executor_sees_committed_updates () =
   with_temp (fun path ->
       let entries = Helpers.random_entries ~n:300 ~seed:31 in
@@ -187,7 +195,7 @@ let test_executor_sees_committed_updates () =
           let r2 = Qexec.run ~jobs:2 exec queries in
           Alcotest.(check int) "insert visible" 301 (snd r2.(0)).Rtree.matched;
           let s = Qexec.cache_stats exec in
-          Alcotest.(check bool) "stale nodes invalidated" true
+          Alcotest.(check bool) "old-generation nodes pruned" true
             (s.Shard_cache.st_invalidations > 0);
           Alcotest.(check bool) "batch matches sequential on updated tree" true
             (batch_equal (Index_file.tree idx) exec ~jobs:4 queries)))
@@ -229,7 +237,8 @@ let test_pool_hit_ratio_nan_when_idle () =
 let suite =
   [
     Alcotest.test_case "shard cache: basics" `Quick test_cache_basics;
-    Alcotest.test_case "shard cache: epoch invalidation" `Quick test_cache_epoch_invalidation;
+    Alcotest.test_case "shard cache: generations coexist, prune reclaims" `Quick
+      test_cache_generation_coexistence_and_prune;
     Alcotest.test_case "shard cache: eviction" `Quick test_cache_eviction;
     Alcotest.test_case "shard cache: concurrent decode-once" `Quick
       test_cache_concurrent_decode_once;

@@ -46,11 +46,12 @@ let degraded_view ~seed ~rate ~n =
 
 let test_degraded_subset_qcheck =
   QCheck.Test.make ~count:60 ~name:"degraded query: labelled subset of oracle"
-    QCheck.(triple (int_range 20 150) (int_range 0 1000) (int_range 0 1000))
-    (fun (n, seed, qseed) ->
+    (Helpers.arbitrary_scenario ~min_size:20 ~max_size:150 ())
+    (fun sc ->
+      let n = sc.Helpers.sc_size and seed = sc.Helpers.sc_seed in
       let entries, qtree = degraded_view ~seed ~rate:0.3 ~n in
       let quarantine = Quarantine.create () in
-      let queries = Helpers.random_queries ~n:15 ~seed:qseed in
+      let queries = Helpers.random_queries ~n:15 ~seed:(seed + 1000) in
       Array.for_all
         (fun w ->
           let hits, stats = Rtree.query_list ~quarantine qtree w in
