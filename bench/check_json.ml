@@ -1,9 +1,12 @@
 (* Smoke verifier for the bench emitters (the @bench-smoke alias): each
    argument must be a well-formed JSON file.  A Chrome trace file (an
-   object with "traceEvents") must additionally have strictly balanced
-   B/E span events with monotone timestamps; a BENCH_*.json must carry a
-   non-empty "rows" array of objects.  Exits 1 with a message on any
-   violation, so the dune rule fails loudly. *)
+   object with "traceEvents") must have globally monotone timestamps
+   (the writer merges tracks with a stable sort), B/E span events that
+   balance *per track* (tid) — flight-recorder tracks interleave with
+   the trace sink's — and "X" complete events with a non-negative dur;
+   a BENCH_*.json must carry a non-empty "rows" array of objects.
+   Exits 1 with a message on any violation, so the dune rule fails
+   loudly. *)
 
 module Json = Prt_obs.Json
 
@@ -17,7 +20,7 @@ let check_trace path j =
     | Some (Json.List l) -> l
     | _ -> fail "%s: no traceEvents array" path
   in
-  let stack = ref [] in
+  let stacks : (int, string list) Hashtbl.t = Hashtbl.create 8 in
   let last_ts = ref neg_infinity in
   List.iter
     (fun e ->
@@ -29,17 +32,29 @@ let check_trace path j =
       in
       if ts < !last_ts then fail "%s: timestamps not monotone at %s" path name;
       last_ts := ts;
+      let tid =
+        match Json.to_number (get "tid" e) with Some t -> int_of_float t | None -> 0
+      in
+      let stack = Option.value (Hashtbl.find_opt stacks tid) ~default:[] in
       match get "ph" e with
-      | Json.Str "B" -> stack := name :: !stack
+      | Json.Str "B" -> Hashtbl.replace stacks tid (name :: stack)
       | Json.Str "E" -> (
-          match !stack with
-          | top :: rest when top = name -> stack := rest
-          | top :: _ -> fail "%s: E %s closes B %s" path name top
-          | [] -> fail "%s: E %s without matching B" path name)
+          match stack with
+          | top :: rest when top = name -> Hashtbl.replace stacks tid rest
+          | top :: _ -> fail "%s: tid %d: E %s closes B %s" path tid name top
+          | [] -> fail "%s: tid %d: E %s without matching B" path tid name)
+      | Json.Str "X" -> (
+          match Json.to_number (get "dur" e) with
+          | Some d when d >= 0. -> ()
+          | Some _ -> fail "%s: X %s has negative dur" path name
+          | None -> fail "%s: X %s has no numeric dur" path name)
       | Json.Str "i" -> ()
       | _ -> fail "%s: event %s has bad ph" path name)
     events;
-  (match !stack with [] -> () | top :: _ -> fail "%s: unclosed span %s" path top);
+  Hashtbl.iter
+    (fun tid stack ->
+      match stack with [] -> () | top :: _ -> fail "%s: tid %d: unclosed span %s" path tid top)
+    stacks;
   Printf.printf "%s: %d events, spans balanced\n" path (List.length events)
 
 let check_bench path j =

@@ -18,9 +18,10 @@ module Trace = Prt_obs.Trace
 module Obs_metrics = Prt_obs.Metrics
 
 (* Per-query distributions, visible in `prt-bench` runs under PRT_TRACE
-   (the registry is only collecting while a trace sink is installed). *)
-let h_query_leaves = Obs_metrics.histogram "query.leaves"
-let h_query_matched = Obs_metrics.histogram "query.matched"
+   (the registry is only collecting while a trace sink is installed).
+   Namespaced bench.* — the library owns the query.* counters. *)
+let h_query_leaves = Obs_metrics.histogram "bench.query_leaves"
+let h_query_matched = Obs_metrics.histogram "bench.query_matched"
 
 type variant = H | H4 | PR | TGS | STR
 

@@ -67,6 +67,44 @@ let throughput ~scale ~seed =
         ("speedup", flt 1.0);
         ("efficiency", flt 1.0);
       ]);
+  (* Always-on telemetry overhead: the same sequential loop timed with
+     the metrics registry off and on (per-domain striped counters plus
+     the latency histogram observed by every query).  Best-of-5 each
+     way so scheduler noise doesn't drown the few-percent effect; the
+     ratio is wall-clock and therefore reported, not gated. *)
+  let was_collecting = Prt_obs.Metrics.collecting () in
+  let seq_loop () =
+    Array.fold_left (fun acc w -> acc + (Rtree.query_count tree w).Rtree.matched) 0 queries
+  in
+  let best_of k f =
+    let best = ref infinity in
+    for _ = 1 to k do
+      let _, s = time f in
+      if s < !best then best := s
+    done;
+    !best
+  in
+  Prt_obs.Metrics.set_collecting false;
+  let off_s = best_of 5 seq_loop in
+  Prt_obs.Metrics.set_collecting true;
+  let on_s = best_of 5 seq_loop in
+  Prt_obs.Metrics.set_collecting was_collecting;
+  let overhead = (on_s /. off_s -. 1.0) *. 100.0 in
+  Printf.printf "metrics overhead: %.4fms off, %.4fms on (%+.1f%%)\n%!" (off_s *. 1e3)
+    (on_s *. 1e3) overhead;
+  Bench_json.(
+    row
+      [
+        ("mode", str "metrics-overhead");
+        ("jobs", int 1);
+        ("cores", int cores);
+        ("queries", int batch);
+        ("entries", int n);
+        ("matched", int baseline_matched);
+        ("seconds", flt on_s);
+        ("seconds_off", flt off_s);
+        ("ratio", flt (on_s /. off_s));
+      ]);
   let rows = ref [ [ "sequential"; "-"; Printf.sprintf "%.0f" baseline_qps; "1.00"; "-" ] ] in
   List.iter
     (fun jobs ->

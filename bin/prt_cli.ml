@@ -220,10 +220,17 @@ let query_cmd =
            (quarantining their pages) instead of aborting, and the
            status line below says whether anything was skipped. *)
         let hits, stats =
-          match jobs with
-          | None ->
-              Rtree.query_list ~quarantine:(Index_file.quarantine idx) ?deadline tree window
-          | Some j -> (Qexec.run ~jobs:j ?deadline (Index_file.executor idx) [| window |]).(0)
+          (* The span is what PRT_TRACE exports: under collection its
+             end event carries the counter deltas (pager I/O, node
+             visits), so one query's footprint reads off the dump. *)
+          Obs.Trace.with_span "query"
+            ~args:Obs.Trace.[ ("jobs", Int (Option.value jobs ~default:1)) ]
+            (fun () ->
+              match jobs with
+              | None ->
+                  Rtree.query_list ~quarantine:(Index_file.quarantine idx) ?deadline tree window
+              | Some j ->
+                  (Qexec.run ~jobs:j ?deadline (Index_file.executor idx) [| window |]).(0))
         in
         if not quiet then
           List.iter
@@ -365,6 +372,9 @@ let stats_cmd =
   in
   let run index =
     with_index index (fun idx ->
+        (* Metrics are recorded only while collection is on; flip it so
+           the probe batch below fills the latency histogram. *)
+        Obs.Metrics.set_collecting true;
         let tree = Index_file.tree idx in
         let s = Rtree.validate tree in
         let m = Metrics.analyze tree in
@@ -398,11 +408,86 @@ let stats_cmd =
           cs.Shard_cache.st_hits cs.Shard_cache.st_misses cs.Shard_cache.st_invalidations
           (pct (Qexec.cache_hit_ratio exec));
         Printf.printf "degraded: %s\n"
-          (Format.asprintf "%a" Buffer_pool.pp_degraded (Buffer_pool.degraded pool)))
+          (Format.asprintf "%a" Buffer_pool.pp_degraded (Buffer_pool.degraded pool));
+        (* MVCC retention, resilience surfaces, and the latency
+           percentiles of the probe batch above — the runtime health
+           counters the telemetry layer aggregates across domains. *)
+        let sb = Index_file.superblock idx in
+        let mv = Pager.mvcc_stats pager in
+        Printf.printf "mvcc: generation %d, retained versions %d, parked pages %d, pins %d, pin floor %d\n"
+          (Superblock.generation sb) mv.Pager.live_versions mv.Pager.parked_pages
+          (Superblock.pin_count sb) (Superblock.pinned_floor sb);
+        Printf.printf "quarantine: %d page(s)\n" (Quarantine.count (Index_file.quarantine idx));
+        Printf.printf "breaker: %s\n"
+          (match Retry.breaker_state (Buffer_pool.retry_engine pool) with
+          | `Closed -> "closed"
+          | `Open -> "open"
+          | `Half_open -> "half-open");
+        let lat = Obs.Metrics.histogram "query.latency_us" in
+        if Obs.Metrics.histogram_count lat > 0 then
+          Printf.printf "query latency: p50=%.0fus p95=%.0fus p99=%.0fus (%d queries)\n"
+            (Obs.Metrics.percentile lat 50.0) (Obs.Metrics.percentile lat 95.0)
+            (Obs.Metrics.percentile lat 99.0) (Obs.Metrics.histogram_count lat))
   in
   Cmd.v
     (Cmd.info "stats" ~doc:"Print per-level structure and quality metrics of an index.")
     Term.(const run $ index)
+
+let flightrec_cmd =
+  let index =
+    Arg.(required & opt (some string) None & info [ "i"; "index" ] ~docv:"FILE" ~doc:"Index file.")
+  in
+  let out =
+    Arg.(
+      value & opt string "flightrec.json"
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Chrome trace-event JSON output path.")
+  in
+  let jobs =
+    Arg.(value & opt int 4 & info [ "jobs"; "j" ] ~docv:"N" ~doc:"Worker domains for the batch.")
+  in
+  let window =
+    Arg.(
+      value
+      & opt (some window_conv) None
+      & info [ "window"; "w" ] ~docv:"X0,Y0,X1,Y1"
+          ~doc:"Query window (defaults to the tree's bounding box).")
+  in
+  let repeat =
+    Arg.(value & opt int 8 & info [ "repeat"; "n" ] ~docv:"N" ~doc:"Queries in the batch.")
+  in
+  let run index out jobs window repeat =
+    with_index index (fun idx ->
+        let tree = Index_file.tree idx in
+        let window =
+          match window with
+          | Some w -> w
+          | None -> (
+              match Rtree.mbr tree with
+              | Some box -> box
+              | None -> failwith "flightrec: empty index and no --window given")
+        in
+        (* Trace spans + per-domain flight events land in one merged
+           dump: the batch span on tid 1, each worker's query spans and
+           resilience events on its own domain track. *)
+        Obs.Trace.install (Obs.Trace.memory_sink ());
+        let exec = Index_file.executor idx in
+        let queries = Array.make (max 1 repeat) window in
+        let results = Qexec.run ~jobs exec queries in
+        let matched = Array.fold_left (fun acc (_, s) -> acc + s.Rtree.matched) 0 results in
+        let n = Obs.Trace.write_chrome out in
+        Printf.printf "%d queries over %d domain(s): %d matches\n" (Array.length queries) jobs
+          matched;
+        Printf.printf "flight recorder: %d event(s) recorded, %d dropped\n"
+          (Obs.Flight.total_recorded ()) (Obs.Flight.dropped ());
+        Printf.printf "%d trace event(s) -> %s\n" n out)
+  in
+  Cmd.v
+    (Cmd.info "flightrec"
+       ~doc:
+         "Run a multicore query batch with the flight recorder on and dump the merged Chrome \
+          trace (batch span + per-domain query spans and resilience events). Load the output in \
+          Perfetto or about:tracing.")
+    Term.(const run $ index $ out $ jobs $ window $ repeat)
 
 let profile_cmd =
   let index =
@@ -605,6 +690,17 @@ let fsck_cmd =
     Term.(const run $ index $ rebuild)
 
 let () =
+  (* PRT_TRACE=out.json traces any subcommand end to end: spans plus
+     the flight recorder's per-domain events, merged on one time axis
+     (same contract as the bench harness). *)
+  (match Sys.getenv_opt "PRT_TRACE" with
+  | Some path when path <> "" ->
+      Obs.Metrics.set_collecting true;
+      Obs.Trace.install (Obs.Trace.memory_sink ~capacity:(1 lsl 18) ());
+      at_exit (fun () ->
+          let n = Obs.Trace.write_chrome path in
+          Printf.eprintf "trace: %d event(s) -> %s\n%!" n path)
+  | _ -> ());
   let doc = "Priority R-tree spatial index tooling" in
   let info = Cmd.info "prt" ~version:"1.0.0" ~doc in
   let default = Term.(ret (const (`Help (`Pager, None)))) in
@@ -615,6 +711,7 @@ let () =
             gen_cmd;
             build_cmd;
             query_cmd;
+            flightrec_cmd;
             profile_cmd;
             knn_cmd;
             insert_cmd;

@@ -92,12 +92,14 @@ end
 (* Dynamization via the logarithmic method. *)
 module Logmethod = Prt_logmethod.Logmethod
 
-(* Observability: span tracing (Chrome trace-event export), the global
-   metrics registry, and the minimal JSON used by both.  [Metrics] above
+(* Observability: span tracing (Chrome trace-event export), the
+   domain-striped metrics registry, the always-on per-domain flight
+   recorder, and the minimal JSON used by all three.  [Metrics] above
    is the R-tree *quality* metrics module; this is runtime telemetry. *)
 module Obs = struct
   module Metrics = Prt_obs.Metrics
   module Trace = Prt_obs.Trace
+  module Flight = Prt_obs.Flight
   module Json = Prt_obs.Json
 end
 

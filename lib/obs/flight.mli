@@ -1,0 +1,84 @@
+(** Always-on flight recorder: fixed-size per-domain rings of recent
+    events for postmortem debugging.
+
+    Each domain writes only its own ring (no locks, one small
+    allocation per event), so the recorder is cheap enough to leave
+    enabled.  Rings of exited domains keep their events — the most
+    recent few are exactly what a postmortem needs — and only the
+    oldest are recycled once enough domains have exited, bounding
+    memory under domain churn.  {!failure} marks a failure event and — when a dump path is
+    configured via the [PRT_FLIGHTREC] environment variable or
+    {!set_dump_path} — writes all rings as a Chrome-trace JSON file, so
+    a [Corrupt_page], kill-point crash or fsck salvage leaves a
+    timeline of what every domain was doing.
+
+    Reading the rings while other domains still write is a racy
+    snapshot by design: at worst the newest event of a live domain is
+    misread, which is acceptable for a postmortem tool. *)
+
+type kind = Begin | End | Point | Fail
+
+type event = {
+  fe_kind : kind;
+  fe_name : string;
+  fe_ts : float;  (** microseconds since process start (see {!now_us}) *)
+  fe_arg : int;  (** integer payload; [no_arg] when absent *)
+  fe_note : string;  (** free-form detail; [""] when absent *)
+}
+
+val no_arg : int
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+(** The recorder is {b on} by default. *)
+
+val set_capacity : int -> unit
+(** Events kept per domain ring (default 2048); applies to rings
+    created afterwards.  Raises [Invalid_argument] below 8. *)
+
+val set_dump_path : string option -> unit
+(** Where {!failure} writes its automatic postmortem; [None] (the
+    default, unless [PRT_FLIGHTREC] is set) disables autodump. *)
+
+val dump_path : unit -> string option
+
+val begin_span : ?arg:int -> string -> unit
+val end_span : ?arg:int -> string -> unit
+(** Record span boundaries on the calling domain's ring.  Pairs are
+    matched per ring at export time; an unmatched half degrades to an
+    instant, never an invalid trace. *)
+
+val point : ?arg:int -> ?note:string -> string -> unit
+(** Record an instantaneous event. *)
+
+val failure : ?arg:int -> ?note:string -> string -> unit
+(** Record a failure event, then dump all rings to the configured dump
+    path (if any).  Dump errors are swallowed — recording a failure
+    never raises. *)
+
+val events : unit -> (int * event list) list
+(** Per-domain snapshot of the rings, oldest event first; rings that
+    recorded nothing are omitted. *)
+
+val total_recorded : unit -> int
+(** Events ever recorded across current rings (recycled rings reset). *)
+
+val dropped : unit -> int
+(** Events lost to ring overflow across current rings. *)
+
+val clear : unit -> unit
+(** Empty every ring (for test isolation). *)
+
+val chrome_events : unit -> (float * Json.t) list
+(** All rings as Chrome trace events sorted by timestamp: balanced
+    Begin/End pairs become ["X"] complete events on the domain's track,
+    everything else instants. *)
+
+val chrome_json : unit -> Json.t
+
+val dump : string -> int
+(** Write {!chrome_json} to a file; returns the event count. *)
+
+val now_us : unit -> float
+(** Microseconds since the process-wide trace epoch — the time axis
+    shared with {!Trace}. *)

@@ -16,9 +16,18 @@
    - [Text]: human-readable begin/end lines with nesting indentation,
      printed as they happen.
 
-   Timestamps are wall-clock microseconds since [install], the unit of
-   the Chrome trace-event format (load the exported file in
-   chrome://tracing or https://ui.perfetto.dev). *)
+   Timestamps are wall-clock microseconds on the process-wide epoch
+   shared with {!Flight}, the unit of the Chrome trace-event format
+   (load the exported file in chrome://tracing or
+   https://ui.perfetto.dev) — sharing the axis lets [write_chrome]
+   merge flight-recorder events into the same file.
+
+   The sink machinery is single-domain by design: spans and instants
+   are emitted by the coordinating domain (bulk loads, the Qexec
+   coordinator, the CLI).  Worker domains record through the
+   domain-safe {!Metrics} stripes and {!Flight} rings instead; their
+   numbers reach the trace as span-boundary counter deltas and merged
+   flight events. *)
 
 type value = Int of int | Float of float | Str of string | Bool of bool
 
@@ -56,12 +65,11 @@ let text_sink ppf = Text ppf
 
 let current : sink ref = ref Null
 let enabled_flag = ref false
-let epoch = ref 0.0
 let text_depth = ref 0
 
 let enabled () = !enabled_flag
 
-let now_us () = (Unix.gettimeofday () -. !epoch) *. 1e6
+let now_us () = Flight.now_us ()
 
 let pp_args ppf args =
   if args <> [] then begin
@@ -117,7 +125,6 @@ let install sink =
   | Null -> enabled_flag := false
   | Memory _ | Text _ ->
       enabled_flag := true;
-      epoch := Unix.gettimeofday ();
       (* Spans attribute counter deltas, so tracing implies collection. *)
       Metrics.set_collecting true)
 
@@ -198,10 +205,20 @@ let chrome_json evs =
       ("displayTimeUnit", Json.Str "ms");
     ]
 
-let write_chrome path =
-  let evs = events () in
-  Json.to_file path (chrome_json evs);
-  List.length evs
+(* Merge span events with the flight-recorder rings onto one time axis:
+   trace events keep tid 1, flight events sit on their domain's track.
+   The sort is stable, so the monotone trace stream keeps its relative
+   order on timestamp ties. *)
+let write_chrome ?(flight = true) path =
+  let trace_evs = List.map (fun e -> (e.ev_ts, event_to_json e)) (events ()) in
+  let flight_evs = if flight then Flight.chrome_events () else [] in
+  let all =
+    List.stable_sort (fun (a, _) (b, _) -> Float.compare a b) (trace_evs @ flight_evs)
+  in
+  Json.to_file path
+    (Json.Obj
+       [ ("traceEvents", Json.List (List.map snd all)); ("displayTimeUnit", Json.Str "ms") ]);
+  List.length all
 
 (* --- span summaries --- *)
 

@@ -16,7 +16,7 @@ type event = {
   ev_phase : phase;
   ev_name : string;
   ev_cat : string;
-  ev_ts : float;  (** microseconds since {!install} *)
+  ev_ts : float;  (** microseconds since process start ({!Flight.now_us}) *)
   ev_args : (string * value) list;
 }
 
@@ -33,9 +33,12 @@ val text_sink : Format.formatter -> sink
 (** Prints one indented line per event as it happens. *)
 
 val install : sink -> unit
-(** Make a sink current.  A non-null sink enables tracing, restarts the
-    trace clock and turns on {!Metrics} collection (spans need counter
-    snapshots). *)
+(** Make a sink current.  A non-null sink enables tracing and turns on
+    {!Metrics} collection (spans need counter snapshots).  Timestamps
+    run on the process-wide epoch shared with {!Flight}.
+
+    The sink is single-domain: emit spans from the coordinating domain
+    only — worker domains record through {!Metrics} and {!Flight}. *)
 
 val uninstall : unit -> unit
 (** Back to the null sink; also turns {!Metrics} collection off. *)
@@ -73,10 +76,12 @@ val chrome_json : event list -> Json.t
 (** The Chrome trace-event document ([{"traceEvents": [...]}]) —
     loadable in chrome://tracing and Perfetto. *)
 
-val write_chrome : string -> int
-(** Write the current memory sink's events as a Chrome trace file and
-    return how many events were written (0, with a valid empty trace,
-    for non-memory sinks). *)
+val write_chrome : ?flight:bool -> string -> int
+(** Write the current memory sink's events — merged, unless
+    [~flight:false], with the {!Flight} recorder's per-domain events on
+    one sorted time axis — as a Chrome trace file, returning how many
+    events were written.  Trace spans sit on tid 1; flight events on
+    their domain's tid. *)
 
 type span_stats = {
   span_name : string;

@@ -502,7 +502,10 @@ let fsck ?(page_size = Pager.default_page_size) ?rebuild path =
         match rebuild with
         | None -> None
         | Some (output, load) ->
+            (* Salvage means the file was damaged beyond in-place repair
+               — a postmortem-worthy failure even when it succeeds. *)
             let entries = salvage_entries pager in
+            Prt_obs.Flight.failure "fsck.salvage" ~arg:(Array.length entries) ~note:path;
             let rebuilt =
               create ~page_size output ~build:(fun pool -> load pool entries)
             in

@@ -29,9 +29,11 @@
    when the batch ends, and cached nodes below the new pin floor are
    pruned.
 
-   The observability registry is not domain-safe, so workers never touch
-   it: the coordinator mirrors batch totals into [Prt_obs] counters
-   after the domains join. *)
+   Workers record their own telemetry: the [Prt_obs.Metrics] registry
+   is striped per domain, so each worker ticks visit/degradation
+   counters and the per-query latency histogram directly, and drops
+   span events on its own [Prt_obs.Flight] ring.  Aggregation happens
+   at read time — there is no coordinator-side mirroring left. *)
 
 module Rect = Prt_geom.Rect
 module Pager = Prt_storage.Pager
@@ -72,15 +74,6 @@ let () =
 
 let m_batches = lazy (Prt_obs.Metrics.counter "qexec.batches")
 let m_queries = lazy (Prt_obs.Metrics.counter "qexec.queries")
-let m_cache_hits = lazy (Prt_obs.Metrics.counter "qexec.cache_hits")
-let m_cache_misses = lazy (Prt_obs.Metrics.counter "qexec.cache_misses")
-let m_cache_invalidations = lazy (Prt_obs.Metrics.counter "qexec.cache_invalidations")
-
-(* Resilience counters share names with [Rtree]'s single-domain path
-   (the registry resolves by name), mirrored coordinator-side only. *)
-let m_degraded = lazy (Prt_obs.Metrics.counter "resilience.queries_degraded")
-let m_timed_out = lazy (Prt_obs.Metrics.counter "resilience.queries_timed_out")
-let m_quarantined = lazy (Prt_obs.Metrics.counter "resilience.pages_quarantined")
 let m_rejected = lazy (Prt_obs.Metrics.counter "resilience.batches_rejected")
 
 let create ?shards ?capacity ?snapshot ?quarantine ?max_in_flight tree =
@@ -126,9 +119,10 @@ exception Deadline_exceeded
    Degradation is per subtree, exactly as in [Rtree.query]: the typed
    catch is scoped to the page read/decode alone, so a failure deeper in
    the recursion is handled at its own level and a poisoned page can
-   never fail more than its own subtree — let alone the batch.  Workers
-   run on other domains, so nothing here touches the metrics registry;
-   the quarantine itself is mutex-guarded and safe to share. *)
+   never fail more than its own subtree — let alone the batch.  The
+   worker records its own metrics through [Rtree.record_query_stats]
+   (per-domain stripes) and its own flight-ring events; the quarantine
+   is mutex-guarded and safe to share. *)
 let run_query t ~gen ~root ~height ~deadline window =
   let pgr = Rtree.pager t.tree in
   let stats = Rtree.fresh_stats () in
@@ -145,6 +139,7 @@ let run_query t ~gen ~root ~height ~deadline window =
   let rec visit id depth =
     if Deadline.expired deadline then begin
       stats.Rtree.timed_out <- true;
+      Prt_obs.Flight.point "resilience.deadline_expired" ~arg:id;
       raise_notrace Deadline_exceeded
     end;
     if Quarantine.mem t.quarantine id then skip id
@@ -173,6 +168,25 @@ let run_query t ~gen ~root ~height ~deadline window =
   in
   (try visit root 1 with Deadline_exceeded -> ());
   (List.rev !acc, stats)
+
+(* One query on whatever domain the work-stealing loop runs it: a
+   flight span bracketing the descent, and — while collection is on —
+   the same [query.*] counters/latency histogram as the single-domain
+   path, recorded into this domain's stripe. *)
+let run_query_recorded t ~gen ~root ~height ~deadline i window =
+  Prt_obs.Flight.begin_span "qexec.query" ~arg:i;
+  let r =
+    if not (Prt_obs.Metrics.collecting ()) then run_query t ~gen ~root ~height ~deadline window
+    else begin
+      let t0 = Unix.gettimeofday () in
+      let ((_, stats) as r) = run_query t ~gen ~root ~height ~deadline window in
+      let latency_us = int_of_float ((Unix.gettimeofday () -. t0) *. 1e6) in
+      Rtree.record_query_stats ~latency_us stats;
+      r
+    end
+  in
+  Prt_obs.Flight.end_span "qexec.query" ~arg:i;
+  r
 
 let run ?jobs ?(deadline = Deadline.none) t queries =
   let n = Array.length queries in
@@ -216,12 +230,15 @@ let run ?jobs ?(deadline = Deadline.none) t queries =
     prune_to ()
   in
   Fun.protect ~finally:release_snap @@ fun () ->
-  Prt_obs.Trace.with_span "qexec.batch" (fun () ->
+  Prt_obs.Trace.with_span "qexec.batch"
+    ~args:Prt_obs.Trace.[ ("queries", Int n); ("jobs", Int jobs) ]
+    (fun () ->
       let gen = snap.snap_gen in
       let root = snap.snap_root and height = snap.snap_height in
       let results = Array.make n ([], Rtree.fresh_stats ()) in
-      let before = Shard_cache.stats t.cache in
-      let quarantined_before = Quarantine.added_total t.quarantine in
+      Prt_obs.Metrics.tick (Lazy.force m_batches);
+      Prt_obs.Metrics.add (Lazy.force m_queries) n;
+      Prt_obs.Flight.begin_span "qexec.batch" ~arg:n;
       let next = Atomic.make 0 in
       let chunk = max 1 (n / (jobs * 8)) in
       let worker () =
@@ -229,7 +246,7 @@ let run ?jobs ?(deadline = Deadline.none) t queries =
           let start = Atomic.fetch_and_add next chunk in
           if start < n then begin
             for i = start to min n (start + chunk) - 1 do
-              results.(i) <- run_query t ~gen ~root ~height ~deadline queries.(i)
+              results.(i) <- run_query_recorded t ~gen ~root ~height ~deadline i queries.(i)
             done;
             loop ()
           end
@@ -242,27 +259,10 @@ let run ?jobs ?(deadline = Deadline.none) t queries =
         worker ();
         Array.iter Domain.join spawned
       end;
-      (* Coordinator-only mirroring: the metrics registry is not
-         domain-safe, so batch totals land here, after the join. *)
-      let after = Shard_cache.stats t.cache in
-      Prt_obs.Metrics.tick (Lazy.force m_batches);
-      Prt_obs.Metrics.add (Lazy.force m_queries) n;
-      Prt_obs.Metrics.add (Lazy.force m_cache_hits)
-        (after.Shard_cache.st_hits - before.Shard_cache.st_hits);
-      Prt_obs.Metrics.add (Lazy.force m_cache_misses)
-        (after.Shard_cache.st_misses - before.Shard_cache.st_misses);
-      Prt_obs.Metrics.add (Lazy.force m_cache_invalidations)
-        (after.Shard_cache.st_invalidations - before.Shard_cache.st_invalidations);
-      let degraded = ref 0 and timed_out = ref 0 in
-      Array.iter
-        (fun (_, s) ->
-          if s.Rtree.timed_out then incr timed_out;
-          if s.Rtree.timed_out || s.Rtree.skipped_subtrees > 0 then incr degraded)
-        results;
-      if !degraded > 0 then Prt_obs.Metrics.add (Lazy.force m_degraded) !degraded;
-      if !timed_out > 0 then Prt_obs.Metrics.add (Lazy.force m_timed_out) !timed_out;
-      let dq = Quarantine.added_total t.quarantine - quarantined_before in
-      if dq > 0 then Prt_obs.Metrics.add (Lazy.force m_quarantined) dq;
+      (* Workers recorded everything on their own stripes and rings —
+         after the joins the aggregated registry already holds the
+         batch's totals exactly. *)
+      Prt_obs.Flight.end_span "qexec.batch" ~arg:n;
       results)
 
 let total_stats results =

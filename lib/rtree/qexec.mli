@@ -70,8 +70,11 @@ val run :
   (Entry.t list * Rtree.query_stats) array
 (** Execute the batch on [jobs] domains (default
     [Parallel.default_domains ()]; the coordinating domain is one of
-    them). Emits a ["qexec.batch"] span and mirrors batch totals into
-    the [qexec.*] and [resilience.*] metrics from the coordinator.
+    them). Emits a ["qexec.batch"] span plus per-domain flight-recorder
+    spans; each worker records its own query statistics into the
+    domain-striped [query.*] metrics (identical totals to the same
+    queries run sequentially) and rejected batches tick
+    [resilience.batches_rejected].
 
     Resilience contract: a poisoned page degrades only the subtrees that
     reach it — never a whole query, never the batch.  Each slot's

@@ -114,11 +114,30 @@ let create_empty pool =
 
 let of_root ~pool ~root ~height ~count = { pool; root; height; count }
 
-(* Resilience metrics (ticked on the single-domain query path only; the
-   multicore executor mirrors its own totals after workers join). *)
+(* Query metrics.  The registry stripes per domain, so these are ticked
+   from whichever domain ran the descent — the single-domain path here
+   and every [Qexec] worker share the same counters and the same
+   recording helper, which is what makes multicore totals comparable to
+   a sequential run.  [query.leaf_visits]/[query.internal_visits] count
+   logical node reads of the descent (identical across execution modes
+   for the same tree and windows, unlike physical pager reads, which
+   depend on cache state). *)
 let m_degraded = Prt_obs.Metrics.counter "resilience.queries_degraded"
 let m_timed_out = Prt_obs.Metrics.counter "resilience.queries_timed_out"
-let m_quarantined = Prt_obs.Metrics.counter "resilience.pages_quarantined"
+let m_leaf_visits = Prt_obs.Metrics.counter "query.leaf_visits"
+let m_internal_visits = Prt_obs.Metrics.counter "query.internal_visits"
+let m_matched = Prt_obs.Metrics.counter "query.matched"
+let m_latency = Prt_obs.Metrics.histogram "query.latency_us"
+
+let record_query_stats ?latency_us stats =
+  Prt_obs.Metrics.add m_leaf_visits stats.leaf_visited;
+  Prt_obs.Metrics.add m_internal_visits stats.internal_visited;
+  Prt_obs.Metrics.add m_matched stats.matched;
+  (match latency_us with
+  | Some us -> Prt_obs.Metrics.observe m_latency us
+  | None -> ());
+  if stats.timed_out then Prt_obs.Metrics.tick m_timed_out;
+  if stats.skipped_subtrees > 0 || stats.timed_out then Prt_obs.Metrics.tick m_degraded
 
 exception Deadline_exceeded
 (* Local unwind for deadline expiry: the partial accumulator built so
@@ -135,9 +154,9 @@ type snapshot_view = { sv_gen : int; sv_root : int; sv_height : int }
    safe on reader domains while a writer mutates the live tree through
    the pool.  Leaf vs internal is decided by depth against the
    snapshot's height (the page's kind byte would describe the *live*
-   page, which may have been reallocated into another role).  No
-   [Prt_obs] metrics are ticked here: the registry is single-domain and
-   this path is exactly the one meant to run on other domains. *)
+   page, which may have been reallocated into another role).  Metrics
+   for this path are recorded by the [query] wrapper — the striped
+   registry is domain-safe, so reader domains tick their own stripes. *)
 let query_snapshot ?quarantine ?deadline sv t window ~f =
   let pgr = pager t in
   let stats = fresh_stats () in
@@ -154,6 +173,7 @@ let query_snapshot ?quarantine ?deadline sv t window ~f =
   let rec visit id depth =
     if Deadline.expired dl then begin
       stats.timed_out <- true;
+      Prt_obs.Flight.point "resilience.deadline_expired" ~arg:id;
       raise_notrace Deadline_exceeded
     end;
     if (match quarantine with Some q -> Quarantine.mem q id | None -> false) then
@@ -189,7 +209,7 @@ let query_snapshot ?quarantine ?deadline sv t window ~f =
    The per-subtree catch is scoped to the page read alone — a failure
    deeper in the recursion is handled at its own level, never absorbed
    by an ancestor. *)
-let query ?quarantine ?deadline ?snapshot t window ~f =
+let query_unrecorded ?quarantine ?deadline ?snapshot t window ~f =
   match snapshot with
   | Some sv -> query_snapshot ?quarantine ?deadline sv t window ~f
   | None ->
@@ -210,9 +230,6 @@ let query ?quarantine ?deadline ?snapshot t window ~f =
       stats
   | _ ->
       let dl = Option.value deadline ~default:Deadline.none in
-      let quarantined_before =
-        match quarantine with Some q -> Quarantine.added_total q | None -> 0
-      in
       let skip_subtree id =
         stats.skipped_subtrees <- stats.skipped_subtrees + 1;
         if not (List.mem id stats.skipped_pages) then
@@ -225,6 +242,7 @@ let query ?quarantine ?deadline ?snapshot t window ~f =
       let rec visit id =
         if Deadline.expired dl then begin
           stats.timed_out <- true;
+          Prt_obs.Flight.point "resilience.deadline_expired" ~arg:id;
           raise_notrace Deadline_exceeded
         end;
         if (match quarantine with Some q -> Quarantine.mem q id | None -> false) then
@@ -243,14 +261,22 @@ let query ?quarantine ?deadline ?snapshot t window ~f =
                   Node.iter_children buf window ~f:visit)
       in
       (try visit t.root with Deadline_exceeded -> ());
-      if stats.timed_out then Prt_obs.Metrics.tick m_timed_out;
-      if stats.skipped_subtrees > 0 || stats.timed_out then Prt_obs.Metrics.tick m_degraded;
-      (match quarantine with
-      | Some q ->
-          let d = Quarantine.added_total q - quarantined_before in
-          if d > 0 then Prt_obs.Metrics.add m_quarantined d
-      | None -> ());
       stats
+
+(* All query paths (fast, resilient, snapshot) funnel through here so
+   the same counters and latency histogram are recorded whichever
+   domain runs the descent.  The wall clock is read only while
+   collection is on — an uninstrumented query pays two atomic loads. *)
+let query ?quarantine ?deadline ?snapshot t window ~f =
+  if not (Prt_obs.Metrics.collecting ()) then
+    query_unrecorded ?quarantine ?deadline ?snapshot t window ~f
+  else begin
+    let t0 = Unix.gettimeofday () in
+    let stats = query_unrecorded ?quarantine ?deadline ?snapshot t window ~f in
+    let latency_us = int_of_float ((Unix.gettimeofday () -. t0) *. 1e6) in
+    record_query_stats ~latency_us stats;
+    stats
+  end
 
 let query_list ?quarantine ?deadline ?snapshot t window =
   let acc = ref [] in

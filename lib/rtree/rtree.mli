@@ -20,6 +20,12 @@ type query_stats = {
 val fresh_stats : unit -> query_stats
 val nodes_visited : query_stats -> int
 
+val record_query_stats : ?latency_us:int -> query_stats -> unit
+(** Tick the shared [query.*]/[resilience.*] metrics for one finished
+    descent on the calling domain's stripe — used by {!query} and by
+    every {!Qexec} worker, so multicore and sequential runs account
+    identically.  No-op while {!Prt_obs.Metrics.collecting} is off. *)
+
 (** Completeness of a query's result — partiality is never silent. *)
 type completeness =
   | Complete

@@ -209,6 +209,11 @@ let on_phys_write t =
   (match t.cfg.phys_write_hook with Some f -> f t.phys_writes | None -> ());
   if t.write_budget = 0 then begin
     t.crashes <- t.crashes + 1;
+    (* The kill point is the last thing the "process" does: record it on
+       the flight ring (and autodump, if configured) so the postmortem
+       ends with the crash. *)
+    Prt_obs.Flight.failure "failpoint.crash" ~arg:t.cfg.crash_after_writes
+      ~note:"simulated kill point";
     raise
       (Simulated_crash
          (Printf.sprintf "process killed after %d persisted page writes"

@@ -56,6 +56,7 @@ let m_writes = Prt_obs.Metrics.counter "pager.writes"
 let m_allocs = Prt_obs.Metrics.counter "pager.allocs"
 let m_frees = Prt_obs.Metrics.counter "pager.frees"
 let m_corrupt = Prt_obs.Metrics.counter "pager.corrupt_pages"
+let m_shared_reads = Prt_obs.Metrics.counter "pager.shared_reads"
 
 type backend =
   | Memory of { mutable pages : bytes array; mutable used : int }
@@ -73,7 +74,9 @@ and t = {
   (* --- base-pager state below (unused on the Faulty wrapper; all
      operations recurse to the base first) --- *)
   mutable lsn : int;  (* monotonic stamp counter for written pages *)
-  mutable corrupt_reads : int;  (* reads that failed trailer verification *)
+  corrupt_reads : int Atomic.t;  (* reads that failed trailer verification;
+                                    atomic: [read_shared] verifies on
+                                    reader domains *)
   mutable crash : Failpoint.t option;  (* armed crash budget, if any *)
   mutable defer_frees : bool;
   mutable pending : int list;  (* frees awaiting promotion *)
@@ -121,7 +124,7 @@ let mk ~page_size ~backend ~stats ~free_set =
     closed = false;
     shared_lock = Mutex.create ();
     lsn = 0;
-    corrupt_reads = 0;
+    corrupt_reads = Atomic.make 0;
     crash = None;
     defer_frees = false;
     pending = [];
@@ -200,7 +203,7 @@ let payload_size t = Page.payload_size t.page_size
 let rec num_pages t =
   match t.backend with Memory m -> m.used | File f -> f.used | Faulty f -> num_pages f.inner
 
-let corrupt_reads t = (base t).corrupt_reads
+let corrupt_reads t = Atomic.get (base t).corrupt_reads
 
 let check_open t op = if t.closed then invalid_arg ("Pager." ^ op ^ ": pager is closed")
 
@@ -471,8 +474,12 @@ let verify_read b id buf =
       match Page.check buf with
       | Page.Fresh | Page.Valid _ -> ()
       | Page.Torn | Page.Stale_epoch _ as bad ->
-          b.corrupt_reads <- b.corrupt_reads + 1;
+          Atomic.incr b.corrupt_reads;
           Prt_obs.Metrics.tick m_corrupt;
+          (* Postmortem: mark the failure on this domain's flight ring
+             (and dump all rings, when a dump path is configured). *)
+          Prt_obs.Flight.failure "pager.corrupt_page" ~arg:id
+            ~note:(Fmt.str "%a" Page.pp_integrity bad);
           raise
             (Corrupt_page
                (Fmt.str "page %d failed trailer verification: %a" id Page.pp_integrity bad)))
@@ -524,8 +531,9 @@ let read_raw t id =
    mutation of the device.  On the file backend the shared fd offset
    forces serialization: the read runs under a per-pager mutex and
    returns a fresh verified buffer.  Reads through this path bypass
-   fault injection and are not counted in the pager statistics (they
-   would race; serving throughput is measured by the executor instead). *)
+   fault injection and the plain per-pager stats fields (those would
+   race); they are counted in the domain-striped registry as
+   [pager.shared_reads] instead. *)
 (* The retained image serving generation [gen], if the page was
    overwritten by any transaction committing after it.  The per-page
    list is newest-first (descending [v_gen_end]); the right image is the
@@ -540,6 +548,7 @@ let read_shared ?(gen = 0) t id =
   let b = base t in
   check_open b "read_shared";
   check_id b "read_shared" id;
+  Prt_obs.Metrics.tick m_shared_reads;
   let live () =
     match b.backend with
     | Faulty _ -> assert false

@@ -4,9 +4,10 @@
    verification failed) and drains it (page healed or re-verified).
 
    Guarded by a mutex because `Qexec` workers on other domains add to it
-   mid-batch.  Deliberately free of observability hooks: the metrics
-   registry is not domain-safe, so callers on the coordinator domain
-   mirror [added_total] deltas into counters instead. *)
+   mid-batch.  Every first-time add ticks the (domain-striped, hence
+   domain-safe) [resilience.pages_quarantined] counter and drops a
+   flight-recorder event, so a degraded query's timeline shows exactly
+   when each page went dark — no caller-side mirroring. *)
 
 type reason = Corrupt | Io_failed
 
@@ -16,18 +17,30 @@ type t = {
   mutable added_total : int;  (* monotonic: every add of a new id *)
 }
 
+let m_quarantined = lazy (Prt_obs.Metrics.counter "resilience.pages_quarantined")
+
 let create () = { mu = Mutex.create (); pages = Hashtbl.create 16; added_total = 0 }
 
 let with_lock t f =
   Mutex.lock t.mu;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
 
+let reason_to_string = function Corrupt -> "corrupt" | Io_failed -> "io-failed"
+
 let add t id reason =
-  with_lock t (fun () ->
-      if not (Hashtbl.mem t.pages id) then begin
-        Hashtbl.replace t.pages id reason;
-        t.added_total <- t.added_total + 1
-      end)
+  let added =
+    with_lock t (fun () ->
+        if Hashtbl.mem t.pages id then false
+        else begin
+          Hashtbl.replace t.pages id reason;
+          t.added_total <- t.added_total + 1;
+          true
+        end)
+  in
+  if added then begin
+    Prt_obs.Metrics.tick (Lazy.force m_quarantined);
+    Prt_obs.Flight.point "resilience.quarantine_add" ~arg:id ~note:(reason_to_string reason)
+  end
 
 let mem t id = with_lock t (fun () -> Hashtbl.mem t.pages id)
 let find t id = with_lock t (fun () -> Hashtbl.find_opt t.pages id)
@@ -40,8 +53,6 @@ let pages t =
   |> List.sort Int.compare
 
 let clear t = with_lock t (fun () -> Hashtbl.reset t.pages)
-
-let reason_to_string = function Corrupt -> "corrupt" | Io_failed -> "io-failed"
 
 let pp ppf t =
   let entries =

@@ -32,7 +32,9 @@ val count : t -> int
 
 val added_total : t -> int
 (** Monotonic count of distinct additions (never decremented by
-    {!remove}/{!clear}) — the delta a coordinator mirrors into metrics. *)
+    {!remove}/{!clear}).  Each distinct addition also ticks the
+    [resilience.pages_quarantined] counter and records a flight-recorder
+    point from the adding domain. *)
 
 val pages : t -> int list
 (** Quarantined ids in increasing order. *)

@@ -24,7 +24,13 @@
 
    Backoff is simulated (counted in units, never slept) and advances the
    virtual clock of {!Prt_util.Deadline} when one is installed, so
-   deadline tests can observe retry storms consuming their budget. *)
+   deadline tests can observe retry storms consuming their budget.
+
+   Observability: besides the per-engine [stats] and the [observe]
+   callback (which {!Buffer_pool} wires to counters), every retry
+   attempt and breaker transition drops a [resilience.*] event on the
+   calling domain's flight ring, so a degraded run's timeline is
+   reconstructable from one trace dump. *)
 
 module Rng = Prt_util.Rng
 module Deadline = Prt_util.Deadline
@@ -125,6 +131,7 @@ let backoff_units t ~attempt =
 let trip t =
   t.breaker <- Open t.policy.breaker_cooldown;
   t.stats.trips <- t.stats.trips + 1;
+  Prt_obs.Flight.point "resilience.breaker_open" ~arg:t.policy.breaker_cooldown;
   t.observe Tripped
 
 let record_failure t ~op msg =
@@ -144,17 +151,24 @@ let run t ~op f =
   | Open n when n > 0 ->
       t.breaker <- Open (n - 1);
       t.stats.rejected <- t.stats.rejected + 1;
+      Prt_obs.Flight.point "resilience.rejected" ~note:op;
       t.observe Rejected;
       raise
         (Pager.Io_error
            (Printf.sprintf "%s: circuit breaker open (%d rejections until probe)" op (n - 1)))
-  | Open _ -> t.breaker <- Half_open (* cooldown served: this op is the probe *)
+  | Open _ ->
+      (* Cooldown served: this op is the probe. *)
+      t.breaker <- Half_open;
+      Prt_obs.Flight.point "resilience.breaker_half_open" ~note:op
   | Closed | Half_open -> ());
   let r = t.policy in
   let rec go attempt =
     match f () with
     | v ->
-        if t.breaker = Half_open then t.breaker <- Closed;
+        if t.breaker = Half_open then begin
+          t.breaker <- Closed;
+          Prt_obs.Flight.point "resilience.breaker_close" ~note:op
+        end;
         t.consecutive_failures <- 0;
         v
     | exception Pager.Io_error msg ->
@@ -162,6 +176,7 @@ let run t ~op f =
         t.observe Fault;
         if attempt < r.attempts then begin
           t.stats.retries <- t.stats.retries + 1;
+          Prt_obs.Flight.point "resilience.retry" ~arg:attempt ~note:op;
           t.observe Retried;
           let units = backoff_units t ~attempt in
           t.stats.backoff <- t.stats.backoff + units;

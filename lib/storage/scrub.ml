@@ -163,6 +163,7 @@ let online ?(skip = fun _ -> false) ?(repair = fun _ -> None) ~quarantine ~curso
           | Page.Valid _ | Page.Fresh ->
               if Quarantine.mem quarantine id then begin
                 Quarantine.remove quarantine id;
+                Prt_obs.Flight.point "resilience.quarantine_clear" ~arg:id ~note:"re-verified";
                 incr cleared
               end
           | Page.Torn | Page.Stale_epoch _ -> (
@@ -176,6 +177,7 @@ let online ?(skip = fun _ -> false) ?(repair = fun _ -> None) ~quarantine ~curso
                      the image equals committed state. *)
                   Pager.write pager id img;
                   Prt_obs.Metrics.tick m_healed;
+                  Prt_obs.Flight.point "resilience.quarantine_heal" ~arg:id;
                   incr healed;
                   if Quarantine.mem quarantine id then begin
                     Quarantine.remove quarantine id;

@@ -24,10 +24,16 @@
    makes the miss count deterministic for a quiesced tree: one miss per
    distinct page reached, per generation).
 
-   Counters live per shard (guarded by the shard lock) and are summed on
-   demand; this module never touches the {!Prt_obs} registry — the
-   executor mirrors the deltas from its coordinating domain, keeping the
-   (single-domain) registry out of parallel code. *)
+   Counters live per shard (guarded by the shard lock) and are summed
+   on demand — these are the authoritative per-cache numbers.  The same
+   events are also ticked into the (domain-striped, hence domain-safe)
+   {!Prt_obs} registry under [shard_cache.*], so a trace span over a
+   multicore batch carries the cache traffic as counter deltas. *)
+
+let m_hits = lazy (Prt_obs.Metrics.counter "shard_cache.hits")
+let m_misses = lazy (Prt_obs.Metrics.counter "shard_cache.misses")
+let m_invalidations = lazy (Prt_obs.Metrics.counter "shard_cache.invalidations")
+let m_evictions = lazy (Prt_obs.Metrics.counter "shard_cache.evictions")
 
 type 'v shard = {
   lock : Mutex.t;
@@ -94,7 +100,8 @@ let evict_one s =
     | Some key ->
         if Hashtbl.mem s.tbl key then begin
           Hashtbl.remove s.tbl key;
-          s.evictions <- s.evictions + 1
+          s.evictions <- s.evictions + 1;
+          Prt_obs.Metrics.tick (Lazy.force m_evictions)
         end
         else go ()
   in
@@ -107,9 +114,11 @@ let find_or_add t ~gen id decode =
       match Hashtbl.find_opt s.tbl key with
       | Some value ->
           s.hits <- s.hits + 1;
+          Prt_obs.Metrics.tick (Lazy.force m_hits);
           value
       | None ->
           s.misses <- s.misses + 1;
+          Prt_obs.Metrics.tick (Lazy.force m_misses);
           let value = decode () in
           if Hashtbl.length s.tbl >= s.capacity then evict_one s;
           Hashtbl.replace s.tbl key value;
@@ -122,6 +131,7 @@ let find t ~gen id =
       match Hashtbl.find_opt s.tbl (id, gen) with
       | Some value ->
           s.hits <- s.hits + 1;
+          Prt_obs.Metrics.tick (Lazy.force m_hits);
           Some value
       | None -> None)
 
@@ -137,6 +147,7 @@ let prune t ~older_than =
           List.iter (Hashtbl.remove s.tbl) stale;
           let n = List.length stale in
           s.invalidations <- s.invalidations + n;
+          Prt_obs.Metrics.add (Lazy.force m_invalidations) n;
           total + n))
     0 t.shards
 

@@ -407,6 +407,7 @@ let commit_txn t ~meta =
   Mutex.protect t.pin_lock (fun () ->
       t.gen <- st.commit;
       t.gen_meta <- Bytes.copy meta);
+  Prt_obs.Flight.point "commit.publish" ~arg:st.commit;
   t.last <- st;
   t.in_txn <- false;
   Pager.reclaim t.pager ~upto:(pinned_floor t)

@@ -25,6 +25,7 @@ let () =
       ("crash", Test_crash.suite);
       ("audit", Test_audit.suite);
       ("obs", Test_obs.suite);
+      ("obs-domains", Test_obs_domains.suite);
       ("paper-scale", Test_paper_scale.suite);
       ("workloads", Test_workloads.suite);
       ("qexec", Test_qexec.suite);
