@@ -57,14 +57,50 @@ let check_trace path j =
     stacks;
   Printf.printf "%s: %d events, spans balanced\n" path (List.length events)
 
+(* Serving-tier rows carry a fixed shape: mode/workload labels, the
+   client-shape ints, and internally consistent counters (a request is
+   answered, retried away, or rejected — never lost; percentiles are
+   ordered and only present with successes). *)
+let check_serve_row path row =
+  let str name =
+    match Json.member name row with
+    | Some (Json.Str s) -> s
+    | _ -> fail "%s: serve row missing string field %S" path name
+  in
+  let num name =
+    match Option.bind (Json.member name row) Json.to_number with
+    | Some v -> v
+    | None -> fail "%s: serve row missing numeric field %S" path name
+  in
+  let mode = str "mode" in
+  ignore (str "workload");
+  if not (List.mem mode [ "qps"; "quota"; "overload" ]) then
+    fail "%s: serve row has unknown mode %S" path mode;
+  List.iter
+    (fun f -> if num f < 0.0 then fail "%s: serve row has negative %S" path f)
+    [
+      "concurrency"; "batch"; "entries"; "queries"; "sent"; "ok"; "matched"; "shed";
+      "quota_rejected"; "retries"; "gave_up"; "p50_us"; "p99_us"; "qps"; "seconds";
+    ];
+  if num "concurrency" < 1.0 || num "batch" < 1.0 then
+    fail "%s: serve row has empty client shape" path;
+  if num "ok" +. num "gave_up" > num "sent" then
+    fail "%s: serve row loses requests: ok + gave_up > sent" path;
+  if num "p50_us" > num "p99_us" then fail "%s: serve row has p50 > p99" path;
+  if num "ok" = 0.0 && num "qps" > 0.0 then fail "%s: serve row has qps without successes" path
+
 let check_bench path j =
+  let experiment = match Json.member "experiment" j with Some (Json.Str s) -> s | _ -> "" in
   match Json.member "rows" j with
   | Some (Json.List rows) ->
       if rows = [] then fail "%s: empty rows" path;
       List.iter
-        (function Json.Obj _ -> () | _ -> fail "%s: non-object row" path)
+        (function
+          | Json.Obj _ as row -> if experiment = "serve" then check_serve_row path row
+          | _ -> fail "%s: non-object row" path)
         rows;
-      Printf.printf "%s: %d rows\n" path (List.length rows)
+      Printf.printf "%s: %d rows%s\n" path (List.length rows)
+        (if experiment = "serve" then " (serve shape ok)" else "")
   | _ -> fail "%s: no rows array" path
 
 let () =

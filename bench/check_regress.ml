@@ -57,9 +57,16 @@ let tracked =
     ("relative", Lower 0.10);
     ("matched", Exact);
     ("entries", Exact);
+    (* serving-tier counters: request outcomes are deterministic (fixed
+       windows, fixed batching, quotas that never refill), so shed and
+       admitted counts gate exactly *)
+    ("ok", Exact);
+    ("shed", Exact);
+    ("quota_rejected", Exact);
   ]
 
-let identity_ints = [ "n"; "jobs"; "queries"; "readers"; "pages"; "rate"; "deadline_ms" ]
+let identity_ints =
+  [ "n"; "jobs"; "queries"; "readers"; "pages"; "rate"; "deadline_ms"; "concurrency"; "batch" ]
 
 (* --- rows --- *)
 

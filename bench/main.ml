@@ -75,6 +75,9 @@ let experiments =
     ( "mvcc",
       "Snapshot-read throughput during commits vs quiesced (writers never block readers)",
       Exp_mvcc.mvcc );
+    ( "serve",
+      "Network serving tier: QPS vs client concurrency, quota and overload shedding",
+      Exp_serve.serve );
     ("micro", "Bechamel wall-clock micro-benchmarks", Micro.run);
   ]
 

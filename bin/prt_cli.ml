@@ -419,10 +419,8 @@ let stats_cmd =
           (Superblock.pin_count sb) (Superblock.pinned_floor sb);
         Printf.printf "quarantine: %d page(s)\n" (Quarantine.count (Index_file.quarantine idx));
         Printf.printf "breaker: %s\n"
-          (match Retry.breaker_state (Buffer_pool.retry_engine pool) with
-          | `Closed -> "closed"
-          | `Open -> "open"
-          | `Half_open -> "half-open");
+          (Format.asprintf "%a" Retry.pp_breaker_health
+             (Retry.breaker_health (Buffer_pool.retry_engine pool)));
         let lat = Obs.Metrics.histogram "query.latency_us" in
         if Obs.Metrics.histogram_count lat > 0 then
           Printf.printf "query latency: p50=%.0fus p95=%.0fus p99=%.0fus (%d queries)\n"
@@ -689,7 +687,204 @@ let fsck_cmd =
           Exits 1 if any issue was found.")
     Term.(const run $ index $ rebuild)
 
+(* --- the serving tier --- *)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket"; "s" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+
+let port_arg =
+  Arg.(value & opt (some int) None & info [ "port"; "p" ] ~docv:"PORT" ~doc:"TCP port.")
+
+let host_arg =
+  Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST" ~doc:"TCP host address.")
+
+let serve_cmd =
+  let index =
+    Arg.(required & opt (some string) None & info [ "i"; "index" ] ~docv:"FILE" ~doc:"Index file.")
+  in
+  let quota_rate =
+    Arg.(
+      value & opt float 0.0
+      & info [ "quota-rate" ] ~docv:"R"
+          ~doc:"Per-connection token refill rate (query windows per second).")
+  in
+  let quota_burst =
+    Arg.(
+      value & opt float 0.0
+      & info [ "quota-burst" ] ~docv:"B"
+          ~doc:"Per-connection token bucket capacity; 0 disables quotas.")
+  in
+  let max_in_flight =
+    Arg.(
+      value & opt int 0
+      & info [ "max-in-flight" ] ~docv:"N"
+          ~doc:"Executor admission cap (queries in flight); 0 = unbounded.")
+  in
+  let max_queue =
+    Arg.(
+      value
+      & opt int Serve.Server.default_config.Serve.Server.max_queue
+      & info [ "max-queue" ] ~docv:"N" ~doc:"Parsed requests queued before shedding.")
+  in
+  let max_conns =
+    Arg.(
+      value
+      & opt int Serve.Server.default_config.Serve.Server.max_conns
+      & info [ "max-conns" ] ~docv:"N" ~doc:"Concurrent client connections.")
+  in
+  let jobs =
+    Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc:"Executor domains per batch.")
+  in
+  let write_timeout =
+    Arg.(
+      value
+      & opt float Serve.Server.default_config.Serve.Server.write_timeout_ms
+      & info [ "write-timeout-ms" ] ~docv:"MS" ~doc:"Slow-client write cutoff.")
+  in
+  let drain_deadline =
+    Arg.(
+      value
+      & opt float Serve.Server.default_config.Serve.Server.drain_deadline_ms
+      & info [ "drain-deadline-ms" ] ~docv:"MS" ~doc:"Budget for graceful drain on shutdown.")
+  in
+  let run index socket port host quota_rate quota_burst max_in_flight max_queue max_conns jobs
+      write_timeout drain_deadline =
+    if socket = None && port = None then
+      failwith "serve: need --socket PATH or --port PORT to listen on";
+    with_index index (fun idx ->
+        let config =
+          {
+            Serve.Server.default_config with
+            Serve.Server.quota_rate;
+            quota_burst;
+            max_in_flight;
+            max_queue;
+            max_conns;
+            jobs;
+            write_timeout_ms = write_timeout;
+            drain_deadline_ms = drain_deadline;
+          }
+        in
+        let srv = Serve.Server.create ~config idx in
+        (match socket with
+        | Some path ->
+            Serve.Server.listen_unix srv path;
+            Printf.printf "prt serve: listening on unix socket %s\n%!" path
+        | None -> ());
+        (match port with
+        | Some port ->
+            Serve.Server.listen_tcp ~host srv port;
+            Printf.printf "prt serve: listening on %s:%d\n%!" host port
+        | None -> ());
+        (* SIGTERM/SIGINT begin a graceful drain: stop accepting, finish
+           in-flight requests under the drain deadline, then exit. *)
+        let drain _ = Serve.Server.request_drain srv in
+        Sys.set_signal Sys.sigterm (Sys.Signal_handle drain);
+        Sys.set_signal Sys.sigint (Sys.Signal_handle drain);
+        let report = Serve.Server.run srv in
+        Printf.printf "%s\n" (Format.asprintf "%a" Serve.Server.pp_report report))
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve window queries over a Unix-domain or TCP socket (length-prefixed CRC'd binary \
+          frames, see DESIGN.md). Per-client token-bucket quotas, bounded-queue load shedding \
+          with retry-after hints, per-request deadlines, slow-client cutoffs, and graceful drain \
+          on SIGTERM/SIGINT.")
+    Term.(
+      const run $ index $ socket_arg $ port_arg $ host_arg $ quota_rate $ quota_burst
+      $ max_in_flight $ max_queue $ max_conns $ jobs $ write_timeout $ drain_deadline)
+
+let load_cmd =
+  let workload =
+    Arg.(
+      value & opt string "skewed"
+      & info [ "workload" ] ~docv:"KIND" ~doc:"Query workload: skewed, cluster or uniform.")
+  in
+  let queries =
+    Arg.(value & opt int 256 & info [ "queries"; "n" ] ~docv:"N" ~doc:"Query windows to replay.")
+  in
+  let concurrency =
+    Arg.(value & opt int 1 & info [ "concurrency"; "c" ] ~docv:"N" ~doc:"Client worker domains.")
+  in
+  let batch =
+    Arg.(value & opt int 8 & info [ "batch"; "b" ] ~docv:"N" ~doc:"Windows per request.")
+  in
+  let deadline =
+    Arg.(
+      value & opt int 0
+      & info [ "deadline-ms" ] ~docv:"MS" ~doc:"Per-request deadline budget; 0 = none.")
+  in
+  let retries =
+    Arg.(
+      value & opt int 3
+      & info [ "retries" ] ~docv:"N"
+          ~doc:"Retry budget per request for overload/quota rejections (jittered backoff \
+                honouring the server's retry-after hints).")
+  in
+  let drain_after =
+    Arg.(
+      value & flag
+      & info [ "drain" ] ~doc:"Send a drain request once the replay finishes (shuts the server \
+                               down gracefully).")
+  in
+  let run socket port host workload queries concurrency batch deadline retries seed drain_after =
+    let connect () =
+      match (socket, port) with
+      | Some path, _ -> Serve.Client.connect_unix path
+      | None, Some port -> Serve.Client.connect_tcp ~host port
+      | None, None -> failwith "load: need --socket PATH or --port PORT to connect to"
+    in
+    let windows =
+      match workload with
+      | "skewed" -> Queries.skewed_squares ~count:queries ~area_fraction:0.0001 ~c:5 ~seed
+      | "cluster" -> Queries.cluster_strips ~count:queries ~seed
+      | "uniform" ->
+          Queries.squares ~count:queries ~area_fraction:0.0001
+            ~world:(Rect.make ~xmin:0.0 ~ymin:0.0 ~xmax:1.0 ~ymax:1.0)
+            ~seed
+      | other -> failwith ("unknown workload: " ^ other ^ " (skewed|cluster|uniform)")
+    in
+    let cfg =
+      {
+        (Serve.Load_gen.default_config ~connect) with
+        Serve.Load_gen.concurrency;
+        batch;
+        deadline_ms = deadline;
+        max_retries = retries;
+        seed;
+      }
+    in
+    let stats = Serve.Load_gen.run cfg windows in
+    Printf.printf "%s\n" (Format.asprintf "%a" Serve.Load_gen.pp_stats stats);
+    if drain_after then begin
+      let c = connect () in
+      (match Serve.Client.drain c with
+      | Ok health ->
+          Printf.printf "drain requested: generation %d, %d connection(s) live\n"
+            health.Serve.Wire.h_generation health.Serve.Wire.h_conns
+      | Error f -> Printf.printf "drain failed: %s\n" (Format.asprintf "%a" Serve.Client.pp_failure f));
+      Serve.Client.close c
+    end;
+    if stats.Serve.Load_gen.protocol_errors > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "load"
+       ~doc:
+         "Replay a query workload against a running $(b,prt serve) instance from concurrent \
+          worker domains, with bounded jittered-backoff retries on overload/quota rejections. \
+          Prints matched counts, rejection/retry tallies, p50/p99 latency and QPS.")
+    Term.(
+      const run $ socket_arg $ port_arg $ host_arg $ workload $ queries $ concurrency $ batch
+      $ deadline $ retries $ seed_arg $ drain_after)
+
 let () =
+  (* A client hanging up mid-reply must surface as EPIPE on that
+     connection, never kill the process. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   (* PRT_TRACE=out.json traces any subcommand end to end: spans plus
      the flight recorder's per-domain events, merged on one time axis
      (same contract as the bench harness). *)
@@ -722,4 +917,6 @@ let () =
             audit_cmd;
             scrub_cmd;
             fsck_cmd;
+            serve_cmd;
+            load_cmd;
           ]))

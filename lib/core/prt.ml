@@ -103,6 +103,18 @@ module Obs = struct
   module Json = Prt_obs.Json
 end
 
+(* The network query tier: wire protocol, select-loop server with
+   quotas / shedding / graceful drain, blocking client, multi-domain
+   load generator, and fault-injected sockets for chaos testing. *)
+module Serve = struct
+  module Wire = Prt_serve.Wire
+  module Quota = Prt_serve.Quota
+  module Chaos = Prt_serve.Chaos
+  module Server = Prt_serve.Server
+  module Client = Prt_serve.Client
+  module Load_gen = Prt_serve.Load_gen
+end
+
 (* Workloads from the paper's evaluation. *)
 module Datasets = Prt_workloads.Datasets
 module Tiger = Prt_workloads.Tiger

@@ -1,0 +1,46 @@
+(* Fault-injecting byte streams over sockets.  See chaos.mli for the
+   verdict mapping. *)
+
+module Failpoint = Prt_storage.Failpoint
+module Deadline = Prt_util.Deadline
+
+type t = {
+  sock : Unix.file_descr;
+  failpoint : Failpoint.t option;
+  mutable closed : bool;
+}
+
+let of_fd sock = { sock; failpoint = None; closed = false }
+let wrap fp t = { t with failpoint = Some fp }
+let fd t = t.sock
+
+(* A partial verdict delivers at least one byte: a zero-byte read would
+   be indistinguishable from EOF to the caller. *)
+let prefix_len f len = max 1 (int_of_float (f *. float_of_int len))
+
+let read t buf pos len =
+  match t.failpoint with
+  | None -> Unix.read t.sock buf pos len
+  | Some fp -> (
+      Deadline.advance_ms (Failpoint.config fp).Failpoint.read_delay_ms;
+      match Failpoint.on_read fp with
+      | Failpoint.Error -> raise (Unix.Unix_error (Unix.ECONNRESET, "chaos-read", ""))
+      | Failpoint.Ok -> Unix.read t.sock buf pos len
+      | Failpoint.Partial f -> Unix.read t.sock buf pos (min len (prefix_len f len)))
+
+let write t buf pos len =
+  match t.failpoint with
+  | None -> Unix.single_write t.sock buf pos len
+  | Some fp -> (
+      Deadline.advance_ms (Failpoint.config fp).Failpoint.write_delay_ms;
+      if Failpoint.crash_enabled fp then Failpoint.on_phys_write fp;
+      match Failpoint.on_write fp with
+      | Failpoint.Error -> 0 (* stalled: no progress, no error *)
+      | Failpoint.Ok -> Unix.single_write t.sock buf pos len
+      | Failpoint.Partial f -> Unix.single_write t.sock buf pos (min len (prefix_len f len)))
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.sock with Unix.Unix_error _ -> ()
+  end

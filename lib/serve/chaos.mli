@@ -1,0 +1,47 @@
+(** Byte streams with deterministic fault injection — the serving tier's
+    analogue of {!Prt_storage.Pager.wrap_faulty}.
+
+    A {!t} wraps a socket file descriptor; {!wrap} layers a
+    {!Prt_storage.Failpoint} policy over it so the network failure modes
+    real servers meet — partial reads, stalled writes, abrupt peer
+    resets, a deterministic kill-point crash mid-reply — replay
+    bit-for-bit from a seed.  Verdict mapping:
+
+    - read [Error]: the peer vanished — raises
+      [Unix_error (ECONNRESET, ...)] with nothing read;
+    - read [Partial f]: a short read delivering only a prefix of what
+      the kernel had (framing code must reassemble);
+    - write [Error]: a stalled write — zero bytes accepted, no error
+      (exercises slow-client timeouts);
+    - write [Partial f]: a short write accepting only a prefix;
+    - the crash budget ([Failpoint.crash_after]) raises
+      {!Prt_storage.Failpoint.Simulated_crash} on the configured write,
+      modelling a process kill while serving.
+
+    Configured [read_delay_ms]/[write_delay_ms] are charged to the
+    virtual clock per attempt, so simulated-slow networks consume
+    deadline budget in tests without sleeping. *)
+
+type t
+
+val of_fd : Unix.file_descr -> t
+(** A transparent stream over a connected socket. *)
+
+val wrap : Prt_storage.Failpoint.t -> t -> t
+(** Layer a failure policy over a stream (shared failpoint state: one
+    policy can cover many connections, advancing one schedule). *)
+
+val fd : t -> Unix.file_descr
+(** The underlying descriptor, for [select]. *)
+
+val read : t -> bytes -> int -> int -> int
+(** [Unix.read] semantics: 0 means EOF.  May raise [Unix.Unix_error]
+    (including injected [ECONNRESET]) or
+    {!Prt_storage.Failpoint.Simulated_crash}. *)
+
+val write : t -> bytes -> int -> int -> int
+(** [Unix.single_write] semantics; 0 means no progress (injected stall
+    or [EAGAIN] on a non-blocking socket). *)
+
+val close : t -> unit
+(** Idempotent. *)

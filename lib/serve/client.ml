@@ -1,0 +1,106 @@
+type t = {
+  fd : Unix.file_descr;
+  reader : Wire.Reader.t;
+  scratch : bytes;
+  mutable next_id : int;
+  mutable closed : bool;
+}
+
+type failure =
+  | Disconnected
+  | Protocol of Wire.proto_error
+  | Rejected of { code : Wire.error_code; retry_after_ms : float; detail : string }
+
+let of_fd fd =
+  { fd; reader = Wire.Reader.create (); scratch = Bytes.create 65536; next_id = 1; closed = false }
+
+let connect_unix path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX path)
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  of_fd fd
+
+let connect_tcp ?(host = "127.0.0.1") port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  of_fd fd
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let fresh_id t =
+  let id = t.next_id in
+  t.next_id <- (if id >= 0xFFFFFF then 1 else id + 1);
+  id
+
+let send t req =
+  let frame = Wire.encode (Wire.Request req) in
+  let len = Bytes.length frame in
+  let pos = ref 0 in
+  while !pos < len do
+    match Unix.write t.fd frame !pos (len - !pos) with
+    | n -> pos := !pos + n
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
+let rec recv t =
+  match Wire.Reader.next t.reader with
+  | `Msg (Wire.Reply r) -> Ok r
+  | `Msg (Wire.Request _) -> Error (Protocol (Wire.Bad_payload "request kind sent to a client"))
+  | `Error e -> Error (Protocol e)
+  | `Need_more -> (
+      match Unix.read t.fd t.scratch 0 (Bytes.length t.scratch) with
+      | 0 -> Error Disconnected
+      | n ->
+          Wire.Reader.feed t.reader t.scratch 0 n;
+          recv t
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> recv t
+      | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> Error Disconnected)
+
+(* Replies on a connection come back in request order, so the first
+   reply after a send answers it; the echoed id is double-checked. *)
+let rendezvous t ~id ~expect =
+  match recv t with
+  | Error _ as e -> e
+  | Ok (Wire.Error { code; retry_after_ms; detail; _ }) ->
+      Error (Rejected { code; retry_after_ms; detail })
+  | Ok reply ->
+      if Wire.msg_id (Wire.Reply reply) <> id then
+        Error (Protocol (Wire.Bad_payload "reply id does not match the request"))
+      else expect reply
+
+let query t ?(deadline_ms = 0) windows =
+  let id = fresh_id t in
+  match send t (Wire.Query { id; deadline_ms; windows }) with
+  | () ->
+      rendezvous t ~id ~expect:(function
+        | Wire.Results { results; _ } -> Ok results
+        | _ -> Error (Protocol (Wire.Bad_payload "expected a results reply")))
+  | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> Error Disconnected
+
+let health_like t req =
+  let id = fresh_id t in
+  match send t (req ~id) with
+  | () ->
+      rendezvous t ~id ~expect:(function
+        | Wire.Health_status { health; _ } -> Ok health
+        | _ -> Error (Protocol (Wire.Bad_payload "expected a health reply")))
+  | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> Error Disconnected
+
+let health t = health_like t (fun ~id -> Wire.Health_check { id })
+let drain t = health_like t (fun ~id -> Wire.Drain { id })
+
+let pp_failure ppf = function
+  | Disconnected -> Fmt.string ppf "disconnected"
+  | Protocol e -> Fmt.pf ppf "protocol error: %a" Wire.pp_proto_error e
+  | Rejected { code; retry_after_ms; detail } ->
+      Fmt.pf ppf "rejected (%s, retry after %.1fms): %s" (Wire.error_code_label code)
+        retry_after_ms detail

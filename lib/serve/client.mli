@@ -1,0 +1,46 @@
+(** Blocking client for the {!Wire} protocol — the counterpart the CLI
+    ([prt load]), the load generator and the tests drive.
+
+    One {!t} wraps one connected socket.  Requests are correlated by id:
+    {!query}, {!health} and {!drain} send a fresh id and match the
+    (in-order) reply.  Every way a call can fail is a typed {!failure} —
+    transport errors and server rejections never raise, with one
+    exception: {!send} can raise [Unix.Unix_error] (e.g. [EPIPE] when
+    the server vanished mid-write), which callers treat like
+    {!Disconnected}. *)
+
+type t
+
+type failure =
+  | Disconnected  (** EOF (possibly mid-frame) or a reset transport *)
+  | Protocol of Wire.proto_error  (** the server sent bytes we cannot trust *)
+  | Rejected of { code : Wire.error_code; retry_after_ms : float; detail : string }
+      (** a typed server rejection — {!Rejected} with [E_overloaded] or
+          [E_quota] carries the server's retry-after hint *)
+
+val of_fd : Unix.file_descr -> t
+(** Adopt a connected (blocking) socket. *)
+
+val connect_unix : string -> t
+val connect_tcp : ?host:string -> int -> t
+
+val close : t -> unit
+(** Idempotent. *)
+
+val send : t -> Wire.request -> unit
+(** Write one request frame (complete, looping over short writes).
+    Raises [Unix.Unix_error] if the transport fails. *)
+
+val recv : t -> (Wire.reply, failure) result
+(** Block for the next reply frame. *)
+
+val query :
+  t -> ?deadline_ms:int -> Prt_geom.Rect.t array -> (Wire.query_result array, failure) result
+(** One batched window query; [Ok] carries one result per window, in
+    order.  A typed server [Error] reply comes back as [Rejected]. *)
+
+val health : t -> (Wire.health, failure) result
+val drain : t -> (Wire.health, failure) result
+(** Ask the server to drain; the reply is its final health snapshot. *)
+
+val pp_failure : Format.formatter -> failure -> unit

@@ -1,0 +1,224 @@
+type config = {
+  connect : unit -> Client.t;
+  concurrency : int;
+  batch : int;
+  deadline_ms : int;
+  max_retries : int;
+  base_backoff_ms : float;
+  max_backoff_ms : float;
+  seed : int;
+}
+
+let default_config ~connect =
+  {
+    connect;
+    concurrency = 1;
+    batch = 8;
+    deadline_ms = 0;
+    max_retries = 3;
+    base_backoff_ms = 5.0;
+    max_backoff_ms = 200.0;
+    seed = 42;
+  }
+
+type stats = {
+  sent : int;
+  ok : int;
+  matched : int;
+  complete : int;
+  partial : int;
+  timed_out : int;
+  retries : int;
+  gave_up : int;
+  rejected_deadline : int;
+  rejected_draining : int;
+  rejected_other : int;
+  disconnects : int;
+  protocol_errors : int;
+  latencies_us : int array;
+  elapsed_s : float;
+}
+
+(* One worker's mutable tallies; merged after join. *)
+type acc = {
+  mutable a_sent : int;
+  mutable a_ok : int;
+  mutable a_matched : int;
+  mutable a_complete : int;
+  mutable a_partial : int;
+  mutable a_timed_out : int;
+  mutable a_retries : int;
+  mutable a_gave_up : int;
+  mutable a_deadline : int;
+  mutable a_draining : int;
+  mutable a_other : int;
+  mutable a_disconnects : int;
+  mutable a_protocol : int;
+  mutable a_lat : int list;
+}
+
+let fresh_acc () =
+  {
+    a_sent = 0;
+    a_ok = 0;
+    a_matched = 0;
+    a_complete = 0;
+    a_partial = 0;
+    a_timed_out = 0;
+    a_retries = 0;
+    a_gave_up = 0;
+    a_deadline = 0;
+    a_draining = 0;
+    a_other = 0;
+    a_disconnects = 0;
+    a_protocol = 0;
+    a_lat = [];
+  }
+
+let record_ok acc ~t0 results =
+  acc.a_ok <- acc.a_ok + 1;
+  acc.a_lat <- int_of_float ((Unix.gettimeofday () -. t0) *. 1e6) :: acc.a_lat;
+  Array.iter
+    (fun { Wire.qr_completeness; qr_hits } ->
+      acc.a_matched <- acc.a_matched + List.length qr_hits;
+      match qr_completeness with
+      | Wire.C_complete -> acc.a_complete <- acc.a_complete + 1
+      | Wire.C_partial _ -> acc.a_partial <- acc.a_partial + 1
+      | Wire.C_timed_out _ -> acc.a_timed_out <- acc.a_timed_out + 1)
+    results
+
+let backoff_ms cfg rng hint =
+  let hint = if Float.is_finite hint && hint > 0.0 then hint else cfg.base_backoff_ms in
+  (* Jitter in [0.5, 1.5): workers that were shed together must not
+     retry together. *)
+  let jitter = 0.5 +. Random.State.float rng 1.0 in
+  Float.min cfg.max_backoff_ms (Float.max cfg.base_backoff_ms hint *. jitter)
+
+let worker cfg windows w =
+  let acc = fresh_acc () in
+  let rng = Random.State.make [| cfg.seed; w |] in
+  let client = ref None in
+  let get_client () =
+    match !client with
+    | Some c -> c
+    | None ->
+        let c = cfg.connect () in
+        client := Some c;
+        c
+  in
+  let drop_client () =
+    (match !client with Some c -> Client.close c | None -> ());
+    client := None
+  in
+  (* Every [concurrency]-th window, grouped into batches. *)
+  let mine = ref [] in
+  Array.iteri (fun i q -> if i mod cfg.concurrency = w then mine := q :: !mine) windows;
+  let mine = Array.of_list (List.rev !mine) in
+  let n = Array.length mine in
+  let pos = ref 0 in
+  while !pos < n do
+    let len = min cfg.batch (n - !pos) in
+    let batch = Array.sub mine !pos len in
+    pos := !pos + len;
+    acc.a_sent <- acc.a_sent + 1;
+    let rec attempt tries =
+      let retry hint =
+        if tries >= cfg.max_retries then acc.a_gave_up <- acc.a_gave_up + 1
+        else begin
+          acc.a_retries <- acc.a_retries + 1;
+          Unix.sleepf (backoff_ms cfg rng hint /. 1000.0);
+          attempt (tries + 1)
+        end
+      in
+      match get_client () with
+      | exception (Unix.Unix_error _ | Sys_error _) ->
+          acc.a_disconnects <- acc.a_disconnects + 1;
+          retry cfg.base_backoff_ms
+      | c -> (
+          let t0 = Unix.gettimeofday () in
+          match Client.query c ~deadline_ms:cfg.deadline_ms batch with
+          | Ok results -> record_ok acc ~t0 results
+          | Error (Client.Rejected { code = Wire.E_overloaded | Wire.E_quota; retry_after_ms; _ })
+            ->
+              retry retry_after_ms
+          | Error (Client.Rejected { code = Wire.E_deadline; _ }) ->
+              acc.a_deadline <- acc.a_deadline + 1
+          | Error (Client.Rejected { code = Wire.E_draining; _ }) ->
+              acc.a_draining <- acc.a_draining + 1
+          | Error (Client.Rejected _) -> acc.a_other <- acc.a_other + 1
+          | Error Client.Disconnected ->
+              acc.a_disconnects <- acc.a_disconnects + 1;
+              drop_client ();
+              retry cfg.base_backoff_ms
+          | Error (Client.Protocol _) ->
+              (* Unsynchronized stream: nothing after it can be trusted. *)
+              acc.a_protocol <- acc.a_protocol + 1;
+              drop_client ();
+              retry cfg.base_backoff_ms)
+    in
+    attempt 0
+  done;
+  drop_client ();
+  acc
+
+let run cfg windows =
+  if cfg.concurrency < 1 then invalid_arg "Load_gen.run: concurrency must be >= 1";
+  if cfg.batch < 1 then invalid_arg "Load_gen.run: batch must be >= 1";
+  let t0 = Unix.gettimeofday () in
+  let accs =
+    if cfg.concurrency = 1 then [| worker cfg windows 0 |]
+    else
+      Array.init (cfg.concurrency - 1) (fun w -> Domain.spawn (fun () -> worker cfg windows (w + 1)))
+      |> fun doms ->
+      let first = worker cfg windows 0 in
+      Array.append [| first |] (Array.map Domain.join doms)
+  in
+  let elapsed_s = Unix.gettimeofday () -. t0 in
+  let sum f = Array.fold_left (fun s a -> s + f a) 0 accs in
+  let latencies_us =
+    Array.of_list (List.concat_map (fun a -> a.a_lat) (Array.to_list accs))
+  in
+  Array.sort compare latencies_us;
+  {
+    sent = sum (fun a -> a.a_sent);
+    ok = sum (fun a -> a.a_ok);
+    matched = sum (fun a -> a.a_matched);
+    complete = sum (fun a -> a.a_complete);
+    partial = sum (fun a -> a.a_partial);
+    timed_out = sum (fun a -> a.a_timed_out);
+    retries = sum (fun a -> a.a_retries);
+    gave_up = sum (fun a -> a.a_gave_up);
+    rejected_deadline = sum (fun a -> a.a_deadline);
+    rejected_draining = sum (fun a -> a.a_draining);
+    rejected_other = sum (fun a -> a.a_other);
+    disconnects = sum (fun a -> a.a_disconnects);
+    protocol_errors = sum (fun a -> a.a_protocol);
+    latencies_us;
+    elapsed_s;
+  }
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then Float.nan
+  else if n = 1 then float_of_int sorted.(0)
+  else begin
+    let p = Float.max 0.0 (Float.min 100.0 p) in
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = min (n - 1) (lo + 1) in
+    let frac = rank -. float_of_int lo in
+    float_of_int sorted.(lo) +. (frac *. float_of_int (sorted.(hi) - sorted.(lo)))
+  end
+
+let qps s = if s.elapsed_s > 0.0 then float_of_int s.ok /. s.elapsed_s else 0.0
+
+let pp_stats ppf s =
+  Fmt.pf ppf
+    "sent=%d ok=%d matched=%d windows(complete=%d partial=%d timed-out=%d) retries=%d gave-up=%d \
+     rejected(deadline=%d draining=%d other=%d) disconnects=%d protocol=%d p50=%.0fus p99=%.0fus \
+     qps=%.1f elapsed=%.3fs"
+    s.sent s.ok s.matched s.complete s.partial s.timed_out s.retries s.gave_up s.rejected_deadline
+    s.rejected_draining s.rejected_other s.disconnects s.protocol_errors
+    (percentile s.latencies_us 50.0)
+    (percentile s.latencies_us 99.0)
+    (qps s) s.elapsed_s

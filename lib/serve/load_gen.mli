@@ -1,0 +1,60 @@
+(** Multi-domain load generator for the serving tier — the measurement
+    half of [prt load] and the serve benchmarks.
+
+    [run] spawns [concurrency] worker domains; each opens its own
+    connection (via the caller's [connect]), takes every
+    [concurrency]-th query window from the shared list, groups them
+    into batched requests of [batch] windows, and replays them with a
+    bounded retry loop: [E_overloaded] and [E_quota] rejections honour
+    the server's retry-after hint (clamped, with deterministic seeded
+    jitter so workers don't retry in lockstep) up to [max_retries]
+    attempts, then count as given up.  Non-retryable rejections
+    ([E_deadline], [E_draining], [E_too_large], [E_malformed]) and
+    transport failures are counted, never raised — a load run survives
+    everything the server can do to it. *)
+
+type config = {
+  connect : unit -> Client.t;  (** called once per worker (and on reconnect) *)
+  concurrency : int;  (** worker domains; >= 1 *)
+  batch : int;  (** windows per request; >= 1 *)
+  deadline_ms : int;  (** per-request deadline budget; 0 = none *)
+  max_retries : int;  (** retry budget per request for retryable rejections *)
+  base_backoff_ms : float;  (** backoff floor when the server gives no usable hint *)
+  max_backoff_ms : float;  (** clamp on hint + jitter (keeps chaos runs bounded) *)
+  seed : int;  (** jitter determinism *)
+}
+
+val default_config : connect:(unit -> Client.t) -> config
+(** concurrency 1, batch 8, no deadline, 3 retries, 5ms base / 200ms max
+    backoff, seed 42. *)
+
+type stats = {
+  sent : int;  (** requests attempted (first tries, not counting retries) *)
+  ok : int;  (** requests answered with [Results] *)
+  matched : int;  (** entries returned across all [Ok] replies *)
+  complete : int;  (** windows answered [C_complete] *)
+  partial : int;  (** windows answered [C_partial] *)
+  timed_out : int;  (** windows answered [C_timed_out] *)
+  retries : int;  (** retry attempts performed *)
+  gave_up : int;  (** requests dropped after exhausting [max_retries] *)
+  rejected_deadline : int;
+  rejected_draining : int;
+  rejected_other : int;  (** [E_too_large] / [E_malformed] rejections *)
+  disconnects : int;
+  protocol_errors : int;
+  latencies_us : int array;  (** per-successful-request latency, sorted ascending *)
+  elapsed_s : float;  (** wall-clock of the whole run *)
+}
+
+val run : config -> Prt_geom.Rect.t array -> stats
+(** Replay the windows and merge every worker's counters.  Total
+    requests sent is [ceil(per-worker windows / batch)] summed over
+    workers. *)
+
+val percentile : int array -> float -> float
+(** [percentile sorted p] with linear interpolation; [nan] when empty. *)
+
+val qps : stats -> float
+(** Successful requests per second of wall-clock ([0.] when instant). *)
+
+val pp_stats : Format.formatter -> stats -> unit

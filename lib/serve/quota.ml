@@ -1,0 +1,36 @@
+(* Token bucket with continuous refill on an explicit clock. *)
+
+type t = {
+  rate : float;  (* tokens per second *)
+  burst : float;
+  mutable tokens : float;
+  mutable last : float;  (* clock reading of the last refill *)
+}
+
+let create ?(now = 0.0) ~rate ~burst () =
+  if rate < 0.0 || Float.is_nan rate then invalid_arg "Quota.create: negative rate";
+  if burst <= 0.0 || Float.is_nan burst then invalid_arg "Quota.create: non-positive burst";
+  { rate; burst; tokens = burst; last = now }
+
+(* Clock steps backwards (a test reinstalling the virtual clock) are
+   treated as zero elapsed time rather than draining the bucket. *)
+let refill t ~now =
+  let dt = now -. t.last in
+  if dt > 0.0 then t.tokens <- Float.min t.burst (t.tokens +. (dt *. t.rate));
+  t.last <- Float.max t.last now
+
+let try_take t ~now ~cost =
+  refill t ~now;
+  if cost <= t.tokens then begin
+    t.tokens <- t.tokens -. cost;
+    `Ok t.tokens
+  end
+  else if t.rate <= 0.0 || cost > t.burst then `Retry_after_ms Float.infinity
+  else `Retry_after_ms ((cost -. t.tokens) /. t.rate *. 1000.0)
+
+let tokens t ~now =
+  refill t ~now;
+  t.tokens
+
+let rate t = t.rate
+let burst t = t.burst

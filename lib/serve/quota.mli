@@ -1,0 +1,29 @@
+(** Per-client token-bucket quotas.
+
+    A bucket holds up to [burst] tokens and refills continuously at
+    [rate] tokens per second; each admitted query window costs one
+    token.  Time is passed in explicitly (the server reads
+    {!Prt_util.Deadline.now}, which tests virtualise), so quota
+    decisions are deterministic under the virtual clock.  A rejection
+    carries the exact time at which enough tokens will have refilled —
+    the retry-after hint the server puts on the wire instead of
+    queueing the request. *)
+
+type t
+
+val create : ?now:float -> rate:float -> burst:float -> unit -> t
+(** A full bucket.  [rate] is tokens/second ([0.] means no refill: a
+    fixed budget); [burst] is the capacity.  Raises [Invalid_argument]
+    on a negative rate or a non-positive burst. *)
+
+val try_take : t -> now:float -> cost:float -> [ `Ok of float | `Retry_after_ms of float ]
+(** Refill to [now], then take [cost] tokens.  [`Ok remaining] on
+    success.  [`Retry_after_ms hint]: the bucket is short; [hint]
+    milliseconds of refill would cover the shortfall ([infinity] when
+    [rate = 0.] or [cost > burst] — retrying can never help). *)
+
+val tokens : t -> now:float -> float
+(** Current balance after refilling to [now] (no tokens are taken). *)
+
+val rate : t -> float
+val burst : t -> float

@@ -1,0 +1,438 @@
+(* The serving tier's wire codec.  See wire.mli for the frame layout.
+
+   Everything here is total: the decoder validates the length prefix
+   before buffering, the CRC before trusting any payload byte, and every
+   payload field (counts against remaining bytes, finite ordered
+   rectangle coordinates, known enum bytes) before constructing a value,
+   so adversarial frames come back as typed [proto_error]s and no
+   exception ever crosses the module boundary.  The CRC is the storage
+   layer's CRC-32C ({!Prt_storage.Page.crc32c}) — one checksum algorithm
+   for pages on disk and frames on the wire. *)
+
+module Rect = Prt_geom.Rect
+module Entry = Prt_rtree.Entry
+module Page = Prt_storage.Page
+
+let version = 1
+let default_max_payload = 1 lsl 20
+let header_size = 8
+let trailer_size = 4
+let envelope = header_size + trailer_size
+
+type error_code = E_overloaded | E_quota | E_deadline | E_malformed | E_draining | E_too_large
+
+type completeness = C_complete | C_partial of { skipped : int } | C_timed_out of { skipped : int }
+type query_result = { qr_completeness : completeness; qr_hits : Entry.t list }
+
+type breaker = B_closed | B_open of { cooldown_left : int } | B_half_open
+
+type health = {
+  h_conns : int;
+  h_draining : bool;
+  h_generation : int;
+  h_breaker : breaker;
+  h_quota_tokens : float;
+}
+
+type request =
+  | Query of { id : int; deadline_ms : int; windows : Rect.t array }
+  | Health_check of { id : int }
+  | Drain of { id : int }
+
+type reply =
+  | Results of { id : int; results : query_result array }
+  | Health_status of { id : int; health : health }
+  | Error of { id : int; code : error_code; retry_after_ms : float; detail : string }
+
+type msg = Request of request | Reply of reply
+
+type proto_error =
+  | Truncated of { have : int; need : int }
+  | Oversized of { length : int; limit : int }
+  | Unknown_version of int
+  | Unknown_kind of int
+  | Bad_crc
+  | Bad_payload of string
+
+let msg_id = function
+  | Request (Query { id; _ } | Health_check { id } | Drain { id }) -> id
+  | Reply (Results { id; _ } | Health_status { id; _ } | Error { id; _ }) -> id
+
+(* --- message kinds --- *)
+
+let kind_query = 1
+let kind_health_check = 2
+let kind_drain = 3
+let kind_results = 16
+let kind_health_status = 17
+let kind_error = 18
+
+let kind_of_msg = function
+  | Request (Query _) -> kind_query
+  | Request (Health_check _) -> kind_health_check
+  | Request (Drain _) -> kind_drain
+  | Reply (Results _) -> kind_results
+  | Reply (Health_status _) -> kind_health_status
+  | Reply (Error _) -> kind_error
+
+let code_byte = function
+  | E_overloaded -> 1
+  | E_quota -> 2
+  | E_deadline -> 3
+  | E_malformed -> 4
+  | E_draining -> 5
+  | E_too_large -> 6
+
+let code_of_byte = function
+  | 1 -> Some E_overloaded
+  | 2 -> Some E_quota
+  | 3 -> Some E_deadline
+  | 4 -> Some E_malformed
+  | 5 -> Some E_draining
+  | 6 -> Some E_too_large
+  | _ -> None
+
+let error_code_label = function
+  | E_overloaded -> "overloaded"
+  | E_quota -> "quota-exceeded"
+  | E_deadline -> "deadline-expired"
+  | E_malformed -> "malformed-frame"
+  | E_draining -> "draining"
+  | E_too_large -> "too-large"
+
+(* --- payload writer --- *)
+
+let add_u8 b v = Buffer.add_char b (Char.chr (v land 0xFF))
+let add_u16 b v = Buffer.add_uint16_le b (v land 0xFFFF)
+let add_u32 b v = Buffer.add_int32_le b (Int32.of_int (v land 0xFFFFFFFF))
+let add_i64 b v = Buffer.add_int64_le b (Int64.of_int v)
+let add_f64 b v = Buffer.add_int64_le b (Int64.bits_of_float v)
+
+let add_rect b r =
+  add_f64 b (Rect.xmin r);
+  add_f64 b (Rect.ymin r);
+  add_f64 b (Rect.xmax r);
+  add_f64 b (Rect.ymax r)
+
+let add_string16 b s =
+  let s = if String.length s > 0xFFFF then String.sub s 0 0xFFFF else s in
+  add_u16 b (String.length s);
+  Buffer.add_string b s
+
+let payload_of_msg m =
+  let b = Buffer.create 64 in
+  (match m with
+  | Request (Query { id; deadline_ms; windows }) ->
+      add_u32 b id;
+      add_u32 b deadline_ms;
+      add_u32 b (Array.length windows);
+      Array.iter (add_rect b) windows
+  | Request (Health_check { id }) -> add_u32 b id
+  | Request (Drain { id }) -> add_u32 b id
+  | Reply (Results { id; results }) ->
+      add_u32 b id;
+      add_u32 b (Array.length results);
+      Array.iter
+        (fun { qr_completeness; qr_hits } ->
+          (match qr_completeness with
+          | C_complete ->
+              add_u8 b 0;
+              add_u32 b 0
+          | C_partial { skipped } ->
+              add_u8 b 1;
+              add_u32 b skipped
+          | C_timed_out { skipped } ->
+              add_u8 b 2;
+              add_u32 b skipped);
+          add_u32 b (List.length qr_hits);
+          List.iter
+            (fun e ->
+              add_i64 b (Entry.id e);
+              add_rect b (Entry.rect e))
+            qr_hits)
+        results
+  | Reply (Health_status { id; health }) ->
+      add_u32 b id;
+      add_u32 b health.h_conns;
+      add_u8 b (if health.h_draining then 1 else 0);
+      add_i64 b health.h_generation;
+      (match health.h_breaker with
+      | B_closed ->
+          add_u8 b 0;
+          add_u32 b 0
+      | B_open { cooldown_left } ->
+          add_u8 b 1;
+          add_u32 b cooldown_left
+      | B_half_open ->
+          add_u8 b 2;
+          add_u32 b 0);
+      add_f64 b health.h_quota_tokens
+  | Reply (Error { id; code; retry_after_ms; detail }) ->
+      add_u32 b id;
+      add_u8 b (code_byte code);
+      add_f64 b retry_after_ms;
+      add_string16 b detail);
+  Buffer.to_bytes b
+
+let encode m =
+  let payload = payload_of_msg m in
+  let plen = Bytes.length payload in
+  let frame = Bytes.create (plen + envelope) in
+  Bytes.set_int32_le frame 0 (Int32.of_int plen);
+  Bytes.set frame 4 (Char.chr version);
+  Bytes.set frame 5 (Char.chr (kind_of_msg m));
+  Bytes.set frame 6 '\000';
+  Bytes.set frame 7 '\000';
+  Bytes.blit payload 0 frame header_size plen;
+  let crc = Page.crc32c frame ~pos:4 ~len:(header_size - 4 + plen) in
+  Bytes.set_int32_le frame (header_size + plen) (Int32.of_int (crc land 0xFFFFFFFF));
+  frame
+
+(* --- payload reader --- *)
+
+(* Local, never-escaping parse failure: any bounds or validity violation
+   inside a CRC-clean payload becomes [Bad_payload]. *)
+exception Bad of string
+
+type cursor = { buf : bytes; mutable off : int; limit : int }
+
+let need c n = if c.limit - c.off < n then raise (Bad "payload truncated")
+
+let get_u8 c =
+  need c 1;
+  let v = Char.code (Bytes.get c.buf c.off) in
+  c.off <- c.off + 1;
+  v
+
+let get_u16 c =
+  need c 2;
+  let v = Bytes.get_uint16_le c.buf c.off in
+  c.off <- c.off + 2;
+  v
+
+let get_u32 c =
+  need c 4;
+  let v = Int32.to_int (Bytes.get_int32_le c.buf c.off) land 0xFFFFFFFF in
+  c.off <- c.off + 4;
+  v
+
+let get_i64 c =
+  need c 8;
+  let v = Int64.to_int (Bytes.get_int64_le c.buf c.off) in
+  c.off <- c.off + 8;
+  v
+
+let get_f64 c =
+  need c 8;
+  let v = Int64.float_of_bits (Bytes.get_int64_le c.buf c.off) in
+  c.off <- c.off + 8;
+  v
+
+let get_finite c =
+  let v = get_f64 c in
+  if not (Float.is_finite v) then raise (Bad "non-finite coordinate");
+  v
+
+let get_rect c =
+  let xmin = get_finite c in
+  let ymin = get_finite c in
+  let xmax = get_finite c in
+  let ymax = get_finite c in
+  if xmin > xmax || ymin > ymax then raise (Bad "inverted rectangle");
+  Rect.make ~xmin ~ymin ~xmax ~ymax
+
+let get_string16 c =
+  let n = get_u16 c in
+  need c n;
+  let s = Bytes.sub_string c.buf c.off n in
+  c.off <- c.off + n;
+  s
+
+(* [get_count c ~unit_size] reads a u32 element count and pre-checks it
+   against the remaining payload, so a lying count cannot provoke a huge
+   allocation before the per-element reads would fail anyway. *)
+let get_count c ~unit_size =
+  let n = get_u32 c in
+  if n * unit_size > c.limit - c.off then raise (Bad "count exceeds payload");
+  n
+
+let get_completeness c =
+  let tag = get_u8 c in
+  let skipped = get_u32 c in
+  match tag with
+  | 0 -> C_complete
+  | 1 -> C_partial { skipped }
+  | 2 -> C_timed_out { skipped }
+  | _ -> raise (Bad "unknown completeness tag")
+
+let msg_of_payload ~kind c =
+  let m =
+    if kind = kind_query then begin
+      let id = get_u32 c in
+      let deadline_ms = get_u32 c in
+      let n = get_count c ~unit_size:32 in
+      let windows = Array.init n (fun _ -> get_rect c) in
+      Request (Query { id; deadline_ms; windows })
+    end
+    else if kind = kind_health_check then Request (Health_check { id = get_u32 c })
+    else if kind = kind_drain then Request (Drain { id = get_u32 c })
+    else if kind = kind_results then begin
+      let id = get_u32 c in
+      let n = get_count c ~unit_size:9 in
+      let results =
+        Array.init n (fun _ ->
+            let qr_completeness = get_completeness c in
+            let hits = get_count c ~unit_size:40 in
+            let qr_hits =
+              List.init hits (fun _ ->
+                  let eid = get_i64 c in
+                  let rect = get_rect c in
+                  Entry.make rect eid)
+            in
+            { qr_completeness; qr_hits })
+      in
+      Reply (Results { id; results })
+    end
+    else if kind = kind_health_status then begin
+      let id = get_u32 c in
+      let h_conns = get_u32 c in
+      let h_draining = get_u8 c <> 0 in
+      let h_generation = get_i64 c in
+      let h_breaker =
+        let tag = get_u8 c in
+        let cooldown_left = get_u32 c in
+        match tag with
+        | 0 -> B_closed
+        | 1 -> B_open { cooldown_left }
+        | 2 -> B_half_open
+        | _ -> raise (Bad "unknown breaker tag")
+      in
+      let h_quota_tokens = get_f64 c in
+      Reply (Health_status { id; health = { h_conns; h_draining; h_generation; h_breaker; h_quota_tokens } })
+    end
+    else if kind = kind_error then begin
+      let id = get_u32 c in
+      let code =
+        match code_of_byte (get_u8 c) with
+        | Some code -> code
+        | None -> raise (Bad "unknown error code")
+      in
+      let retry_after_ms = get_f64 c in
+      let detail = get_string16 c in
+      Reply (Error { id; code; retry_after_ms; detail })
+    end
+    else raise (Bad "unreachable kind")
+  in
+  if c.off <> c.limit then raise (Bad "trailing payload bytes");
+  m
+
+let known_kind k =
+  k = kind_query || k = kind_health_check || k = kind_drain || k = kind_results
+  || k = kind_health_status || k = kind_error
+
+let decode ?(max_payload = default_max_payload) buf ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length buf then
+    `Error (Bad_payload "decode: range outside buffer")
+  else if len < 4 then `Need header_size
+  else
+    let plen = Int32.to_int (Bytes.get_int32_le buf pos) land 0xFFFFFFFF in
+    if plen > max_payload then `Error (Oversized { length = plen; limit = max_payload })
+    else
+      let total = plen + envelope in
+      if len < total then `Need total
+      else
+        let crc_stored =
+          Int32.to_int (Bytes.get_int32_le buf (pos + header_size + plen)) land 0xFFFFFFFF
+        in
+        let crc = Page.crc32c buf ~pos:(pos + 4) ~len:(header_size - 4 + plen) in
+        if crc <> crc_stored then `Error Bad_crc
+        else
+          let ver = Char.code (Bytes.get buf (pos + 4)) in
+          if ver <> version then `Error (Unknown_version ver)
+          else
+            let kind = Char.code (Bytes.get buf (pos + 5)) in
+            if not (known_kind kind) then `Error (Unknown_kind kind)
+            else
+              let c = { buf; off = pos + header_size; limit = pos + header_size + plen } in
+              match msg_of_payload ~kind c with
+              | m -> `Msg (m, total)
+              | exception Bad why -> `Error (Bad_payload why)
+
+let decode_all ?max_payload buf =
+  let len = Bytes.length buf in
+  match decode ?max_payload buf ~pos:0 ~len with
+  | `Msg (m, consumed) ->
+      if consumed = len then Ok m else Error (Bad_payload "trailing bytes after frame")
+  | `Need n -> Error (Truncated { have = len; need = n })
+  | `Error e -> Error e
+
+(* --- streaming reader --- *)
+
+module Reader = struct
+  type t = {
+    max_payload : int;
+    mutable data : bytes;
+    mutable start : int;  (* first unconsumed byte *)
+    mutable fill : int;  (* one past the last received byte *)
+    mutable dead : proto_error option;  (* sticky: the stream is unsynchronized *)
+  }
+
+  let create ?(max_payload = default_max_payload) () =
+    { max_payload; data = Bytes.create 4096; start = 0; fill = 0; dead = None }
+
+  let buffered t = t.fill - t.start
+
+  let feed t buf pos len =
+    if len > 0 then begin
+      if t.fill + len > Bytes.length t.data then begin
+        (* Compact, then grow if still needed. *)
+        let live = buffered t in
+        Bytes.blit t.data t.start t.data 0 live;
+        t.start <- 0;
+        t.fill <- live;
+        if live + len > Bytes.length t.data then begin
+          let cap = ref (max 4096 (Bytes.length t.data)) in
+          while live + len > !cap do
+            cap := !cap * 2
+          done;
+          let data = Bytes.create !cap in
+          Bytes.blit t.data 0 data 0 live;
+          t.data <- data
+        end
+      end;
+      Bytes.blit buf pos t.data t.fill len;
+      t.fill <- t.fill + len
+    end
+
+  let next t =
+    match t.dead with
+    | Some e -> `Error e
+    | None -> (
+        match decode ~max_payload:t.max_payload t.data ~pos:t.start ~len:(buffered t) with
+        | `Msg (m, consumed) ->
+            t.start <- t.start + consumed;
+            if t.start = t.fill then begin
+              t.start <- 0;
+              t.fill <- 0
+            end;
+            `Msg m
+        | `Need _ -> `Need_more
+        | `Error e ->
+            t.dead <- Some e;
+            `Error e)
+end
+
+(* --- printers --- *)
+
+let pp_proto_error ppf = function
+  | Truncated { have; need } -> Fmt.pf ppf "truncated frame (%d of %d bytes)" have need
+  | Oversized { length; limit } -> Fmt.pf ppf "oversized frame (%d > limit %d)" length limit
+  | Unknown_version v -> Fmt.pf ppf "unknown protocol version %d" v
+  | Unknown_kind k -> Fmt.pf ppf "unknown message kind %d" k
+  | Bad_crc -> Fmt.string ppf "frame checksum mismatch"
+  | Bad_payload why -> Fmt.pf ppf "malformed payload: %s" why
+
+let pp_completeness ppf = function
+  | C_complete -> Fmt.string ppf "complete"
+  | C_partial { skipped } -> Fmt.pf ppf "partial (%d subtree(s) skipped)" skipped
+  | C_timed_out { skipped } -> Fmt.pf ppf "timed out (%d subtree(s) skipped)" skipped

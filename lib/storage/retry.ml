@@ -103,6 +103,23 @@ let policy t = t.policy
 let breaker_state t =
   match t.breaker with Closed -> `Closed | Open _ -> `Open | Half_open -> `Half_open
 
+type breaker_health =
+  | Breaker_closed
+  | Breaker_open of { cooldown_left : int }
+  | Breaker_half_open
+
+let breaker_health t =
+  match t.breaker with
+  | Closed -> Breaker_closed
+  | Open n -> Breaker_open { cooldown_left = n }
+  | Half_open -> Breaker_half_open
+
+let pp_breaker_health ppf = function
+  | Breaker_closed -> Fmt.string ppf "closed"
+  | Breaker_open { cooldown_left } ->
+      Fmt.pf ppf "open (%d fail-fast ops until probe)" cooldown_left
+  | Breaker_half_open -> Fmt.string ppf "half-open (probing)"
+
 let reset t =
   let s = t.stats in
   s.faults <- 0;

@@ -70,6 +70,17 @@ val stats : t -> stats
 val policy : t -> policy
 val breaker_state : t -> [ `Closed | `Open | `Half_open ]
 
+(** Typed breaker health for surfaces that report it (the serving
+    tier's health reply, [prt stats]): open additionally says how many
+    fail-fast operations remain before the half-open probe. *)
+type breaker_health =
+  | Breaker_closed
+  | Breaker_open of { cooldown_left : int }
+  | Breaker_half_open
+
+val breaker_health : t -> breaker_health
+val pp_breaker_health : Format.formatter -> breaker_health -> unit
+
 val reset : t -> unit
 (** Zero the counters and close the breaker (the jitter stream position
     is kept). *)

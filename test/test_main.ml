@@ -31,4 +31,5 @@ let () =
       ("qexec", Test_qexec.suite);
       ("resilience", Test_resilience.suite);
       ("mvcc", Test_mvcc.suite);
+      ("serve", Test_serve.suite);
     ]
