@@ -20,6 +20,8 @@
      relative        lower       10%         leaves / ceil(T/B)
      matched         exact       --          result size: correctness
      entries         exact       --          dataset size: run identity
+     windows_served  exact       --          mapped node visits per pass
+     fallbacks       exact       --          mmap -> pread degradations
 
    The lower-is-better tolerance absorbs benign noise (query sampling,
    cache boundary effects) while a real regression — the failure mode
@@ -63,6 +65,13 @@ let tracked =
     ("ok", Exact);
     ("shed", Exact);
     ("quota_rejected", Exact);
+    (* read-backend counters: mapped windows served and pread fallbacks
+       per counted pass are deterministic (fixed tree, fixed query
+       batch, every page verifying), so they gate exactly — a fallback
+       appearing on the mmap rows means the mapped path silently
+       degraded to pread *)
+    ("windows_served", Exact);
+    ("fallbacks", Exact);
   ]
 
 let identity_ints =

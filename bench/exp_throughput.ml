@@ -105,6 +105,89 @@ let throughput ~scale ~seed =
         ("seconds_off", flt off_s);
         ("ratio", flt (on_s /. off_s));
       ]);
+  (* Read-backend comparison on the same workload, file-backed: the
+     index is committed to disk once, then reopened under the pread and
+     mmap backends and the full batch replayed through the
+     allocation-free [query_into] entry point, best of 5.  Matched
+     counts must equal the in-memory baseline (same tree, same
+     queries); the mapped window/fallback counters are deterministic
+     and gated, the seconds and speedup are wall-clock and only
+     reported. *)
+  let module Index_file = Prt_rtree.Index_file in
+  let module Mmap_pager = Prt_storage.Mmap_pager in
+  let path = Filename.temp_file "prt_bench_tp" ".idx" in
+  let backend_results =
+    Fun.protect
+      ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+      (fun () ->
+        let idx =
+          Index_file.create ~page_size:Common.page_size path ~build:(fun pool ->
+              Prtree.load pool entries)
+        in
+        Index_file.close idx;
+        List.map
+          (fun (backend, bname) ->
+            let idx = Index_file.open_ ~page_size:Common.page_size ~backend path in
+            Fun.protect ~finally:(fun () -> Index_file.close idx) @@ fun () ->
+            if Index_file.read_backend idx <> bname then
+              failwith (Printf.sprintf "backend %s did not activate" bname);
+            let ftree = Index_file.tree idx in
+            let hits = Rtree.hits_make () in
+            let pass () =
+              Array.fold_left
+                (fun acc w ->
+                  Rtree.query_into ftree w ~into:hits;
+                  acc + Rtree.hits_length hits)
+                0 queries
+            in
+            let counters () =
+              match Index_file.mmap_counters idx with
+              | Some c -> (c.Mmap_pager.c_windows_served, c.Mmap_pager.c_fallbacks)
+              | None -> (0, 0)
+            in
+            let s0, f0 = counters () in
+            let matched = pass () in
+            let s1, f1 = counters () in
+            if matched <> baseline_matched then
+              failwith
+                (Printf.sprintf "%s backend matched %d, baseline matched %d" bname matched
+                   baseline_matched);
+            let seconds = best_of 5 (fun () -> ignore (pass ())) in
+            Bench_json.(
+              row
+                [
+                  ("mode", str "file-sequential");
+                  ("backend", str bname);
+                  ("jobs", int 1);
+                  ("cores", int cores);
+                  ("queries", int batch);
+                  ("entries", int n);
+                  ("matched", int matched);
+                  ("windows_served", int (s1 - s0));
+                  ("fallbacks", int (f1 - f0));
+                  ("seconds", flt seconds);
+                  ("qps", flt (float_of_int batch /. seconds));
+                ]);
+            (bname, seconds))
+          [ (`Pread, "pread"); (`Mmap, "mmap") ])
+  in
+  (match backend_results with
+  | [ (_, pread_s); (_, mmap_s) ] ->
+      Bench_json.(
+        row
+          [
+            ("mode", str "mmap-vs-pread");
+            ("jobs", int 1);
+            ("cores", int cores);
+            ("queries", int batch);
+            ("entries", int n);
+            ("seconds_pread", flt pread_s);
+            ("seconds_mmap", flt mmap_s);
+            ("speedup", flt (pread_s /. mmap_s));
+          ]);
+      Printf.printf "file backends: pread %.4fms, mmap %.4fms (%.2fx)\n%!" (pread_s *. 1e3)
+        (mmap_s *. 1e3) (pread_s /. mmap_s)
+  | _ -> ());
   let rows = ref [ [ "sequential"; "-"; Printf.sprintf "%.0f" baseline_qps; "1.00"; "-" ] ] in
   List.iter
     (fun jobs ->

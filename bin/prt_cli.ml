@@ -107,10 +107,22 @@ let report_recovery r =
   if r.Superblock.rec_slot_repaired then
     Printf.eprintf "recovery: repaired damaged superblock slot\n"
 
-let with_index path f =
-  let idx = Index_file.open_ path in
+let with_index ?backend path f =
+  let idx = Index_file.open_ ?backend path in
   report_recovery (Index_file.recovery idx);
-  Fun.protect ~finally:(fun () -> Pager.close (Index_file.pager idx)) (fun () -> f idx)
+  Fun.protect ~finally:(fun () -> Index_file.close idx) (fun () -> f idx)
+
+(* Read-backend selector shared by the serving commands.  [auto] maps
+   the file when the platform allows and falls back to pread. *)
+let backend_arg =
+  Arg.(
+    value
+    & opt (enum [ ("auto", `Auto); ("mmap", `Mmap); ("pread", `Pread) ]) `Auto
+    & info [ "backend" ] ~docv:"BACKEND"
+        ~doc:
+          "Read backend: $(b,mmap) scans node pages directly in a shared file mapping (no \
+           syscall, no lock, no copy), $(b,pread) reads through the buffer pool, $(b,auto) \
+           (default) picks mmap when the platform grants a mapping.")
 
 (* --- commands --- *)
 
@@ -212,8 +224,8 @@ let query_cmd =
             "Time budget for the query: expiry is checked at every node visit and the results \
              matched before the cutoff are returned, labelled $(b,timed out).")
   in
-  let run index window quiet jobs deadline_ms =
-    with_index index (fun idx ->
+  let run index window quiet jobs deadline_ms backend =
+    with_index ~backend index (fun idx ->
         let tree = Index_file.tree idx in
         let deadline = Option.map Deadline.after_ms deadline_ms in
         (* Resilient path: device damage degrades the affected subtrees
@@ -251,7 +263,7 @@ let query_cmd =
        ~doc:
          "Run a window query against an index file. Damaged pages degrade the query instead of \
           failing it; any partiality is reported on the status line and through exit code 3.")
-    Term.(const run $ index $ window $ quiet $ jobs $ deadline_ms)
+    Term.(const run $ index $ window $ quiet $ jobs $ deadline_ms $ backend_arg)
 
 (* Open an index read-write and run the mutation [f] as one atomic
    transaction: a crash mid-operation reopens to the pre-op tree. *)
@@ -370,8 +382,8 @@ let stats_cmd =
   let index =
     Arg.(required & opt (some string) None & info [ "i"; "index" ] ~docv:"FILE" ~doc:"Index file.")
   in
-  let run index =
-    with_index index (fun idx ->
+  let run index backend =
+    with_index ~backend index (fun idx ->
         (* Metrics are recorded only while collection is on; flip it so
            the probe batch below fills the latency histogram. *)
         Obs.Metrics.set_collecting true;
@@ -396,6 +408,15 @@ let stats_cmd =
         Printf.printf "pool: hits=%d misses=%d evictions=%d hit-ratio=%s\n"
           (Buffer_pool.hits pool) (Buffer_pool.misses pool) (Buffer_pool.evictions pool)
           (pct (Buffer_pool.hit_ratio pool));
+        (* Read backend: validate/analyze above already exercised it, so
+           the mmap counters reflect real mapped descents. *)
+        (match Index_file.mmap_counters idx with
+        | Some c ->
+            Printf.printf
+              "backend: mmap (windows-served=%d crc-skipped=%d crc-verified=%d fallbacks=%d)\n"
+              c.Prt_storage.Mmap_pager.c_windows_served c.Prt_storage.Mmap_pager.c_crc_skipped
+              c.Prt_storage.Mmap_pager.c_crc_verified c.Prt_storage.Mmap_pager.c_fallbacks
+        | None -> Printf.printf "backend: pread\n");
         (* Exercise the batched executor's shard cache with a repeated
            whole-tree batch: the first query decodes every internal node
            into the cache, the second is served from it. *)
@@ -429,7 +450,7 @@ let stats_cmd =
   in
   Cmd.v
     (Cmd.info "stats" ~doc:"Print per-level structure and quality metrics of an index.")
-    Term.(const run $ index)
+    Term.(const run $ index $ backend_arg)
 
 let flightrec_cmd =
   let index =
@@ -751,10 +772,10 @@ let serve_cmd =
       & info [ "drain-deadline-ms" ] ~docv:"MS" ~doc:"Budget for graceful drain on shutdown.")
   in
   let run index socket port host quota_rate quota_burst max_in_flight max_queue max_conns jobs
-      write_timeout drain_deadline =
+      write_timeout drain_deadline backend =
     if socket = None && port = None then
       failwith "serve: need --socket PATH or --port PORT to listen on";
-    with_index index (fun idx ->
+    with_index ~backend index (fun idx ->
         let config =
           {
             Serve.Server.default_config with
@@ -796,7 +817,8 @@ let serve_cmd =
           on SIGTERM/SIGINT.")
     Term.(
       const run $ index $ socket_arg $ port_arg $ host_arg $ quota_rate $ quota_burst
-      $ max_in_flight $ max_queue $ max_conns $ jobs $ write_timeout $ drain_deadline)
+      $ max_in_flight $ max_queue $ max_conns $ jobs $ write_timeout $ drain_deadline
+      $ backend_arg)
 
 let load_cmd =
   let workload =

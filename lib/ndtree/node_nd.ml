@@ -59,15 +59,16 @@ let page_kind buf =
 let page_length buf = Page.get_u16 buf 1
 
 (* Does the entry at [off] intersect [window] in every dimension?
-   Identical comparisons to [Hyperrect.intersects] on the decoded box. *)
-let entry_intersects ~dims buf off window =
-  let rec go i =
-    i = dims
-    || (Page.get_f64 buf (off + (8 * i)) <= Hyperrect.hi window i
-        && Hyperrect.lo window i <= Page.get_f64 buf (off + (8 * (dims + i)))
-        && go (i + 1))
-  in
-  go 0
+   Identical comparisons to [Hyperrect.intersects] on the decoded box.
+   Top-level recursion (not a local closure) so the per-entry test
+   allocates nothing. *)
+let rec entry_intersects_from ~dims buf off window i =
+  i = dims
+  || (Page.get_f64 buf (off + (8 * i)) <= Hyperrect.hi window i
+      && Hyperrect.lo window i <= Page.get_f64 buf (off + (8 * (dims + i)))
+      && entry_intersects_from ~dims buf off window (i + 1))
+
+let entry_intersects ~dims buf off window = entry_intersects_from ~dims buf off window 0
 
 let iter_rects ~dims buf window ~f =
   let n = page_length buf in

@@ -54,22 +54,49 @@ let of_root ~pool ~dims ~root ~height ~count = { pool; dims; root; height; count
 
 (* Zero-copy descent, like the 2-D [Rtree.query]: pages are scanned in
    place through the {!Node_nd} cursors, so entries failing the window
-   test allocate nothing. *)
+   test allocate nothing.  The descent itself runs on a preallocated
+   per-domain stack (no recursion, no per-node closure); children are
+   pushed in entry order and the fresh segment reversed in place, so
+   pages pop in exactly the old recursive preorder. *)
+let stack_key = Domain.DLS.new_key (fun () -> ref (Array.make 64 0))
+
 let query t window ~f =
   if Hyperrect.dims window <> t.dims then invalid_arg "Rtree_nd.query: dimension mismatch";
   let stats = { internal_visited = 0; leaf_visited = 0; matched = 0 } in
   let dims = t.dims in
-  let rec visit id =
-    let buf = Buffer_pool.read t.pool id in
+  let stack = Domain.DLS.get stack_key in
+  let sp = ref 0 in
+  let push id =
+    (if !sp = Array.length !stack then begin
+       let grown = Array.make (2 * Array.length !stack) 0 in
+       Array.blit !stack 0 grown 0 !sp;
+       stack := grown
+     end);
+    !stack.(!sp) <- id;
+    incr sp
+  in
+  push t.root;
+  while !sp > 0 do
+    decr sp;
+    let buf = Buffer_pool.read t.pool !stack.(!sp) in
     match Node_nd.page_kind buf with
     | Node_nd.Leaf ->
         stats.leaf_visited <- stats.leaf_visited + 1;
         stats.matched <- stats.matched + Node_nd.iter_rects ~dims buf window ~f
     | Node_nd.Internal ->
         stats.internal_visited <- stats.internal_visited + 1;
-        Node_nd.iter_children ~dims buf window ~f:visit
-  in
-  visit t.root;
+        let sp0 = !sp in
+        Node_nd.iter_children ~dims buf window ~f:push;
+        let st = !stack in
+        let i = ref sp0 and j = ref (!sp - 1) in
+        while !i < !j do
+          let tmp = st.(!i) in
+          st.(!i) <- st.(!j);
+          st.(!j) <- tmp;
+          incr i;
+          decr j
+        done
+  done;
   stats
 
 let query_list t window =

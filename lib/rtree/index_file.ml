@@ -21,6 +21,9 @@ module Superblock = Prt_storage.Superblock
 module Scrub = Prt_storage.Scrub
 module Failpoint = Prt_storage.Failpoint
 module Quarantine = Prt_storage.Quarantine
+module Mmap_pager = Prt_storage.Mmap_pager
+
+type backend = [ `Auto | `Mmap | `Pread ]
 
 type t = {
   pool : Buffer_pool.t;
@@ -31,6 +34,7 @@ type t = {
   shadow : bool;  (* snapshot post-images of every committed txn *)
   mutable shadow_head : int;  (* committed shadow directory head, -1 = none *)
   scrub_cursor : Scrub.cursor;
+  mutable mm : Mmap_pager.t option;  (* mmap read backend, None = pread *)
   mutable closed : bool;
 }
 
@@ -79,6 +83,31 @@ let superblock t = t.sb
 let recovery t = t.recovery
 let quarantine t = t.quarantine
 let shadowed t = t.shadow
+let read_backend t = match t.mm with Some _ -> "mmap" | None -> "pread"
+let mmap_counters t = Option.map Mmap_pager.counters t.mm
+
+(* Backend policy.  [`Auto] serves reads through a shared file mapping
+   whenever the platform grants one — except when a crash failpoint is
+   armed: fault injection intercepts pager reads, not mapped loads, so
+   the resilience harnesses keep their pread-visible failure semantics.
+   [`Mmap] attaches unconditionally (crash sweeps included — the MVCC
+   torn-page probe needs exactly that), still degrading to pread if the
+   file cannot be mapped.  [`Pread] opts out entirely. *)
+let attach_backend backend ~crash ~path ~page_size ~sb =
+  match backend with
+  | `Pread -> None
+  | `Auto when crash <> None -> None
+  | `Auto | `Mmap ->
+      Mmap_pager.attach ~path ~page_size ~gen:(Superblock.generation sb)
+
+let install_backend t backend ~crash ~path =
+  let mm =
+    attach_backend backend ~crash ~path
+      ~page_size:(Pager.page_size (pager t))
+      ~sb:t.sb
+  in
+  t.mm <- mm;
+  Rtree.set_mmap t.tree mm
 
 (* If anything interrupts construction — including a simulated crash —
    close the pager so kill-point sweeps do not leak descriptors.  The
@@ -233,7 +262,7 @@ let commit_meta t =
   else encode_meta t.tree
 
 let create ?(page_size = Pager.default_page_size) ?(cache_pages = default_cache_pages) ?crash
-    ?(shadow = false) path ~build =
+    ?(shadow = false) ?(backend = `Auto) path ~build =
   let pager = Pager.create_file ~page_size path in
   guarding pager (fun () ->
       (match crash with Some fp -> Pager.arm_crash pager fp | None -> ());
@@ -252,14 +281,18 @@ let create ?(page_size = Pager.default_page_size) ?(cache_pages = default_cache_
           shadow;
           shadow_head = -1;
           scrub_cursor = Scrub.cursor ();
+          mm = None;
           closed = false;
         }
       in
       Superblock.commit_txn sb ~meta:(commit_meta t);
+      (* Attach after the commit: the mapping must see the committed
+         bytes of a non-empty file. *)
+      install_backend t backend ~crash ~path;
       t)
 
 let open_ ?(page_size = Pager.default_page_size) ?(cache_pages = default_cache_pages) ?crash
-    ?shadow path =
+    ?shadow ?(backend = `Auto) path =
   let pager = Pager.open_file ~page_size path in
   guarding pager (fun () ->
       let sb, recovery = Superblock.open_ pager in
@@ -274,17 +307,22 @@ let open_ ?(page_size = Pager.default_page_size) ?(cache_pages = default_cache_p
       (* Shadowing is sticky: a file that carries a chain keeps writing
          one, and [?shadow:true] turns it on for the next commit. *)
       let shadow = shadow_head >= 0 || Option.value shadow ~default:false in
-      {
-        pool;
-        sb;
-        tree;
-        recovery;
-        quarantine = Quarantine.create ();
-        shadow;
-        shadow_head;
-        scrub_cursor = Scrub.cursor ();
-        closed = false;
-      })
+      let t =
+        {
+          pool;
+          sb;
+          tree;
+          recovery;
+          quarantine = Quarantine.create ();
+          shadow;
+          shadow_head;
+          scrub_cursor = Scrub.cursor ();
+          mm = None;
+          closed = false;
+        }
+      in
+      install_backend t backend ~crash ~path;
+      t)
 
 (* Run a mutation inside a transaction.  If [f] raises (including a
    {!Failpoint.Simulated_crash}), the transaction is left uncommitted
@@ -296,6 +334,12 @@ let update t f =
       let v = f t.tree in
       Buffer_pool.flush t.pool;
       Superblock.commit_txn t.sb ~meta:(commit_meta t);
+      (* The commit is durable: remap if the file grew and retag the
+         mmap backend's CRC memo with the new committed generation, so
+         no pre-commit verification of an overwritten page survives. *)
+      (match t.mm with
+      | Some mm -> Mmap_pager.refresh mm ~gen:(Superblock.generation t.sb)
+      | None -> ());
       v)
 
 (* --- generation snapshots ---
@@ -367,6 +411,12 @@ let scrub_online ?(pages = 64) t =
 let close t =
   if not t.closed then begin
     t.closed <- true;
+    (match t.mm with
+    | Some mm ->
+        t.mm <- None;
+        Rtree.set_mmap t.tree None;
+        Mmap_pager.close mm
+    | None -> ());
     Superblock.release_all_pins t.sb;
     if not (Pager.is_closed (pager t)) then begin
       Buffer_pool.flush t.pool;

@@ -14,11 +14,21 @@ module Scrub = Prt_storage.Scrub
 
 type t
 
+type backend = [ `Auto | `Mmap | `Pread ]
+(** Read backend selector.  [`Auto] (the default) maps the file for
+    query serving whenever the platform grants it — except when a crash
+    failpoint is armed, where it stays on pread so fault injection
+    remains visible to reads.  [`Mmap] attaches unconditionally (still
+    degrading per page to pread when the mapping cannot be trusted);
+    [`Pread] opts out of mapping entirely.  See DESIGN.md "Storage
+    backends". *)
+
 val create :
   ?page_size:int ->
   ?cache_pages:int ->
   ?crash:Prt_storage.Failpoint.t ->
   ?shadow:bool ->
+  ?backend:backend ->
   string ->
   build:(Buffer_pool.t -> Rtree.t) ->
   t
@@ -34,6 +44,7 @@ val open_ :
   ?cache_pages:int ->
   ?crash:Prt_storage.Failpoint.t ->
   ?shadow:bool ->
+  ?backend:backend ->
   string ->
   t
 (** Open an existing index file, running superblock/journal recovery as
@@ -61,6 +72,15 @@ val quarantine : t -> Prt_storage.Quarantine.t
 
 val shadowed : t -> bool
 (** Whether commits on this handle write post-image shadow copies. *)
+
+val read_backend : t -> string
+(** The active read backend, ["mmap"] or ["pread"] — what the selector
+    actually landed on, after platform and policy fallbacks. *)
+
+val mmap_counters : t -> Prt_storage.Mmap_pager.counters option
+(** Live mmap serving counters (mapped scans served, CRC verifications
+    skipped via the per-generation memo, sweeps run, pread fallbacks).
+    [None] on the pread backend. *)
 
 val update : t -> (Rtree.t -> 'a) -> 'a
 (** [update t f] runs the mutation [f] (inserts/deletes on [tree t])

@@ -101,6 +101,70 @@ let iter_children buf window ~f =
     end
   done
 
+(* --- mapped cursors ---
+
+   The same zero-copy scans over a mapped window of the whole index
+   file ({!Prt_storage.View}), addressed by the page's absolute byte
+   offset.  Float loads come straight out of the mapping (unboxed C
+   stub), so a node visit on the mmap backend costs no syscall, no
+   lock, no copy and no decode — and, for entries that fail the window
+   test, no allocation either.  The comparisons are bit-identical to
+   {!iter_rects}/{!iter_children}: both decode the same little-endian
+   float64 fields, so results and visit counts match the pread path
+   byte for byte. *)
+
+module View = Prt_storage.View
+
+let map_kind m ~base =
+  match View.get_u8 m base with
+  | 0 -> Leaf
+  | 1 -> Internal
+  | k -> invalid_arg (Printf.sprintf "Node.map_kind: bad node kind %d" k)
+
+let map_length m ~base = View.get_u16 m (base + 1)
+
+let map_read_entry m off =
+  let xmin = View.get_f64 m off in
+  let ymin = View.get_f64 m (off + 8) in
+  let xmax = View.get_f64 m (off + 16) in
+  let ymax = View.get_f64 m (off + 24) in
+  Entry.make (Rect.make ~xmin ~ymin ~xmax ~ymax) (View.get_i32 m (off + 32))
+
+let map_iter_rects m ~base window ~f =
+  let wxmin = Rect.xmin window and wymin = Rect.ymin window in
+  let wxmax = Rect.xmax window and wymax = Rect.ymax window in
+  let n = map_length m ~base in
+  let hits = ref 0 in
+  for i = 0 to n - 1 do
+    let off = base + header_size + (i * Entry.size) in
+    let exmin = View.get_f64 m off in
+    let exmax = View.get_f64 m (off + 16) in
+    if exmin <= wxmax && wxmin <= exmax then begin
+      let eymin = View.get_f64 m (off + 8) in
+      let eymax = View.get_f64 m (off + 24) in
+      if eymin <= wymax && wymin <= eymax then begin
+        incr hits;
+        f (map_read_entry m off)
+      end
+    end
+  done;
+  !hits
+
+let map_iter_children m ~base window ~f =
+  let wxmin = Rect.xmin window and wymin = Rect.ymin window in
+  let wxmax = Rect.xmax window and wymax = Rect.ymax window in
+  let n = map_length m ~base in
+  for i = 0 to n - 1 do
+    let off = base + header_size + (i * Entry.size) in
+    let exmin = View.get_f64 m off in
+    let exmax = View.get_f64 m (off + 16) in
+    if exmin <= wxmax && wxmin <= exmax then begin
+      let eymin = View.get_f64 m (off + 8) in
+      let eymax = View.get_f64 m (off + 24) in
+      if eymin <= wymax && wymin <= eymax then f (View.get_i32 m (off + 32))
+    end
+  done
+
 let iter_entry_rects buf ~f =
   let n = page_length buf in
   for i = 0 to n - 1 do

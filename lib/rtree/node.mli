@@ -58,3 +58,26 @@ val iter_entry_rects : bytes -> f:(Prt_geom.Rect.t -> int -> unit) -> unit
 (** Visit every packed entry as a rectangle and payload id without
     building the entry array — the generic-predicate descent used by
     {!Query.search}. *)
+
+(** {1 Mapped cursors}
+
+    The same scans over a mapped window of the whole index file
+    ({!Prt_storage.View}), addressed by the page's absolute byte offset
+    [base] — the mmap read backend's node visits.  Float comparisons
+    are bit-identical to the [bytes] cursors, so results and visit
+    counts match the pread path exactly. *)
+
+val header_size : int
+(** Bytes before the first packed entry (kind tag + count). *)
+
+val map_kind : Prt_storage.View.map -> base:int -> kind
+val map_length : Prt_storage.View.map -> base:int -> int
+
+val map_read_entry : Prt_storage.View.map -> int -> Entry.t
+(** Materialize the entry packed at absolute offset [off]. *)
+
+val map_iter_rects :
+  Prt_storage.View.map -> base:int -> Prt_geom.Rect.t -> f:(Entry.t -> unit) -> int
+
+val map_iter_children :
+  Prt_storage.View.map -> base:int -> Prt_geom.Rect.t -> f:(int -> unit) -> unit

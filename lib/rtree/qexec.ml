@@ -123,7 +123,23 @@ exception Deadline_exceeded
    worker records its own metrics through [Rtree.record_query_stats]
    (per-domain stripes) and its own flight-ring events; the quarantine
    is mutex-guarded and safe to share. *)
-let run_query t ~gen ~root ~height ~deadline window =
+let rec run_query t ~gen ~root ~height ~deadline window =
+  match Rtree.mmap t.tree with
+  | Some _ ->
+      (* The mmap backend: every worker scans the one shared mapping
+         through the common [Rtree] engines (CRC gate + version-store
+         protocol), with no per-domain state and no decoded-node cache —
+         a mapped internal visit is cheaper than a shard-cache hit. *)
+      let sv = { Rtree.sv_gen = gen; sv_root = root; sv_height = height } in
+      let acc = ref [] in
+      let stats =
+        Rtree.query_unrecorded ~quarantine:t.quarantine ~deadline ~snapshot:sv t.tree window
+          ~f:(fun e -> acc := e :: !acc)
+      in
+      (List.rev !acc, stats)
+  | None -> run_query_pread t ~gen ~root ~height ~deadline window
+
+and run_query_pread t ~gen ~root ~height ~deadline window =
   let pgr = Rtree.pager t.tree in
   let stats = Rtree.fresh_stats () in
   let acc = ref [] in

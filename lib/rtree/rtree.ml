@@ -12,6 +12,8 @@ module Pager = Prt_storage.Pager
 module Page = Prt_storage.Page
 module Buffer_pool = Prt_storage.Buffer_pool
 module Quarantine = Prt_storage.Quarantine
+module View = Prt_storage.View
+module Mmap_pager = Prt_storage.Mmap_pager
 module Deadline = Prt_util.Deadline
 
 type t = {
@@ -19,6 +21,9 @@ type t = {
   mutable root : int;
   mutable height : int; (* 1 = the root is a leaf *)
   mutable count : int;  (* data entries stored *)
+  mutable mm : Mmap_pager.t option;
+      (* the mmap read backend, when the index file is mapped — query
+         descent then scans node pages directly in the mapping *)
 }
 
 type query_stats = {
@@ -110,9 +115,12 @@ let create_empty pool =
   let page_size = Pager.page_size (Buffer_pool.pager pool) in
   let root = Buffer_pool.alloc pool in
   Buffer_pool.write pool root (Node.encode ~page_size (Node.make Node.Leaf [||]));
-  { pool; root; height = 1; count = 0 }
+  { pool; root; height = 1; count = 0; mm = None }
 
-let of_root ~pool ~root ~height ~count = { pool; root; height; count }
+let of_root ~pool ~root ~height ~count = { pool; root; height; count; mm = None }
+
+let set_mmap t mm = t.mm <- mm
+let mmap t = t.mm
 
 (* Query metrics.  The registry stripes per domain, so these are ticked
    from whichever domain ran the descent — the single-domain path here
@@ -209,7 +217,7 @@ let query_snapshot ?quarantine ?deadline sv t window ~f =
    The per-subtree catch is scoped to the page read alone — a failure
    deeper in the recursion is handled at its own level, never absorbed
    by an ancestor. *)
-let query_unrecorded ?quarantine ?deadline ?snapshot t window ~f =
+let pread_unrecorded ?quarantine ?deadline ?snapshot t window ~f =
   match snapshot with
   | Some sv -> query_snapshot ?quarantine ?deadline sv t window ~f
   | None ->
@@ -262,6 +270,360 @@ let query_unrecorded ?quarantine ?deadline ?snapshot t window ~f =
       in
       (try visit t.root with Deadline_exceeded -> ());
       stats
+
+(* --- the mmap read path ---
+
+   Two engines over the shared file mapping (see {!Mmap_pager}):
+
+   [mapped_fast] — the live read path (gen 0, no quarantine, no
+   deadline, clean buffer pool).  Strictly allocation-free until a hit
+   materializes: an explicit preallocated int stack replaces the
+   recursion, cursors are flat offsets into the mapping, rect floats
+   load unboxed straight from the mapped bytes, and hits append into a
+   caller-supplied growable buffer.  The descent visits nodes in
+   exactly the recursive preorder (children are pushed in reverse
+   entry order), so visit counts and result order are byte-identical
+   to the pread path.  A page that fails its CRC gate aborts to the
+   pread engine — at generation zero on a clean pool that means
+   genuine damage, and pread owns the fail-stop/quarantine contract.
+
+   [mapped_guarded] — everything else on the mapping: snapshot reads
+   at a pinned generation, quarantine routing, deadlines.  Allocation
+   is permitted here; what matters is MVCC soundness under concurrent
+   overwrite.  Protocol, per node: probe the version store first (a
+   hit means the page was overwritten after our generation — serve the
+   retained image through [Pager.read_shared ~gen] exactly as the
+   pread path does); on a miss, scan the mapped page with its effects
+   buffered, then re-probe.  Because {!Pager} retains the pre-image
+   *before* the physical overwrite lands, a second miss proves the
+   mapped bytes we scanned were the committed image for our
+   generation; a hit means the scan may have raced the overwrite, so
+   the buffered effects are rolled back and the node is redone from
+   the retained image.  A mapped page failing its CRC gate mid-flight
+   (a torn frame under an in-progress overwrite, or damage) serves
+   that one node through pread, which re-runs the same live-then-probe
+   protocol under the pager lock. *)
+
+type hits = {
+  mutable h_entries : Entry.t array;
+  mutable h_len : int;
+  mutable h_stack : int array; (* descent scratch: pending page ids *)
+  h_stats : query_stats; (* reused across queries; valid until the next one *)
+}
+
+let hits_make () =
+  { h_entries = [||]; h_len = 0; h_stack = Array.make 256 0; h_stats = fresh_stats () }
+
+let hits_length h = h.h_len
+let hits_stats h = h.h_stats
+
+let hits_get h i =
+  if i < 0 || i >= h.h_len then invalid_arg "Rtree.hits_get";
+  Array.unsafe_get h.h_entries i
+
+let hits_clear h = h.h_len <- 0
+
+let hits_push h e =
+  (if h.h_len = Array.length h.h_entries then begin
+     let grown = Array.make (max 16 (2 * h.h_len)) e in
+     Array.blit h.h_entries 0 grown 0 h.h_len;
+     h.h_entries <- grown
+   end);
+  Array.unsafe_set h.h_entries h.h_len e;
+  h.h_len <- h.h_len + 1
+
+let reset_stats s =
+  s.internal_visited <- 0;
+  s.leaf_visited <- 0;
+  s.matched <- 0;
+  s.skipped_subtrees <- 0;
+  s.skipped_pages <- [];
+  s.timed_out <- false
+
+let blit_stats ~src ~dst =
+  dst.internal_visited <- src.internal_visited;
+  dst.leaf_visited <- src.leaf_visited;
+  dst.matched <- src.matched;
+  dst.skipped_subtrees <- src.skipped_subtrees;
+  dst.skipped_pages <- src.skipped_pages;
+  dst.timed_out <- src.timed_out
+
+let copy_stats s =
+  {
+    internal_visited = s.internal_visited;
+    leaf_visited = s.leaf_visited;
+    matched = s.matched;
+    skipped_subtrees = s.skipped_subtrees;
+    skipped_pages = s.skipped_pages;
+    timed_out = s.timed_out;
+  }
+
+exception Mapped_fallback
+
+(* The hot loops are top-level recursive functions, not local closures:
+   a local [let rec] capturing its environment would allocate the
+   closure on every query.  The window bounds are read by direct field
+   access on the all-float record ([window.Rect.xmax]), not through the
+   [Rect.xmax] accessors: without flambda a cross-module accessor call
+   boxes its float return, which would cost two minor words per rect
+   test; the field load feeds the comparison unboxed. *)
+
+let rec fast_scan_leaf h m base window i n =
+  if i < n then begin
+    let off = base + Node.header_size + (i * Entry.size) in
+    if
+      View.get_f64 m off <= window.Rect.xmax
+      && window.Rect.xmin <= View.get_f64 m (off + 16)
+      && View.get_f64 m (off + 8) <= window.Rect.ymax
+      && window.Rect.ymin <= View.get_f64 m (off + 24)
+    then begin
+      h.h_stats.matched <- h.h_stats.matched + 1;
+      hits_push h (Node.map_read_entry m off)
+    end;
+    fast_scan_leaf h m base window (i + 1) n
+  end
+
+let rec fast_push_children h m base window i sp =
+  if i < 0 then sp
+  else
+    let off = base + Node.header_size + (i * Entry.size) in
+    if
+      View.get_f64 m off <= window.Rect.xmax
+      && window.Rect.xmin <= View.get_f64 m (off + 16)
+      && View.get_f64 m (off + 8) <= window.Rect.ymax
+      && window.Rect.ymin <= View.get_f64 m (off + 24)
+    then begin
+      Array.unsafe_set h.h_stack sp (View.get_i32 m (off + 32));
+      fast_push_children h m base window (i - 1) (sp + 1)
+    end
+    else fast_push_children h m base window (i - 1) sp
+
+let rec fast_loop mm w m h npages ps window sp =
+  if sp > 0 then begin
+    let sp = sp - 1 in
+    let id = Array.unsafe_get h.h_stack sp in
+    if id < 0 || id >= npages || not (Mmap_pager.verified mm w id) then begin
+      Mmap_pager.fell_back mm;
+      raise_notrace Mapped_fallback
+    end;
+    Mmap_pager.served mm;
+    let base = id * ps in
+    let n = Node.map_length m ~base in
+    match View.get_u8 m base with
+    | 0 ->
+        h.h_stats.leaf_visited <- h.h_stats.leaf_visited + 1;
+        fast_scan_leaf h m base window 0 n;
+        fast_loop mm w m h npages ps window sp
+    | 1 ->
+        h.h_stats.internal_visited <- h.h_stats.internal_visited + 1;
+        (if sp + n > Array.length h.h_stack then begin
+           let grown = Array.make (max (2 * Array.length h.h_stack) (sp + n)) 0 in
+           Array.blit h.h_stack 0 grown 0 sp;
+           h.h_stack <- grown
+         end);
+        let sp = fast_push_children h m base window (n - 1) sp in
+        fast_loop mm w m h npages ps window sp
+    | k -> invalid_arg (Printf.sprintf "Rtree: bad node kind %d in mapped page %d" k id)
+  end
+
+let mapped_fast t mm window h =
+  let w = Mmap_pager.window mm in
+  let m = Mmap_pager.map w in
+  let npages = Mmap_pager.pages w in
+  let ps = page_size t in
+  Array.unsafe_set h.h_stack 0 t.root;
+  fast_loop mm w m h npages ps window 1
+
+let mapped_guarded ?quarantine ?deadline ~gen ~root ~sheight t mm window (h : hits) =
+  let pgr = pager t in
+  let stats = h.h_stats in
+  let dl = Option.value deadline ~default:Deadline.none in
+  let w = Mmap_pager.window mm in
+  let m = Mmap_pager.map w in
+  let npages = Mmap_pager.pages w in
+  let ps = page_size t in
+  let skip_subtree id =
+    stats.skipped_subtrees <- stats.skipped_subtrees + 1;
+    if not (List.mem id stats.skipped_pages) then
+      stats.skipped_pages <- id :: stats.skipped_pages
+  in
+  let poison id reason =
+    (match quarantine with Some q -> Quarantine.add q id reason | None -> ());
+    skip_subtree id
+  in
+  let push_hit e = hits_push h e in
+  (* Leaf vs internal: by depth against the snapshot height when one is
+     pinned (the live kind byte may describe a reallocated page), by
+     the page's own kind byte on the live path. *)
+  let leaf_mapped base depth =
+    match sheight with
+    | Some sh -> depth = sh
+    | None -> Node.map_kind m ~base = Node.Leaf
+  in
+  let leaf_bytes buf depth =
+    match sheight with
+    | Some sh -> depth = sh
+    | None -> Node.page_kind buf = Node.Leaf
+  in
+  let rec visit id depth =
+    if Deadline.expired dl then begin
+      stats.timed_out <- true;
+      Prt_obs.Flight.point "resilience.deadline_expired" ~arg:id;
+      raise_notrace Deadline_exceeded
+    end;
+    if (match quarantine with Some q -> Quarantine.mem q id | None -> false) then
+      skip_subtree id
+    else if id < 0 || id >= npages then
+      (* Beyond the mapped window (the file grew since the last remap):
+         serve through pread. *)
+      visit_pread id depth
+    else if gen > 0 && Pager.version_probe pgr id ~gen <> None then
+      (* Overwritten after our generation: read_shared serves the
+         retained image. *)
+      visit_pread id depth
+    else if not (Mmap_pager.verified mm w id) then begin
+      (* Torn under an in-progress overwrite, or genuine damage: the
+         pread protocol (live read under the pager lock, trailer
+         verification, version-store check) sorts it out. *)
+      Mmap_pager.fell_back mm;
+      visit_pread id depth
+    end
+    else begin
+      Mmap_pager.served mm;
+      let base = id * ps in
+      if leaf_mapped base depth then begin
+        let h0 = h.h_len and m0 = stats.matched in
+        let found = Node.map_iter_rects m ~base window ~f:push_hit in
+        if gen > 0 && Pager.version_probe pgr id ~gen <> None then begin
+          (* The overwrite landed mid-scan; the mapped bytes may have
+             been torn under us.  Discard the buffered hits and redo
+             this node from the retained image. *)
+          h.h_len <- h0;
+          stats.matched <- m0;
+          Mmap_pager.fell_back mm;
+          visit_pread id depth
+        end
+        else begin
+          stats.leaf_visited <- stats.leaf_visited + 1;
+          stats.matched <- m0 + found
+        end
+      end
+      else begin
+        (* Buffer the matching children, then re-probe before recursing
+           into any of them. *)
+        let acc = ref [] in
+        Node.map_iter_children m ~base window ~f:(fun cid -> acc := cid :: !acc);
+        if gen > 0 && Pager.version_probe pgr id ~gen <> None then begin
+          Mmap_pager.fell_back mm;
+          visit_pread id depth
+        end
+        else begin
+          stats.internal_visited <- stats.internal_visited + 1;
+          List.iter (fun cid -> visit cid (depth + 1)) (List.rev !acc)
+        end
+      end
+    end
+  and visit_pread id depth =
+    match Pager.read_shared ~gen pgr id with
+    | exception Pager.Corrupt_page _ when quarantine <> None -> poison id Quarantine.Corrupt
+    | exception Pager.Io_error _ when quarantine <> None -> poison id Quarantine.Io_failed
+    | buf ->
+        if leaf_bytes buf depth then begin
+          stats.leaf_visited <- stats.leaf_visited + 1;
+          stats.matched <- stats.matched + Node.iter_rects buf window ~f:push_hit
+        end
+        else begin
+          stats.internal_visited <- stats.internal_visited + 1;
+          Node.iter_children buf window ~f:(fun cid -> visit cid (depth + 1))
+        end
+  in
+  try visit root 1 with Deadline_exceeded -> ()
+
+(* Is the mapped path usable for a read at [gen]?  Live reads (gen 0)
+   additionally require a clean pool — a staged write would make the
+   on-disk image stale — while snapshot reads at a committed generation
+   are covered by the version store whatever the pool holds.  Returns
+   [t.mm] itself, so the check allocates nothing. *)
+let mapped_usable t ~gen =
+  match t.mm with
+  | None -> None
+  | Some _ as s -> if gen > 0 || Buffer_pool.is_clean t.pool then s else None
+
+let snapshot_gen = function Some sv -> sv.sv_gen | None -> 0
+
+(* The pread engines behind the buffer API — only reached on fallback,
+   so the closure they allocate is off the hot path. *)
+let query_into_pread ?quarantine ?deadline ?snapshot t window h =
+  hits_clear h;
+  reset_stats h.h_stats;
+  let stats =
+    pread_unrecorded ?quarantine ?deadline ?snapshot t window ~f:(fun e -> hits_push h e)
+  in
+  blit_stats ~src:stats ~dst:h.h_stats
+
+(* Caller-supplied-buffer window query: results append into [into]
+   and the descent statistics land in [hits_stats into] (both valid
+   until the next query with the same buffer).  On the mmap backend's
+   live path this is the allocation-free entry point: after warm-up (a
+   first query sizes the internal stack), a miss-only query allocates
+   zero minor words. *)
+let query_into ?quarantine ?deadline ?snapshot t window ~into:h =
+  hits_clear h;
+  reset_stats h.h_stats;
+  let gen = snapshot_gen snapshot in
+  (match mapped_usable t ~gen with
+  | None -> query_into_pread ?quarantine ?deadline ?snapshot t window h
+  | Some mm -> (
+      match (snapshot, quarantine, deadline) with
+      | None, None, None -> (
+          try mapped_fast t mm window h
+          with Mapped_fallback -> query_into_pread ?quarantine ?deadline ?snapshot t window h)
+      | _ ->
+          let root, sheight =
+            match snapshot with
+            | Some sv -> (sv.sv_root, Some sv.sv_height)
+            | None -> (t.root, None)
+          in
+          mapped_guarded ?quarantine ?deadline ~gen ~root ~sheight t mm window h));
+  if Prt_obs.Metrics.collecting () then record_query_stats h.h_stats
+
+(* Per-domain scratch for routing the callback-style API through the
+   mapped engines. *)
+let scratch_key = Domain.DLS.new_key hits_make
+
+let query_unrecorded ?quarantine ?deadline ?snapshot t window ~f =
+  let gen = snapshot_gen snapshot in
+  match mapped_usable t ~gen with
+  | None -> pread_unrecorded ?quarantine ?deadline ?snapshot t window ~f
+  | Some mm -> (
+      let h = Domain.DLS.get scratch_key in
+      hits_clear h;
+      reset_stats h.h_stats;
+      let ran_mapped =
+        match (snapshot, quarantine, deadline) with
+        | None, None, None -> (
+            match mapped_fast t mm window h with
+            | () -> true
+            | exception Mapped_fallback -> false)
+        | _ ->
+            let root, sheight =
+              match snapshot with
+              | Some sv -> (sv.sv_root, Some sv.sv_height)
+              | None -> (t.root, None)
+            in
+            mapped_guarded ?quarantine ?deadline ~gen ~root ~sheight t mm window h;
+            true
+      in
+      if not ran_mapped then pread_unrecorded ?quarantine ?deadline ?snapshot t window ~f
+      else begin
+        (* Detach results from the scratch before replaying: [f] may
+           legally issue further queries on this domain. *)
+        let stats = copy_stats h.h_stats in
+        let entries = Array.sub h.h_entries 0 h.h_len in
+        hits_clear h;
+        Array.iter f entries;
+        stats
+      end)
 
 (* All query paths (fast, resilient, snapshot) funnel through here so
    the same counters and latency histogram are recorded whichever
@@ -480,4 +842,5 @@ let load_meta pool ~meta_page =
     root = Page.get_i32 buf 4;
     height = Page.get_i32 buf 8;
     count = Page.get_i32 buf 12;
+    mm = None;
   }

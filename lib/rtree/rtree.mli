@@ -50,6 +50,17 @@ val of_root :
 (** Wrap an already-written tree (used by the bulk loaders). [height] is
     1 when the root is a leaf. *)
 
+val set_mmap : t -> Prt_storage.Mmap_pager.t option -> unit
+(** Attach (or detach) the mmap read backend.  While attached and
+    usable, window queries scan node pages directly in the mapping —
+    no syscall, no lock, no copy, no decode — falling back to the
+    pread path per page or per query when the mapping cannot be
+    trusted (dirty pool, torn page, pinned generation overwritten).
+    Owned by [Index_file]; the writer must {!Prt_storage.Mmap_pager.refresh}
+    it after every commit. *)
+
+val mmap : t -> Prt_storage.Mmap_pager.t option
+
 val pool : t -> Prt_storage.Buffer_pool.t
 val pager : t -> Prt_storage.Pager.t
 val root : t -> int
@@ -112,6 +123,56 @@ val query :
     the live tree, and the result is exactly the pinned commit's answer.
     The snapshot path composes with [quarantine]/[deadline] but never
     ticks [Prt_obs] metrics (the registry is single-domain). *)
+
+val query_unrecorded :
+  ?quarantine:Prt_storage.Quarantine.t ->
+  ?deadline:Prt_util.Deadline.t ->
+  ?snapshot:snapshot_view ->
+  t ->
+  Prt_geom.Rect.t ->
+  f:(Entry.t -> unit) ->
+  query_stats
+(** Exactly {!query}, but never ticks the shared metrics — for callers
+    (the {!Qexec} workers) that account for their descents themselves
+    through {!record_query_stats}. *)
+
+(** {1 Allocation-free queries}
+
+    A reusable query buffer: results append into it and the descent
+    statistics are written into a record it owns, so a query performs
+    no per-call allocation of its own.  On the mmap backend's live
+    path the whole descent is allocation-free — after one warm-up
+    query has sized the internal stack, a miss-only window query
+    allocates zero minor words (proved by a [Gc.minor_words] test in
+    [@mmap-smoke]). *)
+
+type hits
+
+val hits_make : unit -> hits
+val hits_length : hits -> int
+
+val hits_get : hits -> int -> Entry.t
+(** [hits_get h i] is the [i]-th result of the last query, in the same
+    order the callback API delivers them.  Raises [Invalid_argument]
+    out of bounds. *)
+
+val hits_clear : hits -> unit
+
+val hits_stats : hits -> query_stats
+(** The buffer's statistics record — overwritten in place by each
+    {!query_into} on this buffer. *)
+
+val query_into :
+  ?quarantine:Prt_storage.Quarantine.t ->
+  ?deadline:Prt_util.Deadline.t ->
+  ?snapshot:snapshot_view ->
+  t ->
+  Prt_geom.Rect.t ->
+  into:hits ->
+  unit
+(** Same semantics as {!query} (including quarantine, deadline and
+    snapshot behaviour), with results and statistics landing in
+    [into].  Records the shared metrics like {!query} does. *)
 
 val query_list :
   ?quarantine:Prt_storage.Quarantine.t ->

@@ -286,6 +286,8 @@ let breaker_wire t =
   | Retry.Breaker_half_open -> Wire.B_half_open
 
 let health_of t conn =
+  let mc = Index_file.mmap_counters t.idx in
+  let mget f = match mc with Some c -> f c | None -> 0 in
   {
     Wire.h_conns = List.length (List.filter (fun c -> c.alive) t.conns);
     h_draining = t.draining;
@@ -295,6 +297,10 @@ let health_of t conn =
       (match conn.quota with
       | None -> Float.infinity
       | Some q -> Quota.tokens q ~now:(Deadline.now ()));
+    h_backend = Index_file.read_backend t.idx;
+    h_mmap_served = mget (fun c -> c.Prt_storage.Mmap_pager.c_windows_served);
+    h_mmap_crc_skipped = mget (fun c -> c.Prt_storage.Mmap_pager.c_crc_skipped);
+    h_mmap_fallbacks = mget (fun c -> c.Prt_storage.Mmap_pager.c_fallbacks);
   }
 
 let shed t conn ~id ~code ~retry_after_ms detail =

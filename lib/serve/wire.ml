@@ -32,6 +32,10 @@ type health = {
   h_generation : int;
   h_breaker : breaker;
   h_quota_tokens : float;
+  h_backend : string;  (* active read backend: "mmap" or "pread" *)
+  h_mmap_served : int;
+  h_mmap_crc_skipped : int;
+  h_mmap_fallbacks : int;
 }
 
 type request =
@@ -166,7 +170,11 @@ let payload_of_msg m =
       | B_half_open ->
           add_u8 b 2;
           add_u32 b 0);
-      add_f64 b health.h_quota_tokens
+      add_f64 b health.h_quota_tokens;
+      add_u8 b (if health.h_backend = "mmap" then 1 else 0);
+      add_i64 b health.h_mmap_served;
+      add_i64 b health.h_mmap_crc_skipped;
+      add_i64 b health.h_mmap_fallbacks
   | Reply (Error { id; code; retry_after_ms; detail }) ->
       add_u32 b id;
       add_u8 b (code_byte code);
@@ -308,7 +316,32 @@ let msg_of_payload ~kind c =
         | _ -> raise (Bad "unknown breaker tag")
       in
       let h_quota_tokens = get_f64 c in
-      Reply (Health_status { id; health = { h_conns; h_draining; h_generation; h_breaker; h_quota_tokens } })
+      let h_backend =
+        match get_u8 c with
+        | 0 -> "pread"
+        | 1 -> "mmap"
+        | _ -> raise (Bad "unknown backend tag")
+      in
+      let h_mmap_served = get_i64 c in
+      let h_mmap_crc_skipped = get_i64 c in
+      let h_mmap_fallbacks = get_i64 c in
+      Reply
+        (Health_status
+           {
+             id;
+             health =
+               {
+                 h_conns;
+                 h_draining;
+                 h_generation;
+                 h_breaker;
+                 h_quota_tokens;
+                 h_backend;
+                 h_mmap_served;
+                 h_mmap_crc_skipped;
+                 h_mmap_fallbacks;
+               };
+           })
     end
     else if kind = kind_error then begin
       let id = get_u32 c in

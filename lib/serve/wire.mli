@@ -57,6 +57,10 @@ type health = {
   h_generation : int;  (** committed MVCC generation being served *)
   h_breaker : breaker;  (** storage circuit-breaker health *)
   h_quota_tokens : float;  (** tokens left in this connection's bucket *)
+  h_backend : string;  (** active read backend: ["mmap"] or ["pread"] *)
+  h_mmap_served : int;  (** mapped page scans served (0 on pread) *)
+  h_mmap_crc_skipped : int;  (** CRC checks skipped via the per-generation memo *)
+  h_mmap_fallbacks : int;  (** mapped descents that fell back to pread *)
 }
 
 type request =

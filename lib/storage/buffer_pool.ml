@@ -38,6 +38,11 @@ type t = {
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
+  mutable dirties : int;
+      (* Cached pages currently dirty.  The mmap read path consults
+         [is_clean] before trusting the file mapping: any staged write
+         makes the on-disk image stale, so queries fall back to the
+         pool until the next flush. *)
 }
 
 (* Observability mirrors of the per-pool counters (see the note in
@@ -78,6 +83,7 @@ let create ?(capacity = 1024) ?(retry = default_retry) ?breaker pager =
     hits = 0;
     misses = 0;
     evictions = 0;
+    dirties = 0;
   }
 
 let pager t = t.pager
@@ -104,6 +110,7 @@ let evicted t = function
   | Some (id, c) ->
       t.evictions <- t.evictions + 1;
       Prt_obs.Metrics.tick m_evictions;
+      if c.dirty then t.dirties <- t.dirties - 1;
       write_back t id c
   | None -> ()
 
@@ -132,21 +139,29 @@ let write t id data =
   match Lru.find t.cache id with
   | Some c ->
       if c.data != data then Bytes.blit data 0 c.data 0 (Bytes.length data);
+      if not c.dirty then t.dirties <- t.dirties + 1;
       c.dirty <- true
-  | None -> evicted t (Lru.add t.cache id { data = Bytes.copy data; dirty = true })
+  | None ->
+      t.dirties <- t.dirties + 1;
+      evicted t (Lru.add t.cache id { data = Bytes.copy data; dirty = true })
 
 let alloc t = with_retry t "alloc" (fun () -> Pager.alloc t.pager)
 
 let free t id =
-  ignore (Lru.remove t.cache id);
+  (match Lru.remove t.cache id with
+  | Some c when c.dirty -> t.dirties <- t.dirties - 1
+  | _ -> ());
   Pager.free t.pager id
 
 let flush t =
   Lru.iter t.cache (fun id c ->
       if c.dirty then begin
         with_retry t "flush" (fun () -> Pager.write t.pager id c.data);
-        c.dirty <- false
+        c.dirty <- false;
+        t.dirties <- t.dirties - 1
       end)
+
+let is_clean t = t.dirties = 0
 
 let drop_clean t =
   flush t;

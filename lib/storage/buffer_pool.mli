@@ -65,6 +65,10 @@ val flush : t -> unit
 val drop_clean : t -> unit
 (** Flush, then empty the cache entirely. *)
 
+val is_clean : t -> bool
+(** [true] iff no cached page is dirty — the on-disk image is current,
+    so a file mapping may serve reads directly.  O(1). *)
+
 val hits : t -> int
 
 val misses : t -> int

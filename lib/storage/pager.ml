@@ -544,7 +544,7 @@ let find_version b id ~gen =
   | Some vs ->
       List.fold_left (fun acc v -> if v.v_gen_end > gen then Some v.v_img else acc) None vs
 
-let read_shared ?(gen = 0) t id =
+let read_shared ?(gen = 0) ?scratch t id =
   let b = base t in
   check_open b "read_shared";
   check_id b "read_shared" id;
@@ -554,7 +554,16 @@ let read_shared ?(gen = 0) t id =
     | Faulty _ -> assert false
     | Memory m -> m.pages.(id)
     | File f ->
-        let buf = Bytes.create b.page_size in
+        (* A caller-owned scratch buffer keeps hot query loops from
+           allocating a page per uncached read.  The returned buffer is
+           only valid until the caller's next read with the same
+           scratch; version images below are never served through it. *)
+        let buf =
+          match scratch with
+          | Some s when Bytes.length s = b.page_size -> s
+          | Some _ -> invalid_arg "Pager.read_shared: scratch size mismatch"
+          | None -> Bytes.create b.page_size
+        in
         locked_file_read b f.fd id buf;
         verify_read b id buf;
         buf
@@ -575,6 +584,18 @@ let read_shared ?(gen = 0) t id =
         img
     | None -> ( match live_page with Ok buf -> buf | Error e -> raise e)
   end
+
+(* Version-store probe for the mmap read path: the retained image
+   serving [gen], if any, without touching the live page.  The mapped
+   snapshot protocol probes before scanning a mapped page and re-checks
+   after — a miss on the post-scan probe proves the scan predated any
+   overwrite, because retention always precedes the physical write. *)
+let version_probe t id ~gen =
+  let b = base t in
+  check_open b "version_probe";
+  check_id b "version_probe" id;
+  if gen <= 0 then None
+  else Mutex.protect b.mvcc_lock (fun () -> find_version b id ~gen)
 
 (* --- pre-image journal ---
 

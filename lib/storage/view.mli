@@ -1,0 +1,38 @@
+(** Raw little-endian field loads over a read-only memory mapping.
+
+    The mapped half of the Page_view abstraction: the accessors
+    {!Page} provides over [bytes], but over a mapped window of the
+    whole index file, addressed by absolute byte offset.  All reads are
+    allocation-free; the float load is a C stub returning an unboxed
+    float so the rect-overlap inner loop never touches the heap. *)
+
+type map =
+  (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+external get_f64 : map -> (int[@untagged]) -> (float[@unboxed])
+  = "prt_view_get_f64_byte" "prt_view_get_f64_native"
+[@@noalloc]
+(** [get_f64 m off] loads the little-endian float64 at absolute byte
+    offset [off].  No alignment requirement; no bounds check. *)
+
+external madvise_random : map -> unit = "prt_view_madvise_random" [@@noalloc]
+(** Advise the kernel that access will be random (MADV_RANDOM where
+    available; a no-op elsewhere). *)
+
+val length : map -> int
+(** Size of the mapping in bytes. *)
+
+val get_u8 : map -> int -> int
+val get_u16 : map -> int -> int
+
+val get_i32 : map -> int -> int
+(** Sign-extending 32-bit load, matching {!Page.get_i32}. *)
+
+val crc32c : map -> pos:int -> len:int -> int
+(** CRC-32C (Castagnoli) over [len] bytes at [pos]; bit-identical to
+    {!Page.crc32c} over the same bytes. *)
+
+val page_valid : map -> base:int -> page_size:int -> bool
+(** Integrity check of the mapped page at absolute offset [base]: the
+    mapped analogue of {!Page.check}.  [true] for a valid v2 trailer or
+    an all-zero (never-written) page; [false] for torn or stale. *)

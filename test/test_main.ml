@@ -31,5 +31,6 @@ let () =
       ("qexec", Test_qexec.suite);
       ("resilience", Test_resilience.suite);
       ("mvcc", Test_mvcc.suite);
+      ("mmap", Test_mmap.suite);
       ("serve", Test_serve.suite);
     ]

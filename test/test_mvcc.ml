@@ -43,8 +43,10 @@ let copy_file src dst =
 
 let everything = Rect.make ~xmin:(-1e9) ~ymin:(-1e9) ~xmax:1e9 ~ymax:1e9
 
-let create_index path entries =
-  Index_file.create ~page_size path ~build:(fun pool -> Prtree.load pool entries)
+let create_index ?backend path entries =
+  Index_file.create ~page_size ?backend path ~build:(fun pool -> Prtree.load pool entries)
+
+let backend_name = function `Mmap -> "mmap" | `Pread -> "pread" | `Auto -> "auto"
 
 (* Update entries carry ids >= 1_000_000 so oracles never collide with
    the bulk-loaded ids. *)
@@ -108,17 +110,24 @@ let lin_updates = 6
    commit.  Every observation — raw snapshot descent or executor batch —
    must equal the oracle of exactly one committed generation.  After the
    readers drain, one more commit must reclaim every retained version
-   and parked free page. *)
-let qcheck_linearizable =
+   and parked free page.  Runs once per read backend: under mmap the
+   snapshot descent races the writer's in-place page overwrites on the
+   live mapping, so a torn or stale mapped page that escaped the
+   generation probe / CRC re-verification would surface here as a
+   mixed-generation read. *)
+let qcheck_linearizable backend =
   let count = if Helpers.long_run then 500 else 30 in
-  QCheck.Test.make ~count ~name:"mvcc: concurrent reads are pre- or post-commit, never a mix"
+  QCheck.Test.make ~count
+    ~name:
+      (Printf.sprintf "mvcc[%s]: concurrent reads are pre- or post-commit, never a mix"
+         (backend_name backend))
     (QCheck.pair
        (Helpers.arbitrary_scenario ~min_size:20 ~max_size:120 ())
        (QCheck.oneofl ~print:string_of_int [ 1; 2; 4 ]))
     (fun (sc, jobs) ->
       with_temp @@ fun path ->
       let entries = Helpers.random_entries ~n:sc.Helpers.sc_size ~seed:sc.Helpers.sc_seed in
-      let idx = create_index path entries in
+      let idx = create_index ~backend path entries in
       Fun.protect ~finally:(fun () -> Index_file.close idx) @@ fun () ->
       let sb = Index_file.superblock idx in
       let gen0 = Superblock.generation sb in
@@ -184,8 +193,14 @@ let qcheck_linearizable =
    at every page-write boundary inside one commit.  The generation only
    publishes after the last write, so every probe must see exactly the
    pre-commit tree — this sweeps all writer/reader interleavings of one
-   commit deterministically, with no domains and no timing. *)
-let test_hook_probes_every_write_boundary () =
+   commit deterministically, with no domains and no timing.
+
+   With [~backend:`Mmap] the probes descend the live file mapping while
+   the writer overwrites pages under it — each boundary is exactly the
+   moment a mapped page may be torn, so a pre-image that failed to
+   retain, a stale CRC memo, or a missed post-scan re-probe shows up as
+   a torn snapshot here. *)
+let test_hook_probes_every_write_boundary backend () =
   with_temp @@ fun path ->
   let entries = Helpers.random_entries ~n:120 ~seed:4242 in
   let pre = Helpers.brute_force entries everything in
@@ -205,7 +220,9 @@ let test_hook_probes_every_write_boundary () =
                 !probes (List.length got) (List.length pre))
   in
   let fp = Failpoint.create { Failpoint.default with phys_write_hook = Some hook } in
-  let idx = Index_file.open_ ~page_size ~crash:fp path in
+  let idx = Index_file.open_ ~page_size ~crash:fp ~backend path in
+  Alcotest.(check string)
+    "requested backend is active" (backend_name backend) (Index_file.read_backend idx);
   handle := Some idx;
   Index_file.update idx (fun tree -> Dynamic.insert tree (extra_entry 0));
   handle := None;
@@ -311,9 +328,12 @@ let suite =
       test_snapshot_pins_old_generation;
     Alcotest.test_case "close: idempotent, releases pins" `Quick
       test_close_idempotent_and_releases_pins;
-    Helpers.qcheck_case qcheck_linearizable;
-    Alcotest.test_case "deterministic probe at every write boundary" `Quick
-      test_hook_probes_every_write_boundary;
+    Helpers.qcheck_case (qcheck_linearizable `Pread);
+    Helpers.qcheck_case (qcheck_linearizable `Mmap);
+    Alcotest.test_case "deterministic probe at every write boundary (pread)" `Quick
+      (test_hook_probes_every_write_boundary `Pread);
+    Alcotest.test_case "deterministic probe at every write boundary (mmap)" `Quick
+      (test_hook_probes_every_write_boundary `Mmap);
     Alcotest.test_case "crash matrix: pinned reader during commit" `Quick
       test_crash_matrix_with_pinned_reader;
     Alcotest.test_case "100 update cycles: deferred frees reclaimed" `Slow

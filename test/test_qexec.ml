@@ -173,9 +173,12 @@ let test_executor_deterministic_across_jobs () =
 let test_executor_sees_committed_updates () =
   with_temp (fun path ->
       let entries = Helpers.random_entries ~n:300 ~seed:31 in
+      (* Pinned to pread: the assertions below are about the shard
+         cache, which the mmap backend's direct mapped scans bypass
+         (update visibility under mmap is covered in test_mmap). *)
       let idx =
-        Index_file.create ~page_size:Helpers.small_page_size path ~build:(fun pool ->
-            Prtree.load pool entries)
+        Index_file.create ~page_size:Helpers.small_page_size ~backend:`Pread path
+          ~build:(fun pool -> Prtree.load pool entries)
       in
       Fun.protect
         ~finally:(fun () -> Index_file.close idx)

@@ -69,6 +69,10 @@ let sample_msgs =
                  h_generation = 42;
                  h_breaker = B_open { cooldown_left = 17 };
                  h_quota_tokens = 12.5;
+                 h_backend = "mmap";
+                 h_mmap_served = 12_345;
+                 h_mmap_crc_skipped = 12_000;
+                 h_mmap_fallbacks = 2;
                };
            }));
     Wire.(
@@ -83,6 +87,10 @@ let sample_msgs =
                  h_generation = 1;
                  h_breaker = B_half_open;
                  h_quota_tokens = Float.infinity;
+                 h_backend = "pread";
+                 h_mmap_served = 0;
+                 h_mmap_crc_skipped = 0;
+                 h_mmap_fallbacks = 0;
                };
            }));
     Wire.(
@@ -147,6 +155,10 @@ let msg_of_scenario (sc : Helpers.scenario) =
                    h_generation = Rng.int rng 10_000;
                    h_breaker = breaker;
                    h_quota_tokens = Rng.float rng 1000.0;
+                   h_backend = (if Rng.int rng 2 = 0 then "mmap" else "pread");
+                   h_mmap_served = Rng.int rng 1_000_000;
+                   h_mmap_crc_skipped = Rng.int rng 1_000_000;
+                   h_mmap_fallbacks = Rng.int rng 1_000;
                  };
              }))
   | _ ->
