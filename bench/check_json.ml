@@ -89,6 +89,49 @@ let check_serve_row path row =
   if num "p50_us" > num "p99_us" then fail "%s: serve row has p50 > p99" path;
   if num "ok" = 0.0 && num "qps" > 0.0 then fail "%s: serve row has qps without successes" path
 
+(* LSM-ingestion rows come in three phases with a shared core: counts
+   never negative, the recovered entry count always equal to the
+   dataset size (losing an acknowledged insert is the failure mode the
+   subsystem exists to rule out), write amplification at least 1 (the
+   WAL alone writes every acked byte), and a clean shutdown replaying
+   into zero reclaimed orphans. *)
+let check_ingest_row path row =
+  let str name =
+    match Json.member name row with
+    | Some (Json.Str s) -> s
+    | _ -> fail "%s: ingest row missing string field %S" path name
+  in
+  let num name =
+    match Option.bind (Json.member name row) Json.to_number with
+    | Some v -> v
+    | None -> fail "%s: ingest row missing numeric field %S" path name
+  in
+  let phase = str "phase" in
+  List.iter
+    (fun f -> if num f < 0.0 then fail "%s: ingest row has negative %S" path f)
+    [ "n"; "buffer"; "seconds"; "entries" ];
+  if num "entries" <> num "n" then
+    fail "%s: ingest %s row lost entries: %g of %g" path phase (num "entries") (num "n");
+  match phase with
+  | "ingest" ->
+      if not (List.mem (str "sync") [ "always"; "never" ]) then
+        fail "%s: ingest row has unknown sync mode %S" path (str "sync");
+      if num "write_amp" < 1.0 then
+        fail "%s: ingest row has write_amp < 1 (%g)" path (num "write_amp");
+      if num "merges" < 1.0 || num "components" < 1.0 then
+        fail "%s: ingest row shows no merge activity" path
+  | "concurrent" ->
+      if num "readers" < 1.0 then fail "%s: concurrent row has no readers" path;
+      if num "reader_queries" < 1.0 then
+        fail "%s: concurrent row completed no queries" path
+  | "replay" ->
+      if num "orphans" <> 0.0 then
+        fail "%s: replay row reclaimed %g orphans after a clean shutdown" path
+          (num "orphans");
+      if num "replayed" < 0.0 || num "components" < 1.0 then
+        fail "%s: replay row malformed" path
+  | p -> fail "%s: ingest row has unknown phase %S" path p
+
 let check_bench path j =
   let experiment = match Json.member "experiment" j with Some (Json.Str s) -> s | _ -> "" in
   match Json.member "rows" j with
@@ -96,11 +139,16 @@ let check_bench path j =
       if rows = [] then fail "%s: empty rows" path;
       List.iter
         (function
-          | Json.Obj _ as row -> if experiment = "serve" then check_serve_row path row
+          | Json.Obj _ as row ->
+              if experiment = "serve" then check_serve_row path row
+              else if experiment = "ingest" then check_ingest_row path row
           | _ -> fail "%s: non-object row" path)
         rows;
       Printf.printf "%s: %d rows%s\n" path (List.length rows)
-        (if experiment = "serve" then " (serve shape ok)" else "")
+        (match experiment with
+        | "serve" -> " (serve shape ok)"
+        | "ingest" -> " (ingest shape ok)"
+        | _ -> "")
   | _ -> fail "%s: no rows array" path
 
 let () =

@@ -72,10 +72,24 @@ let tracked =
        degraded to pread *)
     ("windows_served", Exact);
     ("fallbacks", Exact);
+    (* LSM-ingestion counters: merge scheduling is deterministic in the
+       inline phases (fixed entries, fixed buffer capacity), so the
+       component count, merge count, and WAL replay/orphan counts gate
+       exactly; write amplification rides page-build determinism with a
+       band for WAL segment-boundary jitter.  (The per-level histogram
+       is a string field, so it gates through row identity.) *)
+    ("components", Exact);
+    ("merges", Exact);
+    ("replayed", Exact);
+    ("orphans", Exact);
+    ("write_amp", Lower 0.10);
   ]
 
 let identity_ints =
-  [ "n"; "jobs"; "queries"; "readers"; "pages"; "rate"; "deadline_ms"; "concurrency"; "batch" ]
+  [
+    "n"; "jobs"; "queries"; "readers"; "pages"; "rate"; "deadline_ms"; "concurrency";
+    "batch"; "buffer";
+  ]
 
 (* --- rows --- *)
 

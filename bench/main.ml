@@ -78,6 +78,9 @@ let experiments =
     ( "serve",
       "Network serving tier: QPS vs client concurrency, quota and overload shedding",
       Exp_serve.serve );
+    ( "ingest",
+      "Crash-safe LSM ingestion: insert rate, write amplification, WAL replay",
+      Exp_ingest.ingest );
     ("micro", "Bechamel wall-clock micro-benchmarks", Micro.run);
   ]
 

@@ -92,6 +92,15 @@ end
 (* Dynamization via the logarithmic method. *)
 module Logmethod = Prt_logmethod.Logmethod
 
+(* Its persistent, crash-safe production form: WAL-acknowledged inserts,
+   on-disk PR-tree components, a CRC'd atomic-rename component manifest,
+   fault-injected background merges.  [Fsops]/[Wal]/[Manifest] are the
+   storage substrate it stands on. *)
+module Lsm = Prt_logmethod.Lsm
+module Fsops = Prt_storage.Fsops
+module Wal = Prt_storage.Wal
+module Manifest = Prt_storage.Manifest
+
 (* Observability: span tracing (Chrome trace-event export), the
    domain-striped metrics registry, the always-on per-domain flight
    recorder, and the minimal JSON used by all three.  [Metrics] above

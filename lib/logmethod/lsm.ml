@@ -1,0 +1,1202 @@
+(* The persistent, crash-safe logarithmic method: LSM-style ingestion
+   over on-disk PR-tree components.  See lsm.mli for the directory
+   layout and the crash/degradation contracts.
+
+   Concurrency in one paragraph: a single mutex guards the mutable
+   state (buffer, sealed buffer, tombstones, component list, WAL
+   handle, counters).  Everything that reads component *pages* does so
+   through the snapshot path (Index_file.with_snapshot +
+   Rtree.query ~snapshot -> Pager.read_shared), which never touches the
+   single-domain buffer pool — so reader domains, the merge domain and
+   the insert path coexist without sharing pool state.  Components
+   retired by a merge commit are unlinked immediately (open descriptors
+   keep them readable) but their handles are only closed once no query
+   that might have captured them is still in flight.
+
+   Crash fidelity: an injected Io_error is a transient device fault —
+   the process survives, so failure paths may clean up after themselves
+   (truncate a torn manifest, unlink a half-built component) before the
+   retry.  Simulated_crash means the process is dead at that kill
+   point: nothing may touch the disk afterwards, the handle is poisoned,
+   and the state left behind is exactly what the next open must
+   recover from. *)
+
+module Rect = Prt_geom.Rect
+module Pager = Prt_storage.Pager
+module Buffer_pool = Prt_storage.Buffer_pool
+module Failpoint = Prt_storage.Failpoint
+module Fsops = Prt_storage.Fsops
+module Wal = Prt_storage.Wal
+module Manifest = Prt_storage.Manifest
+module Retry = Prt_storage.Retry
+module Entry = Prt_rtree.Entry
+module Rtree = Prt_rtree.Rtree
+module Qexec = Prt_rtree.Qexec
+module Index_file = Prt_rtree.Index_file
+module Prtree = Prt_prtree.Prtree
+module Ext_build = Prt_prtree.Ext_build
+module Metrics = Prt_obs.Metrics
+module Flight = Prt_obs.Flight
+
+type wal_sync = [ `Always | `Never ]
+
+(* --- ingest.* telemetry (domain-striped; no-ops unless collecting) --- *)
+
+let m_inserts = Metrics.counter "ingest.inserts"
+let m_deletes = Metrics.counter "ingest.deletes"
+let m_wal_bytes = Metrics.counter "ingest.wal_bytes"
+let m_absorbs = Metrics.counter "ingest.absorbs"
+let m_merges = Metrics.counter "ingest.merges"
+let m_merge_aborts = Metrics.counter "ingest.merge_aborts"
+let m_merge_entries = Metrics.counter "ingest.merge_entries"
+let m_replayed = Metrics.counter "ingest.replayed"
+let m_orphans = Metrics.counter "ingest.orphans_reclaimed"
+let m_tombstones = Metrics.counter "ingest.tombstones"
+
+(* --- components --- *)
+
+type comp_state =
+  | Live of Index_file.t
+  | Failed of string  (* open/read failed: degrades only its own slice *)
+
+type comp = {
+  c_level : int;
+  c_seq : int;
+  c_file : string;  (* basename *)
+  c_count : int;
+  mutable c_state : comp_state;
+  mutable c_exec : Qexec.t option;  (* lazy batched executor *)
+}
+
+type t = {
+  dir : string;
+  buffer_capacity : int;
+  page_size : int;
+  cache_pages : int;
+  wal_sync : wal_sync;
+  ext_threshold : int;
+  mem_records : int;
+  fsops : Fsops.t;
+  retry : Retry.t;
+  mu : Mutex.t;
+  cond : Condition.t;
+  buffer : (int, Entry.t) Hashtbl.t;
+  mutable sealed : (int, Entry.t) Hashtbl.t option;
+  tombstones : (int, unit) Hashtbl.t;
+  mutable comps : comp list;  (* sorted by c_level ascending *)
+  mutable wal : Wal.t;
+  mutable wal_seq : int;
+  mutable old_segments : (int * string * int) list;  (* seq, path, bytes *)
+  mutable next_seq : int;
+  mutable manifest_seq : int;
+  mutable last_merge : string;
+  mutable merging : bool;
+  mutable merge_wanted : bool;  (* a seal not yet merged or aborted *)
+  mutable merges : int;
+  mutable merge_aborts : int;
+  replayed : int;
+  orphans_reclaimed : int;
+  mutable bytes_acked : int;
+  mutable wal_bytes_written : int;
+  mutable comp_pages_written : int;
+  mutable retired : Index_file.t list;
+  mutable active_queries : int;
+  mutable closed : bool;
+  mutable fatal : exn option;
+  background : bool;
+  mutable worker : unit Domain.t option;
+}
+
+let dir t = t.dir
+
+let with_lock t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let check_usable t =
+  if t.closed then invalid_arg "Lsm: handle closed";
+  match t.fatal with Some e -> raise e | None -> ()
+
+let comp_path t c = Filename.concat t.dir c.c_file
+let comp_file seq = Printf.sprintf "c%06d.idx" seq
+let wal_file seq = Printf.sprintf "wal-%06d.log" seq
+
+let wal_seq_of_filename name =
+  if String.length name = 14 && String.sub name 0 4 = "wal-"
+     && Filename.check_suffix name ".log"
+  then int_of_string_opt (String.sub name 4 6)
+  else None
+
+let is_comp_filename name =
+  String.length name = 11
+  && name.[0] = 'c'
+  && Filename.check_suffix name ".idx"
+  && int_of_string_opt (String.sub name 1 6) <> None
+
+let cap t j = t.buffer_capacity * (1 lsl j)
+
+(* --- WAL records: tag (u8) + the 36-byte entry --- *)
+
+let record_size = 1 + Entry.size
+
+let encode_record tag e =
+  let b = Bytes.create record_size in
+  Bytes.set_uint8 b 0 tag;
+  Entry.write b 1 e;
+  b
+
+let decode_record b =
+  if Bytes.length b <> record_size then None
+  else
+    match Bytes.get_uint8 b 0 with
+    | (0 | 1) as tag -> Some (tag, Entry.read b 1)
+    | _ -> None
+
+(* --- opening --- *)
+
+let open_component ~page_size ~cache_pages ~dir (mc : Manifest.component) =
+  let path = Filename.concat dir mc.Manifest.mc_file in
+  let state =
+    match Index_file.open_ ~page_size ~cache_pages path with
+    | idx -> Live idx
+    | exception e ->
+        Flight.failure ~note:mc.Manifest.mc_file "ingest.component_failed";
+        Failed (Printexc.to_string e)
+  in
+  {
+    c_level = mc.Manifest.mc_level;
+    c_seq = mc.Manifest.mc_seq;
+    c_file = mc.Manifest.mc_file;
+    c_count = mc.Manifest.mc_count;
+    c_state = state;
+    c_exec = None;
+  }
+
+(* Apply one replayed WAL record.  Inserts land in the buffer; a delete
+   cancels a buffered insert or is deferred — whether it tombstones a
+   stored entry or targets one a later merge already resolved is only
+   decidable once the components are probed (the record outlives the
+   merge in its segment above the floor, so a naive replay would
+   resurrect resolved tombstones and skew the count bookkeeping). *)
+let apply_record ~buffer ~deletes ~replayed payload =
+  match decode_record payload with
+  | None -> ()  (* CRC-valid but foreign: version skew; skip *)
+  | Some (0, e) ->
+      Hashtbl.replace buffer (Entry.id e) e;
+      incr replayed
+  | Some (_, e) ->
+      let id = Entry.id e in
+      if Hashtbl.mem buffer id then Hashtbl.remove buffer id
+      else Hashtbl.replace deletes id e;
+      incr replayed
+
+(* Is [e] physically stored in some component?  An unreadable component
+   answers "maybe" — the conservative side for a deferred delete. *)
+let stored_in_comps comps e =
+  List.exists
+    (fun c ->
+      match c.c_state with
+      | Failed _ -> true
+      | Live idx ->
+          let tree = Index_file.tree idx in
+          let found = ref false in
+          Index_file.with_snapshot idx (fun view ->
+              ignore
+                (Rtree.query_unrecorded ~snapshot:view tree (Entry.rect e)
+                   ~f:(fun hit ->
+                     if Entry.id hit = Entry.id e && Entry.equal hit e then
+                       found := true)));
+          !found)
+    comps
+
+(* Delete everything in the directory the chosen manifest does not
+   account for: half-built components, dead WAL segments, stale
+   manifests, .tmp leftovers.  Runs before the crash budget is armed,
+   so plain Unix calls are correct here. *)
+let reclaim_orphans ~dir (m : Manifest.t) ~chosen =
+  let keep = Hashtbl.create 16 in
+  Hashtbl.replace keep chosen ();
+  Hashtbl.replace keep (Manifest.filename (m.Manifest.m_seq - 1)) ();
+  List.iter
+    (fun (c : Manifest.component) -> Hashtbl.replace keep c.Manifest.mc_file ())
+    m.Manifest.m_components;
+  let reclaimed = ref 0 in
+  Array.iter
+    (fun name ->
+      if not (Hashtbl.mem keep name) then begin
+        let ours =
+          is_comp_filename name
+          || Filename.check_suffix name ".tmp"
+          || Manifest.seq_of_filename name <> None
+          ||
+          match wal_seq_of_filename name with
+          | Some s -> s < m.Manifest.m_wal_floor
+          | None -> false
+        in
+        if ours then begin
+          (try Unix.unlink (Filename.concat dir name)
+           with Unix.Unix_error _ -> ());
+          incr reclaimed;
+          Metrics.tick m_orphans
+        end
+      end)
+    (try Sys.readdir dir with Sys_error _ -> [||]);
+  !reclaimed
+
+let make ?(buffer_capacity = 1024) ?(page_size = Pager.default_page_size)
+    ?(cache_pages = 4096) ?(wal_sync = `Always) ?(ext_threshold = 50_000)
+    ?(mem_records = 18_000) ?retry_policy ?faults ?crash ?(background = false)
+    ~fresh dirname =
+  if buffer_capacity < 1 then invalid_arg "Lsm: buffer_capacity must be >= 1";
+  let fsops = Fsops.create ?faults () in
+  let retry =
+    Retry.create ?policy:retry_policy
+      ~observe:(function
+        | Retry.Tripped -> Flight.failure "ingest.breaker_tripped"
+        | _ -> ())
+      ()
+  in
+  if fresh then begin
+    (try Unix.mkdir dirname 0o755
+     with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    if Manifest.load dirname <> None then
+      invalid_arg ("Lsm.create: " ^ dirname ^ " already holds an index")
+  end;
+  let manifest, chosen =
+    if fresh then begin
+      Retry.run retry ~op:"ingest.manifest_init" (fun () ->
+          Manifest.write ~fsops ~dir:dirname Manifest.empty);
+      (Manifest.empty, Manifest.filename 0)
+    end
+    else
+      match Manifest.load dirname with
+      | Some (m, name) -> (m, name)
+      | None -> failwith ("Lsm.open_: no valid manifest in " ^ dirname)
+  in
+  let buffer = Hashtbl.create (2 * buffer_capacity) in
+  let tombstones = Hashtbl.create 64 in
+  List.iter
+    (fun id -> Hashtbl.replace tombstones id ())
+    manifest.Manifest.m_tombstones;
+  let comps =
+    List.sort
+      (fun a b -> compare a.c_level b.c_level)
+      (List.map
+         (open_component ~page_size ~cache_pages ~dir:dirname)
+         manifest.Manifest.m_components)
+  in
+  (* Replay WAL segments at or above the floor, oldest first; the
+     newest becomes the active segment again. *)
+  let replayed = ref 0 in
+  let next_seq = ref manifest.Manifest.m_next in
+  let old_segments = ref [] in
+  let segments =
+    (try Sys.readdir dirname with Sys_error _ -> [||])
+    |> Array.to_list
+    |> List.filter_map (fun name ->
+           match wal_seq_of_filename name with
+           | Some s when s >= manifest.Manifest.m_wal_floor -> Some (s, name)
+           | _ -> None)
+    |> List.sort compare
+  in
+  let deletes = Hashtbl.create 16 in
+  let f = apply_record ~buffer ~deletes ~replayed in
+  let wal, wal_seq =
+    let rec go = function
+      | [] ->
+          let seq = max !next_seq manifest.Manifest.m_wal_floor in
+          next_seq := seq + 1;
+          ( Retry.run retry ~op:"ingest.wal_open" (fun () ->
+                Wal.create ~fsops (Filename.concat dirname (wal_file seq))),
+            seq )
+      | [ (seq, name) ] ->
+          let path = Filename.concat dirname name in
+          let _, valid, _torn = Wal.replay path ~f in
+          next_seq := max !next_seq (seq + 1);
+          ( Retry.run retry ~op:"ingest.wal_open" (fun () ->
+                Wal.open_append ~fsops path ~valid),
+            seq )
+      | (seq, name) :: rest ->
+          let path = Filename.concat dirname name in
+          let _, valid, _ = Wal.replay path ~f in
+          old_segments := (seq, path, valid) :: !old_segments;
+          next_seq := max !next_seq (seq + 1);
+          go rest
+    in
+    go segments
+  in
+  (* Resolve the deferred deletes against the opened components. *)
+  Hashtbl.iter
+    (fun id e ->
+      if not (Hashtbl.mem buffer id) && stored_in_comps comps e then
+        Hashtbl.replace tombstones id ())
+    deletes;
+  if !replayed > 0 then begin
+    Metrics.add m_replayed !replayed;
+    Flight.point ~arg:!replayed "ingest.replay"
+  end;
+  let orphans =
+    if fresh then 0 else reclaim_orphans ~dir:dirname manifest ~chosen
+  in
+  let t =
+    {
+      dir = dirname;
+      buffer_capacity;
+      page_size;
+      cache_pages;
+      wal_sync;
+      ext_threshold;
+      mem_records;
+      fsops;
+      retry;
+      mu = Mutex.create ();
+      cond = Condition.create ();
+      buffer;
+      sealed = None;
+      tombstones;
+      comps;
+      wal;
+      wal_seq;
+      old_segments = !old_segments;
+      next_seq = !next_seq;
+      manifest_seq = manifest.Manifest.m_seq;
+      last_merge = manifest.Manifest.m_last_merge;
+      merging = false;
+      merge_wanted = false;
+      merges = 0;
+      merge_aborts = 0;
+      replayed = !replayed;
+      orphans_reclaimed = orphans;
+      bytes_acked = 0;
+      wal_bytes_written = 0;
+      comp_pages_written = 0;
+      retired = [];
+      active_queries = 0;
+      closed = false;
+      fatal = None;
+      background;
+      worker = None;
+    }
+  in
+  (* Recovery is done: arm the kill-point budget from here on. *)
+  Fsops.set_crash fsops crash;
+  t
+
+(* --- counting --- *)
+
+let count_locked t =
+  List.fold_left (fun acc c -> acc + c.c_count) 0 t.comps
+  + Hashtbl.length t.buffer
+  + (match t.sealed with Some s -> Hashtbl.length s | None -> 0)
+  - Hashtbl.length t.tombstones
+
+let count t = with_lock t (fun () -> count_locked t)
+
+let buffer_size t =
+  with_lock t (fun () ->
+      Hashtbl.length t.buffer
+      + match t.sealed with Some s -> Hashtbl.length s | None -> 0)
+
+let components t =
+  with_lock t (fun () -> List.map (fun c -> (c.c_level, c.c_count)) t.comps)
+
+(* --- merge machinery --- *)
+
+(* Choose the target slot: walk levels upward, absorbing live
+   components (failed ones keep their slot and are routed around) until
+   an unoccupied level fits the running total — the logarithmic
+   method's first-fitting-empty-slot rule, generalized to tolerate
+   oversized sealed buffers and unreadable components. *)
+let choose_slot t ~sealed_count =
+  let comp_at j = List.find_opt (fun c -> c.c_level = j) t.comps in
+  let rec go j participants total =
+    match comp_at j with
+    | Some { c_state = Failed _; _ } -> go (j + 1) participants total
+    | Some ({ c_state = Live _; _ } as c) ->
+        go (j + 1) (c :: participants) (total + c.c_count)
+    | None ->
+        if total <= cap t j then (j, participants)
+        else go (j + 1) participants total
+  in
+  go 0 [] sealed_count
+
+(* Collect the live entries of the sealed buffer plus the participant
+   components, filtering (and resolving) tombstones.  Component reads
+   go through the snapshot path: safe from the merge domain. *)
+let collect_entries ~sealed ~participants ~tomb =
+  let acc = ref [] and resolved = ref [] in
+  let keep e =
+    let id = Entry.id e in
+    if Hashtbl.mem tomb id then resolved := id :: !resolved
+    else acc := e :: !acc
+  in
+  Hashtbl.iter (fun _ e -> keep e) sealed;
+  List.iter
+    (fun c ->
+      match c.c_state with
+      | Failed _ -> ()
+      | Live idx -> (
+          let tree = Index_file.tree idx in
+          match Rtree.mbr tree with
+          | None -> ()
+          | Some window ->
+              Index_file.with_snapshot idx (fun view ->
+                  ignore
+                    (Rtree.query_unrecorded ~snapshot:view tree window ~f:keep))))
+    participants;
+  (Array.of_list !acc, !resolved)
+
+let build_component t ~seq ~entries =
+  let tmp = Filename.concat t.dir (comp_file seq ^ ".tmp") in
+  let final = Filename.concat t.dir (comp_file seq) in
+  let n = Array.length entries in
+  let idx =
+    Index_file.create ~page_size:t.page_size ~cache_pages:t.cache_pages
+      ?crash:(Fsops.crash t.fsops) tmp
+      ~build:(fun pool ->
+        if n <= t.ext_threshold then Prtree.load pool entries
+        else begin
+          (* The external loader: stream the input through an entry
+             record file in the component's own pager, so the sort and
+             distribution passes are I/O-efficient and I/O-counted. *)
+          let file = Entry.File.of_array (Buffer_pool.pager pool) entries in
+          let tree = Ext_build.load ~mem_records:t.mem_records pool file in
+          Entry.File.destroy file;
+          tree
+        end)
+  in
+  let pages = (Pager.snapshot (Index_file.pager idx)).Pager.s_writes in
+  (try
+     Fsops.rename t.fsops ~src:tmp ~dst:final;
+     Fsops.fsync_dir t.fsops t.dir
+   with e ->
+     Index_file.close idx;
+     (* Only a transient fault may clean up; at a kill point the
+        half-built file must stay behind for the opener to reclaim. *)
+     (match e with
+     | Pager.Io_error _ -> (
+         try Unix.unlink tmp with Unix.Unix_error _ -> ())
+     | _ -> ());
+     raise e);
+  (idx, pages)
+
+(* One full merge attempt: collect, build, publish, swap in memory.
+   Runs with no lock held except for the slot choice and the publish
+   step.  Raises Pager.Io_error on injected faults (the caller retries
+   under the Retry engine) and Simulated_crash on an exhausted kill
+   budget. *)
+let merge_attempt t ~compact_all ~floor_seq =
+  let sealed, tomb, (level, participants) =
+    with_lock t (fun () ->
+        (* Copy, don't alias: a concurrent seal coalesces the next
+           buffer generation into [t.sealed] while this merge runs, and
+           those entries belong to the NEXT merge. *)
+        let sealed =
+          match t.sealed with Some s -> Hashtbl.copy s | None -> Hashtbl.create 1
+        in
+        let tomb = Hashtbl.copy t.tombstones in
+        let target =
+          if compact_all then begin
+            let live =
+              List.filter
+                (fun c -> match c.c_state with Live _ -> true | _ -> false)
+                t.comps
+            in
+            let total =
+              Hashtbl.length sealed
+              + List.fold_left (fun a c -> a + c.c_count) 0 live
+            in
+            let blocked j =
+              List.exists
+                (fun c ->
+                  c.c_level = j
+                  && match c.c_state with Failed _ -> true | _ -> false)
+                t.comps
+            in
+            let rec fit j =
+              if (not (blocked j)) && total <= cap t j then j else fit (j + 1)
+            in
+            (fit 0, live)
+          end
+          else choose_slot t ~sealed_count:(Hashtbl.length sealed)
+        in
+        (sealed, tomb, target))
+  in
+  let entries, resolved = collect_entries ~sealed ~participants ~tomb in
+  let seq =
+    with_lock t (fun () ->
+        let s = t.next_seq in
+        t.next_seq <- s + 1;
+        s)
+  in
+  let built =
+    if Array.length entries = 0 then None
+    else Some (build_component t ~seq ~entries)
+  in
+  let participant_files = List.map (fun c -> comp_path t c) participants in
+  let outcome =
+    Printf.sprintf "ok: %s%d entries -> level %d (%d component%s absorbed)"
+      (if compact_all then "compacted " else "")
+      (Array.length entries) level
+      (List.length participants)
+      (if List.length participants = 1 then "" else "s")
+  in
+  (* Publish: one manifest swap under the lock, then commit in memory. *)
+  with_lock t (fun () ->
+      List.iter (fun id -> Hashtbl.remove t.tombstones id) resolved;
+      let keep = List.filter (fun c -> not (List.memq c participants)) t.comps in
+      let new_comp =
+        Option.map
+          (fun (idx, _) ->
+            {
+              c_level = level;
+              c_seq = seq;
+              c_file = comp_file seq;
+              c_count = Array.length entries;
+              c_state = Live idx;
+              c_exec = None;
+            })
+          built
+      in
+      let comps' =
+        List.sort
+          (fun a b -> compare a.c_level b.c_level)
+          (match new_comp with Some c -> c :: keep | None -> keep)
+      in
+      let m =
+        {
+          Manifest.m_seq = t.manifest_seq + 1;
+          m_next = t.next_seq;
+          m_wal_floor = floor_seq;
+          m_components =
+            List.map
+              (fun c ->
+                {
+                  Manifest.mc_level = c.c_level;
+                  mc_seq = c.c_seq;
+                  mc_file = c.c_file;
+                  mc_count = c.c_count;
+                })
+              comps';
+          m_tombstones =
+            Hashtbl.fold (fun id () acc -> id :: acc) t.tombstones [];
+          m_last_merge = outcome;
+        }
+      in
+      (match Manifest.write ~fsops:t.fsops ~dir:t.dir m with
+      | () -> ()
+      | exception e ->
+          (* The swap failed before publication: the old manifest still
+             rules.  On a transient fault, roll the in-memory side back
+             so the retry (or the abort path) sees consistent pre-merge
+             state; at a kill point, leave the disk exactly as it is. *)
+          (match e with
+          | Pager.Io_error _ -> (
+              List.iter
+                (fun id -> Hashtbl.replace t.tombstones id ())
+                resolved;
+              match built with
+              | Some (idx, _) ->
+                  Index_file.close idx;
+                  (try Unix.unlink (Filename.concat t.dir (comp_file seq))
+                   with Unix.Unix_error _ -> ())
+              | None -> ())
+          | _ -> ());
+          raise e);
+      Flight.point ~arg:m.Manifest.m_seq "ingest.manifest_swap";
+      t.manifest_seq <- m.Manifest.m_seq;
+      t.retired <-
+        List.fold_left
+          (fun acc c ->
+            match c.c_state with Live idx -> idx :: acc | Failed _ -> acc)
+          t.retired participants;
+      t.comps <- comps';
+      (* Remove exactly the entries this merge absorbed; anything a
+         mid-merge seal coalesced in stays sealed for the next one. *)
+      (match t.sealed with
+      | Some s ->
+          Hashtbl.iter (fun id _ -> Hashtbl.remove s id) sealed;
+          if Hashtbl.length s = 0 then t.sealed <- None
+      | None -> ());
+      t.merges <- t.merges + 1;
+      t.last_merge <- outcome;
+      (match built with
+      | Some (_, pages) -> t.comp_pages_written <- t.comp_pages_written + pages
+      | None -> ());
+      Metrics.tick m_merges;
+      Metrics.add m_merge_entries (Array.length entries));
+  (* Post-commit cleanup: every unlink is its own kill point; a crash
+     here leaves orphans for the next open to reclaim.  Open snapshot
+     descriptors keep the unlinked participants readable until the
+     retired handles drain. *)
+  List.iter (fun p -> Fsops.unlink t.fsops p) participant_files;
+  let dead, alive =
+    List.partition
+      (fun (s, _, _) -> s < floor_seq)
+      (with_lock t (fun () -> t.old_segments))
+  in
+  List.iter (fun (_, p, _) -> Fsops.unlink t.fsops p) dead;
+  with_lock t (fun () -> t.old_segments <- alive)
+
+(* Seal the active buffer (coalescing into any sealed leftover from an
+   aborted merge) and rotate the WAL.  Caller holds the lock.  After
+   this, every sealed record lives in a segment below the new active
+   one, so a merge of the sealed set may advance the floor there. *)
+let seal_locked_body t =
+  let seq = t.next_seq in
+  (* Open the successor segment FIRST: if this fails (transiently, past
+     retries), nothing has changed — the active segment still rules and
+     the seal is simply deferred to the next trigger. *)
+  let fresh =
+    Retry.run t.retry ~op:"ingest.wal_rotate" (fun () ->
+        Wal.create ~fsops:t.fsops (Filename.concat t.dir (wal_file seq)))
+  in
+  t.next_seq <- seq + 1;
+  (match t.sealed with
+  | None ->
+      t.sealed <- Some (Hashtbl.copy t.buffer);
+      Hashtbl.reset t.buffer
+  | Some s ->
+      Hashtbl.iter (fun id e -> Hashtbl.replace s id e) t.buffer;
+      Hashtbl.reset t.buffer);
+  let old = t.wal in
+  let old_path = Wal.path old and old_seq = t.wal_seq in
+  (* Make the rotated-out segment durable even under `Never; a
+     transient sync fault only widens the power-loss window (the bytes
+     are written), so it must not fail an already-acknowledged seal. *)
+  (try Retry.run t.retry ~op:"ingest.seal_sync" (fun () -> Wal.sync old)
+   with Pager.Io_error _ -> ());
+  let old_size = Wal.size old in
+  Wal.close old;
+  t.old_segments <- (old_seq, old_path, old_size) :: t.old_segments;
+  t.wal <- fresh;
+  t.wal_seq <- seq;
+  t.merge_wanted <- true;
+  Metrics.tick m_absorbs
+
+(* A kill point during the rotation (the new segment's create) dies
+   with the handle poisoned, like every other crash path. *)
+let seal_locked t =
+  try seal_locked_body t
+  with Failpoint.Simulated_crash _ as ex ->
+    t.fatal <- Some ex;
+    raise ex
+
+(* Run the pending merge now, on the calling domain.  The caller must
+   NOT hold the lock.  Returns whether a merge actually ran (false:
+   nothing sealed, or another domain holds the merge).  On failure,
+   [raise_on_error] distinguishes flush/compact (propagate the
+   Io_error) from insert-triggered absorbs (record the abort and move
+   on — the sealed entries stay durable and queryable, and the next
+   trigger retries). *)
+let merge_pending t ~compact_all ~raise_on_error =
+  let proceed =
+    with_lock t (fun () ->
+        if t.merging || t.closed || t.fatal <> None then false
+        else if t.sealed = None && not compact_all then false
+        else begin
+          t.merging <- true;
+          true
+        end)
+  in
+  if proceed then begin
+    let floor_seq = with_lock t (fun () -> t.wal_seq) in
+    Flight.begin_span "ingest.merge";
+    let finish_abort e =
+      with_lock t (fun () ->
+          t.merge_aborts <- t.merge_aborts + 1;
+          t.merge_wanted <- false;
+          t.last_merge <-
+            Printf.sprintf "aborted: %s"
+              (match e with
+              | Pager.Io_error m -> m
+              | Pager.Corrupt_page m -> "corrupt page: " ^ m
+              | e -> Printexc.to_string e);
+          t.merging <- false;
+          Condition.broadcast t.cond);
+      Metrics.tick m_merge_aborts;
+      Flight.failure ~note:t.last_merge "ingest.merge_abort";
+      Flight.end_span "ingest.merge"
+    in
+    (match
+       Retry.run t.retry ~op:"ingest.merge" (fun () ->
+           merge_attempt t ~compact_all ~floor_seq)
+     with
+    | () ->
+        with_lock t (fun () ->
+            (* Sealed leftovers from a mid-merge coalesce keep the want
+               flag up so the worker drains them. *)
+            if t.sealed = None then t.merge_wanted <- false;
+            t.merging <- false;
+            Condition.broadcast t.cond);
+        Flight.end_span "ingest.merge"
+    | exception (Pager.Io_error _ as e) ->
+        finish_abort e;
+        if raise_on_error then raise e
+    | exception (Pager.Corrupt_page _ as e) ->
+        (* A corrupt participant page: retrying is useless, silently
+           dropping its entries is worse.  Abort; the component stays
+           queryable through its quarantine-degraded reads. *)
+        finish_abort e;
+        if raise_on_error then raise e
+    | exception e ->
+        (* A simulated crash (or an unexpected bug): the handle is
+           dead.  Leave the merging flag set so nothing else runs,
+           record the exception, and propagate. *)
+        with_lock t (fun () ->
+            t.fatal <- Some e;
+            Condition.broadcast t.cond);
+        raise e);
+    true
+  end
+  else false
+
+(* Drive the pending work to completion from flush/compact: run the
+   merge here if we can take it, otherwise wait out whoever holds it —
+   and if their attempt aborted (leaving the seal behind), take over
+   and raise the real error. *)
+let rec run_now t ~compact_all =
+  if not (merge_pending t ~compact_all ~raise_on_error:true) then begin
+    let again =
+      with_lock t (fun () ->
+          while t.merging do
+            Condition.wait t.cond t.mu
+          done;
+          check_usable t;
+          compact_all || t.sealed <> None)
+    in
+    if again then run_now t ~compact_all
+  end
+
+(* --- background merge domain --- *)
+
+let rec worker_loop t =
+  let job =
+    with_lock t (fun () ->
+        let rec wait () =
+          if t.closed || t.fatal <> None then `Stop
+          else if t.merge_wanted && t.sealed <> None && not t.merging then
+            `Merge
+          else begin
+            Condition.wait t.cond t.mu;
+            wait ()
+          end
+        in
+        wait ())
+  in
+  match job with
+  | `Stop -> ()
+  | `Merge ->
+      (try ignore (merge_pending t ~compact_all:false ~raise_on_error:false)
+       with _ -> () (* fatal recorded; the wait above exits *));
+      worker_loop t
+
+let start_worker t =
+  if t.background then t.worker <- Some (Domain.spawn (fun () -> worker_loop t))
+
+let create ?buffer_capacity ?page_size ?cache_pages ?wal_sync ?ext_threshold
+    ?mem_records ?retry_policy ?faults ?crash ?background dirname =
+  let t =
+    make ?buffer_capacity ?page_size ?cache_pages ?wal_sync ?ext_threshold
+      ?mem_records ?retry_policy ?faults ?crash ?background ~fresh:true dirname
+  in
+  start_worker t;
+  t
+
+let open_ ?buffer_capacity ?page_size ?cache_pages ?wal_sync ?ext_threshold
+    ?mem_records ?retry_policy ?faults ?crash ?background dirname =
+  let t =
+    make ?buffer_capacity ?page_size ?cache_pages ?wal_sync ?ext_threshold
+      ?mem_records ?retry_policy ?faults ?crash ?background ~fresh:false dirname
+  in
+  start_worker t;
+  t
+
+(* --- writes --- *)
+
+(* Append one record, under the lock.  Bounded retries absorb transient
+   append/sync faults (the WAL truncates its torn prefix back before
+   each retry, keeping the segment frame-aligned); an exhausted budget
+   fails the insert — nothing was acknowledged.  A kill point poisons
+   the handle: the process is dead at that ordinal. *)
+let log_record t tag e =
+  try
+    Retry.run t.retry ~op:"ingest.wal" (fun () ->
+        Wal.append t.wal (encode_record tag e);
+        match t.wal_sync with `Always -> Wal.sync t.wal | `Never -> ());
+    t.wal_bytes_written <- t.wal_bytes_written + record_size + Wal.frame_overhead;
+    Metrics.add m_wal_bytes (record_size + Wal.frame_overhead)
+  with Failpoint.Simulated_crash _ as ex ->
+    t.fatal <- Some ex;
+    raise ex
+
+let insert t e =
+  let trigger =
+    with_lock t (fun () ->
+        check_usable t;
+        let id = Entry.id e in
+        if
+          Hashtbl.mem t.buffer id
+          || match t.sealed with Some s -> Hashtbl.mem s id | None -> false
+        then invalid_arg "Lsm.insert: duplicate entry id in buffer";
+        (* Background mode: a full buffer on top of an unmerged seal
+           waits here rather than growing without bound. *)
+        if t.background then
+          while
+            Hashtbl.length t.buffer >= t.buffer_capacity
+            && t.sealed <> None
+            && t.merge_wanted  (* after an abort, coalesce instead *)
+            && t.fatal = None
+            && not t.closed
+          do
+            Condition.wait t.cond t.mu
+          done;
+        check_usable t;
+        log_record t 0 e;
+        Hashtbl.replace t.buffer id e;
+        t.bytes_acked <- t.bytes_acked + record_size;
+        Metrics.tick m_inserts;
+        if Hashtbl.length t.buffer >= t.buffer_capacity then begin
+          (* This insert is already acknowledged (logged + buffered): a
+             transient rotation failure defers the seal to the next
+             trigger rather than failing a durable insert. *)
+          match seal_locked t with
+          | () ->
+              Condition.broadcast t.cond;
+              true
+          | exception Pager.Io_error _ -> false
+        end
+        else false)
+  in
+  if trigger && not t.background then
+    ignore (merge_pending t ~compact_all:false ~raise_on_error:false)
+
+(* Does the entry exist in the sealed buffer or some component?  The
+   exact rectangle confines the probe to one window query per
+   component, on the snapshot path. *)
+let mem_stored t e =
+  let id = Entry.id e in
+  let sealed_hit, comps =
+    with_lock t (fun () ->
+        ( (match t.sealed with
+          | Some s -> (
+              match Hashtbl.find_opt s id with
+              | Some e' -> Entry.equal e e'
+              | None -> false)
+          | None -> false),
+          t.comps ))
+  in
+  sealed_hit
+  || List.exists
+       (fun c ->
+         match c.c_state with
+         | Failed _ -> false
+         | Live idx ->
+             let tree = Index_file.tree idx in
+             let found = ref false in
+             Index_file.with_snapshot idx (fun view ->
+                 ignore
+                   (Rtree.query_unrecorded ~snapshot:view tree (Entry.rect e)
+                      ~f:(fun hit ->
+                        if Entry.id hit = id && Entry.equal hit e then
+                          found := true)));
+             !found)
+       comps
+
+let delete t e =
+  let buffered =
+    with_lock t (fun () ->
+        check_usable t;
+        let id = Entry.id e in
+        if Hashtbl.mem t.buffer id then begin
+          log_record t 1 e;
+          Hashtbl.remove t.buffer id;
+          Metrics.tick m_deletes;
+          Some true
+        end
+        else if Hashtbl.mem t.tombstones id then Some false
+        else None)
+  in
+  match buffered with
+  | Some r -> r
+  | None ->
+      if mem_stored t e then begin
+        with_lock t (fun () ->
+            check_usable t;
+            log_record t 1 e;
+            Hashtbl.replace t.tombstones (Entry.id e) ();
+            Metrics.tick m_deletes;
+            Metrics.tick m_tombstones);
+        true
+      end
+      else false
+
+let flush t =
+  with_lock t (fun () ->
+      check_usable t;
+      if Hashtbl.length t.buffer > 0 then seal_locked t);
+  run_now t ~compact_all:false
+
+let compact t =
+  with_lock t (fun () ->
+      check_usable t;
+      if Hashtbl.length t.buffer > 0 then seal_locked t);
+  run_now t ~compact_all:true
+
+let wait_merges t =
+  with_lock t (fun () ->
+      while
+        t.merging || (t.merge_wanted && t.sealed <> None && t.fatal = None)
+      do
+        Condition.wait t.cond t.mu
+      done)
+
+(* --- queries --- *)
+
+let drain_retired_locked t =
+  if t.active_queries = 0 && t.retired <> [] then begin
+    let dead = t.retired in
+    t.retired <- [];
+    List.iter Index_file.close dead
+  end
+
+let finish_query t =
+  with_lock t (fun () ->
+      t.active_queries <- t.active_queries - 1;
+      drain_retired_locked t)
+
+let is_dead tomb e =
+  match tomb with None -> false | Some tbl -> Hashtbl.mem tbl (Entry.id e)
+
+let query ?deadline t window ~f =
+  (* Capture a consistent view for the fan-out: buffer/sealed matches,
+     the component list and a tombstone snapshot, all under the lock;
+     the component descents then run without it. *)
+  let memory, comps, tomb =
+    with_lock t (fun () ->
+        check_usable t;
+        t.active_queries <- t.active_queries + 1;
+        let tomb =
+          if Hashtbl.length t.tombstones = 0 then None
+          else Some (Hashtbl.copy t.tombstones)
+        in
+        let acc = ref [] in
+        let scan tbl =
+          Hashtbl.iter
+            (fun _ e ->
+              if Rect.intersects (Entry.rect e) window then acc := e :: !acc)
+            tbl
+        in
+        scan t.buffer;
+        (match t.sealed with Some s -> scan s | None -> ());
+        (!acc, t.comps, tomb))
+  in
+  Fun.protect
+    ~finally:(fun () -> finish_query t)
+    (fun () ->
+      let stats = Rtree.fresh_stats () in
+      let matched = ref 0 in
+      List.iter
+        (fun e ->
+          if not (is_dead tomb e) then begin
+            incr matched;
+            f e
+          end)
+        memory;
+      List.iter
+        (fun c ->
+          match c.c_state with
+          | Failed _ ->
+              stats.Rtree.skipped_subtrees <- stats.Rtree.skipped_subtrees + 1
+          | Live idx -> (
+              let tree = Index_file.tree idx in
+              match
+                Index_file.with_snapshot idx (fun view ->
+                    Rtree.query_unrecorded
+                      ~quarantine:(Index_file.quarantine idx) ?deadline
+                      ~snapshot:view tree window ~f:(fun e ->
+                        if not (is_dead tomb e) then begin
+                          incr matched;
+                          f e
+                        end))
+              with
+              | s -> Rtree.merge_stats stats s
+              | exception _ ->
+                  (* An unexpectedly dead component degrades its own
+                     contribution only. *)
+                  c.c_state <- Failed "query failed";
+                  stats.Rtree.skipped_subtrees <-
+                    stats.Rtree.skipped_subtrees + 1))
+        comps;
+      stats.Rtree.matched <- !matched;
+      stats)
+
+let query_list ?deadline t window =
+  let acc = ref [] in
+  let stats = query ?deadline t window ~f:(fun e -> acc := e :: !acc) in
+  (List.rev !acc, stats)
+
+let query_batch ?jobs ?deadline t windows =
+  let memory, comps, tomb =
+    with_lock t (fun () ->
+        check_usable t;
+        t.active_queries <- t.active_queries + 1;
+        let tomb =
+          if Hashtbl.length t.tombstones = 0 then None
+          else Some (Hashtbl.copy t.tombstones)
+        in
+        let acc = ref [] in
+        Hashtbl.iter (fun _ e -> acc := e :: !acc) t.buffer;
+        (match t.sealed with
+        | Some s -> Hashtbl.iter (fun _ e -> acc := e :: !acc) s
+        | None -> ());
+        (!acc, t.comps, tomb))
+  in
+  Fun.protect
+    ~finally:(fun () -> finish_query t)
+    (fun () ->
+      let results =
+        Array.map
+          (fun w ->
+            let hits =
+              List.filter
+                (fun e ->
+                  Rect.intersects (Entry.rect e) w && not (is_dead tomb e))
+                memory
+            in
+            (ref (List.rev hits), Rtree.fresh_stats (), ref (List.length hits)))
+          windows
+      in
+      List.iter
+        (fun c ->
+          match c.c_state with
+          | Failed _ ->
+              Array.iter
+                (fun (_, s, _) ->
+                  s.Rtree.skipped_subtrees <- s.Rtree.skipped_subtrees + 1)
+                results
+          | Live idx ->
+              let exec =
+                with_lock t (fun () ->
+                    match c.c_exec with
+                    | Some e -> e
+                    | None ->
+                        let e = Index_file.executor idx in
+                        c.c_exec <- Some e;
+                        e)
+              in
+              let out = Qexec.run ?jobs ?deadline exec windows in
+              Array.iteri
+                (fun i (entries, s) ->
+                  let acc, stats, matched = results.(i) in
+                  List.iter
+                    (fun e ->
+                      if not (is_dead tomb e) then begin
+                        acc := e :: !acc;
+                        incr matched
+                      end)
+                    entries;
+                  Rtree.merge_stats stats s)
+                out)
+        comps;
+      Array.map
+        (fun (acc, stats, matched) ->
+          stats.Rtree.matched <- !matched;
+          (List.rev !acc, stats))
+        results)
+
+(* --- stats / validate / close --- *)
+
+type stats = {
+  s_components : (int * int * bool) list;
+  s_buffer : int;
+  s_sealed : int;
+  s_tombstones : int;
+  s_wal_bytes : int;
+  s_wal_segments : int;
+  s_replayed : int;
+  s_orphans_reclaimed : int;
+  s_last_merge : string;
+  s_merges : int;
+  s_merge_aborts : int;
+  s_bytes_acked : int;
+  s_bytes_written : int;
+}
+
+let stats t =
+  with_lock t (fun () ->
+      {
+        s_components =
+          List.map
+            (fun c ->
+              ( c.c_level,
+                c.c_count,
+                match c.c_state with Live _ -> true | Failed _ -> false ))
+            t.comps;
+        s_buffer = Hashtbl.length t.buffer;
+        s_sealed = (match t.sealed with Some s -> Hashtbl.length s | None -> 0);
+        s_tombstones = Hashtbl.length t.tombstones;
+        s_wal_bytes =
+          Wal.size t.wal
+          + List.fold_left (fun a (_, _, b) -> a + b) 0 t.old_segments;
+        s_wal_segments = 1 + List.length t.old_segments;
+        s_replayed = t.replayed;
+        s_orphans_reclaimed = t.orphans_reclaimed;
+        s_last_merge = t.last_merge;
+        s_merges = t.merges;
+        s_merge_aborts = t.merge_aborts;
+        s_bytes_acked = t.bytes_acked;
+        s_bytes_written =
+          t.wal_bytes_written + (t.comp_pages_written * t.page_size);
+      })
+
+let validate t =
+  let comps =
+    with_lock t (fun () ->
+        check_usable t;
+        t.comps)
+  in
+  List.iter
+    (fun c ->
+      match c.c_state with
+      | Failed _ -> ()
+      | Live idx ->
+          let tree = Index_file.tree idx in
+          ignore (Rtree.validate tree);
+          if Rtree.count tree <> c.c_count then
+            failwith
+              (Printf.sprintf
+                 "Lsm.validate: component %s holds %d entries, manifest says %d"
+                 c.c_file (Rtree.count tree) c.c_count))
+    comps;
+  with_lock t (fun () ->
+      if count_locked t < 0 then failwith "Lsm.validate: negative live count")
+
+let close t =
+  let first, worker =
+    with_lock t (fun () ->
+        if t.closed then (false, None)
+        else begin
+          t.closed <- true;
+          Condition.broadcast t.cond;
+          let w = t.worker in
+          t.worker <- None;
+          (true, w)
+        end)
+  in
+  if first then begin
+    (match worker with Some d -> Domain.join d | None -> ());
+    with_lock t (fun () ->
+        (try
+           Wal.sync t.wal;
+           Wal.close t.wal
+         with _ -> ());
+        List.iter
+          (fun c ->
+            match c.c_state with
+            | Live idx -> Index_file.close idx
+            | Failed _ -> ())
+          t.comps;
+        List.iter Index_file.close t.retired;
+        t.retired <- [])
+  end

@@ -47,6 +47,18 @@ let fresh_stats () =
 
 let nodes_visited s = s.internal_visited + s.leaf_visited
 
+(* Accumulate one component's descent into a combined record — the
+   multi-component fan-out (Lsm, scatter-gather) merges per-component
+   stats with this, then derives one honest [completeness] label: a
+   timeout or skip anywhere taints the combined answer. *)
+let merge_stats dst src =
+  dst.internal_visited <- dst.internal_visited + src.internal_visited;
+  dst.leaf_visited <- dst.leaf_visited + src.leaf_visited;
+  dst.matched <- dst.matched + src.matched;
+  dst.skipped_subtrees <- dst.skipped_subtrees + src.skipped_subtrees;
+  dst.skipped_pages <- List.rev_append src.skipped_pages dst.skipped_pages;
+  dst.timed_out <- dst.timed_out || src.timed_out
+
 (* The completeness contract: partiality is never silent.  A query that
    skipped anything (quarantined page, fresh damage, deadline) says so
    here, and the skipped page ids say exactly where the hole is. *)

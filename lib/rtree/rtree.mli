@@ -20,6 +20,12 @@ type query_stats = {
 val fresh_stats : unit -> query_stats
 val nodes_visited : query_stats -> int
 
+val merge_stats : query_stats -> query_stats -> unit
+(** [merge_stats dst src] accumulates [src] into [dst] (visits, matches,
+    skips; [timed_out] ORs) — how a multi-component fan-out combines
+    per-component descents into one record whose {!completeness} is the
+    honest label for the merged answer. *)
+
 val record_query_stats : ?latency_us:int -> query_stats -> unit
 (** Tick the shared [query.*]/[resilience.*] metrics for one finished
     descent on the calling domain's stripe — used by {!query} and by

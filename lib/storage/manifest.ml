@@ -1,0 +1,168 @@
+(* The CRC'd atomic-rename component manifest; see manifest.mli for the
+   publication discipline. *)
+
+type component = { mc_level : int; mc_seq : int; mc_file : string; mc_count : int }
+
+type t = {
+  m_seq : int;
+  m_next : int;
+  m_wal_floor : int;
+  m_components : component list;
+  m_tombstones : int list;
+  m_last_merge : string;
+}
+
+let empty =
+  {
+    m_seq = 0;
+    m_next = 1;
+    m_wal_floor = 0;
+    m_components = [];
+    m_tombstones = [];
+    m_last_merge = "none";
+  }
+
+let filename seq = Printf.sprintf "MANIFEST-%06d" seq
+
+let seq_of_filename name =
+  if String.length name = 15 && String.sub name 0 9 = "MANIFEST-" then
+    int_of_string_opt (String.sub name 9 6)
+  else None
+
+(* --- encoding ---
+
+   magic "PRMF" | version u32 | crc u32 over everything after this
+   field | m_seq | m_next | m_wal_floor | ncomponents | ntombstones |
+   last_merge_len | components (level, seq, count, file_len, file
+   bytes) | tombstone ids | last_merge bytes.  All integers u32
+   little-endian. *)
+
+let magic = "PRMF"
+let version = 1
+
+let put_u32 b v = Buffer.add_int32_le b (Int32.of_int v)
+
+let encode t =
+  let body = Buffer.create 256 in
+  put_u32 body t.m_seq;
+  put_u32 body t.m_next;
+  put_u32 body t.m_wal_floor;
+  put_u32 body (List.length t.m_components);
+  put_u32 body (List.length t.m_tombstones);
+  put_u32 body (String.length t.m_last_merge);
+  List.iter
+    (fun c ->
+      put_u32 body c.mc_level;
+      put_u32 body c.mc_seq;
+      put_u32 body c.mc_count;
+      put_u32 body (String.length c.mc_file);
+      Buffer.add_string body c.mc_file)
+    t.m_components;
+  List.iter (fun id -> put_u32 body id) t.m_tombstones;
+  Buffer.add_string body t.m_last_merge;
+  let body = Buffer.to_bytes body in
+  let out = Bytes.create (12 + Bytes.length body) in
+  Bytes.blit_string magic 0 out 0 4;
+  Bytes.set_int32_le out 4 (Int32.of_int version);
+  Bytes.set_int32_le out 8
+    (Int32.of_int (Page.crc32c body ~pos:0 ~len:(Bytes.length body)));
+  Bytes.blit body 0 out 12 (Bytes.length body);
+  out
+
+let get_u32 buf pos = Int32.to_int (Bytes.get_int32_le buf pos) land 0xFFFFFFFF
+
+let decode buf =
+  let n = Bytes.length buf in
+  if n < 36 then None
+  else if Bytes.sub_string buf 0 4 <> magic then None
+  else if get_u32 buf 4 <> version then None
+  else if Page.crc32c buf ~pos:12 ~len:(n - 12) <> get_u32 buf 8 then None
+  else
+    try
+      let m_seq = get_u32 buf 12 in
+      let m_next = get_u32 buf 16 in
+      let m_wal_floor = get_u32 buf 20 in
+      let ncomp = get_u32 buf 24 in
+      let ntomb = get_u32 buf 28 in
+      let lm_len = get_u32 buf 32 in
+      let pos = ref 36 in
+      let m_components =
+        List.init ncomp (fun _ ->
+            let mc_level = get_u32 buf !pos in
+            let mc_seq = get_u32 buf (!pos + 4) in
+            let mc_count = get_u32 buf (!pos + 8) in
+            let flen = get_u32 buf (!pos + 12) in
+            let mc_file = Bytes.sub_string buf (!pos + 16) flen in
+            pos := !pos + 16 + flen;
+            { mc_level; mc_seq; mc_file; mc_count })
+      in
+      let m_tombstones =
+        List.init ntomb (fun i -> get_u32 buf (!pos + (4 * i)))
+      in
+      pos := !pos + (4 * ntomb);
+      let m_last_merge = Bytes.sub_string buf !pos lm_len in
+      Some { m_seq; m_next; m_wal_floor; m_components; m_tombstones; m_last_merge }
+    with Invalid_argument _ -> None
+
+(* --- publication --- *)
+
+let write ~fsops ~dir t =
+  let name = filename t.m_seq in
+  let final = Filename.concat dir name in
+  let tmp = final ^ ".tmp" in
+  let data = encode t in
+  let fd = Fsops.create_file fsops tmp in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      (try Fsops.write fsops fd data
+       with Pager.Io_error _ as e ->
+         (* leave a clean slate for the retry; the tmp name is reused *)
+         (try Unix.ftruncate fd 0 with Unix.Unix_error _ -> ());
+         raise e);
+      Fsops.fsync fsops fd);
+  Fsops.rename fsops ~src:tmp ~dst:final;
+  Fsops.fsync_dir fsops dir;
+  (* Keep the immediate predecessor as bit-rot insurance; everything
+     older is dead weight.  Best-effort — a crash here just leaves
+     orphans for the opener. *)
+  Array.iter
+    (fun entry ->
+      match seq_of_filename entry with
+      | Some s when s < t.m_seq - 1 -> Fsops.unlink fsops (Filename.concat dir entry)
+      | _ -> ())
+    (try Sys.readdir dir with Sys_error _ -> [||])
+
+let read_file path =
+  match Unix.openfile path [ Unix.O_RDONLY; Unix.O_CLOEXEC ] 0 with
+  | exception Unix.Unix_error _ -> None
+  | fd ->
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          let n = (Unix.fstat fd).Unix.st_size in
+          let buf = Bytes.create n in
+          let rec fill pos =
+            if pos < n then
+              let r = Unix.read fd buf pos (n - pos) in
+              if r = 0 then pos else fill (pos + r)
+            else pos
+          in
+          if fill 0 = n then Some buf else None)
+
+let load dir =
+  let candidates =
+    (try Sys.readdir dir with Sys_error _ -> [||])
+    |> Array.to_list
+    |> List.filter_map (fun name ->
+           match seq_of_filename name with Some s -> Some (s, name) | None -> None)
+    |> List.sort (fun (a, _) (b, _) -> compare b a)
+  in
+  let rec pick = function
+    | [] -> None
+    | (_, name) :: rest -> (
+        match Option.bind (read_file (Filename.concat dir name)) decode with
+        | Some m -> Some (m, name)
+        | None -> pick rest)
+  in
+  pick candidates

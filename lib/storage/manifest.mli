@@ -1,0 +1,60 @@
+(** The CRC'd atomic-rename component manifest.
+
+    One small file, [MANIFEST-%06d], records the live component set of
+    an LSM directory: which on-disk index files exist at which level,
+    the WAL floor (segments at or above it must be replayed on open),
+    the next sequence number to allocate, unresolved tombstones, and
+    the last merge outcome.  Publication follows the same discipline as
+    {!Superblock}'s shadow pair, transplanted to whole files: write
+    [MANIFEST-<seq>.tmp], fsync it, rename it into place, fsync the
+    directory.  Every step goes through {!Fsops}, so the kill-point
+    matrix sweeps each transition; a crash anywhere leaves either the
+    previous manifest or the new one authoritative, never a hybrid.
+
+    {!load} picks the highest-sequence manifest whose CRC verifies.
+    The writer keeps the immediate predecessor (bit-rot insurance, as
+    the superblock keeps its twin slot) and unlinks anything older;
+    stale manifests, [.tmp] leftovers, orphaned component files and
+    dead WAL segments are the opener's to reclaim. *)
+
+type component = {
+  mc_level : int;  (** slot in the logarithmic method; capacity M0 * 2^level *)
+  mc_seq : int;  (** allocation sequence number (also names the file) *)
+  mc_file : string;  (** basename within the directory *)
+  mc_count : int;  (** entries stored *)
+}
+
+type t = {
+  m_seq : int;  (** manifest generation: highest valid wins on open *)
+  m_next : int;  (** next sequence number (components and WAL segments) *)
+  m_wal_floor : int;  (** replay WAL segments with seq >= this *)
+  m_components : component list;
+  m_tombstones : int list;  (** deleted ids not yet resolved by a merge *)
+  m_last_merge : string;  (** outcome of the last completed merge *)
+}
+
+val empty : t
+(** Generation 0: no components, floor 0, next 1. *)
+
+val filename : int -> string
+(** [filename seq] is ["MANIFEST-%06d"]. *)
+
+val seq_of_filename : string -> int option
+(** Inverse of {!filename}; [None] for foreign names (including
+    [.tmp] leftovers). *)
+
+val write : fsops:Fsops.t -> dir:string -> t -> unit
+(** Publish [t] atomically: tmp write, fsync, rename, directory sync —
+    four kill points — then unlink manifests older than the immediate
+    predecessor (best-effort, more kill points).  Raises
+    {!Pager.Io_error} on injected faults (nothing published; the tmp
+    file, if any, is left for the opener to reclaim). *)
+
+val load : string -> (t * string) option
+(** [load dir] returns the highest-sequence manifest that decodes and
+    CRC-verifies, with its basename; [None] when no valid manifest
+    exists.  Damaged or torn manifests are skipped (falling back to the
+    predecessor), never deleted here. *)
+
+val encode : t -> bytes
+val decode : bytes -> t option

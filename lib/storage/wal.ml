@@ -1,0 +1,101 @@
+(* CRC-framed write-ahead log segments; see wal.mli for the format and
+   the fault/crash semantics. *)
+
+let max_payload = 1 lsl 20
+let frame_overhead = 8
+
+type t = {
+  fsops : Fsops.t;
+  path : string;
+  fd : Unix.file_descr;
+  mutable size : int;  (* bytes of complete frames *)
+  mutable records : int;
+  mutable closed : bool;
+}
+
+let create ~fsops path =
+  let fd = Fsops.create_file fsops path in
+  { fsops; path; fd; size = 0; records = 0; closed = false }
+
+let open_append ~fsops path ~valid =
+  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CLOEXEC ] 0o644 in
+  (match Unix.ftruncate fd valid with
+  | () -> ()
+  | exception e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise e);
+  ignore (Unix.lseek fd valid Unix.SEEK_SET);
+  { fsops; path; fd; size = valid; records = 0; closed = false }
+
+let put_u32 buf pos v =
+  Bytes.set_int32_le buf pos (Int32.of_int v)
+
+let get_u32 buf pos = Int32.to_int (Bytes.get_int32_le buf pos) land 0xFFFFFFFF
+
+let append t payload =
+  if t.closed then invalid_arg "Wal.append: closed";
+  let len = Bytes.length payload in
+  if len = 0 || len > max_payload then invalid_arg "Wal.append: bad payload size";
+  let frame = Bytes.create (frame_overhead + len) in
+  put_u32 frame 0 len;
+  put_u32 frame 4 (Page.crc32c payload ~pos:0 ~len);
+  Bytes.blit payload 0 frame frame_overhead len;
+  (* On an injected fault, scrub any torn prefix so a retry starts from
+     a clean frame boundary.  A Simulated_crash skips this on purpose —
+     the process is "dead" and replay must cope with the tear. *)
+  (try Fsops.write t.fsops t.fd frame
+   with Pager.Io_error _ as e ->
+     Unix.ftruncate t.fd t.size;
+     ignore (Unix.lseek t.fd t.size Unix.SEEK_SET);
+     raise e);
+  t.size <- t.size + frame_overhead + len;
+  t.records <- t.records + 1
+
+let sync t = if not t.closed then Fsops.fsync t.fsops t.fd
+
+let size t = t.size
+let records t = t.records
+let path t = t.path
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let read_file path =
+  match Unix.openfile path [ Unix.O_RDONLY; Unix.O_CLOEXEC ] 0 with
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> Bytes.create 0
+  | fd ->
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          let n = (Unix.fstat fd).Unix.st_size in
+          let buf = Bytes.create n in
+          let rec fill pos =
+            if pos < n then
+              let r = Unix.read fd buf pos (n - pos) in
+              if r = 0 then pos else fill (pos + r)
+            else pos
+          in
+          let got = fill 0 in
+          if got = n then buf else Bytes.sub buf 0 got)
+
+let replay path ~f =
+  let buf = read_file path in
+  let n = Bytes.length buf in
+  let records = ref 0 and pos = ref 0 and stop = ref false in
+  while (not !stop) && !pos + frame_overhead <= n do
+    let len = get_u32 buf !pos in
+    if len = 0 || len > max_payload || !pos + frame_overhead + len > n then stop := true
+    else begin
+      let payload = Bytes.sub buf (!pos + frame_overhead) len in
+      if Page.crc32c payload ~pos:0 ~len <> get_u32 buf (!pos + 4) then stop := true
+      else begin
+        f payload;
+        incr records;
+        pos := !pos + frame_overhead + len
+      end
+    end
+  done;
+  (!records, !pos, n - !pos)

@@ -1,0 +1,61 @@
+(** CRC-framed write-ahead log segments.
+
+    An append-only file of length-prefixed records, each protected by a
+    CRC-32C over its payload: [len (u32) | crc32c (u32) | payload].
+    Appends go through {!Fsops}, so injected faults and kill points land
+    between the two halves of a frame — a crash mid-append leaves a torn
+    tail that {!replay} detects and drops, and an injected fault leaves
+    the file truncated back to its last good frame so the caller can
+    simply retry the append.
+
+    Segments carry no header: a zero-length file is a valid empty
+    segment, and the owner names segments by sequence number
+    (["wal-%06d.log"]).  Durability is explicit — {!append} only
+    buffers into the OS; call {!sync} to make acknowledged records
+    crash-proof. *)
+
+type t
+
+val create : fsops:Fsops.t -> string -> t
+(** Create a fresh (truncated) segment open for appending. *)
+
+val open_append : fsops:Fsops.t -> string -> valid:int -> t
+(** Reopen an existing segment for appending after {!replay} reported
+    [valid] good bytes: any torn tail beyond [valid] is truncated
+    away first. *)
+
+val append : t -> bytes -> unit
+(** Frame and append one record.  On an injected {!Pager.Io_error} the
+    segment is truncated back to its pre-append length before the
+    exception propagates, so a retry appends a clean frame.  A
+    {!Failpoint.Simulated_crash} propagates with whatever torn prefix
+    persisted — exactly what a real kill would leave. *)
+
+val sync : t -> unit
+(** fsync the segment (through {!Fsops}: faults and kill points apply). *)
+
+val size : t -> int
+(** Bytes of complete frames appended (excludes any in-flight torn
+    tail). *)
+
+val records : t -> int
+(** Records appended through this handle (replayed records are the
+    opener's business). *)
+
+val path : t -> string
+val close : t -> unit
+
+val replay : string -> f:(bytes -> unit) -> int * int * int
+(** [replay path ~f] scans the segment from the start, calling [f] on
+    every payload whose frame verifies, stopping at the first bad
+    length or CRC (a torn tail).  Returns
+    [(records, valid_bytes, torn_bytes)].  A missing file replays as
+    empty. *)
+
+val max_payload : int
+(** Sanity cap on frame payloads (1 MiB): a corrupt length field larger
+    than this is treated as a torn tail, not an allocation request. *)
+
+val frame_overhead : int
+(** Bytes of framing per record (length + CRC = 8): what a payload costs
+    on disk beyond itself. *)

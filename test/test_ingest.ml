@@ -1,0 +1,626 @@
+(* The persistent LSM ingestion subsystem: durability of acknowledged
+   inserts, logarithmic-method slot discipline over on-disk components,
+   tombstones, WAL replay, orphan reclamation, the kill-point crash
+   matrix (reopen after a simulated death at EVERY fsops / page-write
+   kill point must yield exactly the acknowledged-operation set, give
+   or take the single in-flight operation), the mid-merge
+   abort -> reopen -> retry lifecycle, background merges, and a qcheck
+   differential against an in-memory oracle under random
+   insert/delete/query/flush/reopen/fault schedules. *)
+
+module Rect = Prt_geom.Rect
+module Rng = Prt_util.Rng
+module Pager = Prt_storage.Pager
+module Failpoint = Prt_storage.Failpoint
+module Retry = Prt_storage.Retry
+module Entry = Prt_rtree.Entry
+module Rtree = Prt_rtree.Rtree
+module Lsm = Prt_logmethod.Lsm
+
+let everything = Rect.make ~xmin:(-1e9) ~ymin:(-1e9) ~xmax:1e9 ~ymax:1e9
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    if Sys.is_directory dir then begin
+      Array.iter
+        (fun n ->
+          try Sys.remove (Filename.concat dir n) with Sys_error _ -> ())
+        (Sys.readdir dir);
+      try Unix.rmdir dir with Unix.Unix_error _ -> ()
+    end
+    else try Sys.remove dir with Sys_error _ -> ()
+  end
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "prt_ingest" "" in
+  Sys.remove dir;
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let live_ids t = Helpers.ids_of (fst (Lsm.query_list t everything))
+
+let check_oracle ?(msg = "query matches oracle") t entries window =
+  let result, stats = Lsm.query_list t window in
+  Alcotest.(check (list int))
+    msg
+    (Helpers.brute_force entries window)
+    (Helpers.ids_of result);
+  Alcotest.(check bool) (msg ^ " (complete)") true (Rtree.complete stats)
+
+(* Slot discipline: level i holds at most capacity * 2^i entries, one
+   component per level. *)
+let check_slots ~buffer_capacity t =
+  let comps = Lsm.components t in
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (level, count) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "level %d occupied once" level)
+        false (Hashtbl.mem seen level);
+      Hashtbl.replace seen level ();
+      Alcotest.(check bool)
+        (Printf.sprintf "level %d within capacity (%d entries)" level count)
+        true
+        (count <= buffer_capacity * (1 lsl level) && count > 0))
+    comps
+
+(* --- basics --- *)
+
+let test_basic () =
+  with_temp_dir (fun dir ->
+      let entries = Helpers.random_entries ~n:100 ~seed:11 in
+      let t = Lsm.create dir in
+      Array.iter (Lsm.insert t) entries;
+      Alcotest.(check int) "count" 100 (Lsm.count t);
+      Alcotest.(check int) "all buffered" 100 (Lsm.buffer_size t);
+      Alcotest.(check (list (pair int int))) "no components yet" [] (Lsm.components t);
+      check_oracle t entries everything;
+      Array.iter
+        (fun q -> check_oracle t entries q)
+        (Helpers.random_queries ~n:20 ~seed:12);
+      Lsm.flush t;
+      Alcotest.(check int) "count after flush" 100 (Lsm.count t);
+      Alcotest.(check int) "buffer drained" 0 (Lsm.buffer_size t);
+      Alcotest.(check int) "one component" 1 (List.length (Lsm.components t));
+      check_oracle t entries everything;
+      Lsm.validate t;
+      Lsm.close t)
+
+let test_merge_levels () =
+  with_temp_dir (fun dir ->
+      let n = 100 in
+      let entries = Helpers.random_entries ~n ~seed:21 in
+      let t =
+        Lsm.create ~buffer_capacity:8 ~page_size:Helpers.small_page_size dir
+      in
+      Array.iteri
+        (fun i e ->
+          Lsm.insert t e;
+          if i mod 17 = 0 then
+            check_oracle ~msg:"mid-ingest query" t
+              (Array.sub entries 0 (i + 1))
+              everything)
+        entries;
+      Alcotest.(check int) "count" n (Lsm.count t);
+      check_slots ~buffer_capacity:8 t;
+      check_oracle t entries everything;
+      Array.iter
+        (fun q -> check_oracle t entries q)
+        (Helpers.random_queries ~n:20 ~seed:22);
+      Lsm.validate t;
+      Lsm.close t;
+      (* Reopen: components and WAL replay reconstruct the same set. *)
+      let t = Lsm.open_ ~buffer_capacity:8 ~page_size:Helpers.small_page_size dir in
+      Alcotest.(check int) "count after reopen" n (Lsm.count t);
+      check_oracle t entries everything;
+      Lsm.validate t;
+      Lsm.close t)
+
+let test_query_batch () =
+  with_temp_dir (fun dir ->
+      let entries = Helpers.random_entries ~n:120 ~seed:31 in
+      let t =
+        Lsm.create ~buffer_capacity:16 ~page_size:Helpers.small_page_size dir
+      in
+      Array.iter (Lsm.insert t) entries;
+      let windows = Helpers.random_queries ~n:12 ~seed:32 in
+      let out = Lsm.query_batch ~jobs:2 t windows in
+      Array.iteri
+        (fun i (result, stats) ->
+          Alcotest.(check (list int))
+            (Printf.sprintf "batch slot %d" i)
+            (Helpers.brute_force entries windows.(i))
+            (Helpers.ids_of result);
+          Alcotest.(check bool) "complete" true (Rtree.complete stats))
+        out;
+      Lsm.close t)
+
+(* --- durability --- *)
+
+let test_reopen_replay () =
+  with_temp_dir (fun dir ->
+      let entries = Helpers.random_entries ~n:50 ~seed:41 in
+      let t = Lsm.create dir in
+      Array.iter (Lsm.insert t) entries;
+      Lsm.close t;
+      let t = Lsm.open_ dir in
+      Alcotest.(check int) "replayed" 50 (Lsm.stats t).Lsm.s_replayed;
+      Alcotest.(check int) "count" 50 (Lsm.count t);
+      check_oracle t entries everything;
+      (* Delete a few, close, reopen: the delete records replay too. *)
+      for i = 0 to 4 do
+        Alcotest.(check bool) "delete acked" true (Lsm.delete t entries.(i))
+      done;
+      Lsm.close t;
+      let t = Lsm.open_ dir in
+      Alcotest.(check int) "count after deletes" 45 (Lsm.count t);
+      let expected = Array.sub entries 5 45 in
+      check_oracle t expected everything;
+      Lsm.close t)
+
+let test_abandoned_handle () =
+  (* No close at all — the process "died" after the last acknowledged
+     insert.  wal_sync:`Always means acknowledged = durable. *)
+  with_temp_dir (fun dir ->
+      let entries = Helpers.random_entries ~n:30 ~seed:51 in
+      let t = Lsm.create ~wal_sync:`Always dir in
+      Array.iter (Lsm.insert t) entries;
+      let t2 = Lsm.open_ dir in
+      Alcotest.(check int) "all acked present" 30 (Lsm.count t2);
+      check_oracle t2 entries everything;
+      Lsm.close t2;
+      Lsm.close t)
+
+let test_torn_wal_tail () =
+  with_temp_dir (fun dir ->
+      let entries = Helpers.random_entries ~n:10 ~seed:61 in
+      let t = Lsm.create dir in
+      Array.iter (Lsm.insert t) entries;
+      Lsm.close t;
+      (* Corrupt the active segment's tail two ways: a garbage length
+         field, then (separately) a half-written frame. *)
+      let wal =
+        Sys.readdir dir |> Array.to_list
+        |> List.filter (fun n ->
+               String.length n > 4 && String.sub n 0 4 = "wal-")
+        |> List.sort compare |> List.rev |> List.hd
+      in
+      let path = Filename.concat dir wal in
+      let append s =
+        let oc = open_out_gen [ Open_append; Open_binary ] 0o644 path in
+        output_string oc s;
+        close_out oc
+      in
+      append "\xff\xff\xff\xff torn garbage";
+      let t = Lsm.open_ dir in
+      Alcotest.(check int) "torn tail dropped" 10 (Lsm.count t);
+      check_oracle t entries everything;
+      Lsm.close t;
+      (* The reopen rotated/truncated; tear the newest segment again
+         with a plausible frame prefix (valid length, missing payload). *)
+      let wal2 =
+        Sys.readdir dir |> Array.to_list
+        |> List.filter (fun n ->
+               String.length n > 4 && String.sub n 0 4 = "wal-")
+        |> List.sort compare |> List.rev |> List.hd
+      in
+      let b = Bytes.create 8 in
+      Bytes.set_int32_le b 0 37l;
+      Bytes.set_int32_le b 4 0xDEADl;
+      let oc =
+        open_out_gen [ Open_append; Open_binary ] 0o644 (Filename.concat dir wal2)
+      in
+      output_bytes oc b;
+      output_string oc "abc";
+      close_out oc;
+      let t = Lsm.open_ dir in
+      Alcotest.(check int) "half frame dropped" 10 (Lsm.count t);
+      check_oracle t entries everything;
+      Lsm.close t)
+
+(* --- deletes and tombstones --- *)
+
+let test_deletes_and_compact () =
+  with_temp_dir (fun dir ->
+      let entries = Helpers.random_entries ~n:20 ~seed:71 in
+      let t =
+        Lsm.create ~buffer_capacity:4 ~page_size:Helpers.small_page_size dir
+      in
+      Array.iter (Lsm.insert t) entries;
+      (* entries.(3) merged into a component by now; the newest may
+         still be buffered. *)
+      Alcotest.(check bool) "delete stored" true (Lsm.delete t entries.(3));
+      Alcotest.(check bool) "delete twice" false (Lsm.delete t entries.(3));
+      Alcotest.(check bool) "delete buffered" true (Lsm.delete t entries.(19));
+      Alcotest.(check bool)
+        "delete absent" false
+        (Lsm.delete t (Entry.make (Rect.make ~xmin:5.0 ~ymin:5.0 ~xmax:6.0 ~ymax:6.0) 999));
+      Alcotest.(check int) "count" 18 (Lsm.count t);
+      let expected =
+        Array.of_list
+          (List.filteri (fun i _ -> i <> 3 && i <> 19) (Array.to_list entries))
+      in
+      check_oracle t expected everything;
+      Alcotest.(check bool)
+        "tombstone recorded" true
+        ((Lsm.stats t).Lsm.s_tombstones >= 1);
+      (* Compaction resolves every reachable tombstone into one
+         component. *)
+      Lsm.compact t;
+      Alcotest.(check int) "tombstones resolved" 0 (Lsm.stats t).Lsm.s_tombstones;
+      Alcotest.(check int) "single component" 1 (List.length (Lsm.components t));
+      check_oracle t expected everything;
+      Lsm.validate t;
+      Lsm.close t;
+      let t = Lsm.open_ ~buffer_capacity:4 ~page_size:Helpers.small_page_size dir in
+      Alcotest.(check int) "count after reopen" 18 (Lsm.count t);
+      check_oracle t expected everything;
+      Lsm.close t)
+
+(* --- orphan reclamation --- *)
+
+let test_orphan_reclaim () =
+  with_temp_dir (fun dir ->
+      let entries = Helpers.random_entries ~n:20 ~seed:81 in
+      let t =
+        Lsm.create ~buffer_capacity:4 ~page_size:Helpers.small_page_size dir
+      in
+      Array.iter (Lsm.insert t) entries;
+      Lsm.flush t;
+      Lsm.close t;
+      (* Litter the directory the way interrupted merges would. *)
+      let plant name content =
+        let oc = open_out_bin (Filename.concat dir name) in
+        output_string oc content;
+        close_out oc
+      in
+      plant "c009999.idx" "half-built component";
+      plant "c000777.idx.tmp" "tmp leftover";
+      plant "MANIFEST-000099.tmp" "tmp manifest";
+      plant "wal-000000.log" "stale segment below the floor";
+      let t = Lsm.open_ ~buffer_capacity:4 ~page_size:Helpers.small_page_size dir in
+      Alcotest.(check int)
+        "orphans reclaimed" 4
+        (Lsm.stats t).Lsm.s_orphans_reclaimed;
+      List.iter
+        (fun name ->
+          Alcotest.(check bool)
+            (name ^ " deleted") false
+            (Sys.file_exists (Filename.concat dir name)))
+        [ "c009999.idx"; "c000777.idx.tmp"; "MANIFEST-000099.tmp"; "wal-000000.log" ];
+      Alcotest.(check int) "data intact" 20 (Lsm.count t);
+      check_oracle t entries everything;
+      (* A second open finds nothing left to reclaim. *)
+      Lsm.close t;
+      let t = Lsm.open_ ~buffer_capacity:4 ~page_size:Helpers.small_page_size dir in
+      Alcotest.(check int) "second open clean" 0 (Lsm.stats t).Lsm.s_orphans_reclaimed;
+      Lsm.close t)
+
+(* --- the kill-point crash matrix --- *)
+
+(* The scripted workload: 28 inserts with two deletes in the middle and
+   a flush at the end, over a buffer of 6 on 512-byte pages — several
+   WAL rotations and component merges, so kill points land on WAL
+   appends and fsyncs, component page writes, manifest swaps and
+   post-merge cleanup alike. *)
+type op = I of Entry.t | D of Entry.t | F
+
+let crash_script entries =
+  let ops = ref [] in
+  Array.iteri
+    (fun i e ->
+      ops := I e :: !ops;
+      if i = 9 then ops := D entries.(2) :: !ops;
+      if i = 19 then ops := D entries.(5) :: !ops)
+    entries;
+  List.rev (F :: !ops)
+
+let apply_op t = function
+  | I e -> Lsm.insert t e
+  | D e -> ignore (Lsm.delete t e)
+  | F -> Lsm.flush t
+
+let expected_ids ops =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (function
+      | I e -> Hashtbl.replace tbl (Entry.id e) ()
+      | D e -> Hashtbl.remove tbl (Entry.id e)
+      | F -> ())
+    ops;
+  List.sort Int.compare (Hashtbl.fold (fun id () acc -> id :: acc) tbl [])
+
+let test_crash_matrix () =
+  let entries = Helpers.random_entries ~n:28 ~seed:91 in
+  let script = crash_script entries in
+  let budget = ref 0 in
+  let finished = ref false in
+  while not !finished do
+    with_temp_dir (fun dir ->
+        let crash = Failpoint.create (Failpoint.crash_after !budget) in
+        let t =
+          Lsm.create ~buffer_capacity:6 ~page_size:Helpers.small_page_size
+            ~crash dir
+        in
+        let acked = ref [] in
+        let pending = ref None in
+        let crashed =
+          match
+            List.iter
+              (fun op ->
+                pending := Some op;
+                apply_op t op;
+                acked := op :: !acked;
+                pending := None)
+              script
+          with
+          | () ->
+              finished := true;
+              Lsm.close t;
+              false
+          | exception Failpoint.Simulated_crash _ -> true
+        in
+        (* The process died at kill point [budget].  Reopen cleanly:
+           the store must hold exactly the acknowledged operations,
+           give or take the single in-flight one (logged but unacked). *)
+        let reopened =
+          Lsm.open_ ~buffer_capacity:6 ~page_size:Helpers.small_page_size dir
+        in
+        let got = live_ids reopened in
+        let want_acked = expected_ids (List.rev !acked) in
+        let want_pending =
+          match !pending with
+          | None -> want_acked
+          | Some op -> expected_ids (List.rev (op :: !acked))
+        in
+        if got <> want_acked && got <> want_pending then
+          Alcotest.failf
+            "kill point %d: reopened to %d ids, want %d acked (or %d with the in-flight op)"
+            !budget (List.length got) (List.length want_acked)
+            (List.length want_pending);
+        Lsm.validate reopened;
+        Lsm.close reopened;
+        (* Recovery is idempotent: a second reopen finds no orphans and
+           the same answer. *)
+        let again =
+          Lsm.open_ ~buffer_capacity:6 ~page_size:Helpers.small_page_size dir
+        in
+        Alcotest.(check int)
+          (Printf.sprintf "kill point %d: second open clean" !budget)
+          0
+          (Lsm.stats again).Lsm.s_orphans_reclaimed;
+        Alcotest.(check (list int))
+          (Printf.sprintf "kill point %d: recovery idempotent" !budget)
+          got (live_ids again);
+        Lsm.close again;
+        (* Only now release the dead process's descriptors (closing fds
+           never alters on-disk bytes, but keep it after verification
+           anyway). *)
+        if crashed then (try Lsm.close t with _ -> ());
+        incr budget)
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "swept a real matrix (%d kill points)" !budget)
+    true (!budget > 60)
+
+(* --- mid-merge abort -> reopen -> retry --- *)
+
+let test_abort_reopen_retry () =
+  with_temp_dir (fun dir ->
+      (* A lossy device: moderate fault rate with a high consecutive
+         cap, and only 2 attempts per operation — WAL appends are
+         retried by the caller below, merges abort. *)
+      let faults =
+        Failpoint.create (Failpoint.uniform ~seed:7 ~max_consecutive:4 0.3)
+      in
+      let policy = { Retry.default_policy with Retry.attempts = 2 } in
+      (* With only 2 attempts against a 30% fault rate, even [create]'s
+         initial manifest write can exhaust its budget: retry it at
+         this level, like every other acknowledged operation below. *)
+      let rec make tries =
+        match
+          Lsm.create ~buffer_capacity:8 ~page_size:Helpers.small_page_size
+            ~faults ~retry_policy:policy dir
+        with
+        | t -> t
+        | exception Prt_storage.Pager.Io_error _ when tries > 0 ->
+            rm_rf dir;
+            make (tries - 1)
+      in
+      let t = make 20 in
+      let entries = Helpers.random_entries ~n:40 ~seed:101 in
+      let acked = ref [] in
+      Array.iter
+        (fun e ->
+          let rec go tries =
+            match Lsm.insert t e with
+            | () -> acked := e :: !acked
+            | exception Prt_storage.Pager.Io_error _ when tries > 0 ->
+                go (tries - 1)
+            | exception Prt_storage.Pager.Io_error _ -> ()
+          in
+          go 20)
+        entries;
+      let acked = Array.of_list (List.rev !acked) in
+      Alcotest.(check int) "every insert eventually acked" 40 (Array.length acked);
+      (* Merges aborted under the fault storm, but every acknowledged
+         insert stays queryable throughout. *)
+      let st = Lsm.stats t in
+      Alcotest.(check bool) "merges aborted" true (st.Lsm.s_merge_aborts >= 1);
+      check_oracle ~msg:"degraded but honest" t acked everything;
+      Lsm.close t;
+      (* Reopen on a healthy device: WAL replay restores the sealed
+         backlog, and the retried merge drains it. *)
+      let t =
+        Lsm.open_ ~buffer_capacity:8 ~page_size:Helpers.small_page_size dir
+      in
+      Alcotest.(check int) "count after recovery" 40 (Lsm.count t);
+      check_oracle t acked everything;
+      Lsm.flush t;
+      Alcotest.(check int) "backlog drained" 0 (Lsm.buffer_size t);
+      check_slots ~buffer_capacity:8 t;
+      Lsm.validate t;
+      Lsm.close t)
+
+(* --- background merges --- *)
+
+let test_background () =
+  with_temp_dir (fun dir ->
+      let n = 300 in
+      let entries = Helpers.random_entries ~n ~seed:111 in
+      let t =
+        Lsm.create ~buffer_capacity:16 ~page_size:Helpers.small_page_size
+          ~wal_sync:`Never ~background:true dir
+      in
+      let inserted = Hashtbl.create n in
+      Array.iteri
+        (fun i e ->
+          Lsm.insert t e;
+          Hashtbl.replace inserted (Entry.id e) ();
+          if i mod 37 = 0 then begin
+            (* Concurrent honest reads: whatever the merge domain is
+               doing, a query returns a complete answer over some
+               prefix-consistent state — never an error, never a
+               partial label. *)
+            let result, stats = Lsm.query_list t everything in
+            Alcotest.(check bool) "complete under merges" true (Rtree.complete stats);
+            List.iter
+              (fun e ->
+                Alcotest.(check bool)
+                  "no phantom entries" true
+                  (Hashtbl.mem inserted (Entry.id e)))
+              result
+          end)
+        entries;
+      Lsm.wait_merges t;
+      Alcotest.(check int) "count" n (Lsm.count t);
+      check_oracle t entries everything;
+      Array.iter
+        (fun q -> check_oracle t entries q)
+        (Helpers.random_queries ~n:10 ~seed:112);
+      check_slots ~buffer_capacity:16 t;
+      Lsm.validate t;
+      Lsm.close t;
+      let t =
+        Lsm.open_ ~buffer_capacity:16 ~page_size:Helpers.small_page_size dir
+      in
+      Alcotest.(check int) "count after reopen" n (Lsm.count t);
+      Lsm.close t)
+
+(* --- qcheck differential vs an in-memory oracle --- *)
+
+(* Random schedules of insert / delete / query / flush / compact /
+   reopen over a small buffer, optionally on a lossy device whose
+   faults the retry engine absorbs.  Every query must match the oracle
+   exactly, with a Complete label. *)
+let run_differential ~faulty (sc : Helpers.scenario) =
+  with_temp_dir (fun dir ->
+      let rng = Rng.create sc.Helpers.sc_seed in
+      let faults =
+        if faulty then
+          Some
+            (Failpoint.create
+               (Failpoint.uniform ~seed:(sc.Helpers.sc_seed + 1)
+                  ~max_consecutive:2 0.05))
+        else None
+      in
+      let make fresh =
+        let go =
+          (if fresh then Lsm.create else Lsm.open_)
+            ~buffer_capacity:4 ~page_size:Helpers.small_page_size ?faults
+            ~wal_sync:`Never
+        in
+        (* Recovery itself runs on the lossy device: retry transient
+           faults like any caller would. *)
+        let rec attempt n =
+          match go dir with
+          | t -> t
+          | exception Pager.Io_error _ when n > 0 -> attempt (n - 1)
+        in
+        attempt 50
+      in
+      let t = ref (make true) in
+      let oracle = Hashtbl.create 64 in
+      let next_id = ref 0 in
+      let alive () = Hashtbl.fold (fun _ e acc -> e :: acc) oracle [] in
+      for _ = 1 to sc.Helpers.sc_size do
+        match Rng.int rng 100 with
+        | r when r < 55 ->
+            let e = Entry.make (Helpers.random_rect rng) !next_id in
+            incr next_id;
+            Lsm.insert !t e;
+            Hashtbl.replace oracle (Entry.id e) e
+        | r when r < 70 ->
+            if Hashtbl.length oracle > 0 then begin
+              let victims =
+                List.sort
+                  (fun a b -> Int.compare (Entry.id a) (Entry.id b))
+                  (alive ())
+              in
+              let e = List.nth victims (Rng.int rng (List.length victims)) in
+              let deleted = Lsm.delete !t e in
+              if not deleted then
+                Alcotest.failf "%s: delete of live id %d refused"
+                  (Helpers.scenario_repro sc) (Entry.id e);
+              Hashtbl.remove oracle (Entry.id e)
+            end
+        | r when r < 90 ->
+            let w = Helpers.random_rect rng in
+            let result, stats = Lsm.query_list !t w in
+            let expected =
+              Helpers.brute_force (Array.of_list (alive ())) w
+            in
+            if Helpers.ids_of result <> expected then
+              Alcotest.failf "%s: query diverged from oracle"
+                (Helpers.scenario_repro sc);
+            if not (Rtree.complete stats) then
+              Alcotest.failf "%s: incomplete answer on a healthy store"
+                (Helpers.scenario_repro sc)
+        | r when r < 94 -> (
+            (* On a lossy device an explicit merge may abort cleanly
+               once retries exhaust — acknowledged data stays queryable
+               either way, which the next query asserts. *)
+            try Lsm.flush !t with Pager.Io_error _ when faulty -> ())
+        | r when r < 96 -> (
+            try Lsm.compact !t with Pager.Io_error _ when faulty -> ())
+        | _ ->
+            Lsm.close !t;
+            t := make false
+      done;
+      let result, _ = Lsm.query_list !t everything in
+      let expected =
+        List.sort Int.compare (Hashtbl.fold (fun id _ acc -> id :: acc) oracle [])
+      in
+      if Helpers.ids_of result <> expected then
+        Alcotest.failf "%s: final state diverged" (Helpers.scenario_repro sc);
+      Lsm.validate !t;
+      Lsm.close !t;
+      true)
+
+let qcheck_differential =
+  QCheck.Test.make ~count:15 ~name:"lsm matches oracle under random schedules"
+    (Helpers.arbitrary_scenario ~min_size:10 ~max_size:60 ())
+    (run_differential ~faulty:false)
+
+let qcheck_differential_faulty =
+  QCheck.Test.make
+    ~count:(if Helpers.long_run then 25 else 8)
+    ~name:"lsm matches oracle on a lossy device"
+    (Helpers.arbitrary_scenario ~min_size:10 ~max_size:40 ())
+    (run_differential ~faulty:true)
+
+let suite =
+  [
+    Alcotest.test_case "basic insert/query/flush" `Quick test_basic;
+    Alcotest.test_case "logarithmic slot discipline" `Quick test_merge_levels;
+    Alcotest.test_case "batched fan-out" `Quick test_query_batch;
+    Alcotest.test_case "reopen replays the WAL" `Quick test_reopen_replay;
+    Alcotest.test_case "abandoned handle loses nothing" `Quick test_abandoned_handle;
+    Alcotest.test_case "torn WAL tail" `Quick test_torn_wal_tail;
+    Alcotest.test_case "deletes, tombstones, compaction" `Quick test_deletes_and_compact;
+    Alcotest.test_case "orphan reclamation" `Quick test_orphan_reclaim;
+    Alcotest.test_case "kill-point crash matrix" `Slow test_crash_matrix;
+    Alcotest.test_case "merge abort -> reopen -> retry" `Quick test_abort_reopen_retry;
+    Alcotest.test_case "background merge domain" `Quick test_background;
+    Helpers.qcheck_case qcheck_differential;
+    Helpers.qcheck_case qcheck_differential_faulty;
+  ]

@@ -33,4 +33,5 @@ let () =
       ("mvcc", Test_mvcc.suite);
       ("mmap", Test_mmap.suite);
       ("serve", Test_serve.suite);
+      ("ingest", Test_ingest.suite);
     ]
