@@ -264,8 +264,13 @@ let make ?(buffer_capacity = 1024) ?(page_size = Pager.default_page_size)
   end;
   let manifest, chosen =
     if fresh then begin
-      Retry.run retry ~op:"ingest.manifest_init" (fun () ->
-          Manifest.write ~fsops ~dir:dirname Manifest.empty);
+      (try
+         Retry.run retry ~op:"ingest.manifest_init" (fun () ->
+             Manifest.write ~fsops ~dir:dirname Manifest.empty)
+       with Manifest.Published_unsynced _ ->
+         (* Renamed into place: the empty manifest is live, only its
+            directory sync is pending — the next publication syncs. *)
+         ());
       (Manifest.empty, Manifest.filename 0)
     end
     else
@@ -472,10 +477,14 @@ let build_component t ~seq ~entries =
    with e ->
      Index_file.close idx;
      (* Only a transient fault may clean up; at a kill point the
-        half-built file must stay behind for the opener to reclaim. *)
+        half-built file must stay behind for the opener to reclaim.
+        The fault may have hit either side of the rename, so remove
+        whichever name exists — the retry rebuilds under a fresh seq
+        and nothing references this one yet. *)
      (match e with
-     | Pager.Io_error _ -> (
-         try Unix.unlink tmp with Unix.Unix_error _ -> ())
+     | Pager.Io_error _ ->
+         (try Unix.unlink tmp with Unix.Unix_error _ -> ());
+         (try Unix.unlink final with Unix.Unix_error _ -> ())
      | _ -> ());
      raise e);
   (idx, pages)
@@ -585,6 +594,19 @@ let merge_attempt t ~compact_all ~floor_seq =
       in
       (match Manifest.write ~fsops:t.fsops ~dir:t.dir m with
       | () -> ()
+      | exception Manifest.Published_unsynced _ ->
+          (* The rename landed: the new manifest IS the on-disk truth
+             and only its directory sync is missing.  Rolling back here
+             would delete a component the durable manifest references
+             and strand sealed entries below the advanced WAL floor.
+             Re-attempt the sync; if the device keeps faulting, commit
+             anyway with a widened power-loss window — the same
+             weakening the seal applies to its rotated-segment sync. *)
+          Flight.failure "ingest.manifest_sync_deferred";
+          (try
+             Retry.run t.retry ~op:"ingest.manifest_sync" (fun () ->
+                 Fsops.fsync_dir t.fsops t.dir)
+           with Pager.Io_error _ -> ())
       | exception e ->
           (* The swap failed before publication: the old manifest still
              rules.  On a transient fault, roll the in-memory side back
@@ -630,13 +652,18 @@ let merge_attempt t ~compact_all ~floor_seq =
      descriptors keep the unlinked participants readable until the
      retired handles drain. *)
   List.iter (fun p -> Fsops.unlink t.fsops p) participant_files;
-  let dead, alive =
-    List.partition
+  let dead =
+    List.filter
       (fun (s, _, _) -> s < floor_seq)
       (with_lock t (fun () -> t.old_segments))
   in
   List.iter (fun (_, p, _) -> Fsops.unlink t.fsops p) dead;
-  with_lock t (fun () -> t.old_segments <- alive)
+  (* Re-partition the CURRENT list under the final lock: a seal that
+     ran between the read above and here appended a fresh rotated-out
+     segment that a stale write-back would silently drop. *)
+  with_lock t (fun () ->
+      t.old_segments <-
+        List.filter (fun (s, _, _) -> s >= floor_seq) t.old_segments)
 
 (* Seal the active buffer (coalescing into any sealed leftover from an
    aborted merge) and rotate the WAL.  Caller holds the lock.  After
@@ -839,6 +866,14 @@ let insert t e =
           Hashtbl.mem t.buffer id
           || match t.sealed with Some s -> Hashtbl.mem s id | None -> false
         then invalid_arg "Lsm.insert: duplicate entry id in buffer";
+        (* An unresolved tombstone means a dead copy of this id still
+           lives in some component; the id-keyed tombstone cannot tell
+           that copy apart from a re-insert, so admitting one would
+           both hide the new entry from queries and drop it at the next
+           merge while the dead copy resurrects.  Reject until a merge
+           resolves the tombstone (flush/compact forces that). *)
+        if Hashtbl.mem t.tombstones id then
+          invalid_arg "Lsm.insert: id has an unresolved tombstone";
         (* Background mode: a full buffer on top of an unmerged seal
            waits here rather than growing without bound. *)
         if t.background then
@@ -871,13 +906,32 @@ let insert t e =
   if trigger && not t.background then
     ignore (merge_pending t ~compact_all:false ~raise_on_error:false)
 
+(* Every reader of component pages registers in active_queries; retired
+   handles (unlinked by a merge commit, still open) are only closed
+   once the count drains to zero. *)
+let drain_retired_locked t =
+  if t.active_queries = 0 && t.retired <> [] then begin
+    let dead = t.retired in
+    t.retired <- [];
+    List.iter Index_file.close dead
+  end
+
+let finish_query t =
+  with_lock t (fun () ->
+      t.active_queries <- t.active_queries - 1;
+      drain_retired_locked t)
+
 (* Does the entry exist in the sealed buffer or some component?  The
    exact rectangle confines the probe to one window query per
-   component, on the snapshot path. *)
+   component, on the snapshot path.  Registered as a query: a
+   concurrent merge commit may retire the captured handles, and only
+   the active_queries count keeps drain_retired_locked from closing
+   them under our feet. *)
 let mem_stored t e =
   let id = Entry.id e in
   let sealed_hit, comps =
     with_lock t (fun () ->
+        t.active_queries <- t.active_queries + 1;
         ( (match t.sealed with
           | Some s -> (
               match Hashtbl.find_opt s id with
@@ -886,24 +940,27 @@ let mem_stored t e =
           | None -> false),
           t.comps ))
   in
-  sealed_hit
-  || List.exists
-       (fun c ->
-         match c.c_state with
-         | Failed _ -> false
-         | Live idx ->
-             let tree = Index_file.tree idx in
-             let found = ref false in
-             Index_file.with_snapshot idx (fun view ->
-                 ignore
-                   (Rtree.query_unrecorded ~snapshot:view tree (Entry.rect e)
-                      ~f:(fun hit ->
-                        if Entry.id hit = id && Entry.equal hit e then
-                          found := true)));
-             !found)
-       comps
+  Fun.protect
+    ~finally:(fun () -> finish_query t)
+    (fun () ->
+      sealed_hit
+      || List.exists
+           (fun c ->
+             match c.c_state with
+             | Failed _ -> false
+             | Live idx ->
+                 let tree = Index_file.tree idx in
+                 let found = ref false in
+                 Index_file.with_snapshot idx (fun view ->
+                     ignore
+                       (Rtree.query_unrecorded ~snapshot:view tree
+                          (Entry.rect e) ~f:(fun hit ->
+                            if Entry.id hit = id && Entry.equal hit e then
+                              found := true)));
+                 !found)
+           comps)
 
-let delete t e =
+let rec delete t e =
   let buffered =
     with_lock t (fun () ->
         check_usable t;
@@ -921,13 +978,28 @@ let delete t e =
   | Some r -> r
   | None ->
       if mem_stored t e then begin
-        with_lock t (fun () ->
-            check_usable t;
-            log_record t 1 e;
-            Hashtbl.replace t.tombstones (Entry.id e) ();
-            Metrics.tick m_deletes;
-            Metrics.tick m_tombstones);
-        true
+        let landed =
+          with_lock t (fun () ->
+              check_usable t;
+              let id = Entry.id e in
+              (* The probe ran unlocked: a concurrent insert may have
+                 re-buffered this id in the window (legal — the
+                 tombstone doesn't exist yet).  An id-keyed tombstone
+                 would kill that acknowledged insert too, so restart
+                 and let the buffered-delete path handle it. *)
+              if
+                Hashtbl.mem t.buffer id
+                || match t.sealed with Some s -> Hashtbl.mem s id | None -> false
+              then false
+              else begin
+                log_record t 1 e;
+                Hashtbl.replace t.tombstones id ();
+                Metrics.tick m_deletes;
+                Metrics.tick m_tombstones;
+                true
+              end)
+        in
+        if landed then true else delete t e
       end
       else false
 
@@ -952,18 +1024,6 @@ let wait_merges t =
       done)
 
 (* --- queries --- *)
-
-let drain_retired_locked t =
-  if t.active_queries = 0 && t.retired <> [] then begin
-    let dead = t.retired in
-    t.retired <- [];
-    List.iter Index_file.close dead
-  end
-
-let finish_query t =
-  with_lock t (fun () ->
-      t.active_queries <- t.active_queries - 1;
-      drain_retired_locked t)
 
 let is_dead tomb e =
   match tomb with None -> false | Some tbl -> Hashtbl.mem tbl (Entry.id e)
@@ -1023,8 +1083,9 @@ let query ?deadline t window ~f =
               | s -> Rtree.merge_stats stats s
               | exception _ ->
                   (* An unexpectedly dead component degrades its own
-                     contribution only. *)
-                  c.c_state <- Failed "query failed";
+                     contribution only.  c_state is read under the lock
+                     by merges/stats, so the demotion takes it too. *)
+                  with_lock t (fun () -> c.c_state <- Failed "query failed");
                   stats.Rtree.skipped_subtrees <-
                     stats.Rtree.skipped_subtrees + 1))
         comps;

@@ -92,12 +92,17 @@ val insert : t -> Prt_rtree.Entry.t -> unit
     Acknowledged (returned) means the record is in the WAL — replayed
     on any subsequent open.  A failed absorb never fails the insert
     (the entry is durable; the merge retries later).  Raises
-    [Invalid_argument] on an id already buffered. *)
+    [Invalid_argument] on an id already buffered, or on an id with an
+    unresolved tombstone — a dead copy of that id still lives in a
+    component, and the id-keyed tombstone cannot tell it apart from a
+    re-insert.  A deleted id becomes insertable again once a merge
+    resolves its tombstone ({!flush}/{!compact} forces that). *)
 
 val delete : t -> Prt_rtree.Entry.t -> bool
 (** Remove a buffered entry or tombstone a component-resident one
     (matched by id and rectangle), WAL-logged either way.  Tombstones
-    persist in the manifest until a merge resolves them.  [false] if
+    persist in the manifest until a merge resolves them, and block
+    re-insertion of the id meanwhile (see {!insert}).  [false] if
     absent. *)
 
 val flush : t -> unit

@@ -106,6 +106,8 @@ let decode buf =
 
 (* --- publication --- *)
 
+exception Published_unsynced of string
+
 let write ~fsops ~dir t =
   let name = filename t.m_seq in
   let final = Filename.concat dir name in
@@ -122,7 +124,11 @@ let write ~fsops ~dir t =
          raise e);
       Fsops.fsync fsops fd);
   Fsops.rename fsops ~src:tmp ~dst:final;
-  Fsops.fsync_dir fsops dir;
+  (* The rename is the publication point: from here on [load] picks this
+     manifest, so a failure must never read as "not published" — the
+     caller would roll back a swap that is already the on-disk truth. *)
+  (try Fsops.fsync_dir fsops dir
+   with Pager.Io_error m -> raise (Published_unsynced m));
   (* Keep the immediate predecessor as bit-rot insurance; everything
      older is dead weight.  Best-effort — a crash here just leaves
      orphans for the opener. *)

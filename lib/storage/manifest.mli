@@ -43,12 +43,20 @@ val seq_of_filename : string -> int option
 (** Inverse of {!filename}; [None] for foreign names (including
     [.tmp] leftovers). *)
 
+exception Published_unsynced of string
+(** The rename landed — {!load} already picks the new manifest — but
+    the directory sync after it failed, so the rename's durability
+    across a power cut is unknown.  The caller must treat the swap as
+    committed (rolling back would contradict the on-disk truth); it may
+    re-attempt the directory sync itself. *)
+
 val write : fsops:Fsops.t -> dir:string -> t -> unit
 (** Publish [t] atomically: tmp write, fsync, rename, directory sync —
     four kill points — then unlink manifests older than the immediate
     predecessor (best-effort, more kill points).  Raises
-    {!Pager.Io_error} on injected faults (nothing published; the tmp
-    file, if any, is left for the opener to reclaim). *)
+    {!Pager.Io_error} on injected faults up to and including the rename
+    (nothing published; the tmp file, if any, is left for the opener to
+    reclaim), and {!Published_unsynced} for a fault after it. *)
 
 val load : string -> (t * string) option
 (** [load dir] returns the highest-sequence manifest that decodes and

@@ -256,6 +256,60 @@ let test_deletes_and_compact () =
       check_oracle t expected everything;
       Lsm.close t)
 
+(* Re-inserting a tombstoned id would be silently lost (hidden by the
+   id-keyed tombstone, dropped at the next merge while the dead stored
+   copy resurrects), so it must be rejected until a merge resolves the
+   tombstone — after which the id is insertable again, durably. *)
+let test_tombstone_reinsert () =
+  with_temp_dir (fun dir ->
+      let entries = Helpers.random_entries ~n:12 ~seed:97 in
+      let t =
+        Lsm.create ~buffer_capacity:4 ~page_size:Helpers.small_page_size dir
+      in
+      Array.iter (Lsm.insert t) entries;
+      Lsm.flush t;
+      let victim = entries.(5) in
+      Alcotest.(check bool) "delete stored" true (Lsm.delete t victim);
+      Alcotest.check_raises "reinsert under live tombstone rejected"
+        (Invalid_argument "Lsm.insert: id has an unresolved tombstone")
+        (fun () -> Lsm.insert t victim);
+      (* Nothing was acknowledged by the rejected insert: the entry
+         stays deleted, across a reopen too. *)
+      let expected =
+        Array.of_list
+          (List.filteri (fun i _ -> i <> 5) (Array.to_list entries))
+      in
+      check_oracle ~msg:"rejected insert left no trace" t expected everything;
+      Lsm.close t;
+      let t = Lsm.open_ ~buffer_capacity:4 ~page_size:Helpers.small_page_size dir in
+      check_oracle ~msg:"still deleted after reopen" t expected everything;
+      (* Compaction resolves the tombstone; the id is insertable again
+         and the new rectangle (not the dead one) is what queries see. *)
+      Lsm.compact t;
+      Alcotest.(check int) "tombstone resolved" 0 (Lsm.stats t).Lsm.s_tombstones;
+      let reborn =
+        Entry.make
+          (Rect.make ~xmin:400.0 ~ymin:400.0 ~xmax:401.0 ~ymax:401.0)
+          (Entry.id victim)
+      in
+      Lsm.insert t reborn;
+      let expected = Array.append expected [| reborn |] in
+      Alcotest.(check int) "count after rebirth" 12 (Lsm.count t);
+      check_oracle ~msg:"reborn entry visible" t expected everything;
+      let hits, _ =
+        Lsm.query_list t
+          (Rect.make ~xmin:399.0 ~ymin:399.0 ~xmax:402.0 ~ymax:402.0)
+      in
+      Alcotest.(check bool)
+        "reborn rect queryable" true
+        (List.exists (fun e -> Entry.equal e reborn) hits);
+      Lsm.flush t;
+      Lsm.close t;
+      let t = Lsm.open_ ~buffer_capacity:4 ~page_size:Helpers.small_page_size dir in
+      check_oracle ~msg:"rebirth durable" t expected everything;
+      Lsm.validate t;
+      Lsm.close t)
+
 (* --- orphan reclamation --- *)
 
 let test_orphan_reclaim () =
@@ -539,6 +593,20 @@ let run_differential ~faulty (sc : Helpers.scenario) =
         attempt 50
       in
       let t = ref (make true) in
+      let trace = Sys.getenv_opt "PRT_TRACE" <> None in
+      let dump tag =
+        if trace then begin
+          let s = Lsm.stats !t in
+          Printf.printf "[%s] count=%d buf=%d sealed=%d tomb=%d comps=[%s] last=%s\n%!"
+            tag (Lsm.count !t) s.Lsm.s_buffer s.Lsm.s_sealed s.Lsm.s_tombstones
+            (String.concat ";"
+               (List.map
+                  (fun (l, n, ok) ->
+                    Printf.sprintf "L%d:%d%s" l n (if ok then "" else "!"))
+                  s.Lsm.s_components))
+            s.Lsm.s_last_merge
+        end
+      in
       let oracle = Hashtbl.create 64 in
       let next_id = ref 0 in
       let alive () = Hashtbl.fold (fun _ e acc -> e :: acc) oracle [] in
@@ -548,7 +616,8 @@ let run_differential ~faulty (sc : Helpers.scenario) =
             let e = Entry.make (Helpers.random_rect rng) !next_id in
             incr next_id;
             Lsm.insert !t e;
-            Hashtbl.replace oracle (Entry.id e) e
+            Hashtbl.replace oracle (Entry.id e) e;
+            dump (Printf.sprintf "insert %d" (Entry.id e))
         | r when r < 70 ->
             if Hashtbl.length oracle > 0 then begin
               let victims =
@@ -561,7 +630,8 @@ let run_differential ~faulty (sc : Helpers.scenario) =
               if not deleted then
                 Alcotest.failf "%s: delete of live id %d refused"
                   (Helpers.scenario_repro sc) (Entry.id e);
-              Hashtbl.remove oracle (Entry.id e)
+              Hashtbl.remove oracle (Entry.id e);
+              dump (Printf.sprintf "delete %d" (Entry.id e))
             end
         | r when r < 90 ->
             let w = Helpers.random_rect rng in
@@ -569,6 +639,7 @@ let run_differential ~faulty (sc : Helpers.scenario) =
             let expected =
               Helpers.brute_force (Array.of_list (alive ())) w
             in
+            dump "query";
             if Helpers.ids_of result <> expected then
               Alcotest.failf "%s: query diverged from oracle"
                 (Helpers.scenario_repro sc);
@@ -579,12 +650,15 @@ let run_differential ~faulty (sc : Helpers.scenario) =
             (* On a lossy device an explicit merge may abort cleanly
                once retries exhaust — acknowledged data stays queryable
                either way, which the next query asserts. *)
-            try Lsm.flush !t with Pager.Io_error _ when faulty -> ())
+            (try Lsm.flush !t with Pager.Io_error _ when faulty -> ());
+            dump "flush")
         | r when r < 96 -> (
-            try Lsm.compact !t with Pager.Io_error _ when faulty -> ())
+            (try Lsm.compact !t with Pager.Io_error _ when faulty -> ());
+            dump "compact")
         | _ ->
             Lsm.close !t;
-            t := make false
+            t := make false;
+            dump "reopen"
       done;
       let result, _ = Lsm.query_list !t everything in
       let expected =
@@ -617,6 +691,8 @@ let suite =
     Alcotest.test_case "abandoned handle loses nothing" `Quick test_abandoned_handle;
     Alcotest.test_case "torn WAL tail" `Quick test_torn_wal_tail;
     Alcotest.test_case "deletes, tombstones, compaction" `Quick test_deletes_and_compact;
+    Alcotest.test_case "tombstoned id rejects reinsert until resolved" `Quick
+      test_tombstone_reinsert;
     Alcotest.test_case "orphan reclamation" `Quick test_orphan_reclaim;
     Alcotest.test_case "kill-point crash matrix" `Slow test_crash_matrix;
     Alcotest.test_case "merge abort -> reopen -> retry" `Quick test_abort_reopen_retry;
